@@ -1,0 +1,411 @@
+//! # spanners-algebra
+//!
+//! The spanner algebra `{π, ∪, ⋈}` over regex-formula and automaton atoms
+//! (Section 2 "Spanner algebras" and Section 4, Propositions 4.4–4.6).
+//!
+//! An [`AlgebraExpr`] combines *atoms* — regex formulas or extended VA — with
+//! unions, natural joins and projections. Two evaluation paths are provided:
+//!
+//! * [`AlgebraExpr::compile`] compiles the whole expression into a **single
+//!   deterministic sequential eVA** using the automaton-level constructions of
+//!   Proposition 4.4, then hands it to the constant-delay machinery
+//!   (Propositions 4.5/4.6 describe the cost of the two compilation strategies);
+//! * [`AlgebraExpr::eval_set`] evaluates every atom separately and combines the
+//!   *mapping sets* with set-level join/union/projection — the straightforward
+//!   semantics used as a test oracle and baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use spanners_automata::{
+    determinize, join, project, trim, union, union_deterministic, va_to_eva, CompileOptions,
+};
+use spanners_core::{
+    join_mapping_sets, project_mapping_set, union_mapping_sets, CompiledSpanner, DetSeva,
+    Document, Eva, Mapping, Span, SpannerError, VarRegistry, VarSet,
+};
+use spanners_regex::{parse, regex_to_va, RegexAst};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How [`AlgebraExpr::compile`] orders determinization and the algebraic
+/// constructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompileStrategy {
+    /// Proposition 4.5: apply join/union/projection on (non-deterministic)
+    /// functional eVA bottom-up, determinize once at the very end.
+    /// Worst case `2^(n^k)` states but often small in practice.
+    #[default]
+    DeterminizeLate,
+    /// Proposition 4.6: determinize the atoms first and use the
+    /// determinism-preserving join and union (Lemma B.2); projections force a
+    /// re-determinization of their operand. Worst case `2^(n·k)` states.
+    DeterminizeEarly,
+}
+
+/// A spanner-algebra expression.
+#[derive(Debug, Clone)]
+pub enum AlgebraExpr {
+    /// A regex-formula atom.
+    Regex(RegexAst),
+    /// An extended-VA atom (must be functional for joins and projections,
+    /// as required by Proposition 4.4).
+    Automaton(Eva),
+    /// Union of two sub-expressions.
+    Union(Box<AlgebraExpr>, Box<AlgebraExpr>),
+    /// Natural join of two sub-expressions (shared variables must agree).
+    Join(Box<AlgebraExpr>, Box<AlgebraExpr>),
+    /// Projection of a sub-expression onto the named variables.
+    Projection(Vec<String>, Box<AlgebraExpr>),
+}
+
+impl AlgebraExpr {
+    /// An atom from a regex-formula pattern.
+    pub fn regex(pattern: &str) -> Result<Self, SpannerError> {
+        Ok(AlgebraExpr::Regex(parse(pattern)?))
+    }
+
+    /// An atom from an extended VA.
+    pub fn automaton(eva: Eva) -> Self {
+        AlgebraExpr::Automaton(eva)
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: AlgebraExpr) -> Self {
+        AlgebraExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self ⋈ other`.
+    pub fn join(self, other: AlgebraExpr) -> Self {
+        AlgebraExpr::Join(Box::new(self), Box::new(other))
+    }
+
+    /// `π_vars(self)`.
+    pub fn project(self, vars: &[&str]) -> Self {
+        AlgebraExpr::Projection(vars.iter().map(|s| s.to_string()).collect(), Box::new(self))
+    }
+
+    /// All variable names mentioned in the expression (after projections).
+    pub fn variables(&self) -> BTreeSet<String> {
+        match self {
+            AlgebraExpr::Regex(ast) => ast.variables(),
+            AlgebraExpr::Automaton(eva) => {
+                eva.registry().iter().map(|(_, n)| n.to_string()).collect()
+            }
+            AlgebraExpr::Union(a, b) | AlgebraExpr::Join(a, b) => {
+                a.variables().union(&b.variables()).cloned().collect()
+            }
+            AlgebraExpr::Projection(vars, inner) => {
+                let inner_vars = inner.variables();
+                vars.iter().filter(|v| inner_vars.contains(*v)).cloned().collect()
+            }
+        }
+    }
+
+    /// The paper's size measure `|e|`: sum of atom sizes plus number of operators.
+    pub fn size(&self) -> usize {
+        match self {
+            AlgebraExpr::Regex(ast) => ast.size(),
+            AlgebraExpr::Automaton(eva) => eva.size(),
+            AlgebraExpr::Union(a, b) | AlgebraExpr::Join(a, b) => 1 + a.size() + b.size(),
+            AlgebraExpr::Projection(_, inner) => 1 + inner.size(),
+        }
+    }
+
+    /// Compiles the expression into a single extended VA (not yet determinized),
+    /// using the constructions of Proposition 4.4.
+    pub fn to_eva(&self, opts: CompileOptions) -> Result<Eva, SpannerError> {
+        match self {
+            AlgebraExpr::Regex(ast) => {
+                let va = regex_to_va(ast)?;
+                va_to_eva(&va)
+            }
+            AlgebraExpr::Automaton(eva) => Ok(eva.clone()),
+            AlgebraExpr::Union(a, b) => union(&a.to_eva(opts)?, &b.to_eva(opts)?),
+            AlgebraExpr::Join(a, b) => join(&a.to_eva(opts)?, &b.to_eva(opts)?),
+            AlgebraExpr::Projection(vars, inner) => {
+                let names: Vec<&str> = vars.iter().map(String::as_str).collect();
+                project(&inner.to_eva(opts)?, &names)
+            }
+        }
+    }
+
+    /// Compiles the expression into a deterministic sequential eVA following the
+    /// chosen [`CompileStrategy`], ready for constant-delay evaluation.
+    pub fn compile(
+        &self,
+        opts: CompileOptions,
+        strategy: CompileStrategy,
+    ) -> Result<CompiledSpanner, SpannerError> {
+        let det: DetSeva = match strategy {
+            CompileStrategy::DeterminizeLate => {
+                let eva = self.to_eva(opts)?;
+                let det = determinize(&eva, opts.max_states)?;
+                DetSeva::compile_trusted(&trim(&det)?)?
+            }
+            CompileStrategy::DeterminizeEarly => {
+                let eva = self.compile_early(opts)?;
+                let det = determinize(&eva, opts.max_states)?; // cheap if already deterministic
+                DetSeva::compile_trusted(&trim(&det)?)?
+            }
+        };
+        Ok(CompiledSpanner::from_det(det))
+    }
+
+    /// Bottom-up compilation that keeps intermediate automata deterministic
+    /// (Proposition 4.6): atoms are determinized eagerly, unions use Lemma B.2,
+    /// joins preserve determinism, projections re-determinize their operand.
+    fn compile_early(&self, opts: CompileOptions) -> Result<Eva, SpannerError> {
+        match self {
+            AlgebraExpr::Regex(_) | AlgebraExpr::Automaton(_) => {
+                let eva = self.to_eva(opts)?;
+                trim(&determinize(&eva, opts.max_states)?)
+            }
+            AlgebraExpr::Union(a, b) => {
+                union_deterministic(&a.compile_early(opts)?, &b.compile_early(opts)?)
+            }
+            AlgebraExpr::Join(a, b) => join(&a.compile_early(opts)?, &b.compile_early(opts)?),
+            AlgebraExpr::Projection(vars, inner) => {
+                let names: Vec<&str> = vars.iter().map(String::as_str).collect();
+                let projected = project(&inner.compile_early(opts)?, &names)?;
+                trim(&determinize(&projected, opts.max_states)?)
+            }
+        }
+    }
+
+    /// Evaluates the expression by materializing and combining mapping sets —
+    /// the direct set-level semantics of Section 2, used as an oracle/baseline.
+    ///
+    /// Returns the mapping set together with the registry (variables interned in
+    /// sorted-name order over the whole expression).
+    pub fn eval_set(&self, doc: &Document) -> Result<(Vec<Mapping>, VarRegistry), SpannerError> {
+        let mut registry = VarRegistry::new();
+        for name in self.all_atom_variables() {
+            registry.intern(&name)?;
+        }
+        let set = self.eval_set_inner(doc, &registry)?;
+        Ok((set, registry))
+    }
+
+    /// Variables of all atoms (before projection), needed to build a stable
+    /// registry for set-level evaluation.
+    fn all_atom_variables(&self) -> BTreeSet<String> {
+        match self {
+            AlgebraExpr::Regex(ast) => ast.variables(),
+            AlgebraExpr::Automaton(eva) => {
+                eva.registry().iter().map(|(_, n)| n.to_string()).collect()
+            }
+            AlgebraExpr::Union(a, b) | AlgebraExpr::Join(a, b) => {
+                a.all_atom_variables().union(&b.all_atom_variables()).cloned().collect()
+            }
+            AlgebraExpr::Projection(_, inner) => inner.all_atom_variables(),
+        }
+    }
+
+    fn eval_set_inner(
+        &self,
+        doc: &Document,
+        registry: &VarRegistry,
+    ) -> Result<Vec<Mapping>, SpannerError> {
+        match self {
+            AlgebraExpr::Regex(ast) => {
+                let (mappings, atom_reg) = spanners_regex::eval_regex(ast, doc)?;
+                Ok(rename_mappings(&mappings, &atom_reg, registry))
+            }
+            AlgebraExpr::Automaton(eva) => {
+                let mappings = eva.eval_naive(doc);
+                Ok(rename_mappings(&mappings, eva.registry(), registry))
+            }
+            AlgebraExpr::Union(a, b) => Ok(union_mapping_sets(
+                &a.eval_set_inner(doc, registry)?,
+                &b.eval_set_inner(doc, registry)?,
+            )),
+            AlgebraExpr::Join(a, b) => Ok(join_mapping_sets(
+                &a.eval_set_inner(doc, registry)?,
+                &b.eval_set_inner(doc, registry)?,
+            )),
+            AlgebraExpr::Projection(vars, inner) => {
+                let keep: VarSet = vars.iter().filter_map(|v| registry.get(v)).collect();
+                Ok(project_mapping_set(&inner.eval_set_inner(doc, registry)?, &keep))
+            }
+        }
+    }
+}
+
+/// Remaps a set of mappings from one registry into another (by variable name).
+fn rename_mappings(mappings: &[Mapping], from: &VarRegistry, to: &VarRegistry) -> Vec<Mapping> {
+    mappings
+        .iter()
+        .map(|m| {
+            m.iter()
+                .map(|(v, s)| {
+                    let name = from.name(v);
+                    (to.get(name).expect("target registry contains all atom variables"), s)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Converts mappings into name-keyed span maps, convenient for comparing results
+/// produced under different registries (e.g. compiled vs. set-level evaluation).
+pub fn named_mappings(mappings: &[Mapping], registry: &VarRegistry) -> Vec<BTreeMap<String, Span>> {
+    let mut out: Vec<BTreeMap<String, Span>> = mappings
+        .iter()
+        .map(|m| m.iter().map(|(v, s)| (registry.name(v).to_string(), s)).collect())
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> CompileOptions {
+        CompileOptions::default()
+    }
+
+    /// Compares compiled evaluation against set-level evaluation on several documents.
+    fn assert_compiled_matches_set(expr: &AlgebraExpr, docs: &[&str], strategy: CompileStrategy) {
+        let spanner = expr.compile(opts(), strategy).expect("compilation succeeds");
+        for text in docs {
+            let doc = Document::from(*text);
+            let (set, set_reg) = expr.eval_set(&doc).expect("set evaluation succeeds");
+            let expected = named_mappings(&set, &set_reg);
+            let got = named_mappings(&spanner.mappings(&doc), spanner.registry());
+            assert_eq!(got, expected, "strategy {strategy:?} on document {text:?}");
+            assert_eq!(
+                spanner.count_u64(&doc).unwrap() as usize,
+                expected.len(),
+                "count mismatch ({strategy:?}) on {text:?}"
+            );
+        }
+    }
+
+    fn digits() -> AlgebraExpr {
+        AlgebraExpr::regex(".*!num{[0-9]+}.*").unwrap()
+    }
+
+    fn words() -> AlgebraExpr {
+        AlgebraExpr::regex(".*!word{[a-z]+}.*").unwrap()
+    }
+
+    #[test]
+    fn union_of_regex_atoms() {
+        let expr = digits().union(words());
+        for strategy in [CompileStrategy::DeterminizeLate, CompileStrategy::DeterminizeEarly] {
+            assert_compiled_matches_set(&expr, &["a1", "abc", "123", "", "x9y"], strategy);
+        }
+    }
+
+    #[test]
+    fn join_of_regex_atoms() {
+        let expr = digits().join(words());
+        for strategy in [CompileStrategy::DeterminizeLate, CompileStrategy::DeterminizeEarly] {
+            assert_compiled_matches_set(&expr, &["a1", "ab12", "zzz", "1"], strategy);
+        }
+    }
+
+    #[test]
+    fn projection_after_join() {
+        let expr = digits().join(words()).project(&["num"]);
+        assert_eq!(expr.variables(), ["num".to_string()].into_iter().collect());
+        for strategy in [CompileStrategy::DeterminizeLate, CompileStrategy::DeterminizeEarly] {
+            assert_compiled_matches_set(&expr, &["a1", "ab12", "zzz"], strategy);
+        }
+    }
+
+    #[test]
+    fn join_with_shared_variable() {
+        // Both atoms capture `x`; the join intersects their span sets.
+        let alnum = AlgebraExpr::regex(".*!x{[a-z0-9]+}.*").unwrap();
+        let digits_x = AlgebraExpr::regex(".*!x{[0-9]+}.*").unwrap();
+        let expr = alnum.join(digits_x);
+        for strategy in [CompileStrategy::DeterminizeLate, CompileStrategy::DeterminizeEarly] {
+            assert_compiled_matches_set(&expr, &["a1b2", "abc", "99"], strategy);
+        }
+    }
+
+    #[test]
+    fn nested_expression() {
+        // (digits ⋈ words) ∪ π_{num}(digits)
+        let expr = digits().join(words()).union(digits().project(&["num"]));
+        assert_compiled_matches_set(
+            &expr,
+            &["a1", "1", "a", ""],
+            CompileStrategy::DeterminizeLate,
+        );
+    }
+
+    #[test]
+    fn union_is_commutative_semantically() {
+        let e1 = digits().union(words());
+        let e2 = words().union(digits());
+        let doc = Document::from("a1b");
+        let (s1, r1) = e1.eval_set(&doc).unwrap();
+        let (s2, r2) = e2.eval_set(&doc).unwrap();
+        assert_eq!(named_mappings(&s1, &r1), named_mappings(&s2, &r2));
+        let c1 = e1.compile(opts(), CompileStrategy::DeterminizeLate).unwrap();
+        let c2 = e2.compile(opts(), CompileStrategy::DeterminizeLate).unwrap();
+        assert_eq!(
+            named_mappings(&c1.mappings(&doc), c1.registry()),
+            named_mappings(&c2.mappings(&doc), c2.registry())
+        );
+    }
+
+    #[test]
+    fn join_is_associative_semantically() {
+        let a = digits();
+        let b = words();
+        let c = AlgebraExpr::regex(".*!cap{[A-Z]+}.*").unwrap();
+        let left = a.clone().join(b.clone()).join(c.clone());
+        let right = a.join(b.join(c));
+        let doc = Document::from("Ab1");
+        let (s1, r1) = left.eval_set(&doc).unwrap();
+        let (s2, r2) = right.eval_set(&doc).unwrap();
+        assert_eq!(named_mappings(&s1, &r1), named_mappings(&s2, &r2));
+        assert!(!s1.is_empty());
+    }
+
+    #[test]
+    fn projection_to_missing_variable_is_empty_domain() {
+        let expr = digits().project(&["nonexistent"]);
+        assert!(expr.variables().is_empty());
+        let doc = Document::from("a1");
+        let (set, reg) = expr.eval_set(&doc).unwrap();
+        // Projecting away everything yields the boolean spanner: {∅} iff the
+        // inner expression matched at all.
+        assert_eq!(named_mappings(&set, &reg), vec![BTreeMap::new()]);
+    }
+
+    #[test]
+    fn automaton_atoms_participate() {
+        // Use a regex-compiled VA converted to an eVA as an explicit automaton atom.
+        let ast = spanners_regex::parse(".*!x{[0-9]+}.*").unwrap();
+        let va = regex_to_va(&ast).unwrap();
+        let eva = va_to_eva(&va).unwrap();
+        let expr = AlgebraExpr::automaton(eva).join(words());
+        assert_compiled_matches_set(&expr, &["a1", "7z"], CompileStrategy::DeterminizeLate);
+    }
+
+    #[test]
+    fn expression_size_and_variables() {
+        let expr = digits().join(words()).project(&["num"]);
+        assert!(expr.size() > digits().size() + words().size());
+        assert_eq!(
+            expr.variables().into_iter().collect::<Vec<_>>(),
+            vec!["num".to_string()]
+        );
+        let expr = digits().union(words());
+        assert_eq!(expr.variables().len(), 2);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let expr = digits().join(words()).join(AlgebraExpr::regex(".*!z{[A-Z]+}.*").unwrap());
+        let err = expr.compile(CompileOptions::with_max_states(3), CompileStrategy::DeterminizeLate);
+        assert!(err.is_err());
+    }
+}

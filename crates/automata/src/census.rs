@@ -1,0 +1,219 @@
+//! The SpanL-hardness reduction of Theorem 5.2.
+//!
+//! The *Census* problem — given an NFA `B` and a length `n`, count the distinct
+//! words of length `n` accepted by `B` — is SpanL-hard. Theorem 5.2 reduces it
+//! to counting the outputs of a functional VA: it builds a functional VA
+//! `A_{B,n}` and a document `d_{B,n} = (#cc)^n` such that
+//! `|⟦A_{B,n}⟧(d_{B,n})|` equals the number of accepted words of length `n`.
+//!
+//! Each position `i` of a word is encoded by one `#cc` block of the document;
+//! variable `x_i` captures either the first `c` (letter `a`) or the second `c`
+//! (letter `b`), so every accepted word corresponds to exactly one output
+//! mapping and vice versa. This module implements the reduction as executable
+//! code — the constructive content of the hardness theorem — and the tests use
+//! it both as a correctness check and as a stress test for the counting
+//! pipeline.
+
+use crate::nfa::Nfa;
+use crate::va::{Va, VaBuilder};
+use spanners_core::{Document, SpannerError, VarRegistry};
+
+/// The output of the Theorem 5.2 reduction.
+#[derive(Debug, Clone)]
+pub struct CensusInstance {
+    /// The functional VA `A_{B,n}`.
+    pub va: Va,
+    /// The document `d_{B,n} = (#cc)^n`.
+    pub document: Document,
+    /// The word length `n` being counted.
+    pub length: usize,
+}
+
+/// Builds the Theorem 5.2 reduction from the Census problem `(B, n)` over the
+/// alphabet `{a, b}` to counting the outputs of a functional VA.
+///
+/// Fails with [`SpannerError::TooManyVariables`] if `n` exceeds the per-automaton
+/// variable limit (the reduction uses one capture variable per word position).
+pub fn census_reduction(nfa: &Nfa, n: usize) -> Result<CensusInstance, SpannerError> {
+    let mut registry = VarRegistry::new();
+    let vars: Result<Vec<_>, _> = (0..n).map(|i| registry.intern(&format!("x{i}"))).collect();
+    let vars = vars?;
+
+    let mut b = VaBuilder::new(registry);
+    // States (q, i) for q in Q_B and i in 0..=n.
+    let base: Vec<Vec<usize>> =
+        (0..nfa.num_states()).map(|_| (0..=n).map(|_| b.add_state()).collect()).collect();
+    b.set_initial(base[nfa.initial()][0]);
+    for q in 0..nfa.num_states() {
+        if nfa.is_final(q) {
+            b.set_final(base[q][n]);
+        }
+    }
+
+    // For every NFA transition (q, letter, p) and every position i in 1..=n,
+    // add the gadget reading one `#cc` block while capturing x_i on the first
+    // `c` (letter `a`) or on the second `c` (letter `b`).
+    for q in 0..nfa.num_states() {
+        for &(letter, p) in nfa.transitions(q) {
+            for i in 1..=n {
+                let from = base[q][i - 1];
+                let to = base[p][i];
+                let x = vars[i - 1];
+                match letter {
+                    b'a' => {
+                        // # · x_i⊢ · c · ⊣x_i · c
+                        let s1 = b.add_state();
+                        let s2 = b.add_state();
+                        let s3 = b.add_state();
+                        let s4 = b.add_state();
+                        b.add_byte(from, b'#', s1);
+                        b.add_open(s1, x, s2);
+                        b.add_byte(s2, b'c', s3);
+                        b.add_close(s3, x, s4);
+                        b.add_byte(s4, b'c', to);
+                    }
+                    b'b' => {
+                        // # · c · x_i⊢ · c · ⊣x_i
+                        let s1 = b.add_state();
+                        let s2 = b.add_state();
+                        let s3 = b.add_state();
+                        let s4 = b.add_state();
+                        b.add_byte(from, b'#', s1);
+                        b.add_byte(s1, b'c', s2);
+                        b.add_open(s2, x, s3);
+                        b.add_byte(s3, b'c', s4);
+                        b.add_close(s4, x, to);
+                    }
+                    other => {
+                        // The reduction is defined for the binary alphabet {a, b};
+                        // other letters are simply ignored (they cannot contribute
+                        // to words counted by the Census instance we encode).
+                        let _ = other;
+                    }
+                }
+            }
+        }
+    }
+
+    let document = Document::new(b"#cc".repeat(n));
+    Ok(CensusInstance { va: b.build()?, document, length: n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::{compile_va, CompileOptions};
+    use spanners_core::count_mappings;
+
+    /// NFA over {a, b} accepting words containing the factor "ab".
+    fn contains_ab() -> Nfa {
+        let mut nfa = Nfa::new(3);
+        nfa.set_initial(0);
+        nfa.set_final(2);
+        nfa.add_transition(0, b'a', 0);
+        nfa.add_transition(0, b'b', 0);
+        nfa.add_transition(0, b'a', 1);
+        nfa.add_transition(1, b'b', 2);
+        nfa.add_transition(2, b'a', 2);
+        nfa.add_transition(2, b'b', 2);
+        nfa
+    }
+
+    /// NFA over {a, b} accepting words with an even number of `a`s.
+    fn even_as() -> Nfa {
+        let mut nfa = Nfa::new(2);
+        nfa.set_initial(0);
+        nfa.set_final(0);
+        nfa.add_transition(0, b'a', 1);
+        nfa.add_transition(1, b'a', 0);
+        nfa.add_transition(0, b'b', 0);
+        nfa.add_transition(1, b'b', 1);
+        nfa
+    }
+
+    #[test]
+    fn reduction_produces_functional_va() {
+        let inst = census_reduction(&contains_ab(), 3).unwrap();
+        assert!(inst.va.is_functional());
+        assert_eq!(inst.document.len(), 9);
+        assert_eq!(inst.va.registry().len(), 3);
+    }
+
+    #[test]
+    fn reduction_is_parsimonious_naive() {
+        // For small n, compare |⟦A⟧(d)| (naive evaluation) to the Census count.
+        for n in 0..4usize {
+            let nfa = contains_ab();
+            let inst = census_reduction(&nfa, n).unwrap();
+            let mappings = inst.va.eval_naive(&inst.document);
+            let census = nfa.count_accepted_words(n, &[b'a', b'b']);
+            assert_eq!(mappings.len() as u64, census, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn reduction_is_parsimonious_via_counting_pipeline() {
+        // The full pipeline (functional VA → eVA → determinize → Algorithm 3)
+        // must produce exactly the Census count, n up to 6 (2^6 = 64 words).
+        for (nfa, name) in [(contains_ab(), "contains_ab"), (even_as(), "even_as")] {
+            for n in 0..=6usize {
+                let inst = census_reduction(&nfa, n).unwrap();
+                let det = compile_va(&inst.va, CompileOptions::default()).unwrap();
+                let count: u64 = count_mappings(&det, &inst.document).unwrap();
+                let census = nfa.count_accepted_words(n, &[b'a', b'b']);
+                assert_eq!(count, census, "{name}, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn mappings_encode_words() {
+        // Decode the output mappings back into words and check they are exactly
+        // the accepted words of length n.
+        let nfa = contains_ab();
+        let n = 4;
+        let inst = census_reduction(&nfa, n).unwrap();
+        let mappings = inst.va.eval_naive(&inst.document);
+        let mut words: Vec<Vec<u8>> = mappings
+            .iter()
+            .map(|m| {
+                (0..n)
+                    .map(|i| {
+                        let x = inst.va.registry().get(&format!("x{i}")).unwrap();
+                        let span = m.get(x).expect("functional mapping assigns every variable");
+                        // First c of block i is at offset 3i+1, second at 3i+2.
+                        if span.start() == 3 * i + 1 {
+                            b'a'
+                        } else {
+                            assert_eq!(span.start(), 3 * i + 2);
+                            b'b'
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        words.sort();
+        words.dedup();
+        assert_eq!(words.len(), mappings.len(), "distinct mappings encode distinct words");
+        for w in &words {
+            assert!(nfa.accepts(w));
+        }
+        assert_eq!(words.len() as u64, nfa.count_accepted_words(n, &[b'a', b'b']));
+    }
+
+    #[test]
+    fn zero_length_census() {
+        let inst = census_reduction(&even_as(), 0).unwrap();
+        assert!(inst.document.is_empty());
+        // ε has zero a's (even), so it is accepted: exactly one (empty) mapping.
+        assert_eq!(inst.va.eval_naive(&inst.document).len(), 1);
+        let inst = census_reduction(&contains_ab(), 0).unwrap();
+        assert!(inst.va.eval_naive(&inst.document).is_empty());
+    }
+
+    #[test]
+    fn too_many_positions_rejected() {
+        let err = census_reduction(&even_as(), 64).unwrap_err();
+        assert!(matches!(err, SpannerError::TooManyVariables { .. }));
+    }
+}

@@ -1,0 +1,194 @@
+//! Bounded equivalence checking between spanners.
+//!
+//! Deciding equivalence of non-deterministic variable-set automata is
+//! intractable in general, but for testing translations and algebraic
+//! rewritings it is extremely useful to check that two spanners agree on
+//! **every document up to a given length** over a small alphabet. This module
+//! provides that bounded check, used heavily by the integration tests and
+//! available to downstream users as a debugging aid.
+
+use crate::va::Va;
+use spanners_core::{dedup_mappings, Document, Eva, Mapping};
+
+/// A counterexample produced by a bounded equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The document on which the two spanners disagree.
+    pub document: Document,
+    /// The output of the left spanner on that document (sorted, deduplicated).
+    pub left: Vec<Mapping>,
+    /// The output of the right spanner on that document (sorted, deduplicated).
+    pub right: Vec<Mapping>,
+}
+
+/// Checks that two extended VA produce the same mapping sets on every document
+/// of length at most `max_len` over `alphabet`. Returns the first
+/// counterexample found, or `None` if they agree everywhere in the bound.
+///
+/// Both automata must use the same variable names; mappings are compared after
+/// sorting, using each automaton's own registry (ids are compared positionally,
+/// so the registries must list the shared variables in the same order — which
+/// is the case for automata derived from one another by the translations in
+/// this crate).
+pub fn bounded_equivalent_eva(
+    left: &Eva,
+    right: &Eva,
+    alphabet: &[u8],
+    max_len: usize,
+) -> Option<Counterexample> {
+    for doc in all_documents(alphabet, max_len) {
+        let mut l = left.eval_naive(&doc);
+        let mut r = right.eval_naive(&doc);
+        dedup_mappings(&mut l);
+        dedup_mappings(&mut r);
+        if l != r {
+            return Some(Counterexample { document: doc, left: l, right: r });
+        }
+    }
+    None
+}
+
+/// Bounded equivalence between two classical VA (see [`bounded_equivalent_eva`]).
+pub fn bounded_equivalent_va(
+    left: &Va,
+    right: &Va,
+    alphabet: &[u8],
+    max_len: usize,
+) -> Option<Counterexample> {
+    for doc in all_documents(alphabet, max_len) {
+        let mut l = left.eval_naive(&doc);
+        let mut r = right.eval_naive(&doc);
+        dedup_mappings(&mut l);
+        dedup_mappings(&mut r);
+        if l != r {
+            return Some(Counterexample { document: doc, left: l, right: r });
+        }
+    }
+    None
+}
+
+/// Bounded equivalence between a classical VA and an extended VA — the shape
+/// needed to validate Theorem 3.1 translations.
+pub fn bounded_equivalent_va_eva(
+    left: &Va,
+    right: &Eva,
+    alphabet: &[u8],
+    max_len: usize,
+) -> Option<Counterexample> {
+    for doc in all_documents(alphabet, max_len) {
+        let mut l = left.eval_naive(&doc);
+        let mut r = right.eval_naive(&doc);
+        dedup_mappings(&mut l);
+        dedup_mappings(&mut r);
+        if l != r {
+            return Some(Counterexample { document: doc, left: l, right: r });
+        }
+    }
+    None
+}
+
+/// Enumerates every document of length `0..=max_len` over the alphabet, in
+/// length-lexicographic order.
+pub fn all_documents(alphabet: &[u8], max_len: usize) -> Vec<Document> {
+    let mut out = vec![Document::empty()];
+    let mut current: Vec<Vec<u8>> = vec![Vec::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::with_capacity(current.len() * alphabet.len());
+        for word in &current {
+            for &b in alphabet {
+                let mut w = word.clone();
+                w.push(b);
+                next.push(w);
+            }
+        }
+        out.extend(next.iter().cloned().map(Document::new));
+        current = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::{eva_to_va, va_to_eva};
+    use crate::va::VaBuilder;
+    use spanners_core::{EvaBuilder, MarkerSet, VarRegistry};
+
+    #[test]
+    fn all_documents_counts() {
+        // Σ = {a, b}: 1 + 2 + 4 + 8 documents of length ≤ 3.
+        assert_eq!(all_documents(b"ab", 3).len(), 15);
+        assert_eq!(all_documents(b"a", 0).len(), 1);
+        assert_eq!(all_documents(b"abc", 2).len(), 1 + 3 + 9);
+    }
+
+    fn simple_va() -> Va {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = VaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q2);
+        b.add_open(q0, x, q1);
+        b.add_byte(q1, b'a', q1);
+        b.add_close(q1, x, q2);
+        b.add_byte(q2, b'b', q2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn translation_round_trips_are_equivalent() {
+        let va = simple_va();
+        let eva = va_to_eva(&va).unwrap();
+        assert!(bounded_equivalent_va_eva(&va, &eva, b"ab", 4).is_none());
+        let back = eva_to_va(&eva).unwrap();
+        assert!(bounded_equivalent_va(&va, &back, b"ab", 4).is_none());
+        assert!(bounded_equivalent_eva(&eva, &eva, b"ab", 4).is_none());
+    }
+
+    #[test]
+    fn inequivalent_automata_yield_a_counterexample() {
+        let va = simple_va();
+        // A variant that forbids the trailing b's.
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = VaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q2);
+        b.add_open(q0, x, q1);
+        b.add_byte(q1, b'a', q1);
+        b.add_close(q1, x, q2);
+        let other = b.build().unwrap();
+        let cex = bounded_equivalent_va(&va, &other, b"ab", 3).expect("must differ");
+        // The shortest distinguishing document contains a `b`.
+        assert!(cex.document.bytes().contains(&b'b'));
+        assert_ne!(cex.left, cex.right);
+    }
+
+    #[test]
+    fn counterexample_on_eva_level() {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg.clone());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q1);
+        b.add_var(q0, MarkerSet::new().with_open(x).with_close(x), q1).unwrap();
+        let left = b.build().unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q0); // accepts ε with the empty mapping instead
+        b.add_var(q0, MarkerSet::new().with_open(x).with_close(x), q1).unwrap();
+        let right = b.build().unwrap();
+        let cex = bounded_equivalent_eva(&left, &right, b"a", 1).expect("must differ");
+        assert_eq!(cex.document, Document::empty());
+    }
+}

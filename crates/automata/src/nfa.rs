@@ -1,0 +1,200 @@
+//! A minimal classical NFA, used by the SpanL-hardness reduction of Theorem 5.2
+//! (the *Census* problem counts the words of a given length accepted by an NFA).
+
+use spanners_core::eva::StateId;
+
+/// A non-deterministic finite automaton over bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nfa {
+    num_states: usize,
+    initial: StateId,
+    finals: Vec<bool>,
+    /// Per-state list of `(byte, target)` transitions.
+    transitions: Vec<Vec<(u8, StateId)>>,
+}
+
+impl Nfa {
+    /// Creates an NFA with `num_states` states, initial state 0 and no transitions.
+    pub fn new(num_states: usize) -> Self {
+        Nfa {
+            num_states,
+            initial: 0,
+            finals: vec![false; num_states],
+            transitions: vec![Vec::new(); num_states],
+        }
+    }
+
+    /// Sets the initial state.
+    pub fn set_initial(&mut self, q: StateId) {
+        assert!(q < self.num_states);
+        self.initial = q;
+    }
+
+    /// Marks a state as final.
+    pub fn set_final(&mut self, q: StateId) {
+        self.finals[q] = true;
+    }
+
+    /// Adds a transition `(from, byte, to)`.
+    pub fn add_transition(&mut self, from: StateId, byte: u8, to: StateId) {
+        assert!(from < self.num_states && to < self.num_states);
+        self.transitions[from].push((byte, to));
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Whether `q` is final.
+    pub fn is_final(&self, q: StateId) -> bool {
+        self.finals[q]
+    }
+
+    /// Transitions leaving `q`.
+    pub fn transitions(&self, q: StateId) -> &[(u8, StateId)] {
+        &self.transitions[q]
+    }
+
+    /// Whether the NFA accepts the given word.
+    pub fn accepts(&self, word: &[u8]) -> bool {
+        let mut current = vec![false; self.num_states];
+        current[self.initial] = true;
+        for &b in word {
+            let mut next = vec![false; self.num_states];
+            for q in 0..self.num_states {
+                if current[q] {
+                    for &(byte, to) in &self.transitions[q] {
+                        if byte == b {
+                            next[to] = true;
+                        }
+                    }
+                }
+            }
+            current = next;
+        }
+        (0..self.num_states).any(|q| current[q] && self.finals[q])
+    }
+
+    /// Counts the number of **distinct words** of length `n` over `alphabet`
+    /// that the NFA accepts (the Census problem). Uses the subset construction
+    /// implicitly: dynamic programming over determinized state sets, which
+    /// counts each accepted word exactly once.
+    pub fn count_accepted_words(&self, n: usize, alphabet: &[u8]) -> u64 {
+        use std::collections::HashMap;
+        // DP over (length, subset) where subset is the set of states reachable
+        // by some specific word — counting distinct subsets weighted by the
+        // number of words mapping to them.
+        let start: Vec<StateId> = vec![self.initial];
+        let mut counts: HashMap<Vec<StateId>, u64> = HashMap::new();
+        counts.insert(start, 1);
+        for _ in 0..n {
+            let mut next: HashMap<Vec<StateId>, u64> = HashMap::new();
+            for (subset, count) in &counts {
+                for &b in alphabet {
+                    let mut targets: Vec<StateId> = Vec::new();
+                    for &q in subset {
+                        for &(byte, to) in &self.transitions[q] {
+                            if byte == b {
+                                targets.push(to);
+                            }
+                        }
+                    }
+                    targets.sort_unstable();
+                    targets.dedup();
+                    if targets.is_empty() {
+                        continue;
+                    }
+                    *next.entry(targets).or_insert(0) += count;
+                }
+            }
+            counts = next;
+        }
+        counts
+            .iter()
+            .filter(|(subset, _)| subset.iter().any(|&q| self.finals[q]))
+            .map(|(_, c)| *c)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NFA over {a, b} accepting words that contain the factor "ab".
+    fn contains_ab() -> Nfa {
+        let mut nfa = Nfa::new(3);
+        nfa.set_initial(0);
+        nfa.set_final(2);
+        nfa.add_transition(0, b'a', 0);
+        nfa.add_transition(0, b'b', 0);
+        nfa.add_transition(0, b'a', 1);
+        nfa.add_transition(1, b'b', 2);
+        nfa.add_transition(2, b'a', 2);
+        nfa.add_transition(2, b'b', 2);
+        nfa
+    }
+
+    #[test]
+    fn accepts_words() {
+        let nfa = contains_ab();
+        assert!(nfa.accepts(b"ab"));
+        assert!(nfa.accepts(b"aab"));
+        assert!(nfa.accepts(b"bab"));
+        assert!(nfa.accepts(b"abba"));
+        assert!(!nfa.accepts(b"ba"));
+        assert!(!nfa.accepts(b"aaa"));
+        assert!(!nfa.accepts(b""));
+    }
+
+    #[test]
+    fn census_counts_distinct_words() {
+        let nfa = contains_ab();
+        let alphabet = [b'a', b'b'];
+        // brute force comparison
+        for n in 0..8usize {
+            let mut brute = 0u64;
+            for w in 0..(1u32 << n) {
+                let word: Vec<u8> =
+                    (0..n).map(|i| if w >> i & 1 == 0 { b'a' } else { b'b' }).collect();
+                if nfa.accepts(&word) {
+                    brute += 1;
+                }
+            }
+            assert_eq!(nfa.count_accepted_words(n, &alphabet), brute, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn census_counts_nondeterministic_without_double_counting() {
+        // An NFA with massively redundant accepting runs (every word of length n
+        // over {a} is accepted through many paths) must still count each word once.
+        let mut nfa = Nfa::new(4);
+        nfa.set_initial(0);
+        nfa.set_final(3);
+        for q in 0..3 {
+            nfa.add_transition(q, b'a', q + 1);
+            nfa.add_transition(q, b'a', 3.min(q + 1));
+        }
+        nfa.add_transition(3, b'a', 3);
+        assert_eq!(nfa.count_accepted_words(3, &[b'a']), 1);
+        assert_eq!(nfa.count_accepted_words(5, &[b'a']), 1);
+        assert_eq!(nfa.count_accepted_words(2, &[b'a']), 0);
+    }
+
+    #[test]
+    fn empty_word_acceptance() {
+        let mut nfa = Nfa::new(1);
+        nfa.set_initial(0);
+        nfa.set_final(0);
+        assert!(nfa.accepts(b""));
+        assert_eq!(nfa.count_accepted_words(0, &[b'a', b'b']), 1);
+        assert_eq!(contains_ab().count_accepted_words(0, &[b'a', b'b']), 0);
+    }
+}

@@ -1,0 +1,604 @@
+//! Algebraic constructions on extended VA (Proposition 4.4 and Lemma B.2):
+//! join, union, deterministic union and projection.
+//!
+//! These are the automaton-level counterparts of the spanner algebra
+//! `{π, ∪, ⋈}`. Together with determinization they realise Propositions 4.5
+//! and 4.6 (compiling whole algebra expressions into a single deterministic
+//! sequential eVA); the expression-level driver lives in `spanners-algebra`.
+
+use spanners_core::byteclass::ByteClass;
+use spanners_core::eva::StateId;
+use spanners_core::markerset::VarSet;
+use spanners_core::{Eva, EvaBuilder, Marker, MarkerSet, SpannerError, VarId, VarRegistry};
+use std::collections::HashMap;
+
+/// Remaps the variables of a marker set through `map` (indexed by the old
+/// variable id, yielding the new one).
+pub fn remap_markers(markers: MarkerSet, map: &[VarId]) -> MarkerSet {
+    let mut out = MarkerSet::new();
+    for m in markers.iter() {
+        let v = map[m.variable().index()];
+        out.insert(match m {
+            Marker::Open(_) => Marker::Open(v),
+            Marker::Close(_) => Marker::Close(v),
+        });
+    }
+    out
+}
+
+/// Returns an automaton equivalent to `eva` but whose variables live in
+/// `registry`, remapping by variable *name*. Shared names map to shared ids.
+pub fn rebase_registry(eva: &Eva, registry: &mut VarRegistry) -> Result<Eva, SpannerError> {
+    let map = registry.merge(eva.registry())?;
+    let mut b = EvaBuilder::new(registry.clone());
+    let states = b.add_states(eva.num_states());
+    b.set_initial(states[eva.initial()]);
+    for q in 0..eva.num_states() {
+        if eva.is_final(q) {
+            b.set_final(states[q]);
+        }
+        for t in eva.letter_transitions(q) {
+            b.add_letter(states[q], t.class, states[t.target]);
+        }
+        for t in eva.var_transitions(q) {
+            b.add_var(states[q], remap_markers(t.markers, &map), states[t.target])?;
+        }
+    }
+    b.build()
+}
+
+/// The join `A1 ⋈ A2` of two **functional** eVA (Proposition 4.4).
+///
+/// Variables are matched by name: variables present in both automata are
+/// *shared* and must be opened/closed at the same positions by both operands;
+/// other variables are private. The result is functional over the union of the
+/// variables and has at most `|Q1| × |Q2|` states.
+pub fn join(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
+    a1.check_functional()?;
+    a2.check_functional()?;
+
+    // Merge the registries (by name) and rebase both automata onto the result.
+    let mut registry = a1.registry().clone();
+    let map2 = registry.merge(a2.registry())?;
+    let map1: Vec<VarId> = a1.registry().ids().collect(); // identity
+    let vars1: VarSet = a1.variables();
+    let vars2: VarSet = a2.variables().iter().map(|v| map2[v.index()]).collect();
+    let shared = vars1.intersection(&vars2);
+    let shared_markers: MarkerSet = shared
+        .iter()
+        .flat_map(|v| [Marker::Open(v), Marker::Close(v)])
+        .collect();
+
+    let mut b = EvaBuilder::new(registry);
+    let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut worklist: Vec<(StateId, StateId)> = Vec::new();
+    let start = (a1.initial(), a2.initial());
+    let s0 = b.add_state();
+    b.set_initial(s0);
+    index.insert(start, s0);
+    worklist.push(start);
+
+    while let Some((p1, p2)) = worklist.pop() {
+        let from = index[&(p1, p2)];
+        if a1.is_final(p1) && a2.is_final(p2) {
+            b.set_final(from);
+        }
+        let intern = |b: &mut EvaBuilder,
+                          index: &mut HashMap<(StateId, StateId), StateId>,
+                          worklist: &mut Vec<(StateId, StateId)>,
+                          key: (StateId, StateId)|
+         -> StateId {
+            *index.entry(key).or_insert_with(|| {
+                worklist.push(key);
+                b.add_state()
+            })
+        };
+
+        // Letter transitions: both automata read the same byte.
+        for t1 in a1.letter_transitions(p1) {
+            for t2 in a2.letter_transitions(p2) {
+                let both = t1.class.intersection(&t2.class);
+                if !both.is_empty() {
+                    let to = intern(&mut b, &mut index, &mut worklist, (t1.target, t2.target));
+                    b.add_letter(from, both, to);
+                }
+            }
+        }
+        // Variable transitions of A1 alone (no shared markers involved).
+        for t1 in a1.var_transitions(p1) {
+            let m1 = remap_markers(t1.markers, &map1);
+            if m1.is_disjoint(&shared_markers) {
+                let to = intern(&mut b, &mut index, &mut worklist, (t1.target, p2));
+                b.add_var(from, m1, to)?;
+            }
+        }
+        // Variable transitions of A2 alone.
+        for t2 in a2.var_transitions(p2) {
+            let m2 = remap_markers(t2.markers, &map2);
+            if m2.is_disjoint(&shared_markers) {
+                let to = intern(&mut b, &mut index, &mut worklist, (p1, t2.target));
+                b.add_var(from, m2, to)?;
+            }
+        }
+        // Simultaneous variable transitions agreeing on the shared markers.
+        for t1 in a1.var_transitions(p1) {
+            let m1 = remap_markers(t1.markers, &map1);
+            for t2 in a2.var_transitions(p2) {
+                let m2 = remap_markers(t2.markers, &map2);
+                if m1.intersection(&shared_markers) == m2.intersection(&shared_markers) {
+                    let to = intern(&mut b, &mut index, &mut worklist, (t1.target, t2.target));
+                    b.add_var(from, m1.union(&m2), to)?;
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// The union `A1 ∪ A2` of two eVA over merged variables (Proposition 4.4).
+///
+/// Linear-size construction: disjoint copies of both automata plus a fresh
+/// initial state that duplicates the outgoing transitions of both original
+/// initial states (avoiding ε-transitions, which the eVA model does not have).
+/// Does **not** preserve determinism — see [`union_deterministic`] for the
+/// quadratic construction of Lemma B.2 that does.
+pub fn union(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
+    let mut registry = a1.registry().clone();
+    let map2 = registry.merge(a2.registry())?;
+    let mut b = EvaBuilder::new(registry);
+
+    let s1 = b.add_states(a1.num_states());
+    let s2 = b.add_states(a2.num_states());
+    let start = b.add_state();
+    b.set_initial(start);
+
+    let copy = |b: &mut EvaBuilder,
+                    a: &Eva,
+                    states: &[StateId],
+                    map: &[VarId]|
+     -> Result<(), SpannerError> {
+        for q in 0..a.num_states() {
+            if a.is_final(q) {
+                b.set_final(states[q]);
+            }
+            for t in a.letter_transitions(q) {
+                b.add_letter(states[q], t.class, states[t.target]);
+            }
+            for t in a.var_transitions(q) {
+                b.add_var(states[q], remap_markers(t.markers, map), states[t.target])?;
+            }
+        }
+        Ok(())
+    };
+    let map1: Vec<VarId> = a1.registry().ids().collect();
+    copy(&mut b, a1, &s1, &map1)?;
+    copy(&mut b, a2, &s2, &map2)?;
+
+    // The fresh initial state mirrors both initial states.
+    for (a, states, map) in [(a1, &s1, &map1), (a2, &s2, &map2)] {
+        let init = a.initial();
+        if a.is_final(init) {
+            b.set_final(start);
+        }
+        for t in a.letter_transitions(init) {
+            b.add_letter(start, t.class, states[t.target]);
+        }
+        for t in a.var_transitions(init) {
+            b.add_var(start, remap_markers(t.markers, map), states[t.target])?;
+        }
+    }
+    b.build()
+}
+
+/// The deterministic union of two deterministic eVA (Lemma B.2).
+///
+/// Runs both automata in parallel and branches off into a single automaton the
+/// first time only one of them can execute the next transition. The result is
+/// deterministic whenever both inputs are, and has `O(|Q1| × |Q2| + |Q1| + |Q2|)`
+/// states. Both automata should use the same variable names for shared
+/// variables (they are merged by name).
+pub fn union_deterministic(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
+    let mut registry = a1.registry().clone();
+    let map2 = registry.merge(a2.registry())?;
+    let map1: Vec<VarId> = a1.registry().ids().collect();
+    let mut b = EvaBuilder::new(registry);
+
+    // Solo copies.
+    let s1 = b.add_states(a1.num_states());
+    let s2 = b.add_states(a2.num_states());
+    for (a, states, map) in [(a1, &s1, &map1), (a2, &s2, &map2)] {
+        for q in 0..a.num_states() {
+            if a.is_final(q) {
+                b.set_final(states[q]);
+            }
+            for t in a.letter_transitions(q) {
+                b.add_letter(states[q], t.class, states[t.target]);
+            }
+            for t in a.var_transitions(q) {
+                b.add_var(states[q], remap_markers(t.markers, map), states[t.target])?;
+            }
+        }
+    }
+
+    // Paired states, created on demand.
+    let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut worklist: Vec<(StateId, StateId)> = Vec::new();
+    let start_key = (a1.initial(), a2.initial());
+    let start = b.add_state();
+    b.set_initial(start);
+    index.insert(start_key, start);
+    worklist.push(start_key);
+
+    while let Some((p1, p2)) = worklist.pop() {
+        let from = index[&(p1, p2)];
+        if a1.is_final(p1) || a2.is_final(p2) {
+            b.set_final(from);
+        }
+        let intern = |b: &mut EvaBuilder,
+                          index: &mut HashMap<(StateId, StateId), StateId>,
+                          worklist: &mut Vec<(StateId, StateId)>,
+                          key: (StateId, StateId)|
+         -> StateId {
+            *index.entry(key).or_insert_with(|| {
+                worklist.push(key);
+                b.add_state()
+            })
+        };
+
+        // Letter transitions.
+        let mut covered_by_a2 = ByteClass::empty();
+        for t2 in a2.letter_transitions(p2) {
+            covered_by_a2 = covered_by_a2.union(&t2.class);
+        }
+        let mut covered_by_a1 = ByteClass::empty();
+        for t1 in a1.letter_transitions(p1) {
+            covered_by_a1 = covered_by_a1.union(&t1.class);
+        }
+        for t1 in a1.letter_transitions(p1) {
+            // Bytes both can read: stay paired.
+            for t2 in a2.letter_transitions(p2) {
+                let both = t1.class.intersection(&t2.class);
+                if !both.is_empty() {
+                    let to = intern(&mut b, &mut index, &mut worklist, (t1.target, t2.target));
+                    b.add_letter(from, both, to);
+                }
+            }
+            // Bytes only A1 can read: branch into the solo copy of A1.
+            let only1 = t1.class.difference(&covered_by_a2);
+            if !only1.is_empty() {
+                b.add_letter(from, only1, s1[t1.target]);
+            }
+        }
+        for t2 in a2.letter_transitions(p2) {
+            let only2 = t2.class.difference(&covered_by_a1);
+            if !only2.is_empty() {
+                b.add_letter(from, only2, s2[t2.target]);
+            }
+        }
+
+        // Variable transitions: matched by exact (remapped) marker set.
+        let m1: Vec<(MarkerSet, StateId)> = a1
+            .var_transitions(p1)
+            .iter()
+            .map(|t| (remap_markers(t.markers, &map1), t.target))
+            .collect();
+        let m2: Vec<(MarkerSet, StateId)> = a2
+            .var_transitions(p2)
+            .iter()
+            .map(|t| (remap_markers(t.markers, &map2), t.target))
+            .collect();
+        for &(s, t1) in &m1 {
+            match m2.iter().find(|(s2, _)| *s2 == s) {
+                Some(&(_, t2)) => {
+                    let to = intern(&mut b, &mut index, &mut worklist, (t1, t2));
+                    b.add_var(from, s, to)?;
+                }
+                None => b.add_var(from, s, s1[t1])?,
+            }
+        }
+        for &(s, t2) in &m2 {
+            if !m1.iter().any(|(s1m, _)| *s1m == s) {
+                b.add_var(from, s, s2[t2])?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// The projection `π_Y(A)` of a **functional** eVA onto the variables `keep`
+/// (given by name), following Proposition 4.4.
+///
+/// Markers of projected-away variables are removed from every transition label.
+/// Transitions whose label becomes empty act like ε-transitions; they are
+/// eliminated by composing them with the following letter transition (and with
+/// final-state membership), which is sound because variable transitions are
+/// never consecutive in a run of an eVA.
+pub fn project(eva: &Eva, keep: &[&str]) -> Result<Eva, SpannerError> {
+    eva.check_functional()?;
+    // Build the projected registry (only the kept variables, in their original order).
+    let mut new_registry = VarRegistry::new();
+    let mut keep_set = VarSet::new();
+    for (id, name) in eva.registry().iter() {
+        if keep.contains(&name) {
+            new_registry.intern(name)?;
+            keep_set.insert(id);
+        }
+    }
+    let old_to_new: Vec<VarId> = eva
+        .registry()
+        .iter()
+        .map(|(_, name)| new_registry.get(name).unwrap_or(VarId::new(0).expect("id 0")))
+        .collect();
+
+    let keep_markers: MarkerSet = keep_set
+        .iter()
+        .flat_map(|v| [Marker::Open(v), Marker::Close(v)])
+        .collect();
+
+    // ε-edges: projected-away variable transitions whose label becomes empty.
+    let mut eps: Vec<Vec<StateId>> = vec![Vec::new(); eva.num_states()];
+    for (q, t) in eva.all_var_transitions() {
+        if t.markers.intersection(&keep_markers).is_empty() {
+            eps[q].push(t.target);
+        }
+    }
+
+    let mut b = EvaBuilder::new(new_registry);
+    let states = b.add_states(eva.num_states());
+    b.set_initial(states[eva.initial()]);
+    for q in 0..eva.num_states() {
+        // Final states: q is final, or q reaches a final state through one ε-edge
+        // (a projected-away final variable transition).
+        if eva.is_final(q) || eps[q].iter().any(|&p| eva.is_final(p)) {
+            b.set_final(states[q]);
+        }
+        // Surviving variable transitions, with their labels restricted to Y.
+        for t in eva.var_transitions(q) {
+            let restricted = t.markers.intersection(&keep_markers);
+            if !restricted.is_empty() {
+                b.add_var(states[q], remap_markers(restricted, &old_to_new), states[t.target])?;
+            }
+        }
+        // Letter transitions: from q directly, and from every ε-successor of q.
+        for t in eva.letter_transitions(q) {
+            b.add_letter(states[q], t.class, states[t.target]);
+        }
+        for &p in &eps[q] {
+            for t in eva.letter_transitions(p) {
+                b.add_letter(states[q], t.class, states[t.target]);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanners_core::{
+        dedup_mappings, join_mapping_sets, project_mapping_set, union_mapping_sets, Document,
+        Mapping,
+    };
+
+    /// A functional eVA over variable `name`: extracts every span consisting of
+    /// a single lowercase word surrounded by anything.
+    fn word_spanner(var: &str, class: ByteClass) -> Eva {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern(var).unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q2);
+        let any = ByteClass::any();
+        b.add_letter(q0, any, q0);
+        b.add_letter(q1, class, q1);
+        b.add_letter(q2, any, q2);
+        b.add_var(q0, MarkerSet::new().with_open(x), q1).unwrap();
+        b.add_var(q1, MarkerSet::new().with_close(x), q2).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Projects naive evaluation results to compare against automaton-level ops.
+    fn naive(eva: &Eva, doc: &Document) -> Vec<Mapping> {
+        eva.eval_naive(doc)
+    }
+
+    #[test]
+    fn remap_markers_by_map() {
+        let a = VarId::new(0).unwrap();
+        let b = VarId::new(1).unwrap();
+        let c = VarId::new(2).unwrap();
+        let ms = MarkerSet::new().with_open(a).with_close(b);
+        let remapped = remap_markers(ms, &[c, a]);
+        assert!(remapped.opens(c));
+        assert!(remapped.closes(a));
+        assert_eq!(remapped.len(), 2);
+    }
+
+    #[test]
+    fn join_of_independent_variables() {
+        // x captures a digit span, y captures a letter span; the join produces
+        // the cartesian combinations that are compatible (here: all pairs).
+        let a1 = word_spanner("x", ByteClass::ascii_digits());
+        let a2 = word_spanner("y", ByteClass::ascii_alpha());
+        let j = join(&a1, &a2).unwrap();
+        assert!(j.is_functional());
+        assert!(j.num_states() <= a1.num_states() * a2.num_states());
+        let doc = Document::from("a1b");
+        let expected = join_mapping_sets(&naive_rebased(&a1, &j, &doc), &naive_rebased(&a2, &j, &doc));
+        let mut got = naive(&j, &doc);
+        dedup_mappings(&mut got);
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+    }
+
+    /// Evaluates `a` naively and remaps its variables into `target`'s registry
+    /// (needed because join merges registries by name).
+    fn naive_rebased(a: &Eva, target: &Eva, doc: &Document) -> Vec<Mapping> {
+        let out = a.eval_naive(doc);
+        out.into_iter()
+            .map(|m| {
+                m.iter()
+                    .map(|(v, s)| {
+                        let name = a.registry().name(v);
+                        (target.registry().get(name).unwrap(), s)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn join_with_shared_variable_synchronizes() {
+        // Both automata capture `x`; the join keeps only the spans both accept:
+        // digit-only spans that are also alphanumeric spans = digit-only spans.
+        let a1 = word_spanner("x", ByteClass::ascii_digits());
+        let a2 = word_spanner("x", ByteClass::ascii_word());
+        let j = join(&a1, &a2).unwrap();
+        let doc = Document::from("ab12cd");
+        let mut got = naive(&j, &doc);
+        dedup_mappings(&mut got);
+        let expected = naive_rebased(&a1, &j, &doc);
+        assert_eq!(got, expected);
+        // sanity: the digit spanner finds the spans "1", "2", "12"
+        assert_eq!(expected.len(), 3);
+    }
+
+    #[test]
+    fn join_rejects_non_functional_inputs() {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q1);
+        b.set_final(q0); // accepting without assigning x => not functional
+        b.add_var(q0, MarkerSet::new().with_open(x).with_close(x), q1).unwrap();
+        let not_functional = b.build().unwrap();
+        let ok = word_spanner("y", ByteClass::ascii_alpha());
+        assert!(join(&not_functional, &ok).is_err());
+        assert!(join(&ok, &not_functional).is_err());
+    }
+
+    #[test]
+    fn union_combines_results() {
+        let a1 = word_spanner("x", ByteClass::ascii_digits());
+        let a2 = word_spanner("x", ByteClass::ascii_alpha());
+        let u = union(&a1, &a2).unwrap();
+        let doc = Document::from("a1");
+        let mut got = naive(&u, &doc);
+        dedup_mappings(&mut got);
+        let expected = union_mapping_sets(
+            &naive_rebased(&a1, &u, &doc),
+            &naive_rebased(&a2, &u, &doc),
+        );
+        assert_eq!(got, expected);
+        assert_eq!(u.num_states(), a1.num_states() + a2.num_states() + 1);
+    }
+
+    #[test]
+    fn union_deterministic_preserves_determinism() {
+        let a1 = word_spanner("x", ByteClass::ascii_digits());
+        let a2 = word_spanner("x", ByteClass::ascii_alpha());
+        assert!(a1.is_deterministic() && a2.is_deterministic());
+        let u = union_deterministic(&a1, &a2).unwrap();
+        assert!(u.is_deterministic());
+        for text in ["a1", "1a", "..", "abc123"] {
+            let doc = Document::from(text);
+            let mut got = naive(&u, &doc);
+            dedup_mappings(&mut got);
+            let expected = union_mapping_sets(
+                &naive_rebased(&a1, &u, &doc),
+                &naive_rebased(&a2, &u, &doc),
+            );
+            assert_eq!(got, expected, "on {text:?}");
+        }
+        // Plain union of these two automata is *not* deterministic (the fresh
+        // initial state copies overlapping transitions).
+        let plain = union(&a1, &a2).unwrap();
+        assert!(!plain.is_deterministic());
+    }
+
+    #[test]
+    fn union_of_identical_automata_is_idempotent_semantically() {
+        let a = word_spanner("x", ByteClass::ascii_digits());
+        let u = union(&a, &a).unwrap();
+        let doc = Document::from("12");
+        let mut got = naive(&u, &doc);
+        dedup_mappings(&mut got);
+        assert_eq!(got, naive_rebased(&a, &u, &doc));
+    }
+
+    #[test]
+    fn projection_drops_variables() {
+        // Join x (digits) with y (letters), then project to x: should equal the
+        // plain x spanner whenever a y-span exists at all in the document.
+        let a1 = word_spanner("x", ByteClass::ascii_digits());
+        let a2 = word_spanner("y", ByteClass::ascii_alpha());
+        let j = join(&a1, &a2).unwrap();
+        let p = project(&j, &["x"]).unwrap();
+        assert_eq!(p.registry().len(), 1);
+        let doc = Document::from("a1b2");
+        let mut got = naive(&p, &doc);
+        dedup_mappings(&mut got);
+        let joined = naive(&j, &doc);
+        let keep: VarSet = [j.registry().get("x").unwrap()].into_iter().collect();
+        let mut expected: Vec<Mapping> = project_mapping_set(&joined, &keep)
+            .into_iter()
+            .map(|m| {
+                // remap from j's registry to p's registry (x keeps index 0 here)
+                m.iter()
+                    .map(|(v, s)| (p.registry().get(j.registry().name(v)).unwrap(), s))
+                    .collect()
+            })
+            .collect();
+        dedup_mappings(&mut expected);
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn projection_to_empty_set_yields_boolean_spanner() {
+        let a = word_spanner("x", ByteClass::ascii_digits());
+        let p = project(&a, &[]).unwrap();
+        assert_eq!(p.registry().len(), 0);
+        // Non-empty result iff the document contains a digit.
+        let got = naive(&p, &Document::from("ab3cd"));
+        assert_eq!(got, vec![Mapping::new()]);
+        let got = naive(&p, &Document::from("abcd"));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn projection_rejects_non_functional() {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        reg.intern("y").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q1);
+        b.set_final(q0);
+        b.add_var(q0, MarkerSet::new().with_open(x).with_close(x), q1).unwrap();
+        let eva = b.build().unwrap();
+        assert!(project(&eva, &["x"]).is_err());
+    }
+
+    #[test]
+    fn join_size_is_at_most_quadratic() {
+        // Proposition 4.4: |A⋈| ≤ |A1| × |A2| states.
+        for (c1, c2) in [
+            (ByteClass::ascii_digits(), ByteClass::ascii_alpha()),
+            (ByteClass::ascii_word(), ByteClass::ascii_alpha()),
+        ] {
+            let a1 = word_spanner("x", c1);
+            let a2 = word_spanner("y", c2);
+            let j = join(&a1, &a2).unwrap();
+            assert!(j.num_states() <= a1.num_states() * a2.num_states());
+        }
+    }
+}

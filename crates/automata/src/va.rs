@@ -1,0 +1,708 @@
+//! Classical variable-set automata (VA), as introduced by Fagin et al. and
+//! used throughout Section 2 of the paper.
+//!
+//! A VA is a finite-state automaton whose transitions are either letter
+//! transitions `(q, a, q')` (here labelled by byte classes) or *single* variable
+//! transitions `(q, x⊢, q')` / `(q, ⊣x, q')`. Unlike extended VA, several
+//! variable transitions may follow each other in a run, and a transition
+//! carries at most one marker. Runs, validity, sequentiality and functionality
+//! follow the definitions of Section 2.
+
+use spanners_core::byteclass::ByteClass;
+use spanners_core::eva::StateId;
+use spanners_core::markerset::{MarkerSet, VarSet, VariableStatus};
+use spanners_core::{
+    dedup_mappings, Document, Mapping, Marker, Span, SpannerError, VarRegistry,
+};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A transition label of a classical VA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VaLabel {
+    /// A letter transition labelled by a byte class.
+    Letter(ByteClass),
+    /// A variable transition labelled by a single marker (`x⊢` or `⊣x`).
+    Variable(Marker),
+}
+
+impl fmt::Display for VaLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VaLabel::Letter(c) => write!(f, "{c}"),
+            VaLabel::Variable(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// A transition of a classical VA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VaTransition {
+    /// The transition label.
+    pub label: VaLabel,
+    /// The target state.
+    pub target: StateId,
+}
+
+/// A classical variable-set automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Va {
+    registry: VarRegistry,
+    num_states: usize,
+    initial: StateId,
+    finals: Vec<bool>,
+    transitions: Vec<Vec<VaTransition>>,
+}
+
+impl Va {
+    /// The variable registry naming the automaton's capture variables.
+    pub fn registry(&self) -> &VarRegistry {
+        &self.registry
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Whether `q` is final.
+    pub fn is_final(&self, q: StateId) -> bool {
+        self.finals[q]
+    }
+
+    /// All final states.
+    pub fn final_states(&self) -> Vec<StateId> {
+        (0..self.num_states).filter(|&q| self.finals[q]).collect()
+    }
+
+    /// Transitions leaving `q`.
+    pub fn transitions(&self, q: StateId) -> &[VaTransition] {
+        &self.transitions[q]
+    }
+
+    /// Iterates over every transition as `(source, &transition)`.
+    pub fn all_transitions(&self) -> impl Iterator<Item = (StateId, &VaTransition)> {
+        self.transitions.iter().enumerate().flat_map(|(q, ts)| ts.iter().map(move |t| (q, t)))
+    }
+
+    /// Total number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+
+    /// The paper's size measure `|A|`: states plus transitions.
+    pub fn size(&self) -> usize {
+        self.num_states + self.num_transitions()
+    }
+
+    /// The set of variables mentioned by the automaton, the paper's `var(A)`.
+    pub fn variables(&self) -> VarSet {
+        let mut vars = VarSet::new();
+        for (_, t) in self.all_transitions() {
+            if let VaLabel::Variable(m) = &t.label {
+                vars.insert(m.variable());
+            }
+        }
+        vars
+    }
+
+    /// All distinct byte classes used on letter transitions.
+    pub fn letter_classes(&self) -> Vec<ByteClass> {
+        let mut out: Vec<ByteClass> = Vec::new();
+        for (_, t) in self.all_transitions() {
+            if let VaLabel::Letter(c) = &t.label {
+                if !out.contains(c) {
+                    out.push(*c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts back into a builder with identical contents.
+    pub fn to_builder(&self) -> VaBuilder {
+        VaBuilder {
+            registry: self.registry.clone(),
+            num_states: self.num_states,
+            initial: self.initial,
+            finals: self.finals.clone(),
+            transitions: self.transitions.clone(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Structural analyses
+    // ------------------------------------------------------------------
+
+    /// Checks that every accepting run is valid (the automaton is *sequential*).
+    pub fn check_sequential(&self) -> Result<(), SpannerError> {
+        // Valid configurations (state, status) and invalid-prefix states.
+        let mut seen: HashSet<(StateId, VariableStatus)> = HashSet::new();
+        let mut stack: Vec<(StateId, VariableStatus)> = vec![(self.initial, VariableStatus::new())];
+        seen.insert(stack[0]);
+        let mut invalid: Vec<bool> = vec![false; self.num_states];
+        let mut invalid_stack: Vec<StateId> = Vec::new();
+
+        while let Some((q, status)) = stack.pop() {
+            if self.finals[q] && !status.is_complete() {
+                return Err(SpannerError::NotSequential(format!(
+                    "an accepting run can leave variables {} open",
+                    status.open
+                )));
+            }
+            for t in &self.transitions[q] {
+                match &t.label {
+                    VaLabel::Letter(_) => {
+                        let c = (t.target, status);
+                        if seen.insert(c) {
+                            stack.push(c);
+                        }
+                    }
+                    VaLabel::Variable(m) => {
+                        match status.apply(MarkerSet::singleton(*m)) {
+                            Some(next) => {
+                                let c = (t.target, next);
+                                if seen.insert(c) {
+                                    stack.push(c);
+                                }
+                            }
+                            None => {
+                                if !invalid[t.target] {
+                                    invalid[t.target] = true;
+                                    invalid_stack.push(t.target);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        while let Some(q) = invalid_stack.pop() {
+            if self.finals[q] {
+                return Err(SpannerError::NotSequential(format!(
+                    "an accepting run opens/closes variables incorrectly (reaches final state {q})"
+                )));
+            }
+            for t in &self.transitions[q] {
+                if !invalid[t.target] {
+                    invalid[t.target] = true;
+                    invalid_stack.push(t.target);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the automaton is sequential.
+    pub fn is_sequential(&self) -> bool {
+        self.check_sequential().is_ok()
+    }
+
+    /// Checks that every accepting run is valid **and** mentions all variables
+    /// of `var(A)` (the automaton is *functional*).
+    pub fn check_functional(&self) -> Result<(), SpannerError> {
+        self.check_sequential()
+            .map_err(|e| SpannerError::NotFunctional(format!("not sequential: {e}")))?;
+        let all_vars = self.variables();
+        let mut seen: HashSet<(StateId, VariableStatus)> = HashSet::new();
+        let mut stack: Vec<(StateId, VariableStatus)> = vec![(self.initial, VariableStatus::new())];
+        seen.insert(stack[0]);
+        while let Some((q, status)) = stack.pop() {
+            if self.finals[q] && status.closed != all_vars {
+                let missing = all_vars.difference(&status.closed);
+                return Err(SpannerError::NotFunctional(format!(
+                    "an accepting run does not assign variables {missing}"
+                )));
+            }
+            for t in &self.transitions[q] {
+                match &t.label {
+                    VaLabel::Letter(_) => {
+                        let c = (t.target, status);
+                        if seen.insert(c) {
+                            stack.push(c);
+                        }
+                    }
+                    VaLabel::Variable(m) => {
+                        if let Some(next) = status.apply(MarkerSet::singleton(*m)) {
+                            let c = (t.target, next);
+                            if seen.insert(c) {
+                                stack.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the automaton is functional.
+    pub fn is_functional(&self) -> bool {
+        self.check_functional().is_ok()
+    }
+
+    /// States reachable from the initial state.
+    pub fn reachable_states(&self) -> Vec<bool> {
+        let mut reach = vec![false; self.num_states];
+        reach[self.initial] = true;
+        let mut stack = vec![self.initial];
+        while let Some(q) = stack.pop() {
+            for t in &self.transitions[q] {
+                if !reach[t.target] {
+                    reach[t.target] = true;
+                    stack.push(t.target);
+                }
+            }
+        }
+        reach
+    }
+
+    // ------------------------------------------------------------------
+    // Reference (naive) run semantics
+    // ------------------------------------------------------------------
+
+    /// Enumerates all accepting runs over `d` as sequences of `(marker, position)`
+    /// pairs (valid or not). Exponential; reference semantics for tests only.
+    pub fn accepting_runs(&self, doc: &Document) -> Vec<VaRun> {
+        let mut out = Vec::new();
+        let mut markers: Vec<(Marker, usize)> = Vec::new();
+        self.runs_rec(doc, 0, self.initial, &mut markers, &mut out, &mut 0);
+        out
+    }
+
+    fn runs_rec(
+        &self,
+        doc: &Document,
+        pos: usize,
+        state: StateId,
+        markers: &mut Vec<(Marker, usize)>,
+        out: &mut Vec<VaRun>,
+        var_steps_at_pos: &mut usize,
+    ) {
+        if pos == doc.len() && self.finals[state] {
+            out.push(VaRun { markers: markers.clone(), final_state: state });
+        }
+        // Guard against unbounded sequences of variable transitions at the same
+        // position: a run can use each marker at most once meaningfully, and
+        // cycles of variable transitions would loop forever. We bound the number
+        // of consecutive variable steps by the number of markers (2·|var(A)|) + 1.
+        let max_var_steps = 2 * self.registry.len() + 1;
+        for t in &self.transitions[state] {
+            match &t.label {
+                VaLabel::Letter(c) => {
+                    if let Some(b) = doc.byte_at(pos) {
+                        if c.contains(b) {
+                            let saved = *var_steps_at_pos;
+                            *var_steps_at_pos = 0;
+                            self.runs_rec(doc, pos + 1, t.target, markers, out, var_steps_at_pos);
+                            *var_steps_at_pos = saved;
+                        }
+                    }
+                }
+                VaLabel::Variable(m) => {
+                    if *var_steps_at_pos < max_var_steps {
+                        // Prune: a marker used twice can never yield a valid run,
+                        // and revisiting it only re-explores the same invalid space.
+                        if markers.iter().any(|(used, _)| used == m) {
+                            continue;
+                        }
+                        markers.push((*m, pos));
+                        *var_steps_at_pos += 1;
+                        self.runs_rec(doc, pos, t.target, markers, out, var_steps_at_pos);
+                        *var_steps_at_pos -= 1;
+                        markers.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluates the spanner naively: mappings of all valid accepting runs,
+    /// deduplicated. Reference semantics for tests only.
+    pub fn eval_naive(&self, doc: &Document) -> Vec<Mapping> {
+        let mut out: Vec<Mapping> =
+            self.accepting_runs(doc).iter().filter_map(|r| r.mapping()).collect();
+        dedup_mappings(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for Va {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "VA: {} states, {} transitions, initial q{}, finals {:?}",
+            self.num_states,
+            self.num_transitions(),
+            self.initial,
+            self.final_states()
+        )?;
+        for (q, t) in self.all_transitions() {
+            writeln!(f, "  q{q} --{}--> q{}", t.label, t.target)?;
+        }
+        Ok(())
+    }
+}
+
+/// An accepting run of a classical VA: the markers it fired and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VaRun {
+    /// `(marker, 0-based position)` pairs in firing order.
+    pub markers: Vec<(Marker, usize)>,
+    /// The final state the run ended in.
+    pub final_state: StateId,
+}
+
+impl VaRun {
+    /// Whether the run is valid (markers open/close correctly, nothing left open).
+    pub fn is_valid(&self) -> bool {
+        self.mapping().is_some()
+    }
+
+    /// The mapping defined by the run, or `None` if it is invalid.
+    pub fn mapping(&self) -> Option<Mapping> {
+        let mut status = VariableStatus::new();
+        let mut open_pos = [0usize; spanners_core::MAX_VARIABLES];
+        let mut mapping = Mapping::new();
+        for &(marker, pos) in &self.markers {
+            status = status.apply(MarkerSet::singleton(marker))?;
+            match marker {
+                Marker::Open(v) => open_pos[v.index()] = pos,
+                Marker::Close(v) => {
+                    mapping.insert(v, Span::new_unchecked(open_pos[v.index()], pos));
+                }
+            }
+        }
+        if status.is_complete() {
+            Some(mapping)
+        } else {
+            None
+        }
+    }
+}
+
+/// Builder for classical [`Va`] automata.
+#[derive(Debug, Clone)]
+pub struct VaBuilder {
+    registry: VarRegistry,
+    num_states: usize,
+    initial: StateId,
+    finals: Vec<bool>,
+    transitions: Vec<Vec<VaTransition>>,
+}
+
+impl VaBuilder {
+    /// Creates a builder over the given variable registry.
+    pub fn new(registry: VarRegistry) -> Self {
+        VaBuilder {
+            registry,
+            num_states: 0,
+            initial: 0,
+            finals: Vec::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Access to the builder's variable registry.
+    pub fn registry_mut(&mut self) -> &mut VarRegistry {
+        &mut self.registry
+    }
+
+    /// Read access to the builder's variable registry.
+    pub fn registry(&self) -> &VarRegistry {
+        &self.registry
+    }
+
+    /// Adds a fresh state.
+    pub fn add_state(&mut self) -> StateId {
+        let id = self.num_states;
+        self.num_states += 1;
+        self.finals.push(false);
+        self.transitions.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` fresh states.
+    pub fn add_states(&mut self, n: usize) -> Vec<StateId> {
+        (0..n).map(|_| self.add_state()).collect()
+    }
+
+    /// Number of states added so far.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Declares the initial state.
+    pub fn set_initial(&mut self, q: StateId) {
+        self.initial = q;
+    }
+
+    /// Marks a state final.
+    pub fn set_final(&mut self, q: StateId) {
+        self.finals[q] = true;
+    }
+
+    /// Adds a letter transition labelled by a byte class (empty classes are ignored).
+    pub fn add_letter(&mut self, from: StateId, class: ByteClass, to: StateId) {
+        if class.is_empty() {
+            return;
+        }
+        self.transitions[from].push(VaTransition { label: VaLabel::Letter(class), target: to });
+    }
+
+    /// Adds a letter transition for a single byte.
+    pub fn add_byte(&mut self, from: StateId, byte: u8, to: StateId) {
+        self.add_letter(from, ByteClass::singleton(byte), to);
+    }
+
+    /// Adds a variable transition labelled by a single marker.
+    pub fn add_marker(&mut self, from: StateId, marker: Marker, to: StateId) {
+        self.transitions[from].push(VaTransition { label: VaLabel::Variable(marker), target: to });
+    }
+
+    /// Adds an open-variable transition `(from, x⊢, to)`.
+    pub fn add_open(&mut self, from: StateId, var: spanners_core::VarId, to: StateId) {
+        self.add_marker(from, Marker::Open(var), to);
+    }
+
+    /// Adds a close-variable transition `(from, ⊣x, to)`.
+    pub fn add_close(&mut self, from: StateId, var: spanners_core::VarId, to: StateId) {
+        self.add_marker(from, Marker::Close(var), to);
+    }
+
+    /// Finalizes the automaton, validating state references.
+    pub fn build(self) -> Result<Va, SpannerError> {
+        if self.num_states == 0 {
+            return Err(SpannerError::InvalidState { state: 0, num_states: 0 });
+        }
+        let check = |q: StateId| -> Result<(), SpannerError> {
+            if q >= self.num_states {
+                Err(SpannerError::InvalidState { state: q, num_states: self.num_states })
+            } else {
+                Ok(())
+            }
+        };
+        check(self.initial)?;
+        for ts in &self.transitions {
+            for t in ts {
+                check(t.target)?;
+            }
+        }
+        Ok(Va {
+            registry: self.registry,
+            num_states: self.num_states,
+            initial: self.initial,
+            finals: self.finals,
+            transitions: self.transitions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanners_core::VarId;
+
+    /// The functional VA of Figure 2: two interleavings of opening x and y that
+    /// produce the same mapping.
+    pub(crate) fn figure2() -> Va {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let y = reg.intern("y").unwrap();
+        let mut b = VaBuilder::new(reg);
+        let q = b.add_states(6); // q0..q5
+        b.set_initial(q[0]);
+        b.set_final(q[5]);
+        b.add_open(q[0], x, q[1]);
+        b.add_open(q[1], y, q[3]);
+        b.add_open(q[0], y, q[2]);
+        b.add_open(q[2], x, q[3]);
+        b.add_byte(q[3], b'a', q[3]);
+        b.add_close(q[3], x, q[4]);
+        b.add_close(q[4], y, q[5]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure2_properties() {
+        let a = figure2();
+        assert_eq!(a.num_states(), 6);
+        assert_eq!(a.num_transitions(), 7);
+        assert_eq!(a.size(), 13);
+        assert_eq!(a.variables().len(), 2);
+        assert!(a.is_sequential());
+        assert!(a.is_functional());
+    }
+
+    #[test]
+    fn figure2_multiple_runs_same_mapping() {
+        // The point of Figure 2: two distinct accepting runs define the same
+        // output mapping (both assign the full document to x and to y).
+        let a = figure2();
+        let doc = Document::from("a");
+        let runs = a.accepting_runs(&doc);
+        assert_eq!(runs.len(), 2);
+        let mappings: Vec<_> = runs.iter().map(|r| r.mapping().unwrap()).collect();
+        assert_eq!(mappings[0], mappings[1]);
+        // After dedup only one mapping remains.
+        assert_eq!(a.eval_naive(&doc).len(), 1);
+        let x = a.registry().get("x").unwrap();
+        let y = a.registry().get("y").unwrap();
+        let expected = Mapping::from_pairs([
+            (x, Span::new(0, 1).unwrap()),
+            (y, Span::new(0, 1).unwrap()),
+        ]);
+        assert_eq!(a.eval_naive(&doc)[0], expected);
+    }
+
+    #[test]
+    fn figure2_longer_documents() {
+        let a = figure2();
+        for n in 1..6 {
+            let doc = Document::new(vec![b'a'; n]);
+            let out = a.eval_naive(&doc);
+            assert_eq!(out.len(), 1, "n = {n}");
+        }
+        // the empty document is not accepted (x and y must span the whole word,
+        // and the a-loop is at q3 — zero letters still allows a run? Let's see:
+        // q0 x⊢ q1 y⊢ q3 ⊣x q4 ⊣y q5 with no letters: that IS an accepting run
+        // assigning empty spans, so the empty document has one output.
+        assert_eq!(a.eval_naive(&Document::empty()).len(), 1);
+        // a document with a letter not in the language is rejected
+        assert!(a.eval_naive(&Document::from("b")).is_empty());
+    }
+
+    #[test]
+    fn non_sequential_va_detected() {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = VaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q1);
+        b.add_open(q0, x, q1); // x opened, never closed, q1 final
+        let a = b.build().unwrap();
+        assert!(!a.is_sequential());
+        assert!(!a.is_functional());
+        // Naive evaluation produces no mapping: the only accepting run is invalid.
+        assert!(a.eval_naive(&Document::empty()).is_empty());
+    }
+
+    #[test]
+    fn close_without_open_detected() {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = VaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q1);
+        b.add_close(q0, x, q1);
+        let a = b.build().unwrap();
+        assert!(!a.is_sequential());
+        assert!(matches!(a.check_sequential(), Err(SpannerError::NotSequential(_))));
+    }
+
+    #[test]
+    fn sequential_but_not_functional_va() {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = VaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q2);
+        // Branch that uses x...
+        b.add_open(q0, x, q1);
+        b.add_close(q1, x, q2);
+        // ...and a branch that does not.
+        b.add_byte(q0, b'a', q2);
+        let a = b.build().unwrap();
+        assert!(a.is_sequential());
+        assert!(!a.is_functional());
+        assert!(matches!(a.check_functional(), Err(SpannerError::NotFunctional(_))));
+    }
+
+    #[test]
+    fn variable_loop_does_not_hang_naive_eval() {
+        // A cycle of variable transitions: the naive evaluator must not loop forever.
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let y = reg.intern("y").unwrap();
+        let mut b = VaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q0);
+        b.add_open(q0, x, q1);
+        b.add_open(q1, y, q0);
+        let a = b.build().unwrap();
+        // Accepting runs on ε: the empty run (valid, empty mapping) and runs that
+        // open variables without closing them (invalid).
+        let out = a.eval_naive(&Document::empty());
+        assert_eq!(out, vec![Mapping::new()]);
+        assert!(!a.is_sequential());
+    }
+
+    #[test]
+    fn run_mapping_positions() {
+        let a = figure2();
+        let doc = Document::from("aa");
+        let runs = a.accepting_runs(&doc);
+        for r in &runs {
+            let m = r.mapping().unwrap();
+            let x = a.registry().get("x").unwrap();
+            assert_eq!(m.get(x), Some(Span::new(0, 2).unwrap()));
+        }
+    }
+
+    #[test]
+    fn display_and_builder_round_trip() {
+        let a = figure2();
+        let text = a.to_string();
+        assert!(text.contains("VA: 6 states"));
+        assert!(text.contains("⊣"));
+        let rebuilt = a.to_builder().build().unwrap();
+        assert_eq!(a, rebuilt);
+    }
+
+    #[test]
+    fn reachability() {
+        let a = figure2();
+        assert!(a.reachable_states().iter().all(|&r| r));
+        let mut b = a.to_builder();
+        let orphan = b.add_state();
+        let a2 = b.build().unwrap();
+        assert!(!a2.reachable_states()[orphan]);
+    }
+
+    #[test]
+    fn invalid_state_rejected_by_builder() {
+        let mut b = VaBuilder::new(VarRegistry::new());
+        let q0 = b.add_state();
+        b.set_initial(q0);
+        b.add_byte(q0, b'a', 7); // dangling target
+        assert!(matches!(b.build(), Err(SpannerError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn var_id_helpers() {
+        let mut reg = VarRegistry::new();
+        let x: VarId = reg.intern("x").unwrap();
+        let mut b = VaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q1);
+        b.add_marker(q0, Marker::Open(x), q1);
+        let a = b.build().unwrap();
+        assert_eq!(a.variables().len(), 1);
+    }
+}

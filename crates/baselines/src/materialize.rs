@@ -1,0 +1,133 @@
+//! The "materialize everything" baseline.
+//!
+//! A single left-to-right pass over the document that keeps, for every automaton
+//! state, the **set of partial mappings** of the runs reaching that state — i.e.
+//! it stores the expanded output instead of the compact DAG built by
+//! Algorithm 1. Total work and memory are `Θ(|A| × |d| × |output|)` in the worst
+//! case; the point of the comparison is that the constant-delay algorithm does
+//! the same single pass but with O(1) work per (state, transition, position).
+
+use spanners_core::{DetSeva, Document, Mapping, Span};
+
+/// A partial mapping under construction: spans already closed plus the start
+/// positions of currently-open variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Partial {
+    mapping: Mapping,
+    open_starts: Vec<(u8, u32)>, // (variable index, start position)
+}
+
+impl Partial {
+    fn new() -> Self {
+        Partial { mapping: Mapping::new(), open_starts: Vec::new() }
+    }
+}
+
+/// Evaluates `⟦A⟧(d)` by materializing all partial mappings state by state.
+///
+/// The input automaton must be deterministic and sequential (same contract as
+/// the constant-delay evaluator), which guarantees that no deduplication is
+/// needed: distinct runs produce distinct mappings.
+pub fn materialize_enumerate(aut: &DetSeva, doc: &Document) -> Vec<Mapping> {
+    let n_states = aut.num_states();
+    let mut per_state: Vec<Vec<Partial>> = vec![Vec::new(); n_states];
+    per_state[aut.initial()].push(Partial::new());
+
+    let bytes = doc.bytes();
+    for i in 0..=bytes.len() {
+        // Capturing(i): extend with variable transitions.
+        let snapshot: Vec<usize> = per_state.iter().map(Vec::len).collect();
+        for q in 0..n_states {
+            if snapshot[q] == 0 {
+                continue;
+            }
+            for &(markers, p) in aut.markers_from(q) {
+                for k in 0..snapshot[q] {
+                    let mut partial = per_state[q][k].clone();
+                    for v in markers.opened_vars().iter() {
+                        partial.open_starts.push((v.index() as u8, i as u32));
+                    }
+                    for v in markers.closed_vars().iter() {
+                        let idx = partial
+                            .open_starts
+                            .iter()
+                            .position(|(vi, _)| *vi as usize == v.index())
+                            .expect("sequential automaton closes only open variables");
+                        let (_, start) = partial.open_starts.swap_remove(idx);
+                        partial.mapping.insert(v, Span::new_unchecked(start as usize, i));
+                    }
+                    per_state[p].push(partial);
+                }
+            }
+        }
+        if i == bytes.len() {
+            break;
+        }
+        // Reading(i): move sets along the letter transition.
+        let mut next: Vec<Vec<Partial>> = vec![Vec::new(); n_states];
+        for q in 0..n_states {
+            if per_state[q].is_empty() {
+                continue;
+            }
+            if let Some(p) = aut.step_letter(q, bytes[i]) {
+                next[p].append(&mut per_state[q]);
+            }
+        }
+        per_state = next;
+    }
+
+    let mut out = Vec::new();
+    for q in aut.final_states() {
+        for partial in &per_state[q] {
+            if partial.open_starts.is_empty() {
+                out.push(partial.mapping.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanners_core::{dedup_mappings, EnumerationDag};
+    use spanners_regex::compile;
+
+    #[test]
+    fn agrees_with_constant_delay_algorithm() {
+        for (pattern, docs) in [
+            (".*!x{[0-9]+}.*", vec!["a1b22", "", "123", "abc"]),
+            (".*!x{a}.*!y{b}.*", vec!["ab", "aabb", "ba"]),
+            ("!w{.*}", vec!["", "xy"]),
+        ] {
+            let spanner = compile(pattern).unwrap();
+            for text in docs {
+                let doc = Document::from(text);
+                let mut expected = spanner.mappings(&doc);
+                dedup_mappings(&mut expected);
+                let mut got = materialize_enumerate(spanner.automaton(), &doc);
+                dedup_mappings(&mut got);
+                assert_eq!(got, expected, "pattern {pattern:?} on {text:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates_for_deterministic_input() {
+        let spanner = compile(".*!x{[ab]+}.*").unwrap();
+        let doc = Document::from("abab");
+        let got = materialize_enumerate(spanner.automaton(), &doc);
+        let mut dedup = got.clone();
+        dedup_mappings(&mut dedup);
+        assert_eq!(got.len(), dedup.len());
+        let dag = EnumerationDag::build(spanner.automaton(), &doc);
+        assert_eq!(got.len(), dag.collect_mappings().len());
+    }
+
+    #[test]
+    fn empty_results() {
+        let spanner = compile("!x{[0-9]+}").unwrap();
+        assert!(materialize_enumerate(spanner.automaton(), &Document::from("abc")).is_empty());
+        assert!(materialize_enumerate(spanner.automaton(), &Document::empty()).is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! The strawman baseline: enumerate all accepting runs by backtracking and
+//! deduplicate their mappings with a hash set.
+//!
+//! This is the algorithm the introduction of the paper argues against: its
+//! running time is proportional to the number of *runs* (not outputs), it must
+//! materialize every output before reporting the first one to guarantee
+//! deduplication, and it is exponential for non-deterministic automata.
+
+use spanners_core::markerset::VariableStatus;
+use spanners_core::{Document, Eva, Mapping, MarkerSet, Span};
+use std::collections::HashSet;
+
+/// Statistics gathered by a naive evaluation, useful for benchmark reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NaiveStats {
+    /// Number of accepting runs explored (valid or not).
+    pub runs_explored: usize,
+    /// Number of distinct output mappings.
+    pub distinct_outputs: usize,
+}
+
+/// Enumerates `⟦A⟧(d)` by exploring every run of the eVA and deduplicating.
+///
+/// Returns the sorted, distinct output mappings and exploration statistics.
+pub fn naive_enumerate(eva: &Eva, doc: &Document) -> (Vec<Mapping>, NaiveStats) {
+    let mut seen: HashSet<Mapping> = HashSet::new();
+    let mut stats = NaiveStats::default();
+    let mut path: Vec<(MarkerSet, usize)> = Vec::new();
+    explore(eva, doc, eva.initial(), 0, false, VariableStatus::new(), &mut path, &mut seen, &mut stats);
+    let mut out: Vec<Mapping> = seen.into_iter().collect();
+    out.sort();
+    stats.distinct_outputs = out.len();
+    (out, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore(
+    eva: &Eva,
+    doc: &Document,
+    state: usize,
+    pos: usize,
+    just_var: bool,
+    status: VariableStatus,
+    path: &mut Vec<(MarkerSet, usize)>,
+    seen: &mut HashSet<Mapping>,
+    stats: &mut NaiveStats,
+) {
+    if pos == doc.len() && eva.is_final(state) {
+        stats.runs_explored += 1;
+        if status.is_complete() {
+            seen.insert(mapping_from_path(path));
+        }
+    }
+    if !just_var {
+        for t in eva.var_transitions(state) {
+            // Only valid marker applications can lead to valid runs; invalid
+            // prefixes are pruned (they can never produce an output).
+            if let Some(next) = status.apply(t.markers) {
+                path.push((t.markers, pos));
+                explore(eva, doc, t.target, pos, true, next, path, seen, stats);
+                path.pop();
+            }
+        }
+    }
+    if let Some(b) = doc.byte_at(pos) {
+        for t in eva.letter_transitions(state) {
+            if t.class.contains(b) {
+                explore(eva, doc, t.target, pos + 1, false, status, path, seen, stats);
+            }
+        }
+    }
+}
+
+fn mapping_from_path(path: &[(MarkerSet, usize)]) -> Mapping {
+    let mut open_pos = [0usize; spanners_core::MAX_VARIABLES];
+    let mut mapping = Mapping::new();
+    for &(markers, pos) in path {
+        for v in markers.opened_vars().iter() {
+            open_pos[v.index()] = pos;
+        }
+        for v in markers.closed_vars().iter() {
+            mapping.insert(v, Span::new_unchecked(open_pos[v.index()], pos));
+        }
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanners_core::{ByteClass, EvaBuilder, VarRegistry};
+
+    /// Figure 3 automaton.
+    fn figure3() -> Eva {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let y = reg.intern("y").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q = b.add_states(10);
+        b.set_initial(q[0]);
+        b.set_final(q[9]);
+        let ms = MarkerSet::new;
+        b.add_var(q[0], ms().with_open(x), q[1]).unwrap();
+        b.add_var(q[0], ms().with_open(y), q[2]).unwrap();
+        b.add_var(q[0], ms().with_open(x).with_open(y), q[3]).unwrap();
+        b.add_letter(q[3], ByteClass::from_bytes(b"ab"), q[3]);
+        b.add_byte(q[1], b'a', q[4]);
+        b.add_byte(q[2], b'a', q[5]);
+        b.add_var(q[4], ms().with_open(y), q[6]).unwrap();
+        b.add_var(q[5], ms().with_open(x), q[7]).unwrap();
+        b.add_byte(q[6], b'b', q[8]);
+        b.add_byte(q[7], b'b', q[8]);
+        b.add_var(q[8], ms().with_close(x).with_close(y), q[9]).unwrap();
+        b.add_var(q[3], ms().with_close(x).with_close(y), q[9]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_reference_semantics() {
+        let eva = figure3();
+        for text in ["", "a", "ab", "abab", "ba"] {
+            let doc = Document::from(text);
+            let (got, _) = naive_enumerate(&eva, &doc);
+            assert_eq!(got, eva.eval_naive(&doc), "on {text:?}");
+        }
+    }
+
+    #[test]
+    fn stats_report_runs_and_outputs() {
+        let eva = figure3();
+        let (out, stats) = naive_enumerate(&eva, &Document::from("ab"));
+        assert_eq!(out.len(), 3);
+        assert_eq!(stats.distinct_outputs, 3);
+        assert_eq!(stats.runs_explored, 3);
+    }
+
+    #[test]
+    fn deduplicates_nondeterministic_runs() {
+        // A non-deterministic automaton where two runs produce the same mapping.
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1a = b.add_state();
+        let q1b = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q2);
+        let ms = MarkerSet::new;
+        b.add_var(q0, ms().with_open(x), q1a).unwrap();
+        b.add_var(q0, ms().with_open(x), q1b).unwrap();
+        b.add_byte(q1a, b'a', q0);
+        b.add_byte(q1b, b'a', q0);
+        // close x right before accepting
+        let q3 = b.add_state();
+        b.add_var(q0, ms().with_open(x), q3).unwrap();
+        b.add_byte(q3, b'a', q3);
+        b.add_var(q3, ms().with_close(x), q2).unwrap();
+        let eva = b.build().unwrap();
+        let (out, stats) = naive_enumerate(&eva, &Document::from("aa"));
+        assert!(stats.runs_explored >= out.len());
+        assert_eq!(out, eva.eval_naive(&Document::from("aa")));
+    }
+}

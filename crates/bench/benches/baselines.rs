@@ -1,0 +1,106 @@
+//! Experiment E5: the constant-delay algorithm against the baseline evaluators.
+//!
+//! * `naive` — backtrack over all runs, deduplicate with a hash set;
+//! * `materialize` — keep sets of partial mappings per state;
+//! * `polydelay` — product-graph DFS with reachability pruning (delay
+//!   `O(|A|·|d|)` per output);
+//! * `constant_delay` — Algorithms 1 + 2 of the paper.
+//!
+//! The shape to look for: all four agree on small inputs; as the document (and
+//! output) grows, `naive` falls behind first, then `materialize` (memory-bound),
+//! while `polydelay` pays an extra `Θ(|d|)` factor per output; the constant-delay
+//! algorithm scales with `|A|·|d| + |output|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use spanners_baselines::{materialize_enumerate, naive_enumerate, PolyDelayEnumerator};
+use spanners_bench::{contact_doc, contact_spanner, digit_spanner};
+use spanners_core::CompiledSpanner;
+use spanners_workloads::{all_spans_eva, random_text};
+
+fn bench_contact_directory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_baselines_contact_directory");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let spanner = contact_spanner();
+    let eva_for_naive = {
+        // The naive baseline works on the (non-deterministic) eVA produced by
+        // translation; here the compiled automaton is already deterministic, so
+        // we reuse it — the comparison still reflects run-by-run backtracking.
+        spanner.clone()
+    };
+    for &n in &[2_000usize, 20_000] {
+        let doc = contact_doc(n);
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::new("constant_delay", n), &doc, |b, d| {
+            b.iter(|| spanner.evaluate(d).iter().count())
+        });
+        group.bench_with_input(BenchmarkId::new("materialize", n), &doc, |b, d| {
+            b.iter(|| materialize_enumerate(spanner.automaton(), d).len())
+        });
+        group.bench_with_input(BenchmarkId::new("polydelay", n), &doc, |b, d| {
+            b.iter(|| PolyDelayEnumerator::new(spanner.automaton(), d).collect().len())
+        });
+        let _ = &eva_for_naive;
+    }
+    group.finish();
+}
+
+fn bench_dense_output(c: &mut Criterion) {
+    // The all-spans spanner has Θ(|d|²) outputs: this is where delay guarantees
+    // matter most. The naive baseline is only run on the smallest size.
+    let mut group = c.benchmark_group("e5_baselines_dense_output");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let spanner = CompiledSpanner::from_eva(&all_spans_eva()).unwrap();
+    let eva = all_spans_eva();
+    for &n in &[64usize, 192, 384] {
+        let doc = random_text(3, n, b"xyz");
+        let outputs = ((n + 1) * (n + 2) / 2) as u64;
+        group.throughput(Throughput::Elements(outputs));
+        group.bench_with_input(BenchmarkId::new("constant_delay", n), &doc, |b, d| {
+            b.iter(|| spanner.evaluate(d).iter().count())
+        });
+        group.bench_with_input(BenchmarkId::new("materialize", n), &doc, |b, d| {
+            b.iter(|| materialize_enumerate(spanner.automaton(), d).len())
+        });
+        group.bench_with_input(BenchmarkId::new("polydelay", n), &doc, |b, d| {
+            b.iter(|| PolyDelayEnumerator::new(spanner.automaton(), d).collect().len())
+        });
+        if n <= 64 {
+            group.bench_with_input(BenchmarkId::new("naive_backtracking", n), &doc, |b, d| {
+                b.iter(|| naive_enumerate(&eva, d).0.len())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sparse_output(c: &mut Criterion) {
+    // Few outputs on a large document: preprocessing dominates; all reasonable
+    // algorithms are close, the naive baseline still pays for exploring runs.
+    let mut group = c.benchmark_group("e5_baselines_sparse_output");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let spanner = digit_spanner();
+    for &n in &[10_000usize, 100_000] {
+        let doc = random_text(4, n, b"abcdefghijklmnopqrstuvwxy5");
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::new("constant_delay", n), &doc, |b, d| {
+            b.iter(|| spanner.evaluate(d).iter().count())
+        });
+        group.bench_with_input(BenchmarkId::new("materialize", n), &doc, |b, d| {
+            b.iter(|| materialize_enumerate(spanner.automaton(), d).len())
+        });
+        group.bench_with_input(BenchmarkId::new("polydelay", n), &doc, |b, d| {
+            b.iter(|| PolyDelayEnumerator::new(spanner.automaton(), d).collect().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contact_directory, bench_dense_output, bench_sparse_output);
+criterion_main!(benches);

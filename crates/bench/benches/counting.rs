@@ -1,0 +1,83 @@
+//! Experiment E4: Algorithm 3 (Theorem 5.1) — counting `|⟦A⟧(d)|` in
+//! `O(|A| × |d|)`, regardless of how astronomically large the output is.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use spanners_bench::{contact_doc, contact_spanner, digit_spanner};
+use spanners_core::{count_mappings, CompiledSpanner, Document};
+use spanners_regex::compile;
+use spanners_workloads::{all_spans_eva, random_text};
+
+/// Counting scales linearly with the document, for outputs of very different sizes.
+fn bench_count_vs_document(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_count_linear_in_document");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let all_spans = CompiledSpanner::from_eva(&all_spans_eva()).unwrap();
+    let digits = digit_spanner();
+    let contacts = contact_spanner();
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        group.throughput(Throughput::Bytes(n as u64));
+        let plain = Document::new(vec![b'z'; n]);
+        group.bench_with_input(BenchmarkId::new("all_spans_quadratic_output", n), &plain, |b, d| {
+            b.iter(|| count_mappings::<u128>(all_spans.automaton(), d).unwrap())
+        });
+        let text = random_text(11, n, b"abcdefghij0123456789");
+        group.bench_with_input(BenchmarkId::new("digit_runs", n), &text, |b, d| {
+            b.iter(|| count_mappings::<u64>(digits.automaton(), d).unwrap())
+        });
+        let dir = contact_doc(n);
+        group.bench_with_input(BenchmarkId::new("contact_directory", n), &dir, |b, d| {
+            b.iter(|| count_mappings::<u64>(contacts.automaton(), d).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Counting time as the *spanner* grows (nested captures: more variables and
+/// states), at fixed document size: linear in |A|.
+fn bench_count_vs_automaton(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_count_vs_automaton_size");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let doc = random_text(5, 50_000, b"ab");
+    for depth in 1..=4usize {
+        let pattern = spanners_workloads::nested_captures_pattern(depth);
+        let spanner = compile(&pattern).unwrap();
+        let size = spanner.automaton().source_size();
+        group.bench_with_input(
+            BenchmarkId::new("nested_captures", format!("depth{depth}_size{size}")),
+            &doc,
+            |b, d| b.iter(|| count_mappings::<f64>(spanner.automaton(), d).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+/// Counting versus full enumeration on the same instance: the crossover the
+/// paper motivates (counting never pays the output size).
+fn bench_count_vs_enumerate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_count_vs_enumerate");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let all_spans = CompiledSpanner::from_eva(&all_spans_eva()).unwrap();
+    for &n in &[100usize, 400, 1600] {
+        let doc = Document::new(vec![b'q'; n]);
+        group.bench_with_input(BenchmarkId::new("count", n), &doc, |b, d| {
+            b.iter(|| count_mappings::<u64>(all_spans.automaton(), d).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("enumerate", n), &doc, |b, d| {
+            b.iter(|| {
+                let dag = all_spans.evaluate(d);
+                dag.iter().count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_count_vs_document, bench_count_vs_automaton, bench_count_vs_enumerate);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Experiments E1, E2, E3, E8: the core claims of Section 3.
+//!
+//! * **E1 — linear preprocessing.** Algorithm 1 (`EnumerationDag::build`) over
+//!   documents of growing size: time per input byte should stay flat.
+//! * **E2 — constant delay.** Full enumeration over the all-spans spanner:
+//!   time per *output* should stay flat as the document (and hence the output)
+//!   grows — the delay is independent of `|d|`.
+//! * **E3 — total enumeration time.** Preprocessing + full enumeration compared
+//!   against output size.
+//! * **E8 — end-to-end extraction.** The Example 2.1 contact pipeline on
+//!   synthetic directories (compile + evaluate + stream).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use spanners_bench::{contact_doc, contact_spanner, digit_spanner, drain, DOC_SIZES};
+use spanners_core::{CompiledSpanner, Document, EnumerationDag};
+use spanners_workloads::{all_spans_eva, figure3_eva, random_text};
+
+/// E1: preprocessing time as a function of |d| (bytes/second reported).
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_preprocessing_linear_in_document");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let figure3 = CompiledSpanner::from_eva(&figure3_eva()).unwrap();
+    let digits = digit_spanner();
+    for &n in DOC_SIZES {
+        group.throughput(Throughput::Bytes(n as u64));
+        let ab_doc = random_text(1, n, b"ab");
+        group.bench_with_input(BenchmarkId::new("figure3_automaton", n), &ab_doc, |b, doc| {
+            b.iter(|| EnumerationDag::build(figure3.automaton(), doc).num_nodes())
+        });
+        let text_doc = random_text(2, n, b"abc0123456789 ");
+        group.bench_with_input(BenchmarkId::new("digit_runs_regex", n), &text_doc, |b, doc| {
+            b.iter(|| EnumerationDag::build(digits.automaton(), doc).num_nodes())
+        });
+    }
+    group.finish();
+}
+
+/// E2: per-output delay independence from |d| — enumerate the Θ(|d|²) outputs
+/// of the all-spans spanner and report throughput in *outputs per second*.
+fn bench_constant_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_delay_per_output");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let spanner = CompiledSpanner::from_eva(&all_spans_eva()).unwrap();
+    for &n in &[200usize, 400, 800] {
+        let doc = Document::new(vec![b'z'; n]);
+        let outputs = (n + 1) * (n + 2) / 2;
+        group.throughput(Throughput::Elements(outputs as u64));
+        // Pre-build the DAG so only the enumeration phase (Algorithm 2) is measured.
+        let dag = spanner.evaluate(&doc);
+        group.bench_with_input(BenchmarkId::new("enumerate_only", n), &dag, |b, dag| {
+            b.iter(|| drain(dag.iter()))
+        });
+    }
+    group.finish();
+}
+
+/// E3: total evaluation time (preprocessing + enumeration) against output size.
+fn bench_total_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_total_time_preprocessing_plus_output");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let spanner = digit_spanner();
+    for &n in &[1_000usize, 10_000, 100_000] {
+        // ~1 digit in 15 characters: output grows linearly with |d| here.
+        let doc = random_text(3, n, b"abcdefghijklmn5");
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::new("digit_runs_full", n), &doc, |b, doc| {
+            b.iter(|| {
+                let dag = spanner.evaluate(doc);
+                drain(dag.iter())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E8: the Example 2.1 contact-extraction pipeline end to end.
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_end_to_end_contact_extraction");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let spanner = contact_spanner();
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let doc = contact_doc(n);
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::new("evaluate_and_stream", n), &doc, |b, doc| {
+            b.iter(|| {
+                let dag = spanner.evaluate(doc);
+                drain(dag.iter())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("count_only", n), &doc, |b, doc| {
+            b.iter(|| spanner.count_u64(doc).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_preprocessing,
+    bench_constant_delay,
+    bench_total_enumeration,
+    bench_end_to_end
+);
+criterion_main!(benches);

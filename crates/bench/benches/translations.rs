@@ -1,0 +1,119 @@
+//! Experiments E6 and E7: the cost of the Section 4 translations.
+//!
+//! * **E6** — the `2^ℓ` blow-up of sequential VA → eVA (Proposition 4.2,
+//!   Figure 7 family) and the subset-construction cost for functional VA
+//!   (Proposition 4.3).
+//! * **E7** — the algebra constructions of Proposition 4.4 (join, union,
+//!   projection) and the two whole-expression compilation strategies of
+//!   Propositions 4.5/4.6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use spanners_algebra::{AlgebraExpr, CompileStrategy};
+use spanners_automata::{compile_va, determinize, join, union, union_deterministic, va_to_eva, CompileOptions};
+use spanners_workloads::{figure3_eva, prop42_va, random_functional_va};
+
+/// E6a: Proposition 4.2 — translating the Figure 7 family for growing ℓ.
+fn bench_prop42_blowup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_prop42_va_to_eva_blowup");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for ell in [2usize, 4, 6, 8, 10] {
+        let va = prop42_va(ell).unwrap();
+        group.bench_with_input(BenchmarkId::new("va_to_eva", ell), &va, |b, va| {
+            b.iter(|| va_to_eva(va).unwrap().num_transitions())
+        });
+    }
+    group.finish();
+}
+
+/// E6b: Proposition 4.3 — determinizing random functional VA of growing size.
+fn bench_functional_determinization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_functional_va_determinization");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for blocks in [2usize, 4, 6, 8] {
+        let va = random_functional_va(blocks as u64, blocks, blocks.min(4)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("compile_va_pipeline", format!("blocks{blocks}_states{}", va.num_states())),
+            &va,
+            |b, va| b.iter(|| compile_va(va, CompileOptions::default()).unwrap().num_states()),
+        );
+    }
+    group.finish();
+}
+
+/// E7a: Proposition 4.4 — join/union construction cost on functional eVA.
+fn bench_algebra_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_prop44_constructions");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let a = figure3_eva();
+    let b_aut = {
+        let va = random_functional_va(7, 3, 2).unwrap();
+        va_to_eva(&va).unwrap()
+    };
+    group.bench_function("join_figure3_random", |bench| {
+        bench.iter(|| join(&a, &b_aut).unwrap().num_states())
+    });
+    group.bench_function("union_linear", |bench| {
+        bench.iter(|| union(&a, &b_aut).unwrap().num_states())
+    });
+    group.bench_function("union_deterministic_lemma_b2", |bench| {
+        bench.iter(|| union_deterministic(&a, &b_aut).unwrap().num_states())
+    });
+    group.bench_function("determinize_join_result", |bench| {
+        let joined = join(&a, &b_aut).unwrap();
+        bench.iter(|| determinize(&joined, 1 << 20).unwrap().num_states())
+    });
+    group.finish();
+}
+
+/// E7b: Propositions 4.5/4.6 — whole-expression compilation, late vs. early
+/// determinization, as the number of joined atoms grows.
+fn bench_algebra_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_algebra_compilation_strategies");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let atoms = [
+        ".*!a{[0-9]+}.*",
+        ".*!b{[a-z]+}.*",
+        ".*!c{[A-Z]+}.*",
+    ];
+    for k in 1..=atoms.len() {
+        let mut expr = AlgebraExpr::regex(atoms[0]).unwrap();
+        for atom in &atoms[1..k] {
+            expr = expr.join(AlgebraExpr::regex(atom).unwrap());
+        }
+        group.bench_with_input(BenchmarkId::new("determinize_late_prop45", k), &expr, |b, e| {
+            b.iter(|| {
+                e.compile(CompileOptions::default(), CompileStrategy::DeterminizeLate)
+                    .unwrap()
+                    .automaton()
+                    .num_states()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("determinize_early_prop46", k), &expr, |b, e| {
+            b.iter(|| {
+                e.compile(CompileOptions::default(), CompileStrategy::DeterminizeEarly)
+                    .unwrap()
+                    .automaton()
+                    .num_states()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prop42_blowup,
+    bench_functional_determinization,
+    bench_algebra_constructions,
+    bench_algebra_strategies
+);
+criterion_main!(benches);

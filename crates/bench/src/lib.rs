@@ -1,0 +1,43 @@
+//! # spanners-bench
+//!
+//! Shared helpers for the Criterion benchmark harness. The benchmarks
+//! themselves live in `benches/` and are indexed, experiment by experiment, in
+//! the repository-level `EXPERIMENTS.md`:
+//!
+//! | bench target | experiments |
+//! |---|---|
+//! | `evaluation`   | E1 (linear preprocessing), E2 (constant delay), E3 (enumeration total time), E8 (end-to-end extraction) |
+//! | `counting`     | E4 (Algorithm 3 scaling) |
+//! | `baselines`    | E5 (constant delay vs. naive / materialize / poly-delay) |
+//! | `translations` | E6 (Propositions 4.2/4.3 blow-ups), E7 (algebra compilation, Propositions 4.4–4.6) |
+
+#![forbid(unsafe_code)]
+
+use spanners_core::{CompiledSpanner, Document};
+
+/// Standard document sizes (bytes) used by the scaling benchmarks.
+pub const DOC_SIZES: &[usize] = &[1_000, 10_000, 100_000];
+
+/// Builds the Example 2.1 contact spanner once.
+pub fn contact_spanner() -> CompiledSpanner {
+    spanners_regex::compile(spanners_workloads::contact_pattern()).expect("contact pattern compiles")
+}
+
+/// Builds the digit-run spanner `Σ* !num{[0-9]+} Σ*`.
+pub fn digit_spanner() -> CompiledSpanner {
+    spanners_regex::compile(spanners_workloads::digit_runs_pattern())
+        .expect("digit pattern compiles")
+}
+
+/// A contact directory document of roughly `target_bytes` bytes.
+pub fn contact_doc(target_bytes: usize) -> Document {
+    // Each entry is ~19 bytes on average.
+    let entries = (target_bytes / 19).max(1);
+    spanners_workloads::contact_directory(0xBEEF, entries).0
+}
+
+/// Consumes an iterator fully, returning how many items were produced
+/// (prevents the optimizer from discarding enumeration work).
+pub fn drain<I: Iterator>(iter: I) -> usize {
+    iter.count()
+}

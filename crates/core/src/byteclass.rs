@@ -1,0 +1,449 @@
+//! Byte classes: sets of alphabet symbols labelling letter transitions.
+//!
+//! A letter transition of an automaton rarely matches a single byte; realistic
+//! extraction rules use classes such as `[a-z]`, `\d`, or `Σ` (any byte).
+//! [`ByteClass`] is a 256-bit set of bytes, and [`AlphabetPartition`] computes
+//! the coarsest partition of the byte alphabet such that every class used by
+//! an automaton is a union of partition blocks — the standard trick that lets
+//! determinization and dense transition tables work over a handful of
+//! equivalence classes instead of all 256 bytes.
+
+use std::fmt;
+
+/// A set of bytes, represented as a 256-bit bitmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ByteClass {
+    bits: [u64; 4],
+}
+
+impl Default for ByteClass {
+    fn default() -> Self {
+        ByteClass::empty()
+    }
+}
+
+impl ByteClass {
+    /// The empty byte class.
+    #[inline]
+    pub const fn empty() -> Self {
+        ByteClass { bits: [0; 4] }
+    }
+
+    /// The class of all 256 bytes (the paper's `Σ`).
+    #[inline]
+    pub const fn any() -> Self {
+        ByteClass { bits: [u64::MAX; 4] }
+    }
+
+    /// A class containing a single byte.
+    #[inline]
+    pub fn singleton(b: u8) -> Self {
+        let mut c = ByteClass::empty();
+        c.insert(b);
+        c
+    }
+
+    /// A class containing every byte in the inclusive range `lo..=hi`.
+    pub fn range(lo: u8, hi: u8) -> Self {
+        let mut c = ByteClass::empty();
+        if lo <= hi {
+            for b in lo..=hi {
+                c.insert(b);
+            }
+        }
+        c
+    }
+
+    /// A class containing every byte of `bytes`.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut c = ByteClass::empty();
+        for &b in bytes {
+            c.insert(b);
+        }
+        c
+    }
+
+    /// ASCII decimal digits `[0-9]`.
+    pub fn ascii_digits() -> Self {
+        ByteClass::range(b'0', b'9')
+    }
+
+    /// ASCII letters `[A-Za-z]`.
+    pub fn ascii_alpha() -> Self {
+        ByteClass::range(b'a', b'z').union(&ByteClass::range(b'A', b'Z'))
+    }
+
+    /// ASCII alphanumerics plus underscore (`\w`).
+    pub fn ascii_word() -> Self {
+        ByteClass::ascii_alpha().union(&ByteClass::ascii_digits()).union(&ByteClass::singleton(b'_'))
+    }
+
+    /// ASCII whitespace (`\s`): space, tab, newline, carriage return, form feed, vertical tab.
+    pub fn ascii_space() -> Self {
+        ByteClass::from_bytes(b" \t\n\r\x0c\x0b")
+    }
+
+    /// Whether the class contains byte `b`.
+    #[inline]
+    pub fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] & (1u64 << (b & 63)) != 0
+    }
+
+    /// Inserts byte `b`.
+    #[inline]
+    pub fn insert(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Removes byte `b`.
+    #[inline]
+    pub fn remove(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] &= !(1u64 << (b & 63));
+    }
+
+    /// Number of bytes in the class.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the class is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ByteClass) -> ByteClass {
+        let mut bits = [0u64; 4];
+        for i in 0..4 {
+            bits[i] = self.bits[i] | other.bits[i];
+        }
+        ByteClass { bits }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &ByteClass) -> ByteClass {
+        let mut bits = [0u64; 4];
+        for i in 0..4 {
+            bits[i] = self.bits[i] & other.bits[i];
+        }
+        ByteClass { bits }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &ByteClass) -> ByteClass {
+        let mut bits = [0u64; 4];
+        for i in 0..4 {
+            bits[i] = self.bits[i] & !other.bits[i];
+        }
+        ByteClass { bits }
+    }
+
+    /// Complement with respect to the full byte alphabet.
+    pub fn complement(&self) -> ByteClass {
+        let mut bits = [0u64; 4];
+        for i in 0..4 {
+            bits[i] = !self.bits[i];
+        }
+        ByteClass { bits }
+    }
+
+    /// Whether the classes share at least one byte.
+    pub fn intersects(&self, other: &ByteClass) -> bool {
+        (0..4).any(|i| self.bits[i] & other.bits[i] != 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &ByteClass) -> bool {
+        (0..4).all(|i| self.bits[i] & !other.bits[i] == 0)
+    }
+
+    /// Iterates over the bytes in the class in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256).map(|b| b as u8).filter(move |&b| self.contains(b))
+    }
+
+    /// An arbitrary representative byte of the class, if non-empty.
+    pub fn first(&self) -> Option<u8> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Display for ByteClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == ByteClass::any() {
+            return write!(f, "Σ");
+        }
+        if self.len() == 1 {
+            let b = self.first().unwrap();
+            return if b.is_ascii_graphic() {
+                write!(f, "{}", b as char)
+            } else {
+                write!(f, "\\x{b:02x}")
+            };
+        }
+        // Render as compact ranges.
+        write!(f, "[")?;
+        let mut b = 0usize;
+        while b < 256 {
+            if self.contains(b as u8) {
+                let start = b;
+                while b + 1 < 256 && self.contains((b + 1) as u8) {
+                    b += 1;
+                }
+                let render = |f: &mut fmt::Formatter<'_>, x: u8| -> fmt::Result {
+                    if x.is_ascii_graphic() {
+                        write!(f, "{}", x as char)
+                    } else {
+                        write!(f, "\\x{x:02x}")
+                    }
+                };
+                render(f, start as u8)?;
+                if b > start {
+                    write!(f, "-")?;
+                    render(f, b as u8)?;
+                }
+            }
+            b += 1;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A partition of the 256-byte alphabet into equivalence classes.
+///
+/// Two bytes are equivalent when no byte class of the automaton distinguishes
+/// them. Deterministic automata store one dense transition entry per
+/// equivalence class instead of per byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlphabetPartition {
+    /// Maps each byte to its equivalence-class index.
+    class_of: [u8; 256],
+    /// Number of equivalence classes.
+    num_classes: usize,
+    /// A representative byte for each class.
+    representatives: Vec<u8>,
+}
+
+impl AlphabetPartition {
+    /// The trivial partition with a single class containing every byte.
+    pub fn trivial() -> Self {
+        AlphabetPartition { class_of: [0; 256], num_classes: 1, representatives: vec![0] }
+    }
+
+    /// Computes the coarsest partition refining all the given byte classes.
+    ///
+    /// Every byte class in `classes` is a union of blocks of the returned
+    /// partition. The construction assigns each byte a signature — the set of
+    /// input classes it belongs to — and groups bytes by signature.
+    pub fn from_classes<'a, I>(classes: I) -> Self
+    where
+        I: IntoIterator<Item = &'a ByteClass>,
+    {
+        let classes: Vec<&ByteClass> = classes.into_iter().collect();
+        // Signature of byte b = bitmask over `classes` membership. With more
+        // than 128 distinct classes we fall back to a vector signature.
+        let mut signatures: Vec<Vec<u64>> = vec![vec![0u64; (classes.len() + 63) / 64]; 256];
+        for (ci, c) in classes.iter().enumerate() {
+            for b in 0..256usize {
+                if c.contains(b as u8) {
+                    signatures[b][ci / 64] |= 1u64 << (ci % 64);
+                }
+            }
+        }
+        let mut class_of = [0u8; 256];
+        let mut seen: Vec<(&Vec<u64>, u8)> = Vec::new();
+        let mut representatives = Vec::new();
+        for b in 0..256usize {
+            let sig = &signatures[b];
+            match seen.iter().find(|(s, _)| *s == sig) {
+                Some(&(_, idx)) => class_of[b] = idx,
+                None => {
+                    let idx = seen.len() as u8;
+                    seen.push((sig, idx));
+                    representatives.push(b as u8);
+                    class_of[b] = idx;
+                }
+            }
+        }
+        AlphabetPartition { class_of, num_classes: seen.len(), representatives }
+    }
+
+    /// The equivalence-class index of byte `b`.
+    #[inline]
+    pub fn class_of(&self, b: u8) -> usize {
+        self.class_of[b as usize] as usize
+    }
+
+    /// Number of equivalence classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// A representative byte for equivalence class `idx`.
+    pub fn representative(&self, idx: usize) -> u8 {
+        self.representatives[idx]
+    }
+
+    /// All equivalence-class indices that intersect the given byte class.
+    pub fn classes_intersecting(&self, c: &ByteClass) -> Vec<usize> {
+        let mut seen = vec![false; self.num_classes];
+        for b in c.iter() {
+            seen[self.class_of(b)] = true;
+        }
+        (0..self.num_classes).filter(|&i| seen[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_any_singleton() {
+        assert!(ByteClass::empty().is_empty());
+        assert_eq!(ByteClass::empty().len(), 0);
+        assert_eq!(ByteClass::any().len(), 256);
+        let c = ByteClass::singleton(b'a');
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(b'a'));
+        assert!(!c.contains(b'b'));
+    }
+
+    #[test]
+    fn range_and_from_bytes() {
+        let c = ByteClass::range(b'a', b'c');
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(b'b'));
+        assert!(ByteClass::range(b'z', b'a').is_empty());
+        let d = ByteClass::from_bytes(b"xyz");
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(b'y'));
+    }
+
+    #[test]
+    fn predefined_classes() {
+        assert_eq!(ByteClass::ascii_digits().len(), 10);
+        assert_eq!(ByteClass::ascii_alpha().len(), 52);
+        assert_eq!(ByteClass::ascii_word().len(), 63);
+        assert!(ByteClass::ascii_space().contains(b' '));
+        assert!(ByteClass::ascii_space().contains(b'\n'));
+        assert!(!ByteClass::ascii_space().contains(b'a'));
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = ByteClass::range(b'a', b'f');
+        let b = ByteClass::range(b'd', b'k');
+        assert_eq!(a.union(&b).len(), 11);
+        assert_eq!(a.intersection(&b).len(), 3);
+        assert_eq!(a.difference(&b).len(), 3);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&ByteClass::range(b'x', b'z')));
+        assert!(a.intersection(&b).is_subset(&a));
+        assert_eq!(a.complement().len(), 250);
+        assert_eq!(a.complement().complement(), a);
+    }
+
+    #[test]
+    fn insert_remove_boundary_bytes() {
+        let mut c = ByteClass::empty();
+        c.insert(0);
+        c.insert(63);
+        c.insert(64);
+        c.insert(255);
+        assert_eq!(c.len(), 4);
+        assert!(c.contains(0) && c.contains(63) && c.contains(64) && c.contains(255));
+        c.remove(64);
+        assert!(!c.contains(64));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn iter_and_first() {
+        let c = ByteClass::from_bytes(b"cab");
+        let bytes: Vec<u8> = c.iter().collect();
+        assert_eq!(bytes, vec![b'a', b'b', b'c']);
+        assert_eq!(c.first(), Some(b'a'));
+        assert_eq!(ByteClass::empty().first(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ByteClass::any().to_string(), "Σ");
+        assert_eq!(ByteClass::singleton(b'a').to_string(), "a");
+        assert_eq!(ByteClass::singleton(0x01).to_string(), "\\x01");
+        assert_eq!(ByteClass::range(b'a', b'd').to_string(), "[a-d]");
+        let two = ByteClass::singleton(b'a').union(&ByteClass::singleton(b'z'));
+        assert_eq!(two.to_string(), "[az]");
+    }
+
+    #[test]
+    fn partition_trivial() {
+        let p = AlphabetPartition::trivial();
+        assert_eq!(p.num_classes(), 1);
+        assert_eq!(p.class_of(b'a'), p.class_of(b'!'));
+    }
+
+    #[test]
+    fn partition_from_classes() {
+        let digits = ByteClass::ascii_digits();
+        let alpha = ByteClass::ascii_alpha();
+        let at = ByteClass::singleton(b'@');
+        let p = AlphabetPartition::from_classes([&digits, &alpha, &at]);
+        // Blocks: digits, alpha, '@', everything else => 4 classes.
+        assert_eq!(p.num_classes(), 4);
+        assert_eq!(p.class_of(b'0'), p.class_of(b'9'));
+        assert_eq!(p.class_of(b'a'), p.class_of(b'Z'));
+        assert_ne!(p.class_of(b'0'), p.class_of(b'a'));
+        assert_ne!(p.class_of(b'@'), p.class_of(b'#'));
+        assert_eq!(p.class_of(b'#'), p.class_of(b' '));
+        // Every input class is a union of blocks: all members share the class index set.
+        for c in [&digits, &alpha, &at] {
+            let ids: std::collections::HashSet<_> = c.iter().map(|b| p.class_of(b)).collect();
+            for b in 0..=255u8 {
+                if ids.contains(&p.class_of(b)) {
+                    assert!(c.contains(b), "byte {b} in same block but not in class");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_overlapping_classes() {
+        let a = ByteClass::range(b'a', b'f');
+        let b = ByteClass::range(b'd', b'k');
+        let p = AlphabetPartition::from_classes([&a, &b]);
+        // Blocks: a-only (a..c), both (d..f), b-only (g..k), neither => 4.
+        assert_eq!(p.num_classes(), 4);
+        assert_eq!(p.class_of(b'a'), p.class_of(b'c'));
+        assert_eq!(p.class_of(b'd'), p.class_of(b'f'));
+        assert_eq!(p.class_of(b'g'), p.class_of(b'k'));
+        assert_ne!(p.class_of(b'a'), p.class_of(b'd'));
+        assert_ne!(p.class_of(b'd'), p.class_of(b'g'));
+    }
+
+    #[test]
+    fn partition_representatives_and_intersections() {
+        let digits = ByteClass::ascii_digits();
+        let p = AlphabetPartition::from_classes([&digits]);
+        assert_eq!(p.num_classes(), 2);
+        for idx in 0..p.num_classes() {
+            let rep = p.representative(idx);
+            assert_eq!(p.class_of(rep), idx);
+        }
+        let hit = p.classes_intersecting(&ByteClass::singleton(b'5'));
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0], p.class_of(b'5'));
+        let all = p.classes_intersecting(&ByteClass::any());
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn partition_no_classes() {
+        let p = AlphabetPartition::from_classes(std::iter::empty());
+        assert_eq!(p.num_classes(), 1);
+    }
+}

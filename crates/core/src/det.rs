@@ -1,0 +1,323 @@
+//! Deterministic sequential extended VA in an evaluation-friendly layout.
+//!
+//! The constant-delay algorithm of Section 3.2 requires its input automaton to
+//! be a *deterministic* and *sequential* extended VA. [`DetSeva`] is a compiled
+//! form of such an automaton optimised for the two inner loops of Algorithm 1:
+//!
+//! * `Reading(i)` needs `δ(q, a_i)` — provided by a dense
+//!   `state × alphabet-class → state` table (bytes are first mapped to the
+//!   automaton's alphabet equivalence classes);
+//! * `Capturing(i)` needs `Markers_δ(q)` together with the target of each
+//!   marker set — provided as a per-state slice of `(MarkerSet, target)` pairs.
+
+use crate::byteclass::AlphabetPartition;
+use crate::document::Document;
+use crate::error::SpannerError;
+use crate::eva::{Eva, StateId};
+use crate::markerset::MarkerSet;
+use crate::variable::VarRegistry;
+
+/// Sentinel for "no transition" in the dense letter table.
+const NO_STATE: u32 = u32::MAX;
+
+/// A compiled deterministic sequential extended VA.
+///
+/// Build one with [`DetSeva::compile`] (validates determinism and
+/// sequentiality) or [`DetSeva::compile_trusted`] (validates only determinism;
+/// use when sequentiality is guaranteed by construction, e.g. for automata
+/// produced by the translations of Section 4).
+#[derive(Debug, Clone)]
+pub struct DetSeva {
+    registry: VarRegistry,
+    num_states: usize,
+    initial: StateId,
+    finals: Vec<bool>,
+    partition: AlphabetPartition,
+    /// `letter_table[q * num_classes + class]` is the target state or `NO_STATE`.
+    letter_table: Vec<u32>,
+    /// `Markers_δ(q)` with targets, per state.
+    var_trans: Vec<Vec<(MarkerSet, StateId)>>,
+    /// Number of variables of the underlying registry.
+    num_vars: usize,
+    /// Size measure `|A|` of the source automaton (states + transitions).
+    source_size: usize,
+}
+
+impl DetSeva {
+    /// Compiles a deterministic **and** sequential eVA.
+    ///
+    /// Returns [`SpannerError::NotDeterministic`] or
+    /// [`SpannerError::NotSequential`] if the input violates either property.
+    /// The sequentiality check explores reachable variable configurations and
+    /// can be expensive for automata with many variables; prefer
+    /// [`DetSeva::compile_trusted`] when sequentiality is known by construction.
+    pub fn compile(eva: &Eva) -> Result<Self, SpannerError> {
+        eva.check_sequential()?;
+        Self::compile_trusted(eva)
+    }
+
+    /// Compiles a deterministic eVA, trusting the caller that it is sequential.
+    ///
+    /// Determinism is always verified because Algorithm 1 silently produces
+    /// duplicate outputs on non-deterministic input, which would violate the
+    /// enumeration contract.
+    pub fn compile_trusted(eva: &Eva) -> Result<Self, SpannerError> {
+        eva.check_deterministic()?;
+        let classes = eva.letter_classes();
+        let partition = AlphabetPartition::from_classes(classes.iter());
+        let ncls = partition.num_classes();
+        let n = eva.num_states();
+        let mut letter_table = vec![NO_STATE; n * ncls];
+        for (q, t) in eva.all_letter_transitions() {
+            for cls in partition.classes_intersecting(&t.class) {
+                let slot = &mut letter_table[q * ncls + cls];
+                debug_assert!(
+                    *slot == NO_STATE || *slot == t.target as u32,
+                    "determinism check should have rejected overlapping classes"
+                );
+                *slot = t.target as u32;
+            }
+        }
+        let var_trans: Vec<Vec<(MarkerSet, StateId)>> = (0..n)
+            .map(|q| eva.var_transitions(q).iter().map(|t| (t.markers, t.target)).collect())
+            .collect();
+        Ok(DetSeva {
+            registry: eva.registry().clone(),
+            num_states: n,
+            initial: eva.initial(),
+            finals: (0..n).map(|q| eva.is_final(q)).collect(),
+            partition,
+            letter_table,
+            var_trans,
+            num_vars: eva.registry().len(),
+            source_size: eva.size(),
+        })
+    }
+
+    /// The variable registry naming the capture variables.
+    pub fn registry(&self) -> &VarRegistry {
+        &self.registry
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of capture variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The initial state.
+    #[inline]
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Whether `q` is final.
+    #[inline]
+    pub fn is_final(&self, q: StateId) -> bool {
+        self.finals[q]
+    }
+
+    /// All final states.
+    pub fn final_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.num_states).filter(|&q| self.finals[q])
+    }
+
+    /// The deterministic letter transition `δ(q, byte)`, if defined.
+    #[inline]
+    pub fn step_letter(&self, q: StateId, byte: u8) -> Option<StateId> {
+        let cls = self.partition.class_of(byte);
+        let t = self.letter_table[q * self.partition.num_classes() + cls];
+        if t == NO_STATE {
+            None
+        } else {
+            Some(t as usize)
+        }
+    }
+
+    /// The extended variable transitions `Markers_δ(q)` (with their targets).
+    #[inline]
+    pub fn markers_from(&self, q: StateId) -> &[(MarkerSet, StateId)] {
+        &self.var_trans[q]
+    }
+
+    /// Number of alphabet equivalence classes of the compiled letter table.
+    pub fn num_alphabet_classes(&self) -> usize {
+        self.partition.num_classes()
+    }
+
+    /// The paper's size measure `|A|` of the source automaton.
+    pub fn source_size(&self) -> usize {
+        self.source_size
+    }
+
+    /// Runs the letter/marker transition relation over `doc` without producing
+    /// output, returning whether the document is *accepted* (i.e. whether
+    /// `⟦A⟧(d)` is non-empty). Linear time, used as a cheap pre-check.
+    pub fn accepts(&self, doc: &Document) -> bool {
+        // Live set of states, tracked as a boolean vector (the automaton is
+        // deterministic per transition label, but several runs with different
+        // marker choices coexist).
+        let mut live = vec![false; self.num_states];
+        let mut next = vec![false; self.num_states];
+        live[self.initial] = true;
+        for &b in doc.bytes() {
+            // Capturing: add marker successors (keeping current states live).
+            let mut with_markers = live.clone();
+            for q in 0..self.num_states {
+                if live[q] {
+                    for &(_, p) in &self.var_trans[q] {
+                        with_markers[p] = true;
+                    }
+                }
+            }
+            // Reading.
+            next.iter_mut().for_each(|x| *x = false);
+            for q in 0..self.num_states {
+                if with_markers[q] {
+                    if let Some(p) = self.step_letter(q, b) {
+                        next[p] = true;
+                    }
+                }
+            }
+            std::mem::swap(&mut live, &mut next);
+            if live.iter().all(|&x| !x) {
+                return false;
+            }
+        }
+        // Final capturing step.
+        let mut with_markers = live.clone();
+        for q in 0..self.num_states {
+            if live[q] {
+                for &(_, p) in &self.var_trans[q] {
+                    with_markers[p] = true;
+                }
+            }
+        }
+        (0..self.num_states).any(|q| with_markers[q] && self.finals[q])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byteclass::ByteClass;
+    use crate::eva::EvaBuilder;
+    use crate::markerset::MarkerSet;
+    use crate::variable::VarRegistry;
+
+    /// The Figure 3 automaton (copy of the fixture in `eva::tests`).
+    fn figure3() -> Eva {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let y = reg.intern("y").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q = b.add_states(10);
+        b.set_initial(q[0]);
+        b.set_final(q[9]);
+        let ms = MarkerSet::new;
+        b.add_var(q[0], ms().with_open(x), q[1]).unwrap();
+        b.add_var(q[0], ms().with_open(y), q[2]).unwrap();
+        b.add_var(q[0], ms().with_open(x).with_open(y), q[3]).unwrap();
+        b.add_letter(q[3], ByteClass::from_bytes(b"ab"), q[3]);
+        b.add_byte(q[1], b'a', q[4]);
+        b.add_byte(q[2], b'a', q[5]);
+        b.add_var(q[4], ms().with_open(y), q[6]).unwrap();
+        b.add_var(q[5], ms().with_open(x), q[7]).unwrap();
+        b.add_byte(q[6], b'b', q[8]);
+        b.add_byte(q[7], b'b', q[8]);
+        b.add_var(q[8], ms().with_close(x).with_close(y), q[9]).unwrap();
+        b.add_var(q[3], ms().with_close(x).with_close(y), q[9]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn compile_figure3() {
+        let eva = figure3();
+        let det = DetSeva::compile(&eva).unwrap();
+        assert_eq!(det.num_states(), 10);
+        assert_eq!(det.num_vars(), 2);
+        assert_eq!(det.initial(), 0);
+        assert!(det.is_final(9));
+        assert_eq!(det.final_states().collect::<Vec<_>>(), vec![9]);
+        assert_eq!(det.source_size(), eva.size());
+        // Alphabet classes: 'a', 'b', everything else => 3.
+        assert_eq!(det.num_alphabet_classes(), 3);
+    }
+
+    #[test]
+    fn letter_table_lookup() {
+        let det = DetSeva::compile(&figure3()).unwrap();
+        assert_eq!(det.step_letter(1, b'a'), Some(4));
+        assert_eq!(det.step_letter(1, b'b'), None);
+        assert_eq!(det.step_letter(3, b'a'), Some(3));
+        assert_eq!(det.step_letter(3, b'b'), Some(3));
+        assert_eq!(det.step_letter(3, b'z'), None);
+        assert_eq!(det.step_letter(0, b'a'), None);
+    }
+
+    #[test]
+    fn markers_from_lists() {
+        let det = DetSeva::compile(&figure3()).unwrap();
+        assert_eq!(det.markers_from(0).len(), 3);
+        assert_eq!(det.markers_from(4).len(), 1);
+        assert!(det.markers_from(1).is_empty());
+        let (s, p) = det.markers_from(8)[0];
+        assert_eq!(p, 9);
+        assert_eq!(s.closed_vars().len(), 2);
+    }
+
+    #[test]
+    fn rejects_non_deterministic() {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q1);
+        b.add_var(q0, MarkerSet::new().with_open(x).with_close(x), q1).unwrap();
+        b.add_var(q0, MarkerSet::new().with_open(x).with_close(x), q2).unwrap();
+        let eva = b.build().unwrap();
+        assert!(matches!(DetSeva::compile(&eva), Err(SpannerError::NotDeterministic(_))));
+        assert!(matches!(DetSeva::compile_trusted(&eva), Err(SpannerError::NotDeterministic(_))));
+    }
+
+    #[test]
+    fn rejects_non_sequential() {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q2);
+        b.add_var(q0, MarkerSet::new().with_open(x), q1).unwrap();
+        b.add_byte(q1, b'a', q2);
+        let eva = b.build().unwrap();
+        assert!(matches!(DetSeva::compile(&eva), Err(SpannerError::NotSequential(_))));
+        // compile_trusted skips the sequentiality check by design.
+        assert!(DetSeva::compile_trusted(&eva).is_ok());
+    }
+
+    #[test]
+    fn accepts_matches_naive_nonemptiness() {
+        let eva = figure3();
+        let det = DetSeva::compile(&eva).unwrap();
+        for text in ["ab", "a", "b", "", "ba", "abab", "abc"] {
+            let doc = Document::from(text);
+            assert_eq!(
+                det.accepts(&doc),
+                !eva.eval_naive(&doc).is_empty(),
+                "acceptance mismatch on {text:?}"
+            );
+        }
+    }
+}

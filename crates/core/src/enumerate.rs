@@ -1,0 +1,723 @@
+//! Algorithm 1 (Evaluate) and Algorithm 2 (Enumerate) of the paper:
+//! linear-time preprocessing followed by constant-delay enumeration.
+//!
+//! `Evaluate` processes the document once, alternating a `Capturing(i)` phase
+//! (simulating the extended variable transitions taken immediately before the
+//! `i`-th letter) and a `Reading(i)` phase (simulating the letter transition on
+//! the `i`-th letter). While doing so it incrementally builds the *reverse dual
+//! DAG* whose nodes are annotated marker sets `(S, i)` and whose sink `⊥`
+//! plays the role of the initial product state. The per-state `list_q`
+//! structures are singly linked lists supporting the three O(1) operations the
+//! paper requires — `add` (prepend), `lazycopy` (copy of the `(start, end)`
+//! pair) and `append` (splice another list after the end element).
+//!
+//! `Enumerate` then traverses the DAG depth-first from the lists of the final
+//! states; every time it reaches `⊥` the markers collected along the path form
+//! exactly one output mapping. The delay between two consecutive outputs is
+//! bounded by a function of the number of variables only — it does not depend
+//! on the document.
+
+use crate::det::DetSeva;
+use crate::document::Document;
+use crate::mapping::Mapping;
+use crate::markerset::MarkerSet;
+use crate::span::Span;
+use crate::variable::{VarRegistry, MAX_VARIABLES};
+
+/// Index of a node in the DAG arena. Node 0 is the sink `⊥`.
+type NodeId = u32;
+/// Index of a list cell in the cell arena.
+type CellId = u32;
+
+const BOTTOM: NodeId = 0;
+
+/// A singly linked list of DAG nodes, represented as the `(start, end)` pair of
+/// pointers described in the paper. Cheap to copy (`lazycopy` is a bitwise copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ListRef {
+    head: CellId,
+    tail: CellId,
+    /// Empty lists are encoded by `len == 0`; `head`/`tail` are then meaningless.
+    len_hint: u32,
+}
+
+impl ListRef {
+    const EMPTY: ListRef = ListRef { head: 0, tail: 0, len_hint: 0 };
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len_hint == 0
+    }
+}
+
+/// One cell of a linked list: a node reference plus the `next` pointer.
+/// `next` is written at most once (by `append`), as in the paper.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    node: NodeId,
+    next: Option<CellId>,
+}
+
+/// A DAG node `((S, i), list)`: an annotated marker set plus the list of nodes
+/// it points to (the last variable transitions of the runs it extends).
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    markers: MarkerSet,
+    pos: u32,
+    list: ListRef,
+}
+
+/// The output of Algorithm 1: a compact DAG representation of all output
+/// mappings of a deterministic sequential eVA over a document.
+///
+/// Build it with [`EnumerationDag::build`]; enumerate with
+/// [`EnumerationDag::iter`] (constant delay per item), count paths with
+/// [`EnumerationDag::count_paths`], or materialize with
+/// [`EnumerationDag::collect_mappings`].
+#[derive(Debug, Clone)]
+pub struct EnumerationDag {
+    nodes: Vec<Node>,
+    cells: Vec<Cell>,
+    /// Lists of the final states after the last `Capturing` phase
+    /// (the entry points of Algorithm 2).
+    roots: Vec<ListRef>,
+    registry: VarRegistry,
+    doc_len: usize,
+}
+
+impl EnumerationDag {
+    /// Runs Algorithm 1 (`Evaluate`) over the document, producing the DAG.
+    ///
+    /// Preprocessing time is `O(|A| × |d|)`: each document position triggers one
+    /// `Capturing` and one `Reading` pass, each of which scans the automaton's
+    /// transitions and performs O(1) list operations per transition.
+    pub fn build(aut: &DetSeva, doc: &Document) -> EnumerationDag {
+        Self::build_inner(aut, doc, None)
+    }
+
+    /// Like [`EnumerationDag::build`] but records, after every `Capturing`/
+    /// `Reading` phase, which state lists are non-empty and how many cells each
+    /// holds. Used by tests that replay the trace of Figure 5 and by the
+    /// benchmark harness to report DAG growth; slower than `build`.
+    pub fn build_with_trace(aut: &DetSeva, doc: &Document) -> (EnumerationDag, Vec<StageTrace>) {
+        let mut traces = Vec::new();
+        let dag = Self::build_inner(aut, doc, Some(&mut traces));
+        (dag, traces)
+    }
+
+    fn build_inner(
+        aut: &DetSeva,
+        doc: &Document,
+        mut trace: Option<&mut Vec<StageTrace>>,
+    ) -> EnumerationDag {
+        let n_states = aut.num_states();
+        // Node 0 is the sink ⊥; its markers/list are never read.
+        let mut nodes: Vec<Node> =
+            vec![Node { markers: MarkerSet::new(), pos: 0, list: ListRef::EMPTY }];
+        let mut cells: Vec<Cell> = Vec::new();
+
+        // list_q for every state q: initially empty except list_{q0} = [⊥].
+        let mut lists: Vec<ListRef> = vec![ListRef::EMPTY; n_states];
+        cells.push(Cell { node: BOTTOM, next: None });
+        lists[aut.initial()] = ListRef { head: 0, tail: 0, len_hint: 1 };
+
+        // Scratch buffer reused by the Reading phase.
+        let mut old: Vec<ListRef> = vec![ListRef::EMPTY; n_states];
+
+        let bytes = doc.bytes();
+        for i in 0..=bytes.len() {
+            // ----- Capturing(i): variable transitions before letter i -----
+            // lazycopy of every list (ListRef is Copy, so this is a memcpy).
+            old.copy_from_slice(&lists);
+            for q in 0..n_states {
+                if old[q].is_empty() {
+                    continue;
+                }
+                for &(markers, p) in aut.markers_from(q) {
+                    let node_id = nodes.len() as NodeId;
+                    nodes.push(Node { markers, pos: i as u32, list: old[q] });
+                    // list_p.add(node): prepend a fresh cell.
+                    let cell_id = cells.len() as CellId;
+                    if lists[p].is_empty() {
+                        cells.push(Cell { node: node_id, next: None });
+                        lists[p] = ListRef { head: cell_id, tail: cell_id, len_hint: 1 };
+                    } else {
+                        cells.push(Cell { node: node_id, next: Some(lists[p].head) });
+                        lists[p] = ListRef {
+                            head: cell_id,
+                            tail: lists[p].tail,
+                            len_hint: lists[p].len_hint + 1,
+                        };
+                    }
+                }
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(StageTrace::capture(i, &lists));
+            }
+
+            // ----- Reading(i): the letter transition on byte i -----
+            if i == bytes.len() {
+                break;
+            }
+            let byte = bytes[i];
+            std::mem::swap(&mut old, &mut lists);
+            lists.iter_mut().for_each(|l| *l = ListRef::EMPTY);
+            for q in 0..n_states {
+                if old[q].is_empty() {
+                    continue;
+                }
+                if let Some(p) = aut.step_letter(q, byte) {
+                    // list_p.append(list_old_q)
+                    if lists[p].is_empty() {
+                        lists[p] = old[q];
+                    } else {
+                        let tail = lists[p].tail as usize;
+                        debug_assert!(cells[tail].next.is_none(), "append target must end in null");
+                        cells[tail].next = Some(old[q].head);
+                        lists[p] = ListRef {
+                            head: lists[p].head,
+                            tail: old[q].tail,
+                            len_hint: lists[p].len_hint + old[q].len_hint,
+                        };
+                    }
+                }
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(StageTrace::read(i, &lists));
+            }
+        }
+
+        let roots: Vec<ListRef> =
+            aut.final_states().map(|q| lists[q]).filter(|l| !l.is_empty()).collect();
+        EnumerationDag { nodes, cells, roots, registry: aut.registry().clone(), doc_len: doc.len() }
+    }
+
+    /// The variable registry of the automaton that produced this DAG.
+    pub fn registry(&self) -> &VarRegistry {
+        &self.registry
+    }
+
+    /// Length of the document this DAG was built over.
+    pub fn document_len(&self) -> usize {
+        self.doc_len
+    }
+
+    /// Number of DAG nodes created (including the sink `⊥`).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of list cells created.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of root lists (non-empty final-state lists).
+    pub fn num_roots(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Whether the spanner produced no output on this document.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Algorithm 2 as a pull-based iterator with constant delay per item.
+    pub fn iter(&self) -> MappingIter<'_> {
+        MappingIter {
+            dag: self,
+            next_root: 0,
+            stack: Vec::with_capacity(2 * MAX_VARIABLES + 2),
+            path: Vec::with_capacity(2 * MAX_VARIABLES + 2),
+        }
+    }
+
+    /// Materializes all output mappings (in enumeration order).
+    pub fn collect_mappings(&self) -> Vec<Mapping> {
+        self.iter().collect()
+    }
+
+    /// Runs Algorithm 2 with a callback instead of an iterator; stops early if
+    /// the callback returns `false`. Returns the number of mappings visited.
+    pub fn for_each_mapping<F: FnMut(Mapping) -> bool>(&self, mut f: F) -> usize {
+        let mut n = 0;
+        for m in self.iter() {
+            n += 1;
+            if !f(m) {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Counts the number of output mappings by counting paths from the roots to
+    /// `⊥` in the DAG. Because the source automaton is deterministic, paths are
+    /// in bijection with output mappings.
+    ///
+    /// This is an alternative to Algorithm 3 (see [`crate::count`]) that reuses
+    /// an already-built DAG; it runs in time linear in the DAG size.
+    pub fn count_paths(&self) -> u128 {
+        // Memoized number of paths from each node to ⊥.
+        let mut memo: Vec<Option<u128>> = vec![None; self.nodes.len()];
+        memo[BOTTOM as usize] = Some(1);
+        let mut total = 0u128;
+        for root in &self.roots {
+            total += self.count_list(*root, &mut memo);
+        }
+        total
+    }
+
+    fn count_list(&self, list: ListRef, memo: &mut Vec<Option<u128>>) -> u128 {
+        let mut sum = 0u128;
+        for cell in self.list_cells(list) {
+            let node = self.cells[cell as usize].node;
+            sum += self.count_node(node, memo);
+        }
+        sum
+    }
+
+    fn count_node(&self, node: NodeId, memo: &mut Vec<Option<u128>>) -> u128 {
+        if let Some(v) = memo[node as usize] {
+            return v;
+        }
+        let list = self.nodes[node as usize].list;
+        let v = self.count_list(list, memo);
+        memo[node as usize] = Some(v);
+        v
+    }
+
+    /// Iterates over the cell ids of a list, honouring the `(start, end)` bounds
+    /// (cells appended after `end` by later `append` operations are not visible).
+    fn list_cells(&self, list: ListRef) -> ListCellIter<'_> {
+        ListCellIter { dag: self, cur: if list.is_empty() { None } else { Some(list.head) }, tail: list.tail }
+    }
+}
+
+struct ListCellIter<'a> {
+    dag: &'a EnumerationDag,
+    cur: Option<CellId>,
+    tail: CellId,
+}
+
+impl Iterator for ListCellIter<'_> {
+    type Item = CellId;
+    fn next(&mut self) -> Option<CellId> {
+        let cur = self.cur?;
+        self.cur = if cur == self.tail { None } else { self.dag.cells[cur as usize].next };
+        Some(cur)
+    }
+}
+
+/// Snapshot of the per-state lists after one phase of Algorithm 1
+/// (used to reproduce the trace of Figure 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTrace {
+    /// Which phase produced this snapshot.
+    pub stage: Stage,
+    /// 0-based position of the phase (the paper uses 1-based positions).
+    pub pos: usize,
+    /// `(state, number of list cells)` for every state with a non-empty list.
+    pub nonempty: Vec<(usize, usize)>,
+}
+
+/// The two phases of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The `Capturing(i)` phase (variable transitions before letter `i`).
+    Capturing,
+    /// The `Reading(i)` phase (the letter transition on letter `i`).
+    Reading,
+}
+
+impl StageTrace {
+    fn capture(pos: usize, lists: &[ListRef]) -> StageTrace {
+        StageTrace { stage: Stage::Capturing, pos, nonempty: Self::snapshot(lists) }
+    }
+    fn read(pos: usize, lists: &[ListRef]) -> StageTrace {
+        StageTrace { stage: Stage::Reading, pos, nonempty: Self::snapshot(lists) }
+    }
+    fn snapshot(lists: &[ListRef]) -> Vec<(usize, usize)> {
+        lists
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(q, l)| (q, l.len_hint as usize))
+            .collect()
+    }
+}
+
+/// A frame of the depth-first traversal of Algorithm 2.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    /// Next cell to visit in the current list (`None` = list exhausted).
+    cursor: Option<CellId>,
+    /// Last cell belonging to the current list.
+    tail: CellId,
+    /// Whether entering this frame pushed an entry onto the marker path.
+    pushed: bool,
+}
+
+/// Iterator over the output mappings encoded by an [`EnumerationDag`]
+/// (Algorithm 2 of the paper).
+///
+/// Each call to [`next`](Iterator::next) performs a bounded amount of work that
+/// depends only on the number of variables of the spanner, never on the
+/// document length — this is the constant-delay guarantee.
+#[derive(Debug, Clone)]
+pub struct MappingIter<'a> {
+    dag: &'a EnumerationDag,
+    next_root: usize,
+    stack: Vec<Frame>,
+    /// Markers collected along the current DFS path, from the last variable
+    /// transition of the run (largest position) down towards `⊥`.
+    path: Vec<(MarkerSet, u32)>,
+}
+
+impl MappingIter<'_> {
+    fn push_list(&mut self, list: ListRef, pushed: bool) {
+        debug_assert!(!list.is_empty());
+        self.stack.push(Frame { cursor: Some(list.head), tail: list.tail, pushed });
+    }
+
+    /// Builds the mapping for the markers currently on `path`.
+    ///
+    /// The path stores marker sets in decreasing position order, so the close
+    /// position of every variable is seen before its open position.
+    fn build_mapping(&self) -> Mapping {
+        let mut end_pos = [0u32; MAX_VARIABLES];
+        let mut mapping = Mapping::new();
+        for &(markers, pos) in &self.path {
+            for v in markers.closed_vars().iter() {
+                end_pos[v.index()] = pos;
+            }
+            for v in markers.opened_vars().iter() {
+                mapping.insert(v, Span::new_unchecked(pos as usize, end_pos[v.index()] as usize));
+            }
+        }
+        mapping
+    }
+}
+
+impl Iterator for MappingIter<'_> {
+    type Item = Mapping;
+
+    fn next(&mut self) -> Option<Mapping> {
+        loop {
+            // Refill from the next root list when the stack is exhausted.
+            if self.stack.is_empty() {
+                if self.next_root >= self.dag.roots.len() {
+                    return None;
+                }
+                let root = self.dag.roots[self.next_root];
+                self.next_root += 1;
+                self.push_list(root, false);
+                continue;
+            }
+            let top = self.stack.last_mut().expect("stack is non-empty");
+            let Some(cell_id) = top.cursor else {
+                // Current list exhausted: backtrack.
+                let frame = self.stack.pop().expect("stack is non-empty");
+                if frame.pushed {
+                    self.path.pop();
+                }
+                continue;
+            };
+            // Advance the cursor within the current list.
+            let cell = self.dag.cells[cell_id as usize];
+            top.cursor = if cell_id == top.tail { None } else { cell.next };
+
+            if cell.node == BOTTOM {
+                // A complete path: emit one mapping.
+                return Some(self.build_mapping());
+            }
+            let node = self.dag.nodes[cell.node as usize];
+            self.path.push((node.markers, node.pos));
+            self.push_list(node.list, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byteclass::ByteClass;
+    use crate::eva::{Eva, EvaBuilder};
+    use crate::mapping::dedup_mappings;
+    use crate::variable::VarRegistry;
+
+    /// The Figure 3 automaton.
+    fn figure3() -> Eva {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let y = reg.intern("y").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q = b.add_states(10);
+        b.set_initial(q[0]);
+        b.set_final(q[9]);
+        let ms = MarkerSet::new;
+        b.add_var(q[0], ms().with_open(x), q[1]).unwrap();
+        b.add_var(q[0], ms().with_open(y), q[2]).unwrap();
+        b.add_var(q[0], ms().with_open(x).with_open(y), q[3]).unwrap();
+        b.add_letter(q[3], ByteClass::from_bytes(b"ab"), q[3]);
+        b.add_byte(q[1], b'a', q[4]);
+        b.add_byte(q[2], b'a', q[5]);
+        b.add_var(q[4], ms().with_open(y), q[6]).unwrap();
+        b.add_var(q[5], ms().with_open(x), q[7]).unwrap();
+        b.add_byte(q[6], b'b', q[8]);
+        b.add_byte(q[7], b'b', q[8]);
+        b.add_var(q[8], ms().with_close(x).with_close(y), q[9]).unwrap();
+        b.add_var(q[3], ms().with_close(x).with_close(y), q[9]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn det(eva: &Eva) -> DetSeva {
+        DetSeva::compile(eva).unwrap()
+    }
+
+    fn enumerate_sorted(aut: &DetSeva, doc: &Document) -> Vec<Mapping> {
+        let dag = EnumerationDag::build(aut, doc);
+        let mut out = dag.collect_mappings();
+        dedup_mappings(&mut out);
+        out
+    }
+
+    #[test]
+    fn figure3_matches_paper_output() {
+        let eva = figure3();
+        let aut = det(&eva);
+        let doc = Document::from("ab");
+        let out = enumerate_sorted(&aut, &doc);
+        assert_eq!(out, eva.eval_naive(&doc));
+        assert_eq!(out.len(), 3);
+        // Spot-check µ3(x) = µ3(y) = [1,3⟩.
+        let x = eva.registry().get("x").unwrap();
+        let y = eva.registry().get("y").unwrap();
+        let mu3 = Mapping::from_pairs([
+            (x, Span::from_paper(1, 3).unwrap()),
+            (y, Span::from_paper(1, 3).unwrap()),
+        ]);
+        assert!(out.contains(&mu3));
+    }
+
+    #[test]
+    fn no_duplicates_are_enumerated() {
+        let eva = figure3();
+        let aut = det(&eva);
+        for text in ["ab", "abab", "aabb", "aaabbb", "ababab"] {
+            let doc = Document::from(text);
+            let dag = EnumerationDag::build(&aut, &doc);
+            let all = dag.collect_mappings();
+            let mut deduped = all.clone();
+            dedup_mappings(&mut deduped);
+            assert_eq!(all.len(), deduped.len(), "duplicates on {text:?}");
+        }
+    }
+
+    #[test]
+    fn agreement_with_naive_on_many_documents() {
+        let eva = figure3();
+        let aut = det(&eva);
+        for text in ["", "a", "b", "ab", "ba", "aa", "bb", "aab", "abb", "abab", "bbaa", "aabab"] {
+            let doc = Document::from(text);
+            let fast = enumerate_sorted(&aut, &doc);
+            let slow = eva.eval_naive(&doc);
+            assert_eq!(fast, slow, "mismatch on {text:?}");
+        }
+    }
+
+    #[test]
+    fn empty_output_documents() {
+        let eva = figure3();
+        let aut = det(&eva);
+        let dag = EnumerationDag::build(&aut, &Document::from("zz"));
+        assert!(dag.is_empty());
+        assert_eq!(dag.collect_mappings(), vec![]);
+        assert_eq!(dag.count_paths(), 0);
+        let dag = EnumerationDag::build(&aut, &Document::empty());
+        assert!(dag.is_empty());
+    }
+
+    #[test]
+    fn count_paths_matches_enumeration() {
+        let eva = figure3();
+        let aut = det(&eva);
+        for text in ["ab", "abab", "aaabbb", "abababab"] {
+            let doc = Document::from(text);
+            let dag = EnumerationDag::build(&aut, &doc);
+            assert_eq!(dag.count_paths(), dag.collect_mappings().len() as u128, "on {text:?}");
+        }
+    }
+
+    #[test]
+    fn figure5_trace_nonempty_lists() {
+        // Reproduces the table of Figure 5: which lists are non-empty after
+        // each stage when running the Figure 3 automaton on d = ab.
+        let eva = figure3();
+        let aut = det(&eva);
+        let (_, traces) = EnumerationDag::build_with_trace(&aut, &Document::from("ab"));
+        // Stages: Capturing(1), Reading(1), Capturing(2), Reading(2), Capturing(3)
+        assert_eq!(traces.len(), 5);
+
+        let states =
+            |t: &StageTrace| -> Vec<usize> { t.nonempty.iter().map(|(q, _)| *q).collect() };
+
+        // Capturing(1): q0 (still holds ⊥), q1, q2, q3.
+        assert_eq!(traces[0].stage, Stage::Capturing);
+        assert_eq!(states(&traces[0]), vec![0, 1, 2, 3]);
+        // Reading(1): q3, q4, q5.
+        assert_eq!(traces[1].stage, Stage::Reading);
+        assert_eq!(states(&traces[1]), vec![3, 4, 5]);
+        // Capturing(2): q3, q4, q5, q6, q7, q9.
+        assert_eq!(states(&traces[2]), vec![3, 4, 5, 6, 7, 9]);
+        // Reading(2): q3, q8 (with two cells: one from q6's list, one from q7's).
+        assert_eq!(states(&traces[3]), vec![3, 8]);
+        let q8_len = traces[3].nonempty.iter().find(|(q, _)| *q == 8).unwrap().1;
+        assert_eq!(q8_len, 2);
+        // Capturing(3): q3, q8, q9 (q9's list has the two closing nodes).
+        assert_eq!(states(&traces[4]), vec![3, 8, 9]);
+        let q9_len = traces[4].nonempty.iter().find(|(q, _)| *q == 9).unwrap().1;
+        assert_eq!(q9_len, 2);
+    }
+
+    #[test]
+    fn figure6_dag_shape() {
+        // The DAG of Figure 6 has 8 proper nodes (plus ⊥): {x⊢,1}, {y⊢,1},
+        // {x⊢y⊢,1}, {y⊢,2}, {x⊢,2}, {⊣x⊣y,2 via q3}… — concretely, Algorithm 1
+        // creates one node per (variable transition, live source) pair:
+        //   Capturing(1): 3 nodes, Capturing(2): 3 nodes, Capturing(3): 2 nodes.
+        let eva = figure3();
+        let aut = det(&eva);
+        let dag = EnumerationDag::build(&aut, &Document::from("ab"));
+        assert_eq!(dag.num_nodes(), 1 + 8);
+        assert_eq!(dag.num_roots(), 1);
+        assert_eq!(dag.count_paths(), 3);
+    }
+
+    #[test]
+    fn enumeration_is_lazy_and_resumable() {
+        let eva = figure3();
+        let aut = det(&eva);
+        let doc = Document::from("ab");
+        let dag = EnumerationDag::build(&aut, &doc);
+        let total = dag.collect_mappings().len();
+        assert!(total > 1);
+        let mut it = dag.iter();
+        let first = it.next().unwrap();
+        let rest: Vec<_> = it.collect();
+        assert_eq!(rest.len(), total - 1);
+        assert!(!rest.contains(&first));
+        // for_each_mapping with early stop
+        let visited = dag.for_each_mapping(|_| false);
+        assert_eq!(visited, 1);
+        let visited = dag.for_each_mapping(|_| true);
+        assert_eq!(visited, total);
+    }
+
+    #[test]
+    fn nested_captures_quadratic_output() {
+        // Spanner: Σ* x{ Σ* y{ Σ* } } with x spanning a suffix-prefix structure.
+        // Simpler: x captures any prefix boundary… Instead, build the spanner
+        // "x captures any span, y captures any sub-span starting where x starts"
+        // via a small hand-rolled deterministic seVA:
+        //   x opens at any position, y opens with x, y closes anywhere later,
+        //   x closes anywhere after y closes.
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let y = reg.intern("y").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state(); // before x opens
+        let q1 = b.add_state(); // x and y open
+        let q2 = b.add_state(); // y closed
+        let q3 = b.add_state(); // x closed (final)
+        b.set_initial(q0);
+        b.set_final(q3);
+        let any = ByteClass::any();
+        b.add_letter(q0, any, q0);
+        b.add_letter(q1, any, q1);
+        b.add_letter(q2, any, q2);
+        b.add_letter(q3, any, q3);
+        let ms = MarkerSet::new;
+        b.add_var(q0, ms().with_open(x).with_open(y), q1).unwrap();
+        b.add_var(q1, ms().with_close(y), q2).unwrap();
+        b.add_var(q2, ms().with_close(x), q3).unwrap();
+        // Also allow y and x to close at the same position as they open, etc.
+        let eva = b.build().unwrap();
+        let aut = DetSeva::compile(&eva).unwrap();
+        for n in [0usize, 1, 2, 5, 9] {
+            let doc = Document::new(vec![b'a'; n]);
+            let out = enumerate_sorted(&aut, &doc);
+            // The three variable transitions fire at positions i < j < k (they
+            // cannot be consecutive, so at least one letter separates them):
+            // x = [i, k⟩, y = [i, j⟩ with 0 ≤ i < j < k ≤ n, i.e. C(n+1, 3) outputs.
+            let expected = if n >= 2 { (n + 1) * n * (n - 1) / 6 } else { 0 };
+            assert_eq!(out.len(), expected, "n = {n}");
+            assert_eq!(out, eva.eval_naive(&doc), "naive mismatch at n = {n}");
+        }
+    }
+
+    #[test]
+    fn delay_is_document_independent() {
+        // Not a timing test (that lives in the benches); here we check the
+        // *structural* property that the DFS stack depth during enumeration is
+        // bounded by the number of variable transitions of a run, not by |d|.
+        let eva = figure3();
+        let aut = det(&eva);
+        for n in [4usize, 16, 64, 256] {
+            let text: String = std::iter::repeat("ab").take(n).collect();
+            let dag = EnumerationDag::build(&aut, &Document::from(text.as_str()));
+            let mut it = dag.iter();
+            let mut max_stack = 0;
+            while it.next().is_some() {
+                max_stack = max_stack.max(it.stack.len());
+            }
+            // Figure 3 runs contain at most 3 variable transitions, so the stack
+            // holds at most 3 node frames plus the root frame.
+            assert!(max_stack <= 4, "stack depth {max_stack} at n = {n}");
+        }
+    }
+
+    #[test]
+    fn multiple_final_states_are_all_roots() {
+        // Two final states reached through different branches:
+        //   q0 -{x⊢}-> q1 -a-> q2 -{⊣x}-> f1       (x = [1,2⟩)
+        //   q0 -a-> q3 -{x⊢,⊣x}-> f2                (x = empty span at position 2)
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        let q3 = b.add_state();
+        let f1 = b.add_state();
+        let f2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(f1);
+        b.set_final(f2);
+        let ms = MarkerSet::new;
+        b.add_var(q0, ms().with_open(x), q1).unwrap();
+        b.add_byte(q1, b'a', q2);
+        b.add_var(q2, ms().with_close(x), f1).unwrap();
+        b.add_byte(q0, b'a', q3);
+        b.add_var(q3, ms().with_open(x).with_close(x), f2).unwrap();
+        let eva = b.build().unwrap();
+        assert!(eva.is_sequential());
+        let aut = DetSeva::compile(&eva).unwrap();
+        let doc = Document::from("a");
+        let out = enumerate_sorted(&aut, &doc);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out, eva.eval_naive(&doc));
+        let dag = EnumerationDag::build(&aut, &doc);
+        assert_eq!(dag.num_roots(), 2);
+    }
+
+    #[test]
+    fn build_with_trace_matches_plain_build() {
+        let eva = figure3();
+        let aut = det(&eva);
+        let doc = Document::from("abab");
+        let plain = EnumerationDag::build(&aut, &doc);
+        let (traced, stages) = EnumerationDag::build_with_trace(&aut, &doc);
+        assert_eq!(plain.collect_mappings(), traced.collect_mappings());
+        assert_eq!(stages.len(), 2 * 4 + 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Error types shared across the `spanners` workspace.
+
+use std::fmt;
+
+/// Errors produced while constructing or evaluating document spanners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpannerError {
+    /// An automaton (or regex formula) declared more variables than the
+    /// bit-packed [`MarkerSet`](crate::MarkerSet) representation supports.
+    TooManyVariables {
+        /// Number of variables requested.
+        requested: usize,
+        /// Maximum number of variables supported per automaton.
+        limit: usize,
+    },
+    /// A state identifier was out of range for the automaton it was used with.
+    InvalidState {
+        /// The offending state id.
+        state: usize,
+        /// Number of states in the automaton.
+        num_states: usize,
+    },
+    /// A variable identifier was out of range for the registry it was used with.
+    InvalidVariable {
+        /// The offending variable index.
+        var: usize,
+        /// Number of variables registered.
+        num_vars: usize,
+    },
+    /// A transition refers to an empty marker set, which extended VA forbid
+    /// (the empty "stay" step is implicit, never an explicit transition).
+    EmptyMarkerTransition,
+    /// The automaton handed to the constant-delay evaluator is not deterministic.
+    NotDeterministic(String),
+    /// The automaton handed to the constant-delay evaluator is not sequential.
+    NotSequential(String),
+    /// The automaton handed to a functional-only construction is not functional.
+    NotFunctional(String),
+    /// A span was constructed with `start > end` or positions past the document end.
+    InvalidSpan {
+        /// Start offset (0-based, inclusive).
+        start: usize,
+        /// End offset (0-based, exclusive).
+        end: usize,
+        /// Document length the span was validated against, if any.
+        doc_len: Option<usize>,
+    },
+    /// Two mappings assigned incompatible spans to the same variable during a join.
+    IncompatibleMappings {
+        /// Human-readable variable name (or index) that conflicted.
+        variable: String,
+    },
+    /// A counter overflowed while counting output mappings (Theorem 5.1).
+    CountOverflow,
+    /// A regex formula failed to parse.
+    Parse(ParseError),
+    /// A construction exceeded a user-provided resource budget
+    /// (e.g. determinization state limit).
+    BudgetExceeded {
+        /// What was being constructed.
+        what: &'static str,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SpannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpannerError::TooManyVariables { requested, limit } => write!(
+                f,
+                "too many capture variables: requested {requested}, limit is {limit} per automaton"
+            ),
+            SpannerError::InvalidState { state, num_states } => {
+                write!(f, "state {state} is out of range (automaton has {num_states} states)")
+            }
+            SpannerError::InvalidVariable { var, num_vars } => {
+                write!(f, "variable {var} is out of range ({num_vars} variables registered)")
+            }
+            SpannerError::EmptyMarkerTransition => {
+                write!(f, "extended variable transitions must carry a non-empty marker set")
+            }
+            SpannerError::NotDeterministic(why) => {
+                write!(f, "automaton is not deterministic: {why}")
+            }
+            SpannerError::NotSequential(why) => write!(f, "automaton is not sequential: {why}"),
+            SpannerError::NotFunctional(why) => write!(f, "automaton is not functional: {why}"),
+            SpannerError::InvalidSpan { start, end, doc_len } => match doc_len {
+                Some(len) => write!(f, "invalid span [{start}, {end}⟩ for document of length {len}"),
+                None => write!(f, "invalid span [{start}, {end}⟩"),
+            },
+            SpannerError::IncompatibleMappings { variable } => {
+                write!(f, "mappings assign different spans to variable `{variable}`")
+            }
+            SpannerError::CountOverflow => write!(f, "mapping count overflowed the chosen counter type"),
+            SpannerError::Parse(e) => write!(f, "regex formula parse error: {e}"),
+            SpannerError::BudgetExceeded { what, limit } => {
+                write!(f, "{what} exceeded the configured budget of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpannerError {}
+
+/// A parse error for regex formulas, carrying the byte offset where parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the pattern where the error was detected.
+    pub offset: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a new parse error at `offset` with the given message.
+    pub fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseError> for SpannerError {
+    fn from(e: ParseError) -> Self {
+        SpannerError::Parse(e)
+    }
+}
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = SpannerError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_too_many_variables() {
+        let e = SpannerError::TooManyVariables { requested: 40, limit: 32 };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("32"));
+    }
+
+    #[test]
+    fn display_invalid_span_with_doc() {
+        let e = SpannerError::InvalidSpan { start: 5, end: 3, doc_len: Some(10) };
+        assert_eq!(e.to_string(), "invalid span [5, 3⟩ for document of length 10");
+    }
+
+    #[test]
+    fn display_invalid_span_without_doc() {
+        let e = SpannerError::InvalidSpan { start: 5, end: 3, doc_len: None };
+        assert_eq!(e.to_string(), "invalid span [5, 3⟩");
+    }
+
+    #[test]
+    fn parse_error_into_spanner_error() {
+        let p = ParseError::new(7, "unexpected `)`");
+        let s: SpannerError = p.clone().into();
+        assert_eq!(s, SpannerError::Parse(p));
+        assert!(s.to_string().contains("offset 7"));
+    }
+
+    #[test]
+    fn errors_are_std_error() {
+        fn takes_err<E: std::error::Error>(_e: E) {}
+        takes_err(SpannerError::CountOverflow);
+        takes_err(ParseError::new(0, "x"));
+    }
+
+    #[test]
+    fn display_not_deterministic_and_sequential() {
+        assert!(SpannerError::NotDeterministic("two transitions".into())
+            .to_string()
+            .contains("not deterministic"));
+        assert!(SpannerError::NotSequential("variable x reopened".into())
+            .to_string()
+            .contains("not sequential"));
+        assert!(SpannerError::NotFunctional("x unused".into()).to_string().contains("not functional"));
+    }
+}

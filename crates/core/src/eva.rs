@@ -1,0 +1,1094 @@
+//! Extended variable-set automata (eVA), the paper's Section 3.1.
+//!
+//! An extended VA is a finite-state automaton whose transitions are either
+//! *letter transitions* `(q, C, q')` — labelled here by a [`ByteClass`] `C`
+//! rather than a single symbol, exactly as production regex engines do — or
+//! *extended variable transitions* `(q, S, q')` labelled by a non-empty set
+//! `S` of variable markers. A run over a document `d = a1 … an` alternates
+//! variable steps (possibly skipped) and letter steps:
+//!
+//! ```text
+//! ρ = q0 -S1-> p0 -a1-> q1 -S2-> p1 -a2-> … -an-> qn -S(n+1)-> pn
+//! ```
+//!
+//! The run is *valid* if markers open and close variables in a correct manner,
+//! and *accepting* if `pn` is final. The mapping `µρ` assigns `x ↦ [i, j⟩`
+//! whenever `x⊢ ∈ Si` and `⊣x ∈ Sj`. The semantics `⟦A⟧(d)` is the set of
+//! mappings of valid accepting runs.
+//!
+//! This module provides the automaton representation, a builder, run-based
+//! *reference* semantics (used as a test oracle; exponential in general), and
+//! the structural analyses the paper relies on: determinism, sequentiality and
+//! functionality.
+
+use crate::byteclass::ByteClass;
+use crate::document::Document;
+use crate::error::SpannerError;
+use crate::mapping::{dedup_mappings, Mapping};
+use crate::markerset::{MarkerSet, VarSet, VariableStatus};
+use crate::span::Span;
+use crate::variable::VarRegistry;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Identifier of an automaton state (dense index, `0 ..= num_states - 1`).
+pub type StateId = usize;
+
+/// A letter transition `(source, class, target)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LetterTransition {
+    /// Byte class labelling the transition.
+    pub class: ByteClass,
+    /// Target state.
+    pub target: StateId,
+}
+
+/// An extended variable transition `(source, markers, target)` with `markers ≠ ∅`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarTransition {
+    /// The non-empty set of markers executed by the transition.
+    pub markers: MarkerSet,
+    /// Target state.
+    pub target: StateId,
+}
+
+/// An extended variable-set automaton.
+///
+/// Construct one through [`EvaBuilder`]. The structure is immutable after
+/// construction; the translation and algebra crates produce new automata
+/// rather than mutating existing ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eva {
+    registry: VarRegistry,
+    num_states: usize,
+    initial: StateId,
+    finals: Vec<bool>,
+    letter_trans: Vec<Vec<LetterTransition>>,
+    var_trans: Vec<Vec<VarTransition>>,
+}
+
+impl Eva {
+    /// The variable registry naming this automaton's capture variables.
+    pub fn registry(&self) -> &VarRegistry {
+        &self.registry
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The initial state `q0`.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Whether `q` is a final state.
+    pub fn is_final(&self, q: StateId) -> bool {
+        self.finals[q]
+    }
+
+    /// All final states.
+    pub fn final_states(&self) -> Vec<StateId> {
+        (0..self.num_states).filter(|&q| self.finals[q]).collect()
+    }
+
+    /// Letter transitions leaving `q`.
+    pub fn letter_transitions(&self, q: StateId) -> &[LetterTransition] {
+        &self.letter_trans[q]
+    }
+
+    /// Extended variable transitions leaving `q`.
+    pub fn var_transitions(&self, q: StateId) -> &[VarTransition] {
+        &self.var_trans[q]
+    }
+
+    /// The marker sets available from `q` — the paper's `Markers_δ(q)`.
+    pub fn markers_from(&self, q: StateId) -> impl Iterator<Item = MarkerSet> + '_ {
+        self.var_trans[q].iter().map(|t| t.markers)
+    }
+
+    /// Total number of transitions (letter + variable).
+    pub fn num_transitions(&self) -> usize {
+        self.letter_trans.iter().map(Vec::len).sum::<usize>()
+            + self.var_trans.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// The paper's size measure `|A|`: number of states plus number of transitions.
+    pub fn size(&self) -> usize {
+        self.num_states + self.num_transitions()
+    }
+
+    /// The set of variables mentioned by some transition, the paper's `var(A)`.
+    pub fn variables(&self) -> VarSet {
+        let mut vars = VarSet::new();
+        for ts in &self.var_trans {
+            for t in ts {
+                vars = vars.union(&t.markers.opened_vars()).union(&t.markers.closed_vars());
+            }
+        }
+        vars
+    }
+
+    /// All distinct byte classes used on letter transitions.
+    pub fn letter_classes(&self) -> Vec<ByteClass> {
+        let mut out: Vec<ByteClass> = Vec::new();
+        for ts in &self.letter_trans {
+            for t in ts {
+                if !out.contains(&t.class) {
+                    out.push(t.class);
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates over every letter transition as `(source, &transition)`.
+    pub fn all_letter_transitions(&self) -> impl Iterator<Item = (StateId, &LetterTransition)> {
+        self.letter_trans.iter().enumerate().flat_map(|(q, ts)| ts.iter().map(move |t| (q, t)))
+    }
+
+    /// Iterates over every variable transition as `(source, &transition)`.
+    pub fn all_var_transitions(&self) -> impl Iterator<Item = (StateId, &VarTransition)> {
+        self.var_trans.iter().enumerate().flat_map(|(q, ts)| ts.iter().map(move |t| (q, t)))
+    }
+
+    /// Converts back into a builder with identical contents (used by the
+    /// translation crate to derive modified automata).
+    pub fn to_builder(&self) -> EvaBuilder {
+        EvaBuilder {
+            registry: self.registry.clone(),
+            num_states: self.num_states,
+            initial: self.initial,
+            finals: self.finals.clone(),
+            letter_trans: self.letter_trans.clone(),
+            var_trans: self.var_trans.clone(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Structural analyses
+    // ------------------------------------------------------------------
+
+    /// Checks that the automaton is *deterministic*: the transition relation is
+    /// a partial function on `Q × (Σ ∪ 2^Markers \ {∅})`.
+    ///
+    /// With byte-class labels this means that, for every state, (a) the classes
+    /// of its letter transitions are pairwise disjoint and (b) no two variable
+    /// transitions carry the same marker set.
+    pub fn check_deterministic(&self) -> Result<(), SpannerError> {
+        for q in 0..self.num_states {
+            let lts = &self.letter_trans[q];
+            for i in 0..lts.len() {
+                for j in (i + 1)..lts.len() {
+                    if lts[i].class.intersects(&lts[j].class) {
+                        return Err(SpannerError::NotDeterministic(format!(
+                            "state {q} has overlapping letter transitions ({} and {})",
+                            lts[i].class, lts[j].class
+                        )));
+                    }
+                }
+            }
+            let vts = &self.var_trans[q];
+            for i in 0..vts.len() {
+                for j in (i + 1)..vts.len() {
+                    if vts[i].markers == vts[j].markers {
+                        return Err(SpannerError::NotDeterministic(format!(
+                            "state {q} has two transitions labelled {}",
+                            vts[i].markers
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the automaton is deterministic.
+    pub fn is_deterministic(&self) -> bool {
+        self.check_deterministic().is_ok()
+    }
+
+    /// Checks that the automaton is *sequential*: every accepting run is valid.
+    ///
+    /// The check explores the reachable `(state, variable-status)` configurations;
+    /// a configuration that becomes invalid is tracked separately (its precise
+    /// status no longer matters). The automaton is not sequential iff an
+    /// accepting configuration is reachable that is invalid or leaves a variable
+    /// open.
+    pub fn check_sequential(&self) -> Result<(), SpannerError> {
+        // Valid configurations: (state, status, just_did_var).
+        let mut seen: HashSet<(StateId, VariableStatus, bool)> = HashSet::new();
+        let mut stack: Vec<(StateId, VariableStatus, bool)> = Vec::new();
+        // Invalid-prefix configurations: (state, just_did_var).
+        let mut invalid_seen: HashSet<(StateId, bool)> = HashSet::new();
+        let mut invalid_stack: Vec<(StateId, bool)> = Vec::new();
+
+        let start = (self.initial, VariableStatus::new(), false);
+        seen.insert(start);
+        stack.push(start);
+
+        while let Some((q, status, just_var)) = stack.pop() {
+            if self.finals[q] && !status.is_complete() {
+                return Err(SpannerError::NotSequential(format!(
+                    "an accepting run can leave variables {} open",
+                    status.open
+                )));
+            }
+            // Letter transitions are always allowed.
+            for t in &self.letter_trans[q] {
+                let c = (t.target, status, false);
+                if seen.insert(c) {
+                    stack.push(c);
+                }
+            }
+            // Variable transitions only if the previous step was not a variable step.
+            if !just_var {
+                for t in &self.var_trans[q] {
+                    match status.apply(t.markers) {
+                        Some(next) => {
+                            let c = (t.target, next, true);
+                            if seen.insert(c) {
+                                stack.push(c);
+                            }
+                        }
+                        None => {
+                            let c = (t.target, true);
+                            if invalid_seen.insert(c) {
+                                invalid_stack.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Propagate invalid prefixes: can they reach a final state?
+        while let Some((q, just_var)) = invalid_stack.pop() {
+            if self.finals[q] {
+                return Err(SpannerError::NotSequential(format!(
+                    "an accepting run opens/closes variables incorrectly (reaches final state {q})"
+                )));
+            }
+            for t in &self.letter_trans[q] {
+                let c = (t.target, false);
+                if invalid_seen.insert(c) {
+                    invalid_stack.push(c);
+                }
+            }
+            if !just_var {
+                for t in &self.var_trans[q] {
+                    let c = (t.target, true);
+                    if invalid_seen.insert(c) {
+                        invalid_stack.push(c);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the automaton is sequential.
+    pub fn is_sequential(&self) -> bool {
+        self.check_sequential().is_ok()
+    }
+
+    /// Checks that the automaton is *functional*: every accepting run is valid
+    /// and mentions **all** variables in `var(A)` (opens and closes each exactly once).
+    pub fn check_functional(&self) -> Result<(), SpannerError> {
+        self.check_sequential()
+            .map_err(|e| SpannerError::NotFunctional(format!("not sequential: {e}")))?;
+        let all_vars = self.variables();
+        // Re-explore valid configurations; sequentiality guarantees no invalid
+        // accepting run exists, so we only check totality at final states.
+        let mut seen: HashSet<(StateId, VariableStatus, bool)> = HashSet::new();
+        let mut stack = vec![(self.initial, VariableStatus::new(), false)];
+        seen.insert(stack[0]);
+        while let Some((q, status, just_var)) = stack.pop() {
+            if self.finals[q] && status.closed != all_vars {
+                let missing = all_vars.difference(&status.closed);
+                return Err(SpannerError::NotFunctional(format!(
+                    "an accepting run does not assign variables {missing}"
+                )));
+            }
+            for t in &self.letter_trans[q] {
+                let c = (t.target, status, false);
+                if seen.insert(c) {
+                    stack.push(c);
+                }
+            }
+            if !just_var {
+                for t in &self.var_trans[q] {
+                    if let Some(next) = status.apply(t.markers) {
+                        let c = (t.target, next, true);
+                        if seen.insert(c) {
+                            stack.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the automaton is functional.
+    pub fn is_functional(&self) -> bool {
+        self.check_functional().is_ok()
+    }
+
+    /// States reachable from the initial state (ignoring run alternation).
+    pub fn reachable_states(&self) -> Vec<bool> {
+        let mut reach = vec![false; self.num_states];
+        let mut stack = vec![self.initial];
+        reach[self.initial] = true;
+        while let Some(q) = stack.pop() {
+            for t in &self.letter_trans[q] {
+                if !reach[t.target] {
+                    reach[t.target] = true;
+                    stack.push(t.target);
+                }
+            }
+            for t in &self.var_trans[q] {
+                if !reach[t.target] {
+                    reach[t.target] = true;
+                    stack.push(t.target);
+                }
+            }
+        }
+        reach
+    }
+
+    /// States from which a final state is reachable (ignoring run alternation).
+    pub fn coreachable_states(&self) -> Vec<bool> {
+        // Build reverse adjacency.
+        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); self.num_states];
+        for (q, t) in self.all_letter_transitions() {
+            rev[t.target].push(q);
+        }
+        for (q, t) in self.all_var_transitions() {
+            rev[t.target].push(q);
+        }
+        let mut co = vec![false; self.num_states];
+        let mut stack: Vec<StateId> = (0..self.num_states).filter(|&q| self.finals[q]).collect();
+        for &q in &stack {
+            co[q] = true;
+        }
+        while let Some(q) = stack.pop() {
+            for &p in &rev[q] {
+                if !co[p] {
+                    co[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        co
+    }
+
+    /// Whether any final state is reachable at all (the automaton's language
+    /// over at least one document is non-empty).
+    pub fn is_trim_nonempty(&self) -> bool {
+        let reach = self.reachable_states();
+        (0..self.num_states).any(|q| reach[q] && self.finals[q])
+    }
+
+    // ------------------------------------------------------------------
+    // Reference (naive) run semantics
+    // ------------------------------------------------------------------
+
+    /// Enumerates **all accepting runs** of the automaton over `d`, valid or not.
+    ///
+    /// This is the reference semantics used by tests and by the baseline
+    /// evaluators; it is exponential in the worst case and must not be used on
+    /// large inputs. The constant-delay pipeline never calls it.
+    pub fn accepting_runs(&self, doc: &Document) -> Vec<EvaRun> {
+        let mut out = Vec::new();
+        let mut steps: Vec<RunStep> = Vec::new();
+        self.runs_rec(doc, 0, self.initial, false, &mut steps, &mut out);
+        out
+    }
+
+    fn runs_rec(
+        &self,
+        doc: &Document,
+        pos: usize,
+        state: StateId,
+        just_var: bool,
+        steps: &mut Vec<RunStep>,
+        out: &mut Vec<EvaRun>,
+    ) {
+        if pos == doc.len() && self.finals[state] {
+            out.push(EvaRun { steps: steps.clone(), final_state: state });
+        }
+        // Variable step (if the previous step was not already a variable step).
+        if !just_var {
+            for t in &self.var_trans[state] {
+                steps.push(RunStep::Markers { markers: t.markers, pos });
+                self.runs_rec(doc, pos, t.target, true, steps, out);
+                steps.pop();
+            }
+        }
+        // Letter step.
+        if let Some(b) = doc.byte_at(pos) {
+            for t in &self.letter_trans[state] {
+                if t.class.contains(b) {
+                    steps.push(RunStep::Letter { byte: b, pos });
+                    self.runs_rec(doc, pos + 1, t.target, false, steps, out);
+                    steps.pop();
+                }
+            }
+        }
+    }
+
+    /// Evaluates the spanner naively: the set of mappings of all **valid**
+    /// accepting runs over `d`, without duplicates. Reference semantics only.
+    pub fn eval_naive(&self, doc: &Document) -> Vec<Mapping> {
+        let mut out: Vec<Mapping> = self
+            .accepting_runs(doc)
+            .iter()
+            .filter_map(|r| r.mapping())
+            .collect();
+        dedup_mappings(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for Eva {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "eVA: {} states, {} transitions, initial q{}, finals {:?}",
+            self.num_states,
+            self.num_transitions(),
+            self.initial,
+            self.final_states()
+        )?;
+        for q in 0..self.num_states {
+            for t in &self.letter_trans[q] {
+                writeln!(f, "  q{q} --{}--> q{}", t.class, t.target)?;
+            }
+            for t in &self.var_trans[q] {
+                writeln!(
+                    f,
+                    "  q{q} --{}--> q{}",
+                    t.markers.display_with(|v| self.registry.name(v).to_string()),
+                    t.target
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One step of an eVA run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStep {
+    /// An extended variable transition executed before reading the byte at `pos`.
+    Markers {
+        /// The marker set of the transition.
+        markers: MarkerSet,
+        /// 0-based document position at which the markers fire.
+        pos: usize,
+    },
+    /// A letter transition reading `byte` at position `pos`.
+    Letter {
+        /// The byte read.
+        byte: u8,
+        /// 0-based position of the byte.
+        pos: usize,
+    },
+}
+
+/// A complete accepting run of an [`Eva`] over a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvaRun {
+    /// The steps of the run, in order.
+    pub steps: Vec<RunStep>,
+    /// The state in which the run ended (always a final state).
+    pub final_state: StateId,
+}
+
+impl EvaRun {
+    /// The sequence of `(marker set, position)` pairs of the run — the paper's
+    /// `Out(ρ)` encoding of the (partial) mapping.
+    pub fn out(&self) -> Vec<(MarkerSet, usize)> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s {
+                RunStep::Markers { markers, pos } => Some((*markers, *pos)),
+                RunStep::Letter { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Whether the run is valid: markers open and close variables correctly
+    /// and no variable is left open.
+    pub fn is_valid(&self) -> bool {
+        self.mapping().is_some()
+    }
+
+    /// The mapping `µρ` defined by the run, or `None` if the run is invalid.
+    pub fn mapping(&self) -> Option<Mapping> {
+        let mut status = VariableStatus::new();
+        let mut open_pos: [usize; crate::variable::MAX_VARIABLES] =
+            [0; crate::variable::MAX_VARIABLES];
+        let mut mapping = Mapping::new();
+        for (markers, pos) in self.out() {
+            status = status.apply(markers)?;
+            for v in markers.opened_vars().iter() {
+                open_pos[v.index()] = pos;
+            }
+            for v in markers.closed_vars().iter() {
+                let start = open_pos[v.index()];
+                mapping.insert(v, Span::new_unchecked(start, pos));
+            }
+        }
+        if status.is_complete() {
+            Some(mapping)
+        } else {
+            None
+        }
+    }
+}
+
+/// Builder for [`Eva`] automata.
+///
+/// ```
+/// use spanners_core::{EvaBuilder, ByteClass, MarkerSet, VarRegistry};
+/// let mut reg = VarRegistry::new();
+/// let x = reg.intern("x").unwrap();
+/// let mut b = EvaBuilder::new(reg);
+/// let q0 = b.add_state();
+/// let q1 = b.add_state();
+/// let q2 = b.add_state();
+/// let q3 = b.add_state();
+/// b.set_initial(q0);
+/// b.set_final(q3);
+/// b.add_var(q0, MarkerSet::new().with_open(x), q1).unwrap();
+/// b.add_letter(q1, ByteClass::singleton(b'a'), q2);
+/// b.add_var(q2, MarkerSet::new().with_close(x), q3).unwrap();
+/// let eva = b.build().unwrap();
+/// assert!(eva.is_deterministic());
+/// assert!(eva.is_sequential());
+/// assert!(eva.is_functional());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvaBuilder {
+    registry: VarRegistry,
+    num_states: usize,
+    initial: StateId,
+    finals: Vec<bool>,
+    letter_trans: Vec<Vec<LetterTransition>>,
+    var_trans: Vec<Vec<VarTransition>>,
+}
+
+impl EvaBuilder {
+    /// Creates a builder over the given variable registry.
+    pub fn new(registry: VarRegistry) -> Self {
+        EvaBuilder {
+            registry,
+            num_states: 0,
+            initial: 0,
+            finals: Vec::new(),
+            letter_trans: Vec::new(),
+            var_trans: Vec::new(),
+        }
+    }
+
+    /// Access to the builder's variable registry (e.g. to intern more variables).
+    pub fn registry_mut(&mut self) -> &mut VarRegistry {
+        &mut self.registry
+    }
+
+    /// Read access to the builder's variable registry.
+    pub fn registry(&self) -> &VarRegistry {
+        &self.registry
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        let id = self.num_states;
+        self.num_states += 1;
+        self.finals.push(false);
+        self.letter_trans.push(Vec::new());
+        self.var_trans.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` fresh states and returns their ids.
+    pub fn add_states(&mut self, n: usize) -> Vec<StateId> {
+        (0..n).map(|_| self.add_state()).collect()
+    }
+
+    /// Number of states added so far.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Declares the initial state.
+    pub fn set_initial(&mut self, q: StateId) {
+        self.initial = q;
+    }
+
+    /// Marks a state as final.
+    pub fn set_final(&mut self, q: StateId) {
+        self.finals[q] = true;
+    }
+
+    /// Marks a state as non-final.
+    pub fn clear_final(&mut self, q: StateId) {
+        self.finals[q] = false;
+    }
+
+    /// Whether a state is currently marked final.
+    pub fn is_final(&self, q: StateId) -> bool {
+        self.finals[q]
+    }
+
+    /// Adds a letter transition labelled by a byte class.
+    ///
+    /// Empty classes are ignored (they can never fire). Duplicate transitions
+    /// are kept as given; determinism is checked on the finished automaton.
+    pub fn add_letter(&mut self, from: StateId, class: ByteClass, to: StateId) {
+        if class.is_empty() {
+            return;
+        }
+        self.letter_trans[from].push(LetterTransition { class, target: to });
+    }
+
+    /// Adds a letter transition for a single byte.
+    pub fn add_byte(&mut self, from: StateId, byte: u8, to: StateId) {
+        self.add_letter(from, ByteClass::singleton(byte), to);
+    }
+
+    /// Adds letter transitions spelling out the bytes of `word` through fresh
+    /// intermediate states, returning the state reached after the last byte.
+    pub fn add_word(&mut self, from: StateId, word: &[u8], to: StateId) {
+        if word.is_empty() {
+            // An empty word cannot be represented by letter transitions; the
+            // caller should connect the states directly instead. We make this
+            // a no-op to keep the builder total.
+            return;
+        }
+        let mut cur = from;
+        for (i, &b) in word.iter().enumerate() {
+            let next = if i + 1 == word.len() { to } else { self.add_state() };
+            self.add_byte(cur, b, next);
+            cur = next;
+        }
+    }
+
+    /// Adds an extended variable transition. The marker set must be non-empty.
+    pub fn add_var(
+        &mut self,
+        from: StateId,
+        markers: MarkerSet,
+        to: StateId,
+    ) -> Result<(), SpannerError> {
+        if markers.is_empty() {
+            return Err(SpannerError::EmptyMarkerTransition);
+        }
+        // Skip exact duplicates to keep automata tidy.
+        if !self.var_trans[from].iter().any(|t| t.markers == markers && t.target == to) {
+            self.var_trans[from].push(VarTransition { markers, target: to });
+        }
+        Ok(())
+    }
+
+    /// Finalizes the automaton, validating state references.
+    pub fn build(self) -> Result<Eva, SpannerError> {
+        if self.num_states == 0 {
+            return Err(SpannerError::InvalidState { state: 0, num_states: 0 });
+        }
+        let check = |q: StateId| -> Result<(), SpannerError> {
+            if q >= self.num_states {
+                Err(SpannerError::InvalidState { state: q, num_states: self.num_states })
+            } else {
+                Ok(())
+            }
+        };
+        check(self.initial)?;
+        for ts in &self.letter_trans {
+            for t in ts {
+                check(t.target)?;
+            }
+        }
+        for ts in &self.var_trans {
+            for t in ts {
+                check(t.target)?;
+            }
+        }
+        Ok(Eva {
+            registry: self.registry,
+            num_states: self.num_states,
+            initial: self.initial,
+            finals: self.finals,
+            letter_trans: self.letter_trans,
+            var_trans: self.var_trans,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variable::VarId;
+
+    fn ms() -> MarkerSet {
+        MarkerSet::new()
+    }
+
+    /// The extended functional VA of Figure 3 in the paper, over variables x, y.
+    ///
+    /// States: q0..q9. Transitions:
+    ///   q0 -{x⊢}-> q1, q0 -{y⊢}-> q2, q0 -{x⊢,y⊢}-> q3
+    ///   q1 -a-> q4, q2 -a-> q5, q3 -a,b-> q3 (self loop on a and b)
+    ///   q4 -{y⊢}-> q6, q5 -{x⊢}-> q7
+    ///   q6 -b-> q8, q7 -b-> q8
+    ///   q8 -{⊣x,⊣y}-> q9, q3 -{⊣x,⊣y}-> q9
+    pub(crate) fn figure3() -> Eva {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let y = reg.intern("y").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q: Vec<StateId> = b.add_states(10);
+        b.set_initial(q[0]);
+        b.set_final(q[9]);
+        b.add_var(q[0], ms().with_open(x), q[1]).unwrap();
+        b.add_var(q[0], ms().with_open(y), q[2]).unwrap();
+        b.add_var(q[0], ms().with_open(x).with_open(y), q[3]).unwrap();
+        b.add_letter(q[3], ByteClass::from_bytes(b"ab"), q[3]);
+        b.add_byte(q[1], b'a', q[4]);
+        b.add_byte(q[2], b'a', q[5]);
+        b.add_var(q[4], ms().with_open(y), q[6]).unwrap();
+        b.add_var(q[5], ms().with_open(x), q[7]).unwrap();
+        b.add_byte(q[6], b'b', q[8]);
+        b.add_byte(q[7], b'b', q[8]);
+        b.add_var(q[8], ms().with_close(x).with_close(y), q[9]).unwrap();
+        b.add_var(q[3], ms().with_close(x).with_close(y), q[9]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_basic_properties() {
+        let a = figure3();
+        assert_eq!(a.num_states(), 10);
+        assert_eq!(a.initial(), 0);
+        assert!(a.is_final(9));
+        assert!(!a.is_final(0));
+        assert_eq!(a.final_states(), vec![9]);
+        // 7 variable transitions + 5 letter transitions (the a/b self loop on q3
+        // is a single byte-class transition).
+        assert_eq!(a.num_transitions(), 12);
+        assert_eq!(a.size(), 22);
+        assert_eq!(a.variables().len(), 2);
+        assert!(a.is_trim_nonempty());
+    }
+
+    #[test]
+    fn figure3_is_deterministic_sequential_functional() {
+        let a = figure3();
+        assert!(a.is_deterministic());
+        assert!(a.is_sequential());
+        assert!(a.is_functional());
+    }
+
+    #[test]
+    fn figure3_semantics_on_ab() {
+        // Section 3.2.2 example: ⟦A⟧(ab) = {µ1, µ2, µ3} with
+        //   µ1(x) = [1,3⟩, µ1(y) = [2,3⟩
+        //   µ2(x) = [2,3⟩, µ2(y) = [1,3⟩
+        //   µ3(x) = [1,3⟩, µ3(y) = [1,3⟩
+        let a = figure3();
+        let x = a.registry().get("x").unwrap();
+        let y = a.registry().get("y").unwrap();
+        let doc = Document::from("ab");
+        let mut expected = vec![
+            Mapping::from_pairs([
+                (x, Span::from_paper(1, 3).unwrap()),
+                (y, Span::from_paper(2, 3).unwrap()),
+            ]),
+            Mapping::from_pairs([
+                (x, Span::from_paper(2, 3).unwrap()),
+                (y, Span::from_paper(1, 3).unwrap()),
+            ]),
+            Mapping::from_pairs([
+                (x, Span::from_paper(1, 3).unwrap()),
+                (y, Span::from_paper(1, 3).unwrap()),
+            ]),
+        ];
+        dedup_mappings(&mut expected);
+        assert_eq!(a.eval_naive(&doc), expected);
+    }
+
+    #[test]
+    fn figure3_no_results_on_other_documents() {
+        let a = figure3();
+        // "a" alone: no run can reach q9 through q8 (needs b), but the q3 loop
+        // accepts any non-empty word, so "a" still yields the both-variables span.
+        let out = a.eval_naive(&Document::from("a"));
+        assert_eq!(out.len(), 1);
+        // The empty document: the q3 route needs at least one letter? No — the
+        // run q0 -{x⊢,y⊢}-> q3 -{⊣x,⊣y}-> q9 is not allowed because two variable
+        // transitions may not be consecutive.
+        let out = a.eval_naive(&Document::empty());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn accepting_runs_include_all_alternatives() {
+        let a = figure3();
+        let runs = a.accepting_runs(&Document::from("ab"));
+        // Three distinct accepting runs, one per mapping (A is deterministic).
+        assert_eq!(runs.len(), 3);
+        assert!(runs.iter().all(|r| r.is_valid()));
+        assert!(runs.iter().all(|r| r.final_state == 9));
+    }
+
+    #[test]
+    fn run_out_encoding() {
+        let a = figure3();
+        let runs = a.accepting_runs(&Document::from("ab"));
+        for r in &runs {
+            let out = r.out();
+            // positions must be non-decreasing
+            for w in out.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+            // each run ends with the closing markers at position 2
+            let (last_markers, last_pos) = *out.last().unwrap();
+            assert_eq!(last_pos, 2);
+            assert_eq!(last_markers.closed_vars().len(), 2);
+        }
+    }
+
+    #[test]
+    fn invalid_run_has_no_mapping() {
+        let x = VarId::new(0).unwrap();
+        let run = EvaRun {
+            steps: vec![
+                RunStep::Markers { markers: ms().with_close(x), pos: 0 },
+                RunStep::Letter { byte: b'a', pos: 0 },
+            ],
+            final_state: 1,
+        };
+        assert!(!run.is_valid());
+        assert!(run.mapping().is_none());
+        // leaving a variable open is also invalid
+        let run = EvaRun {
+            steps: vec![RunStep::Markers { markers: ms().with_open(x), pos: 0 }],
+            final_state: 1,
+        };
+        assert!(run.mapping().is_none());
+    }
+
+    #[test]
+    fn empty_capture_same_step() {
+        // {x⊢, ⊣x} in one step produces an empty span.
+        let x = VarId::new(0).unwrap();
+        let run = EvaRun {
+            steps: vec![RunStep::Markers { markers: ms().with_open(x).with_close(x), pos: 3 }],
+            final_state: 0,
+        };
+        let m = run.mapping().unwrap();
+        assert_eq!(m.get(x), Some(Span::empty_at(3)));
+    }
+
+    #[test]
+    fn non_deterministic_detected_on_letters() {
+        let mut b = EvaBuilder::new(VarRegistry::new());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q1);
+        b.add_letter(q0, ByteClass::range(b'a', b'f'), q1);
+        b.add_letter(q0, ByteClass::range(b'e', b'k'), q2);
+        let a = b.build().unwrap();
+        assert!(!a.is_deterministic());
+        assert!(matches!(a.check_deterministic(), Err(SpannerError::NotDeterministic(_))));
+    }
+
+    #[test]
+    fn non_deterministic_detected_on_markers() {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q1);
+        b.add_var(q0, ms().with_open(x).with_close(x), q1).unwrap();
+        b.add_var(q0, ms().with_open(x).with_close(x), q2).unwrap();
+        let a = b.build().unwrap();
+        assert!(!a.is_deterministic());
+        // but disjoint marker sets are fine
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let y = reg.intern("y").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q1);
+        b.add_var(q0, ms().with_open(x).with_close(x), q1).unwrap();
+        b.add_var(q0, ms().with_open(y).with_close(y), q1).unwrap();
+        assert!(b.build().unwrap().is_deterministic());
+    }
+
+    #[test]
+    fn non_sequential_detected() {
+        // q0 -{x⊢}-> q1 -a-> q2(final): x is never closed => accepting invalid run.
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q2);
+        b.add_var(q0, ms().with_open(x), q1).unwrap();
+        b.add_byte(q1, b'a', q2);
+        let a = b.build().unwrap();
+        assert!(!a.is_sequential());
+        assert!(!a.is_functional());
+    }
+
+    #[test]
+    fn close_before_open_not_sequential() {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q2);
+        b.add_var(q0, ms().with_close(x), q1).unwrap();
+        b.add_byte(q1, b'a', q2);
+        let a = b.build().unwrap();
+        assert!(!a.is_sequential());
+    }
+
+    #[test]
+    fn sequential_but_not_functional() {
+        // Two branches: one assigns x, the other does not. All accepting runs
+        // are valid, but not all mention x.
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q2);
+        // branch 1: open+close x, then read a
+        b.add_var(q0, ms().with_open(x).with_close(x), q1).unwrap();
+        b.add_byte(q1, b'a', q2);
+        // branch 2: read a directly
+        b.add_byte(q0, b'a', q2);
+        let a = b.build().unwrap();
+        assert!(a.is_sequential());
+        assert!(!a.is_functional());
+        let out = a.eval_naive(&Document::from("a"));
+        assert_eq!(out.len(), 2); // {x → [1,1⟩} and {}
+    }
+
+    #[test]
+    fn unreachable_bad_state_does_not_break_sequentiality() {
+        // A state that would violate sequentiality but is unreachable.
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let dead = b.add_state();
+        let dead2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q1);
+        b.add_byte(q0, b'a', q1);
+        b.add_var(dead, ms().with_close(x), dead2).unwrap();
+        b.set_final(dead2);
+        let a = b.build().unwrap();
+        assert!(a.is_sequential());
+    }
+
+    #[test]
+    fn empty_marker_transition_rejected() {
+        let mut b = EvaBuilder::new(VarRegistry::new());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        assert_eq!(b.add_var(q0, ms(), q1), Err(SpannerError::EmptyMarkerTransition));
+    }
+
+    #[test]
+    fn build_rejects_empty_automaton() {
+        let b = EvaBuilder::new(VarRegistry::new());
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn add_word_spells_out_letters() {
+        let mut b = EvaBuilder::new(VarRegistry::new());
+        let q0 = b.add_state();
+        let qf = b.add_state();
+        b.set_initial(q0);
+        b.set_final(qf);
+        b.add_word(q0, b"abc", qf);
+        let a = b.build().unwrap();
+        assert_eq!(a.num_states(), 4); // two intermediate states added
+        assert_eq!(a.eval_naive(&Document::from("abc")), vec![Mapping::new()]);
+        assert!(a.eval_naive(&Document::from("abd")).is_empty());
+        assert!(a.eval_naive(&Document::from("ab")).is_empty());
+    }
+
+    #[test]
+    fn reachable_and_coreachable() {
+        let a = figure3();
+        let reach = a.reachable_states();
+        assert!(reach.iter().all(|&r| r)); // every state of Figure 3 is reachable
+        let co = a.coreachable_states();
+        assert!(co.iter().all(|&c| c));
+        // Add an unreachable state.
+        let mut b = a.to_builder();
+        let orphan = b.add_state();
+        let a2 = b.build().unwrap();
+        assert!(!a2.reachable_states()[orphan]);
+        assert!(!a2.coreachable_states()[orphan]);
+    }
+
+    #[test]
+    fn letter_classes_and_display() {
+        let a = figure3();
+        let classes = a.letter_classes();
+        // {a}, {b}, {a,b} — three distinct classes
+        assert_eq!(classes.len(), 3);
+        let rendered = a.to_string();
+        assert!(rendered.contains("q0"));
+        assert!(rendered.contains("⊣"));
+    }
+
+    #[test]
+    fn to_builder_round_trip() {
+        let a = figure3();
+        let b = a.to_builder();
+        let a2 = b.build().unwrap();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn ordinary_regular_language_no_variables() {
+        // An eVA with no variables behaves like an NFA: outputs the empty
+        // mapping iff the whole document matches.
+        let mut b = EvaBuilder::new(VarRegistry::new());
+        let q0 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q0);
+        b.add_letter(q0, ByteClass::singleton(b'a'), q0);
+        let a = b.build().unwrap();
+        assert_eq!(a.eval_naive(&Document::from("aaa")), vec![Mapping::new()]);
+        assert!(a.eval_naive(&Document::from("ab")).is_empty());
+        assert_eq!(a.eval_naive(&Document::empty()), vec![Mapping::new()]);
+        assert!(a.is_functional()); // vacuously: no variables
+    }
+}

@@ -1,0 +1,59 @@
+//! # spanners-core
+//!
+//! Core types and algorithms for **regular document spanners**, implementing the
+//! constant-delay enumeration and counting algorithms of
+//! *“Constant delay algorithms for regular document spanners”*
+//! (Florenzano, Riveros, Ugarte, Vansummeren, Vrgoč — 2018).
+//!
+//! The crate provides:
+//!
+//! * the basic vocabulary of document spanners: [`Document`], [`Span`],
+//!   [`Mapping`], capture [`variable`]s and variable [`Marker`]s;
+//! * **extended variable-set automata** ([`Eva`]) — the paper's evaluation-friendly
+//!   automaton model in which a transition carries a *set* of variable markers and
+//!   variable/letter transitions alternate (Section 3.1);
+//! * the **deterministic sequential eVA** representation [`DetSeva`] used by the
+//!   evaluation algorithms;
+//! * **Algorithm 1 + 2**: linear-time preprocessing and constant-delay enumeration of
+//!   all output mappings ([`enumerate`]);
+//! * **Algorithm 3**: counting the number of output mappings in `O(|A| × |d|)`
+//!   ([`count`]);
+//! * a high-level [`CompiledSpanner`] façade tying it all together.
+//!
+//! Automaton *construction* from regex formulas, translation of classical
+//! variable-set automata, determinization, and the spanner algebra live in the
+//! companion crates `spanners-regex`, `spanners-automata` and `spanners-algebra`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod byteclass;
+pub mod count;
+pub mod det;
+pub mod document;
+pub mod enumerate;
+pub mod error;
+pub mod eva;
+pub mod mapping;
+pub mod markerset;
+pub mod product;
+pub mod span;
+pub mod spanner;
+pub mod variable;
+
+pub use byteclass::{AlphabetPartition, ByteClass};
+pub use count::{count_mappings, Counter};
+pub use det::DetSeva;
+pub use document::Document;
+pub use enumerate::{EnumerationDag, MappingIter};
+pub use error::{ParseError, Result, SpannerError};
+pub use eva::{Eva, EvaBuilder, EvaRun, StateId};
+pub use mapping::{
+    dedup_mappings, join_mapping_sets, project_mapping_set, union_mapping_sets, Mapping,
+};
+pub use markerset::{MarkerSet, VarSet, VariableStatus};
+pub use product::{AnnotatedProduct, AnnotatedTransition};
+pub use span::{all_spans, Span};
+pub use spanner::CompiledSpanner;
+pub use variable::{Marker, VarId, VarRegistry, MAX_VARIABLES};

@@ -1,0 +1,478 @@
+//! Mappings: the outputs of a document spanner.
+//!
+//! Following the paper (and Maturana et al.), the result of evaluating a
+//! spanner over a document is a set of *mappings*: partial functions from
+//! variables to spans. Mappings generalise the tuples of Fagin et al. in that
+//! not every variable needs to be assigned.
+
+use crate::error::SpannerError;
+use crate::markerset::VarSet;
+use crate::span::Span;
+use crate::variable::{VarId, VarRegistry};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A mapping `µ`: a partial function from variables to spans.
+///
+/// Internally stored as a sorted association list keyed by [`VarId`], which
+/// keeps equality, hashing and iteration deterministic and cheap for the small
+/// variable counts typical of extraction rules.
+///
+/// ```
+/// use spanners_core::{Mapping, Span, VarId};
+/// let x = VarId::new(0).unwrap();
+/// let y = VarId::new(1).unwrap();
+/// let m = Mapping::new().with(x, Span::new(0, 4).unwrap());
+/// assert_eq!(m.get(x), Some(Span::new(0, 4).unwrap()));
+/// assert_eq!(m.get(y), None);
+/// assert_eq!(m.domain().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Mapping {
+    /// Sorted by variable id; no duplicate variables.
+    entries: Vec<(VarId, Span)>,
+}
+
+impl Mapping {
+    /// The empty mapping ∅ (domain is empty).
+    pub fn new() -> Self {
+        Mapping::default()
+    }
+
+    /// The singleton mapping `[x → s]`.
+    pub fn singleton(var: VarId, span: Span) -> Self {
+        Mapping { entries: vec![(var, span)] }
+    }
+
+    /// Builds a mapping from `(variable, span)` pairs.
+    ///
+    /// Later bindings for the same variable overwrite earlier ones.
+    pub fn from_pairs<I: IntoIterator<Item = (VarId, Span)>>(pairs: I) -> Self {
+        let mut m = Mapping::new();
+        for (v, s) in pairs {
+            m.insert(v, s);
+        }
+        m
+    }
+
+    /// Number of variables in the domain.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the mapping is the empty mapping.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The span assigned to `var`, if any.
+    pub fn get(&self, var: VarId) -> Option<Span> {
+        self.entries
+            .binary_search_by_key(&var, |(v, _)| *v)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Whether `var` is in the domain.
+    pub fn contains(&self, var: VarId) -> bool {
+        self.get(var).is_some()
+    }
+
+    /// Inserts (or overwrites) a binding.
+    pub fn insert(&mut self, var: VarId, span: Span) {
+        match self.entries.binary_search_by_key(&var, |(v, _)| *v) {
+            Ok(i) => self.entries[i].1 = span,
+            Err(i) => self.entries.insert(i, (var, span)),
+        }
+    }
+
+    /// Builder-style insert.
+    pub fn with(mut self, var: VarId, span: Span) -> Self {
+        self.insert(var, span);
+        self
+    }
+
+    /// Removes a binding, returning the span if it was present.
+    pub fn remove(&mut self, var: VarId) -> Option<Span> {
+        match self.entries.binary_search_by_key(&var, |(v, _)| *v) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// The domain of the mapping as a [`VarSet`].
+    pub fn domain(&self) -> VarSet {
+        self.entries.iter().map(|(v, _)| *v).collect()
+    }
+
+    /// Iterates over `(variable, span)` bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Span)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Two mappings are *compatible* (`µ1 ∼ µ2`) when they agree on every
+    /// variable in both domains.
+    pub fn compatible(&self, other: &Mapping) -> bool {
+        // Merge-scan the two sorted lists.
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (va, sa) = self.entries[i];
+            let (vb, sb) = other.entries[j];
+            match va.cmp(&vb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if sa != sb {
+                        return false;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// The union `µ1 ∪ µ2` of two compatible mappings.
+    ///
+    /// Returns an error naming the conflicting variable if they are not compatible.
+    pub fn union(&self, other: &Mapping) -> Result<Mapping, SpannerError> {
+        let mut entries = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() || j < other.entries.len() {
+            match (self.entries.get(i), other.entries.get(j)) {
+                (Some(&(va, sa)), Some(&(vb, sb))) => match va.cmp(&vb) {
+                    std::cmp::Ordering::Less => {
+                        entries.push((va, sa));
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        entries.push((vb, sb));
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        if sa != sb {
+                            return Err(SpannerError::IncompatibleMappings {
+                                variable: va.to_string(),
+                            });
+                        }
+                        entries.push((va, sa));
+                        i += 1;
+                        j += 1;
+                    }
+                },
+                (Some(&(va, sa)), None) => {
+                    entries.push((va, sa));
+                    i += 1;
+                }
+                (None, Some(&(vb, sb))) => {
+                    entries.push((vb, sb));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        Ok(Mapping { entries })
+    }
+
+    /// The restriction `µ|Y` of the mapping to the variables in `vars`.
+    pub fn project(&self, vars: &VarSet) -> Mapping {
+        Mapping {
+            entries: self.entries.iter().copied().filter(|(v, _)| vars.contains(*v)).collect(),
+        }
+    }
+
+    /// Whether every variable of `vars` is assigned (totality check used for
+    /// functional spanners).
+    pub fn is_total_on(&self, vars: &VarSet) -> bool {
+        vars.is_subset(&self.domain())
+    }
+
+    /// Renders the mapping with variable names from `registry`, e.g.
+    /// `{email → [7, 13⟩, name → [1, 5⟩}`.
+    pub fn display<'a>(&'a self, registry: &'a VarRegistry) -> MappingDisplay<'a> {
+        MappingDisplay { mapping: self, registry }
+    }
+
+    /// Extracts the captured substrings as a name → text map.
+    pub fn texts<'d>(
+        &self,
+        registry: &VarRegistry,
+        doc: &'d crate::document::Document,
+    ) -> BTreeMap<String, &'d [u8]> {
+        self.entries
+            .iter()
+            .map(|(v, s)| (registry.name(*v).to_string(), doc.span_bytes(*s)))
+            .collect()
+    }
+}
+
+impl FromIterator<(VarId, Span)> for Mapping {
+    fn from_iter<I: IntoIterator<Item = (VarId, Span)>>(iter: I) -> Self {
+        Mapping::from_pairs(iter)
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, s)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} → {s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Display adaptor resolving variable names through a [`VarRegistry`].
+pub struct MappingDisplay<'a> {
+    mapping: &'a Mapping,
+    registry: &'a VarRegistry,
+}
+
+impl fmt::Display for MappingDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, s)) in self.mapping.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} → {}", self.registry.name(*v), s)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The natural join `M1 ⋈ M2` of two sets of mappings:
+/// `{µ1 ∪ µ2 | µ1 ∈ M1, µ2 ∈ M2, µ1 ∼ µ2}`.
+pub fn join_mapping_sets(left: &[Mapping], right: &[Mapping]) -> Vec<Mapping> {
+    let mut out = Vec::new();
+    for m1 in left {
+        for m2 in right {
+            if m1.compatible(m2) {
+                out.push(m1.union(m2).expect("compatible mappings union"));
+            }
+        }
+    }
+    dedup_mappings(&mut out);
+    out
+}
+
+/// The union `M1 ∪ M2` of two sets of mappings, deduplicated.
+pub fn union_mapping_sets(left: &[Mapping], right: &[Mapping]) -> Vec<Mapping> {
+    let mut out: Vec<Mapping> = left.iter().chain(right.iter()).cloned().collect();
+    dedup_mappings(&mut out);
+    out
+}
+
+/// The projection `π_Y(M)` of a set of mappings, deduplicated.
+pub fn project_mapping_set(set: &[Mapping], vars: &VarSet) -> Vec<Mapping> {
+    let mut out: Vec<Mapping> = set.iter().map(|m| m.project(vars)).collect();
+    dedup_mappings(&mut out);
+    out
+}
+
+/// Sorts and deduplicates a set of mappings in place.
+pub fn dedup_mappings(set: &mut Vec<Mapping>) {
+    set.sort();
+    set.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId::new(i).unwrap()
+    }
+
+    fn sp(a: usize, b: usize) -> Span {
+        Span::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn empty_mapping() {
+        let m = Mapping::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.domain(), VarSet::new());
+        assert_eq!(m.to_string(), "{}");
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m = Mapping::new();
+        m.insert(v(2), sp(0, 1));
+        m.insert(v(0), sp(2, 3));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(v(2)), Some(sp(0, 1)));
+        assert_eq!(m.get(v(1)), None);
+        // entries stay sorted by variable id
+        let order: Vec<_> = m.iter().map(|(var, _)| var.index()).collect();
+        assert_eq!(order, vec![0, 2]);
+        m.insert(v(2), sp(5, 6));
+        assert_eq!(m.get(v(2)), Some(sp(5, 6)));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(v(2)), Some(sp(5, 6)));
+        assert_eq!(m.remove(v(2)), None);
+    }
+
+    #[test]
+    fn from_pairs_and_iter() {
+        let m = Mapping::from_pairs([(v(1), sp(1, 2)), (v(0), sp(0, 1)), (v(1), sp(3, 4))]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(v(1)), Some(sp(3, 4)));
+        let collected: Mapping = m.iter().collect();
+        assert_eq!(collected, m);
+    }
+
+    #[test]
+    fn compatibility() {
+        let m1 = Mapping::from_pairs([(v(0), sp(0, 2)), (v(1), sp(2, 4))]);
+        let m2 = Mapping::from_pairs([(v(1), sp(2, 4)), (v(2), sp(4, 6))]);
+        let m3 = Mapping::from_pairs([(v(1), sp(0, 4))]);
+        assert!(m1.compatible(&m2));
+        assert!(m2.compatible(&m1));
+        assert!(!m1.compatible(&m3));
+        // disjoint domains are always compatible
+        let m4 = Mapping::singleton(v(5), sp(9, 9));
+        assert!(m1.compatible(&m4));
+        // the empty mapping is compatible with everything
+        assert!(Mapping::new().compatible(&m1));
+    }
+
+    #[test]
+    fn union_compatible() {
+        let m1 = Mapping::from_pairs([(v(0), sp(0, 2)), (v(1), sp(2, 4))]);
+        let m2 = Mapping::from_pairs([(v(1), sp(2, 4)), (v(2), sp(4, 6))]);
+        let u = m1.union(&m2).unwrap();
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.get(v(0)), Some(sp(0, 2)));
+        assert_eq!(u.get(v(1)), Some(sp(2, 4)));
+        assert_eq!(u.get(v(2)), Some(sp(4, 6)));
+    }
+
+    #[test]
+    fn union_incompatible_errors() {
+        let m1 = Mapping::singleton(v(1), sp(0, 1));
+        let m2 = Mapping::singleton(v(1), sp(0, 2));
+        let err = m1.union(&m2).unwrap_err();
+        assert!(matches!(err, SpannerError::IncompatibleMappings { .. }));
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let m1 = Mapping::from_pairs([(v(0), sp(0, 2))]);
+        assert_eq!(m1.union(&Mapping::new()).unwrap(), m1);
+        assert_eq!(Mapping::new().union(&m1).unwrap(), m1);
+    }
+
+    #[test]
+    fn projection() {
+        let m = Mapping::from_pairs([(v(0), sp(0, 1)), (v(1), sp(1, 2)), (v(2), sp(2, 3))]);
+        let y: VarSet = vec![v(0), v(2)].into_iter().collect();
+        let p = m.project(&y);
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(v(0)));
+        assert!(!p.contains(v(1)));
+        // projecting to a superset keeps everything
+        let all = VarSet::first_n(5);
+        assert_eq!(m.project(&all), m);
+        // projecting to the empty set yields the empty mapping
+        assert!(m.project(&VarSet::new()).is_empty());
+    }
+
+    #[test]
+    fn totality() {
+        let m = Mapping::from_pairs([(v(0), sp(0, 1)), (v(1), sp(1, 2))]);
+        assert!(m.is_total_on(&VarSet::first_n(2)));
+        assert!(!m.is_total_on(&VarSet::first_n(3)));
+        assert!(m.is_total_on(&VarSet::new()));
+    }
+
+    #[test]
+    fn display_with_registry() {
+        let mut reg = VarRegistry::new();
+        let name = reg.intern("name").unwrap();
+        let email = reg.intern("email").unwrap();
+        // Figure 1, µ1: name → [1,5⟩, email → [7,13⟩
+        let m = Mapping::from_pairs([
+            (name, Span::from_paper(1, 5).unwrap()),
+            (email, Span::from_paper(7, 13).unwrap()),
+        ]);
+        assert_eq!(m.display(&reg).to_string(), "{name → [1, 5⟩, email → [7, 13⟩}");
+        assert_eq!(m.to_string(), "{x0 → [1, 5⟩, x1 → [7, 13⟩}");
+    }
+
+    #[test]
+    fn texts_extracts_substrings() {
+        let doc = crate::document::Document::from("John xj@g.bey");
+        let mut reg = VarRegistry::new();
+        let name = reg.intern("name").unwrap();
+        let email = reg.intern("email").unwrap();
+        let m = Mapping::from_pairs([
+            (name, Span::from_paper(1, 5).unwrap()),
+            (email, Span::from_paper(7, 13).unwrap()),
+        ]);
+        let t = m.texts(&reg, &doc);
+        assert_eq!(t["name"], b"John");
+        assert_eq!(t["email"], b"j@g.be");
+    }
+
+    #[test]
+    fn join_mapping_sets_basic() {
+        let left = vec![
+            Mapping::from_pairs([(v(0), sp(0, 1))]),
+            Mapping::from_pairs([(v(0), sp(1, 2))]),
+        ];
+        let right = vec![
+            Mapping::from_pairs([(v(0), sp(0, 1)), (v(1), sp(5, 6))]),
+            Mapping::from_pairs([(v(1), sp(7, 8))]),
+        ];
+        let joined = join_mapping_sets(&left, &right);
+        // (left0 ⋈ right0): compatible; (left0 ⋈ right1): disjoint domains;
+        // (left1 ⋈ right0): x0 conflict; (left1 ⋈ right1): disjoint domains.
+        assert_eq!(joined.len(), 3);
+        assert!(joined.contains(&Mapping::from_pairs([(v(0), sp(0, 1)), (v(1), sp(5, 6))])));
+        assert!(joined.contains(&Mapping::from_pairs([(v(0), sp(0, 1)), (v(1), sp(7, 8))])));
+        assert!(joined.contains(&Mapping::from_pairs([(v(0), sp(1, 2)), (v(1), sp(7, 8))])));
+    }
+
+    #[test]
+    fn join_with_empty_mapping_set() {
+        let left = vec![Mapping::from_pairs([(v(0), sp(0, 1))])];
+        assert!(join_mapping_sets(&left, &[]).is_empty());
+        // Joining with the set containing only the empty mapping acts as identity.
+        let id = vec![Mapping::new()];
+        assert_eq!(join_mapping_sets(&left, &id), left);
+    }
+
+    #[test]
+    fn union_and_project_sets_dedup() {
+        let a = vec![Mapping::singleton(v(0), sp(0, 1)), Mapping::singleton(v(0), sp(1, 2))];
+        let b = vec![Mapping::singleton(v(0), sp(1, 2))];
+        let u = union_mapping_sets(&a, &b);
+        assert_eq!(u.len(), 2);
+        let m1 = Mapping::from_pairs([(v(0), sp(0, 1)), (v(1), sp(1, 2))]);
+        let m2 = Mapping::from_pairs([(v(0), sp(0, 1)), (v(1), sp(2, 3))]);
+        let p = project_mapping_set(&[m1, m2], &vec![v(0)].into_iter().collect());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].get(v(0)), Some(sp(0, 1)));
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let mut set = vec![
+            Mapping::singleton(v(1), sp(0, 1)),
+            Mapping::new(),
+            Mapping::singleton(v(0), sp(0, 1)),
+        ];
+        dedup_mappings(&mut set);
+        assert_eq!(set[0], Mapping::new());
+        assert_eq!(set.len(), 3);
+    }
+}

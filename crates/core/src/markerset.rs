@@ -1,0 +1,641 @@
+//! Sets of variable markers, packed into a single machine word.
+//!
+//! Extended variable-set automata (Section 3.1 of the paper) label their
+//! variable transitions with non-empty subsets `S ⊆ Markers_V`. Validity of a
+//! run, determinism, and the enumeration algorithm all manipulate such sets
+//! heavily, so we pack them into a `u64`: bit `2v` is the open marker `x_v⊢`
+//! and bit `2v + 1` the close marker `⊣x_v`. All operations are O(1).
+
+use crate::variable::{Marker, VarId, MAX_VARIABLES};
+use std::fmt;
+
+/// A set of variable markers (open/close), packed into a `u64`.
+///
+/// ```
+/// use spanners_core::{MarkerSet, Marker, VarId};
+/// let x = VarId::new(0).unwrap();
+/// let y = VarId::new(1).unwrap();
+/// let s = MarkerSet::new().with_open(x).with_open(y);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(Marker::Open(x)));
+/// assert!(!s.contains(Marker::Close(x)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MarkerSet {
+    bits: u64,
+}
+
+impl MarkerSet {
+    /// The empty marker set ∅.
+    #[inline]
+    pub const fn new() -> Self {
+        MarkerSet { bits: 0 }
+    }
+
+    /// A marker set from raw bits (bit `2v` = open `v`, bit `2v+1` = close `v`).
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        MarkerSet { bits }
+    }
+
+    /// The raw bit representation.
+    #[inline]
+    pub const fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// A singleton set containing one marker.
+    #[inline]
+    pub fn singleton(marker: Marker) -> Self {
+        MarkerSet::new().with(marker)
+    }
+
+    fn bit(marker: Marker) -> u64 {
+        let v = marker.variable().index();
+        debug_assert!(v < MAX_VARIABLES);
+        match marker {
+            Marker::Open(_) => 1u64 << (2 * v),
+            Marker::Close(_) => 1u64 << (2 * v + 1),
+        }
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of markers in the set.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Whether the set contains the given marker.
+    #[inline]
+    pub fn contains(&self, marker: Marker) -> bool {
+        self.bits & Self::bit(marker) != 0
+    }
+
+    /// Whether the set contains the open marker of `var`.
+    #[inline]
+    pub fn opens(&self, var: VarId) -> bool {
+        self.contains(Marker::Open(var))
+    }
+
+    /// Whether the set contains the close marker of `var`.
+    #[inline]
+    pub fn closes(&self, var: VarId) -> bool {
+        self.contains(Marker::Close(var))
+    }
+
+    /// Inserts a marker in place.
+    #[inline]
+    pub fn insert(&mut self, marker: Marker) {
+        self.bits |= Self::bit(marker);
+    }
+
+    /// Removes a marker in place.
+    #[inline]
+    pub fn remove(&mut self, marker: Marker) {
+        self.bits &= !Self::bit(marker);
+    }
+
+    /// Returns `self ∪ {marker}` (builder style).
+    #[inline]
+    pub fn with(mut self, marker: Marker) -> Self {
+        self.insert(marker);
+        self
+    }
+
+    /// Returns `self ∪ {var⊢}`.
+    #[inline]
+    pub fn with_open(self, var: VarId) -> Self {
+        self.with(Marker::Open(var))
+    }
+
+    /// Returns `self ∪ {⊣var}`.
+    #[inline]
+    pub fn with_close(self, var: VarId) -> Self {
+        self.with(Marker::Close(var))
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(&self, other: &MarkerSet) -> MarkerSet {
+        MarkerSet { bits: self.bits | other.bits }
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(&self, other: &MarkerSet) -> MarkerSet {
+        MarkerSet { bits: self.bits & other.bits }
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub const fn difference(&self, other: &MarkerSet) -> MarkerSet {
+        MarkerSet { bits: self.bits & !other.bits }
+    }
+
+    /// Whether the two sets share no marker.
+    #[inline]
+    pub const fn is_disjoint(&self, other: &MarkerSet) -> bool {
+        self.bits & other.bits == 0
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub const fn is_subset(&self, other: &MarkerSet) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// The set of variables whose *open* marker is in the set.
+    #[inline]
+    pub fn opened_vars(&self) -> VarSet {
+        VarSet { bits: Self::compress_even(self.bits) }
+    }
+
+    /// The set of variables whose *close* marker is in the set.
+    #[inline]
+    pub fn closed_vars(&self) -> VarSet {
+        VarSet { bits: Self::compress_even(self.bits >> 1) }
+    }
+
+    /// Extracts the bits at even positions of `x` into a compact 32-bit-wide value.
+    fn compress_even(mut x: u64) -> u32 {
+        // Keep only even-indexed bits, then compact pairs step by step.
+        x &= 0x5555_5555_5555_5555;
+        x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+        x = (x | (x >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+        x = (x | (x >> 4)) & 0x00ff_00ff_00ff_00ff;
+        x = (x | (x >> 8)) & 0x0000_ffff_0000_ffff;
+        x = (x | (x >> 16)) & 0x0000_0000_ffff_ffff;
+        x as u32
+    }
+
+    /// Iterates over the markers in the set, opens before closes per variable,
+    /// ordered by variable index.
+    pub fn iter(&self) -> MarkerSetIter {
+        MarkerSetIter { bits: self.bits }
+    }
+
+    /// Builds a marker set from an iterator of markers.
+    pub fn from_markers<I: IntoIterator<Item = Marker>>(markers: I) -> Self {
+        let mut s = MarkerSet::new();
+        for m in markers {
+            s.insert(m);
+        }
+        s
+    }
+
+    /// The full marker set over the first `num_vars` variables (both open and close).
+    pub fn all(num_vars: usize) -> Self {
+        debug_assert!(num_vars <= MAX_VARIABLES);
+        if num_vars == 0 {
+            MarkerSet::new()
+        } else if num_vars == MAX_VARIABLES {
+            MarkerSet { bits: u64::MAX }
+        } else {
+            MarkerSet { bits: (1u64 << (2 * num_vars)) - 1 }
+        }
+    }
+
+    /// Renders the set with variable names from a resolver function, in the
+    /// paper's `{x⊢, ⊣y}` notation.
+    pub fn display_with<'a, F>(&'a self, resolve: F) -> impl fmt::Display + 'a
+    where
+        F: Fn(VarId) -> String + 'a,
+    {
+        struct D<'a, F>(&'a MarkerSet, F);
+        impl<'a, F: Fn(VarId) -> String> fmt::Display for D<'a, F> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{{")?;
+                for (i, m) in self.0.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match m {
+                        Marker::Open(v) => write!(f, "{}⊢", (self.1)(v))?,
+                        Marker::Close(v) => write!(f, "⊣{}", (self.1)(v))?,
+                    }
+                }
+                write!(f, "}}")
+            }
+        }
+        D(self, resolve)
+    }
+}
+
+impl fmt::Display for MarkerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_with(|v| format!("x{}", v.index())))
+    }
+}
+
+impl FromIterator<Marker> for MarkerSet {
+    fn from_iter<I: IntoIterator<Item = Marker>>(iter: I) -> Self {
+        MarkerSet::from_markers(iter)
+    }
+}
+
+/// Iterator over the markers of a [`MarkerSet`].
+#[derive(Debug, Clone)]
+pub struct MarkerSetIter {
+    bits: u64,
+}
+
+impl Iterator for MarkerSetIter {
+    type Item = Marker;
+
+    fn next(&mut self) -> Option<Marker> {
+        if self.bits == 0 {
+            return None;
+        }
+        let tz = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        let var = VarId::new(tz / 2).expect("marker bit within variable limit");
+        Some(if tz % 2 == 0 { Marker::Open(var) } else { Marker::Close(var) })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for MarkerSetIter {}
+
+/// A set of variables (not markers), packed into a `u32`.
+///
+/// Used to track which variables are currently open / already closed while
+/// checking validity and sequentiality, and for projection sets `Y ⊆ V`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VarSet {
+    bits: u32,
+}
+
+impl VarSet {
+    /// The empty variable set.
+    #[inline]
+    pub const fn new() -> Self {
+        VarSet { bits: 0 }
+    }
+
+    /// A variable set from raw bits (bit `v` = variable `v`).
+    #[inline]
+    pub const fn from_bits(bits: u32) -> Self {
+        VarSet { bits }
+    }
+
+    /// The raw bit representation.
+    #[inline]
+    pub const fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The set of the first `n` variables.
+    pub fn first_n(n: usize) -> Self {
+        debug_assert!(n <= MAX_VARIABLES);
+        if n == 0 {
+            VarSet::new()
+        } else if n == MAX_VARIABLES {
+            VarSet { bits: u32::MAX }
+        } else {
+            VarSet { bits: (1u32 << n) - 1 }
+        }
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of variables in the set.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Whether the set contains `var`.
+    #[inline]
+    pub fn contains(&self, var: VarId) -> bool {
+        self.bits & (1 << var.index()) != 0
+    }
+
+    /// Inserts a variable in place.
+    #[inline]
+    pub fn insert(&mut self, var: VarId) {
+        self.bits |= 1 << var.index();
+    }
+
+    /// Removes a variable in place.
+    #[inline]
+    pub fn remove(&mut self, var: VarId) {
+        self.bits &= !(1 << var.index());
+    }
+
+    /// Returns `self ∪ {var}` (builder style).
+    #[inline]
+    pub fn with(mut self, var: VarId) -> Self {
+        self.insert(var);
+        self
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(&self, other: &VarSet) -> VarSet {
+        VarSet { bits: self.bits | other.bits }
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(&self, other: &VarSet) -> VarSet {
+        VarSet { bits: self.bits & other.bits }
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub const fn difference(&self, other: &VarSet) -> VarSet {
+        VarSet { bits: self.bits & !other.bits }
+    }
+
+    /// Whether the sets are disjoint.
+    #[inline]
+    pub const fn is_disjoint(&self, other: &VarSet) -> bool {
+        self.bits & other.bits == 0
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub const fn is_subset(&self, other: &VarSet) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// Iterates over the variables in the set in index order.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> {
+        let mut bits = self.bits;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(VarId::new(tz).expect("var bit within limit"))
+            }
+        })
+    }
+}
+
+impl FromIterator<VarId> for VarSet {
+    fn from_iter<I: IntoIterator<Item = VarId>>(iter: I) -> Self {
+        let mut s = VarSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl fmt::Display for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Tracks, for one run prefix, which variables are currently open and which
+/// have been closed, to decide validity (paper, Section 2: "variables are
+/// opened and closed in a correct manner").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct VariableStatus {
+    /// Variables currently open (opened but not yet closed).
+    pub open: VarSet,
+    /// Variables already closed.
+    pub closed: VarSet,
+}
+
+impl VariableStatus {
+    /// The initial status: no variable opened or closed.
+    pub fn new() -> Self {
+        VariableStatus::default()
+    }
+
+    /// Applies a marker set to the status, returning the new status, or `None`
+    /// if doing so would be invalid (re-opening an opened/closed variable,
+    /// closing a variable that is not open, or opening and closing where the
+    /// closing half is inconsistent).
+    ///
+    /// Note that a set `S` may open *and* close the same variable (an empty
+    /// capture at the current position); this is valid.
+    pub fn apply(&self, markers: MarkerSet) -> Option<VariableStatus> {
+        let opens = markers.opened_vars();
+        let closes = markers.closed_vars();
+        let used = self.open.union(&self.closed);
+        // A variable may only be opened if it was never opened before.
+        if !opens.is_disjoint(&used) {
+            return None;
+        }
+        // A variable may only be closed if it is currently open, or being
+        // opened in this very step (empty span capture).
+        let closable = self.open.union(&opens);
+        if !closes.is_subset(&closable) {
+            return None;
+        }
+        let open = self.open.union(&opens).difference(&closes);
+        let closed = self.closed.union(&closes);
+        Some(VariableStatus { open, closed })
+    }
+
+    /// Whether the status is final-compatible: every opened variable has been closed.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.open.is_empty()
+    }
+
+    /// All variables mentioned so far (open or closed).
+    #[inline]
+    pub fn mentioned(&self) -> VarSet {
+        self.open.union(&self.closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId::new(i).unwrap()
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let s = MarkerSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        let s = s.with_open(v(0)).with_close(v(0));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn contains_and_remove() {
+        let mut s = MarkerSet::new().with_open(v(3)).with_close(v(5));
+        assert!(s.opens(v(3)));
+        assert!(!s.closes(v(3)));
+        assert!(s.closes(v(5)));
+        s.remove(Marker::Open(v(3)));
+        assert!(!s.opens(v(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = MarkerSet::new().with_open(v(0)).with_open(v(1));
+        let b = MarkerSet::new().with_open(v(1)).with_close(v(2));
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.intersection(&b), MarkerSet::singleton(Marker::Open(v(1))));
+        assert_eq!(a.difference(&b), MarkerSet::singleton(Marker::Open(v(0))));
+        assert!(!a.is_disjoint(&b));
+        assert!(a.difference(&b).is_disjoint(&b));
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(a.intersection(&b).is_subset(&b));
+    }
+
+    #[test]
+    fn opened_and_closed_vars() {
+        let s = MarkerSet::new().with_open(v(0)).with_open(v(4)).with_close(v(4)).with_close(v(7));
+        let opened = s.opened_vars();
+        let closed = s.closed_vars();
+        assert!(opened.contains(v(0)));
+        assert!(opened.contains(v(4)));
+        assert!(!opened.contains(v(7)));
+        assert!(closed.contains(v(4)));
+        assert!(closed.contains(v(7)));
+        assert!(!closed.contains(v(0)));
+        assert_eq!(opened.len(), 2);
+        assert_eq!(closed.len(), 2);
+    }
+
+    #[test]
+    fn opened_vars_high_indices() {
+        // Exercise the bit-compression on high variable indices.
+        let s = MarkerSet::new().with_open(v(31)).with_close(v(30));
+        assert!(s.opened_vars().contains(v(31)));
+        assert!(!s.opened_vars().contains(v(30)));
+        assert!(s.closed_vars().contains(v(30)));
+        assert_eq!(s.opened_vars().len(), 1);
+        assert_eq!(s.closed_vars().len(), 1);
+    }
+
+    #[test]
+    fn iter_round_trip() {
+        let s = MarkerSet::new().with_open(v(2)).with_close(v(2)).with_open(v(5));
+        let markers: Vec<_> = s.iter().collect();
+        assert_eq!(markers, vec![Marker::Open(v(2)), Marker::Close(v(2)), Marker::Open(v(5))]);
+        let rebuilt: MarkerSet = markers.into_iter().collect();
+        assert_eq!(rebuilt, s);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn all_markers() {
+        assert_eq!(MarkerSet::all(0), MarkerSet::new());
+        assert_eq!(MarkerSet::all(2).len(), 4);
+        assert_eq!(MarkerSet::all(MAX_VARIABLES).len(), 64);
+    }
+
+    #[test]
+    fn display() {
+        let s = MarkerSet::new().with_open(v(0)).with_close(v(1));
+        assert_eq!(s.to_string(), "{x0⊢, ⊣x1}");
+        assert_eq!(MarkerSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn varset_basics() {
+        let mut s = VarSet::new();
+        assert!(s.is_empty());
+        s.insert(v(3));
+        s.insert(v(1));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(v(1)));
+        assert!(!s.contains(v(0)));
+        s.remove(v(1));
+        assert_eq!(s.len(), 1);
+        let t = VarSet::first_n(4);
+        assert_eq!(t.len(), 4);
+        assert!(s.is_subset(&t));
+        assert_eq!(VarSet::first_n(0), VarSet::new());
+        assert_eq!(VarSet::first_n(MAX_VARIABLES).len(), 32);
+    }
+
+    #[test]
+    fn varset_iter_and_display() {
+        let s: VarSet = vec![v(2), v(0)].into_iter().collect();
+        let items: Vec<_> = s.iter().collect();
+        assert_eq!(items, vec![v(0), v(2)]);
+        assert_eq!(s.to_string(), "{x0, x2}");
+    }
+
+    #[test]
+    fn status_valid_sequence() {
+        // open x, then close x: valid
+        let st = VariableStatus::new();
+        let st = st.apply(MarkerSet::new().with_open(v(0))).unwrap();
+        assert!(!st.is_complete());
+        let st = st.apply(MarkerSet::new().with_close(v(0))).unwrap();
+        assert!(st.is_complete());
+        assert!(st.closed.contains(v(0)));
+    }
+
+    #[test]
+    fn status_open_and_close_same_step() {
+        // {x⊢, ⊣x} in one step: empty span capture, valid.
+        let st = VariableStatus::new();
+        let st = st.apply(MarkerSet::new().with_open(v(0)).with_close(v(0))).unwrap();
+        assert!(st.is_complete());
+        assert!(st.closed.contains(v(0)));
+    }
+
+    #[test]
+    fn status_rejects_reopen() {
+        let st = VariableStatus::new().apply(MarkerSet::new().with_open(v(0))).unwrap();
+        assert!(st.apply(MarkerSet::new().with_open(v(0))).is_none());
+        let st = st.apply(MarkerSet::new().with_close(v(0))).unwrap();
+        // reopening after close also invalid
+        assert!(st.apply(MarkerSet::new().with_open(v(0))).is_none());
+    }
+
+    #[test]
+    fn status_rejects_close_unopened() {
+        let st = VariableStatus::new();
+        assert!(st.apply(MarkerSet::new().with_close(v(0))).is_none());
+        // closing twice
+        let st = st
+            .apply(MarkerSet::new().with_open(v(0)))
+            .unwrap()
+            .apply(MarkerSet::new().with_close(v(0)))
+            .unwrap();
+        assert!(st.apply(MarkerSet::new().with_close(v(0))).is_none());
+    }
+
+    #[test]
+    fn status_mentioned() {
+        let st = VariableStatus::new()
+            .apply(MarkerSet::new().with_open(v(0)).with_open(v(1)))
+            .unwrap()
+            .apply(MarkerSet::new().with_close(v(1)))
+            .unwrap();
+        assert_eq!(st.mentioned().len(), 2);
+        assert!(st.open.contains(v(0)));
+        assert!(st.closed.contains(v(1)));
+    }
+}

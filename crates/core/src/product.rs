@@ -1,0 +1,339 @@
+//! The three-phase reference construction of Section 3.2.1 (Figure 4).
+//!
+//! Before giving the optimized Algorithm 1, the paper explains the idea behind
+//! it as an explicit three-step construction:
+//!
+//! 1. convert the document `d` into a (conceptual) extended VA `A_d` — a chain
+//!    of `|d| + 1` positions;
+//! 2. build the product `A × A_d`, annotating every variable transition with
+//!    the document position at which it fires;
+//! 3. replace letters by ε and compute the *forward ε-closure*, after which the
+//!    output mappings are exactly the label sequences of paths from the initial
+//!    product state to an accepting one.
+//!
+//! This module implements that construction literally. It materializes the
+//! product (so it costs `O(|A| × |d|)` *memory*, unlike Algorithm 1's output
+//! DAG which is proportional to the number of variable transitions taken) and
+//! is used as an additional oracle in tests and as a pedagogical artefact: the
+//! automaton of Figure 4 can be printed from it.
+
+use crate::det::DetSeva;
+use crate::document::Document;
+use crate::eva::StateId;
+use crate::mapping::Mapping;
+use crate::markerset::MarkerSet;
+use crate::span::Span;
+
+/// A state of the annotated product automaton `A × A_d`: an automaton state
+/// paired with a document position (0-based; the paper uses 1-based positions).
+pub type ProductState = (StateId, usize);
+
+/// An annotated variable transition of the product: `(source, (S, i), target)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnotatedTransition {
+    /// Source product state.
+    pub from: ProductState,
+    /// The marker set fired by the transition.
+    pub markers: MarkerSet,
+    /// The document position (0-based) at which it fires.
+    pub pos: usize,
+    /// Target product state.
+    pub to: ProductState,
+}
+
+/// The annotated product automaton of phase 2 together with its forward
+/// ε-closure (phase 3).
+#[derive(Debug, Clone)]
+pub struct AnnotatedProduct {
+    initial: ProductState,
+    /// Accepting product states: `(q, |d|)` with `q` final.
+    accepting: Vec<ProductState>,
+    /// Letter edges of the product (before they are replaced by ε).
+    letter_edges: Vec<(ProductState, u8, ProductState)>,
+    /// Variable transitions annotated with their positions.
+    annotated: Vec<AnnotatedTransition>,
+    /// The forward ε-closure: variable transitions whose targets have been
+    /// advanced across letter (ε) edges. Contains `annotated` as a subset.
+    closure: Vec<AnnotatedTransition>,
+}
+
+impl AnnotatedProduct {
+    /// Builds the annotated product of a deterministic sequential eVA and a
+    /// document, then computes its forward ε-closure (Section 3.2.1).
+    pub fn build(aut: &DetSeva, doc: &Document) -> AnnotatedProduct {
+        let n = doc.len();
+        let initial = (aut.initial(), 0usize);
+
+        // Reachable product states, discovered by forward exploration.
+        let mut reachable: Vec<Vec<bool>> = vec![vec![false; n + 1]; aut.num_states()];
+        reachable[aut.initial()][0] = true;
+        let mut stack: Vec<ProductState> = vec![initial];
+        let mut letter_edges = Vec::new();
+        let mut annotated = Vec::new();
+        while let Some((q, pos)) = stack.pop() {
+            // Variable transitions stay at the same position.
+            for &(markers, p) in aut.markers_from(q) {
+                annotated.push(AnnotatedTransition {
+                    from: (q, pos),
+                    markers,
+                    pos,
+                    to: (p, pos),
+                });
+                if !reachable[p][pos] {
+                    reachable[p][pos] = true;
+                    stack.push((p, pos));
+                }
+            }
+            // Letter transitions advance the position.
+            if pos < n {
+                let byte = doc.bytes()[pos];
+                if let Some(p) = aut.step_letter(q, byte) {
+                    letter_edges.push(((q, pos), byte, (p, pos + 1)));
+                    if !reachable[p][pos + 1] {
+                        reachable[p][pos + 1] = true;
+                        stack.push((p, pos + 1));
+                    }
+                }
+            }
+        }
+        // Note: the exploration above allows two variable transitions in a row,
+        // which a run of an eVA cannot do; such spurious product transitions are
+        // harmless because the ε-closure below only chains a variable transition
+        // with *letter* edges, and enumeration only follows closure edges.
+
+        // Forward ε-closure: for every annotated transition ((q,pos),(S,i),(p,pos)),
+        // add a transition to every state reachable from (p,pos) using only
+        // letter (ε) edges.
+        let eps_next: std::collections::HashMap<ProductState, ProductState> =
+            letter_edges.iter().map(|&(from, _, to)| (from, to)).collect();
+        let mut closure = Vec::new();
+        for t in &annotated {
+            closure.push(*t);
+            let mut cur = t.to;
+            while let Some(&next) = eps_next.get(&cur) {
+                cur = next;
+                closure.push(AnnotatedTransition { from: t.from, markers: t.markers, pos: t.pos, to: cur });
+            }
+        }
+        // The initial state also reaches states through ε edges alone (runs whose
+        // first variable transition happens later); model this with a pseudo
+        // transition carrying the empty marker set so that enumeration can start
+        // anywhere along the initial ε-chain.
+        let mut cur = initial;
+        while let Some(&next) = eps_next.get(&cur) {
+            cur = next;
+            closure.push(AnnotatedTransition {
+                from: initial,
+                markers: MarkerSet::new(),
+                pos: 0,
+                to: cur,
+            });
+        }
+
+        let accepting = (0..aut.num_states())
+            .filter(|&q| aut.is_final(q) && reachable[q][n])
+            .map(|q| (q, n))
+            .collect();
+
+        AnnotatedProduct { initial, accepting, letter_edges, annotated, closure }
+    }
+
+    /// The initial product state `(q0, 0)`.
+    pub fn initial(&self) -> ProductState {
+        self.initial
+    }
+
+    /// The accepting product states.
+    pub fn accepting(&self) -> &[ProductState] {
+        &self.accepting
+    }
+
+    /// The letter edges of the product (phase 2, before ε-replacement).
+    pub fn letter_edges(&self) -> &[(ProductState, u8, ProductState)] {
+        &self.letter_edges
+    }
+
+    /// The annotated variable transitions of the product (phase 2).
+    pub fn annotated_transitions(&self) -> &[AnnotatedTransition] {
+        &self.annotated
+    }
+
+    /// The forward ε-closure transitions (phase 3).
+    pub fn closure_transitions(&self) -> &[AnnotatedTransition] {
+        &self.closure
+    }
+
+    /// Enumerates the output mappings by walking the ε-closure backwards from
+    /// the accepting states, exactly as described at the end of Section 3.2.1.
+    ///
+    /// This is quadratic-ish and materializes everything; it exists to
+    /// cross-check Algorithm 1, not to replace it.
+    pub fn enumerate(&self) -> Vec<Mapping> {
+        // Index closure transitions by target state.
+        let mut by_target: std::collections::HashMap<ProductState, Vec<&AnnotatedTransition>> =
+            std::collections::HashMap::new();
+        for t in &self.closure {
+            by_target.entry(t.to).or_default().push(t);
+        }
+        let mut out = Vec::new();
+        for &acc in &self.accepting {
+            let mut path: Vec<(MarkerSet, usize)> = Vec::new();
+            self.walk_back(acc, None, &by_target, &mut path, &mut out);
+        }
+        out
+    }
+
+    /// Walks the ε-closure backwards. `limit` is the firing position of the
+    /// variable transition taken just *after* `state` in the run (if any):
+    /// consecutive variable transitions of a run are separated by at least one
+    /// letter, so an incoming transition must fire at a strictly smaller
+    /// position than `limit`.
+    fn walk_back(
+        &self,
+        state: ProductState,
+        limit: Option<usize>,
+        by_target: &std::collections::HashMap<ProductState, Vec<&AnnotatedTransition>>,
+        path: &mut Vec<(MarkerSet, usize)>,
+        out: &mut Vec<Mapping>,
+    ) {
+        if state == self.initial {
+            out.push(mapping_from_reverse_path(path));
+            // The initial state may additionally be the target of closure
+            // transitions; a run cannot contain anything before its start, and
+            // any such extension is pruned by the position limit below.
+        }
+        if let Some(incoming) = by_target.get(&state) {
+            for t in incoming {
+                if t.markers.is_empty() {
+                    // Pseudo transition modelling the initial ε-chain: it fires
+                    // no markers, so it may only terminate a path at the initial
+                    // state, never extend it further.
+                    if t.from == self.initial {
+                        out.push(mapping_from_reverse_path(path));
+                    }
+                    continue;
+                }
+                if let Some(limit) = limit {
+                    if t.pos >= limit {
+                        continue; // would put two variable transitions at one position
+                    }
+                }
+                path.push((t.markers, t.pos));
+                self.walk_back(t.from, Some(t.pos), by_target, path, out);
+                path.pop();
+            }
+        }
+    }
+}
+
+fn mapping_from_reverse_path(path: &[(MarkerSet, usize)]) -> Mapping {
+    // Path entries run from the last variable transition back to the first.
+    let mut end_pos = [0usize; crate::variable::MAX_VARIABLES];
+    let mut mapping = Mapping::new();
+    for &(markers, pos) in path {
+        for v in markers.closed_vars().iter() {
+            end_pos[v.index()] = pos;
+        }
+        for v in markers.opened_vars().iter() {
+            mapping.insert(v, Span::new_unchecked(pos, end_pos[v.index()]));
+        }
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byteclass::ByteClass;
+    use crate::enumerate::EnumerationDag;
+    use crate::eva::{Eva, EvaBuilder};
+    use crate::mapping::dedup_mappings;
+    use crate::variable::VarRegistry;
+
+    /// The Figure 3 automaton.
+    fn figure3() -> Eva {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let y = reg.intern("y").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q = b.add_states(10);
+        b.set_initial(q[0]);
+        b.set_final(q[9]);
+        let ms = MarkerSet::new;
+        b.add_var(q[0], ms().with_open(x), q[1]).unwrap();
+        b.add_var(q[0], ms().with_open(y), q[2]).unwrap();
+        b.add_var(q[0], ms().with_open(x).with_open(y), q[3]).unwrap();
+        b.add_letter(q[3], ByteClass::from_bytes(b"ab"), q[3]);
+        b.add_byte(q[1], b'a', q[4]);
+        b.add_byte(q[2], b'a', q[5]);
+        b.add_var(q[4], ms().with_open(y), q[6]).unwrap();
+        b.add_var(q[5], ms().with_open(x), q[7]).unwrap();
+        b.add_byte(q[6], b'b', q[8]);
+        b.add_byte(q[7], b'b', q[8]);
+        b.add_var(q[8], ms().with_close(x).with_close(y), q[9]).unwrap();
+        b.add_var(q[3], ms().with_close(x).with_close(y), q[9]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure4_product_shape() {
+        // The top half of Figure 4: the annotated product for Figure 3 over "ab"
+        // contains, among others, the transition ((q0,p1), ({x⊢}, 1), (q1,p1)).
+        let aut = DetSeva::compile(&figure3()).unwrap();
+        let doc = Document::from("ab");
+        let product = AnnotatedProduct::build(&aut, &doc);
+        assert_eq!(product.initial(), (0, 0));
+        assert_eq!(product.accepting(), &[(9, 2)]);
+        let has = |from: ProductState, pos: usize, to: ProductState| {
+            product
+                .annotated_transitions()
+                .iter()
+                .any(|t| t.from == from && t.pos == pos && t.to == to)
+        };
+        assert!(has((0, 0), 0, (1, 0)));
+        assert!(has((0, 0), 0, (2, 0)));
+        assert!(has((0, 0), 0, (3, 0)));
+        assert!(has((4, 1), 1, (6, 1)));
+        assert!(has((8, 2), 2, (9, 2)));
+        // The bottom half of Figure 4: the ε-closure contains the transition
+        // from (q0,p1) that lands in (q4,p2) — {x⊢} fired at position 1 and the
+        // letter `a` skipped over.
+        assert!(product
+            .closure_transitions()
+            .iter()
+            .any(|t| t.from == (0, 0) && t.to == (4, 1) && t.pos == 0));
+    }
+
+    #[test]
+    fn reference_enumeration_matches_algorithm_1() {
+        let eva = figure3();
+        let aut = DetSeva::compile(&eva).unwrap();
+        for text in ["ab", "a", "abab", "aabb", ""] {
+            let doc = Document::from(text);
+            let product = AnnotatedProduct::build(&aut, &doc);
+            let mut reference = product.enumerate();
+            dedup_mappings(&mut reference);
+            let dag = EnumerationDag::build(&aut, &doc);
+            let mut fast = dag.collect_mappings();
+            dedup_mappings(&mut fast);
+            assert_eq!(reference, fast, "on {text:?}");
+            assert_eq!(reference, eva.eval_naive(&doc), "oracle on {text:?}");
+        }
+    }
+
+    #[test]
+    fn product_size_is_linear_in_the_document() {
+        let aut = DetSeva::compile(&figure3()).unwrap();
+        let mut previous = 0usize;
+        for n in [8usize, 16, 32] {
+            let text: String = "ab".repeat(n);
+            let doc = Document::from(text.as_str());
+            let product = AnnotatedProduct::build(&aut, &doc);
+            let size = product.annotated_transitions().len() + product.letter_edges().len();
+            assert!(size >= previous);
+            // Linear in |d|: at most (#transitions of A) per position.
+            assert!(size <= aut.source_size() * (doc.len() + 1));
+            previous = size;
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Spans: intervals `[i, j⟩` over a document.
+//!
+//! The paper represents a span as a pair `⟨i, j⟩` of **1-based** positions with
+//! `1 ≤ i ≤ j ≤ |d| + 1`, whose content is the substring of the document from
+//! position `i` to `j − 1`. Internally we store the equivalent **0-based,
+//! end-exclusive** byte offsets (`start ≤ end`), which is the natural Rust slice
+//! convention; [`Span::paper_start`]/[`Span::paper_end`] and the `Display`
+//! implementation recover the paper's notation.
+
+use crate::error::SpannerError;
+use std::fmt;
+
+/// A span `[start, end⟩` of a document: a half-open byte interval.
+///
+/// Offsets are 0-based and end-exclusive, so the span's content in document `d`
+/// is `d[start..end]`. The empty span at position `i` is `Span { start: i, end: i }`.
+///
+/// ```
+/// use spanners_core::Span;
+/// let s = Span::new(0, 4).unwrap();
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.to_string(), "[1, 5⟩"); // the paper's 1-based notation
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    start: u32,
+    end: u32,
+}
+
+impl Span {
+    /// Creates a span from 0-based, end-exclusive byte offsets.
+    ///
+    /// Returns an error if `start > end` or either offset overflows the
+    /// internal 32-bit representation.
+    pub fn new(start: usize, end: usize) -> Result<Self, SpannerError> {
+        if start > end || end > u32::MAX as usize {
+            return Err(SpannerError::InvalidSpan { start, end, doc_len: None });
+        }
+        Ok(Span { start: start as u32, end: end as u32 })
+    }
+
+    /// Creates a span without validating `start <= end`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `start > end`.
+    #[inline]
+    pub fn new_unchecked(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        debug_assert!(end <= u32::MAX as usize);
+        Span { start: start as u32, end: end as u32 }
+    }
+
+    /// Creates a span from the paper's 1-based positions `⟨i, j⟩` with `1 ≤ i ≤ j`.
+    pub fn from_paper(i: usize, j: usize) -> Result<Self, SpannerError> {
+        if i == 0 || j == 0 || i > j {
+            return Err(SpannerError::InvalidSpan { start: i, end: j, doc_len: None });
+        }
+        Span::new(i - 1, j - 1)
+    }
+
+    /// The empty span at byte offset `pos`.
+    #[inline]
+    pub fn empty_at(pos: usize) -> Self {
+        Span::new_unchecked(pos, pos)
+    }
+
+    /// 0-based inclusive start offset.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start as usize
+    }
+
+    /// 0-based exclusive end offset.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.end as usize
+    }
+
+    /// The paper's 1-based start position `i` of `⟨i, j⟩`.
+    #[inline]
+    pub fn paper_start(&self) -> usize {
+        self.start as usize + 1
+    }
+
+    /// The paper's 1-based end position `j` of `⟨i, j⟩`.
+    #[inline]
+    pub fn paper_end(&self) -> usize {
+        self.end as usize + 1
+    }
+
+    /// Number of bytes covered by the span.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the span covers zero bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether this span is a span *of* a document of length `doc_len`
+    /// (i.e. `end ≤ doc_len`, paper: `j ≤ |d| + 1`).
+    #[inline]
+    pub fn fits(&self, doc_len: usize) -> bool {
+        self.end as usize <= doc_len
+    }
+
+    /// Returns this span as a `Range<usize>` usable for slicing.
+    #[inline]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+
+    /// Concatenation of two adjacent spans (`self.end == other.start`),
+    /// mirroring the paper's `s1 · s2`.
+    pub fn concat(&self, other: &Span) -> Option<Span> {
+        if self.end == other.start {
+            Some(Span { start: self.start, end: other.end })
+        } else {
+            None
+        }
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    #[inline]
+    pub fn contains(&self, other: &Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether `self` and `other` share at least one byte position.
+    ///
+    /// Empty spans cover no byte positions and therefore never overlap anything.
+    #[inline]
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.start < other.end && other.start < self.end
+            && !self.is_empty()
+            && !other.is_empty()
+    }
+
+    /// Whether the byte offset `pos` lies inside the span.
+    #[inline]
+    pub fn contains_pos(&self, pos: usize) -> bool {
+        (self.start as usize) <= pos && pos < self.end as usize
+    }
+}
+
+impl fmt::Display for Span {
+    /// Formats the span in the paper's notation `[i, j⟩` with 1-based positions.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}⟩", self.paper_start(), self.paper_end())
+    }
+}
+
+impl From<std::ops::Range<usize>> for Span {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        Span::new(r.start, r.end).expect("range start must not exceed end")
+    }
+}
+
+/// Returns all spans of a document of length `doc_len`, in lexicographic order.
+///
+/// There are `(doc_len + 1)(doc_len + 2)/2` of them; this is the set `span(d)` of the
+/// paper and is used by the naive reference semantics, never by the fast algorithms.
+pub fn all_spans(doc_len: usize) -> Vec<Span> {
+    let mut out = Vec::with_capacity((doc_len + 1) * (doc_len + 2) / 2);
+    for i in 0..=doc_len {
+        for j in i..=doc_len {
+            out.push(Span::new_unchecked(i, j));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_inverted() {
+        assert!(Span::new(3, 2).is_err());
+        assert!(Span::new(2, 3).is_ok());
+        assert!(Span::new(2, 2).is_ok());
+    }
+
+    #[test]
+    fn paper_positions_round_trip() {
+        // Figure 1: d(1,5) = "John" corresponds to byte range 0..4.
+        let s = Span::from_paper(1, 5).unwrap();
+        assert_eq!(s.start(), 0);
+        assert_eq!(s.end(), 4);
+        assert_eq!(s.paper_start(), 1);
+        assert_eq!(s.paper_end(), 5);
+        assert_eq!(s.to_string(), "[1, 5⟩");
+    }
+
+    #[test]
+    fn from_paper_rejects_zero_and_inverted() {
+        assert!(Span::from_paper(0, 3).is_err());
+        assert!(Span::from_paper(3, 0).is_err());
+        assert!(Span::from_paper(4, 3).is_err());
+        assert!(Span::from_paper(3, 3).is_ok());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Span::new(2, 6).unwrap().len(), 4);
+        assert!(!Span::new(2, 6).unwrap().is_empty());
+        assert!(Span::empty_at(5).is_empty());
+        assert_eq!(Span::empty_at(5).len(), 0);
+    }
+
+    #[test]
+    fn fits_document() {
+        let s = Span::new(3, 7).unwrap();
+        assert!(s.fits(7));
+        assert!(s.fits(10));
+        assert!(!s.fits(6));
+    }
+
+    #[test]
+    fn concat_adjacent() {
+        let a = Span::new(0, 3).unwrap();
+        let b = Span::new(3, 5).unwrap();
+        assert_eq!(a.concat(&b), Some(Span::new(0, 5).unwrap()));
+        assert_eq!(b.concat(&a), None);
+        let c = Span::new(4, 6).unwrap();
+        assert_eq!(a.concat(&c), None);
+    }
+
+    #[test]
+    fn concat_with_empty() {
+        let a = Span::new(2, 2).unwrap();
+        let b = Span::new(2, 5).unwrap();
+        assert_eq!(a.concat(&b), Some(b));
+        assert_eq!(b.concat(&Span::empty_at(5)), Some(b));
+    }
+
+    #[test]
+    fn containment_and_overlap() {
+        let outer = Span::new(1, 8).unwrap();
+        let inner = Span::new(3, 5).unwrap();
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.overlaps(&inner));
+        let disjoint = Span::new(8, 9).unwrap();
+        assert!(!outer.overlaps(&disjoint));
+        // Empty spans never overlap anything.
+        assert!(!outer.overlaps(&Span::empty_at(4)));
+    }
+
+    #[test]
+    fn contains_pos() {
+        let s = Span::new(2, 5).unwrap();
+        assert!(!s.contains_pos(1));
+        assert!(s.contains_pos(2));
+        assert!(s.contains_pos(4));
+        assert!(!s.contains_pos(5));
+    }
+
+    #[test]
+    fn range_slices_document() {
+        let doc = b"hello world";
+        let s = Span::new(6, 11).unwrap();
+        assert_eq!(&doc[s.range()], b"world");
+    }
+
+    #[test]
+    fn all_spans_count() {
+        // |span(d)| = (n+1)(n+2)/2
+        for n in 0..6 {
+            let spans = all_spans(n);
+            assert_eq!(spans.len(), (n + 1) * (n + 2) / 2);
+            // all distinct
+            let mut dedup = spans.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), spans.len());
+            for s in &spans {
+                assert!(s.fits(n));
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Span::new(0, 2).unwrap();
+        let b = Span::new(0, 3).unwrap();
+        let c = Span::new(1, 1).unwrap();
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn from_range() {
+        let s: Span = (2..7).into();
+        assert_eq!(s, Span::new(2, 7).unwrap());
+    }
+}

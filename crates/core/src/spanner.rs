@@ -1,0 +1,189 @@
+//! High-level façade tying compilation, evaluation, enumeration and counting together.
+
+use crate::count::{count_mappings, Counter};
+use crate::det::DetSeva;
+use crate::document::Document;
+use crate::enumerate::{EnumerationDag, MappingIter};
+use crate::error::SpannerError;
+use crate::eva::Eva;
+use crate::mapping::Mapping;
+use crate::variable::VarRegistry;
+
+/// A compiled document spanner, ready to be evaluated over many documents.
+///
+/// A `CompiledSpanner` wraps a deterministic sequential extended VA
+/// ([`DetSeva`]). Construct one from an [`Eva`] with [`CompiledSpanner::from_eva`],
+/// or — more conveniently — from a regex formula or classical VA through the
+/// `spanners-regex` / `spanners-automata` crates, which perform the
+/// translations of Section 4 of the paper and end with this type.
+///
+/// Evaluation follows the two-phase structure of the paper:
+///
+/// 1. [`CompiledSpanner::evaluate`] runs the linear-time preprocessing
+///    (Algorithm 1), producing an [`EnumerationDag`];
+/// 2. the DAG is then enumerated with constant delay (Algorithm 2), counted,
+///    or materialized.
+///
+/// The convenience methods [`CompiledSpanner::mappings`],
+/// [`CompiledSpanner::count`] and [`CompiledSpanner::is_match`] bundle the two
+/// phases for one-shot use.
+#[derive(Debug, Clone)]
+pub struct CompiledSpanner {
+    automaton: DetSeva,
+}
+
+impl CompiledSpanner {
+    /// Compiles a deterministic sequential eVA into a spanner.
+    ///
+    /// Fails if the automaton is not deterministic or not sequential.
+    pub fn from_eva(eva: &Eva) -> Result<Self, SpannerError> {
+        Ok(CompiledSpanner { automaton: DetSeva::compile(eva)? })
+    }
+
+    /// Wraps an already-compiled deterministic sequential eVA.
+    pub fn from_det(automaton: DetSeva) -> Self {
+        CompiledSpanner { automaton }
+    }
+
+    /// The underlying deterministic sequential eVA.
+    pub fn automaton(&self) -> &DetSeva {
+        &self.automaton
+    }
+
+    /// The registry naming the spanner's capture variables.
+    pub fn registry(&self) -> &VarRegistry {
+        self.automaton.registry()
+    }
+
+    /// Phase 1 (Algorithm 1): preprocess `doc` in time `O(|A| × |d|)`,
+    /// producing the compact DAG representation of all output mappings.
+    pub fn evaluate(&self, doc: &Document) -> EnumerationDag {
+        EnumerationDag::build(&self.automaton, doc)
+    }
+
+    /// Evaluates and materializes all output mappings.
+    ///
+    /// Equivalent to `self.evaluate(doc).collect_mappings()`; prefer
+    /// [`CompiledSpanner::evaluate`] + [`EnumerationDag::iter`] when the output
+    /// may be large and you want to stream it.
+    pub fn mappings(&self, doc: &Document) -> Vec<Mapping> {
+        self.evaluate(doc).collect_mappings()
+    }
+
+    /// Counts `|⟦A⟧(d)|` in time `O(|A| × |d|)` without enumerating
+    /// (Algorithm 3 / Theorem 5.1).
+    pub fn count<C: Counter>(&self, doc: &Document) -> Result<C, SpannerError> {
+        count_mappings(&self.automaton, doc)
+    }
+
+    /// Counts `|⟦A⟧(d)|` as a `u64`.
+    pub fn count_u64(&self, doc: &Document) -> Result<u64, SpannerError> {
+        self.count(doc)
+    }
+
+    /// Whether the spanner produces at least one mapping on `doc`.
+    ///
+    /// Runs the transition relation without building the DAG — linear time,
+    /// constant memory in the document.
+    pub fn is_match(&self, doc: &Document) -> bool {
+        self.automaton.accepts(doc)
+    }
+
+    /// Convenience wrapper: evaluate and iterate in one call, holding the DAG
+    /// alive for the duration of the borrow.
+    pub fn iter_mappings<'a>(&self, dag: &'a EnumerationDag) -> MappingIter<'a> {
+        dag.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byteclass::ByteClass;
+    use crate::eva::EvaBuilder;
+    use crate::markerset::MarkerSet;
+    use crate::span::Span;
+
+    /// `Σ* x{a+} Σ*` — x captures every maximal-or-not run of `a`s… precisely:
+    /// every span consisting solely of `a`s (non-empty).
+    fn a_block_spanner() -> CompiledSpanner {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q2);
+        let any = ByteClass::any();
+        b.add_letter(q0, any, q0);
+        b.add_byte(q1, b'a', q1);
+        b.add_letter(q2, any, q2);
+        b.add_var(q0, MarkerSet::new().with_open(x), q1).unwrap();
+        b.add_var(q1, MarkerSet::new().with_close(x), q2).unwrap();
+        CompiledSpanner::from_eva(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_extraction() {
+        let sp = a_block_spanner();
+        let x = sp.registry().get("x").unwrap();
+        let doc = Document::from("baab");
+        let mut out = sp.mappings(&doc);
+        out.sort();
+        // non-empty all-'a' spans of "baab": [1,2⟩? (0-based: 1..2, 2..3, 1..3)
+        let expected: Vec<Mapping> = vec![
+            Mapping::singleton(x, Span::new(1, 2).unwrap()),
+            Mapping::singleton(x, Span::new(1, 3).unwrap()),
+            Mapping::singleton(x, Span::new(2, 3).unwrap()),
+        ];
+        assert_eq!(out, expected);
+        assert_eq!(sp.count_u64(&doc).unwrap(), 3);
+        assert!(sp.is_match(&doc));
+        assert!(!sp.is_match(&Document::from("bbbb")));
+        assert_eq!(sp.count_u64(&Document::from("bbbb")).unwrap(), 0);
+    }
+
+    #[test]
+    fn evaluate_then_stream() {
+        let sp = a_block_spanner();
+        let doc = Document::from("aaaa");
+        let dag = sp.evaluate(&doc);
+        let streamed: Vec<Mapping> = sp.iter_mappings(&dag).collect();
+        assert_eq!(streamed.len(), dag.count_paths() as usize);
+        assert_eq!(streamed.len(), 4 + 3 + 2 + 1);
+        assert_eq!(sp.count_u64(&doc).unwrap(), 10);
+    }
+
+    #[test]
+    fn rejects_bad_automata() {
+        // Non-sequential automaton is rejected at compile time.
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q2);
+        b.add_var(q0, MarkerSet::new().with_open(x), q1).unwrap();
+        b.add_byte(q1, b'a', q2);
+        assert!(CompiledSpanner::from_eva(&b.build().unwrap()).is_err());
+    }
+
+    #[test]
+    fn texts_round_trip() {
+        let sp = a_block_spanner();
+        let doc = Document::from("xaax");
+        let dag = sp.evaluate(&doc);
+        let texts: Vec<String> = dag
+            .iter()
+            .map(|m| {
+                let t = m.texts(sp.registry(), &doc);
+                String::from_utf8(t["x"].to_vec()).unwrap()
+            })
+            .collect();
+        assert_eq!(texts.len(), 3);
+        assert!(texts.iter().all(|t| t.chars().all(|c| c == 'a')));
+    }
+}

@@ -1,0 +1,272 @@
+//! Capture variables and variable markers.
+//!
+//! Spanners assign spans to *variables*. Inside an automaton we refer to
+//! variables by a dense index ([`VarId`]); a [`VarRegistry`] maps between
+//! human-readable names (as written in regex formulas, e.g. `email`) and those
+//! indices. Opening and closing a variable during a run is expressed through
+//! [`Marker`]s: `x⊢` (open) and `⊣x` (close).
+
+use crate::error::SpannerError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maximum number of capture variables supported per automaton.
+///
+/// Marker sets are packed into a `u64` (one open bit and one close bit per
+/// variable), so a single automaton can use at most 32 variables. This is far
+/// beyond what rule-based information extraction tasks use in practice and
+/// beyond every example in the paper; exceeding it yields
+/// [`SpannerError::TooManyVariables`].
+pub const MAX_VARIABLES: usize = 32;
+
+/// A dense variable identifier, valid within one [`VarRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) u8);
+
+impl VarId {
+    /// Creates a variable id from a raw index.
+    ///
+    /// Returns an error if `index >= MAX_VARIABLES`.
+    pub fn new(index: usize) -> Result<Self, SpannerError> {
+        if index >= MAX_VARIABLES {
+            return Err(SpannerError::TooManyVariables { requested: index + 1, limit: MAX_VARIABLES });
+        }
+        Ok(VarId(index as u8))
+    }
+
+    /// The raw index of this variable.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A variable marker: the opening marker `x⊢` or the closing marker `⊣x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Marker {
+    /// `x⊢`: the variable starts capturing at the current position.
+    Open(VarId),
+    /// `⊣x`: the variable stops capturing at the current position.
+    Close(VarId),
+}
+
+impl Marker {
+    /// The variable this marker refers to.
+    #[inline]
+    pub fn variable(&self) -> VarId {
+        match self {
+            Marker::Open(v) | Marker::Close(v) => *v,
+        }
+    }
+
+    /// Whether this is an opening marker.
+    #[inline]
+    pub fn is_open(&self) -> bool {
+        matches!(self, Marker::Open(_))
+    }
+
+    /// Whether this is a closing marker.
+    #[inline]
+    pub fn is_close(&self) -> bool {
+        matches!(self, Marker::Close(_))
+    }
+}
+
+impl fmt::Display for Marker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Marker::Open(v) => write!(f, "{v}⊢"),
+            Marker::Close(v) => write!(f, "⊣{v}"),
+        }
+    }
+}
+
+/// A registry interning variable names to dense [`VarId`]s.
+///
+/// Registries are cheap to clone and are shared between an automaton and the
+/// mappings it produces so that results can be rendered with their original
+/// variable names.
+///
+/// ```
+/// use spanners_core::VarRegistry;
+/// let mut reg = VarRegistry::new();
+/// let name = reg.intern("name").unwrap();
+/// let email = reg.intern("email").unwrap();
+/// assert_ne!(name, email);
+/// assert_eq!(reg.intern("name").unwrap(), name); // idempotent
+/// assert_eq!(reg.name(name), "name");
+/// assert_eq!(reg.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarRegistry {
+    names: Vec<String>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl VarRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        VarRegistry::default()
+    }
+
+    /// Creates a registry with `n` anonymous variables named `x0 .. x{n-1}`.
+    pub fn with_anonymous(n: usize) -> Result<Self, SpannerError> {
+        let mut reg = VarRegistry::new();
+        for i in 0..n {
+            reg.intern(&format!("x{i}"))?;
+        }
+        Ok(reg)
+    }
+
+    /// Interns a variable name, returning its id. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Result<VarId, SpannerError> {
+        if let Some(&id) = self.by_name.get(name) {
+            return Ok(id);
+        }
+        let id = VarId::new(self.names.len())?;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks up a variable by name without interning it.
+    pub fn get(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a variable.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this registry.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of variables registered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no variables are registered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (VarId(i as u8), n.as_str()))
+    }
+
+    /// All variable ids, in order.
+    pub fn ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.names.len()).map(|i| VarId(i as u8))
+    }
+
+    /// Merges another registry into this one, returning the id remapping
+    /// `other id -> self id` (by name). Used when joining spanners that were
+    /// compiled independently.
+    pub fn merge(&mut self, other: &VarRegistry) -> Result<Vec<VarId>, SpannerError> {
+        other.names.iter().map(|n| self.intern(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_id_limit() {
+        assert!(VarId::new(0).is_ok());
+        assert!(VarId::new(31).is_ok());
+        let err = VarId::new(32).unwrap_err();
+        assert_eq!(err, SpannerError::TooManyVariables { requested: 33, limit: 32 });
+    }
+
+    #[test]
+    fn marker_accessors() {
+        let x = VarId::new(3).unwrap();
+        assert!(Marker::Open(x).is_open());
+        assert!(!Marker::Open(x).is_close());
+        assert!(Marker::Close(x).is_close());
+        assert_eq!(Marker::Open(x).variable(), x);
+        assert_eq!(Marker::Close(x).variable(), x);
+    }
+
+    #[test]
+    fn marker_display() {
+        let x = VarId::new(1).unwrap();
+        assert_eq!(Marker::Open(x).to_string(), "x1⊢");
+        assert_eq!(Marker::Close(x).to_string(), "⊣x1");
+    }
+
+    #[test]
+    fn registry_intern_is_idempotent() {
+        let mut reg = VarRegistry::new();
+        let a = reg.intern("a").unwrap();
+        let b = reg.intern("b").unwrap();
+        assert_eq!(reg.intern("a").unwrap(), a);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.name(a), "a");
+        assert_eq!(reg.name(b), "b");
+        assert_eq!(reg.get("b"), Some(b));
+        assert_eq!(reg.get("c"), None);
+    }
+
+    #[test]
+    fn registry_limit() {
+        let mut reg = VarRegistry::new();
+        for i in 0..32 {
+            reg.intern(&format!("v{i}")).unwrap();
+        }
+        assert!(matches!(reg.intern("overflow"), Err(SpannerError::TooManyVariables { .. })));
+        // existing names still fine
+        assert!(reg.intern("v0").is_ok());
+    }
+
+    #[test]
+    fn with_anonymous() {
+        let reg = VarRegistry::with_anonymous(3).unwrap();
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.name(VarId::new(2).unwrap()), "x2");
+        assert!(VarRegistry::with_anonymous(33).is_err());
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut reg = VarRegistry::new();
+        reg.intern("name").unwrap();
+        reg.intern("email").unwrap();
+        let pairs: Vec<_> = reg.iter().map(|(id, n)| (id.index(), n.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "name".to_string()), (1, "email".to_string())]);
+        let ids: Vec<_> = reg.ids().collect();
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn merge_maps_by_name() {
+        let mut a = VarRegistry::new();
+        a.intern("x").unwrap();
+        a.intern("y").unwrap();
+        let mut b = VarRegistry::new();
+        b.intern("y").unwrap();
+        b.intern("z").unwrap();
+        let remap = a.merge(&b).unwrap();
+        // b's y (id 0) maps to a's y (id 1); b's z (id 1) becomes a's new id 2.
+        assert_eq!(remap[0], a.get("y").unwrap());
+        assert_eq!(remap[1], a.get("z").unwrap());
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn display_var_id() {
+        assert_eq!(VarId::new(7).unwrap().to_string(), "x7");
+    }
+}

@@ -1,0 +1,415 @@
+//! The abstract syntax of regex formulas (RGX).
+//!
+//! The paper's grammar is `γ ::= ε | a | x{γ} | γ·γ | γ∨γ | γ*`. We extend it
+//! with the practical sugar every extraction engine supports — character
+//! classes, `+`, `?`, bounded repetition — all of which desugar to the core
+//! grammar. Captures are written `!name{γ}` in the concrete syntax (REmatch
+//! style) to keep them unambiguous; the AST stores the variable name.
+
+use spanners_core::ByteClass;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A regex formula with capture variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegexAst {
+    /// The empty word ε.
+    Epsilon,
+    /// A single byte drawn from a byte class (a literal letter `a` is the
+    /// singleton class `{a}`; `.` is the full class Σ).
+    Class(ByteClass),
+    /// A variable capture `!x{γ}`.
+    Capture(String, Box<RegexAst>),
+    /// Concatenation `γ1 · γ2 · …` (empty list = ε).
+    Concat(Vec<RegexAst>),
+    /// Alternation `γ1 ∨ γ2 ∨ …` (at least two branches after parsing).
+    Alternation(Vec<RegexAst>),
+    /// Kleene star `γ*`.
+    Star(Box<RegexAst>),
+    /// One-or-more `γ+` (sugar for `γ · γ*`).
+    Plus(Box<RegexAst>),
+    /// Zero-or-one `γ?` (sugar for `γ ∨ ε`).
+    Optional(Box<RegexAst>),
+    /// Bounded repetition `γ{m}`, `γ{m,}` or `γ{m,n}`.
+    Repeat {
+        /// The repeated sub-formula.
+        inner: Box<RegexAst>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions (`None` = unbounded).
+        max: Option<u32>,
+    },
+}
+
+impl RegexAst {
+    /// A literal byte.
+    pub fn byte(b: u8) -> RegexAst {
+        RegexAst::Class(ByteClass::singleton(b))
+    }
+
+    /// A literal byte string (concatenation of its bytes).
+    pub fn literal(s: &[u8]) -> RegexAst {
+        match s.len() {
+            0 => RegexAst::Epsilon,
+            1 => RegexAst::byte(s[0]),
+            _ => RegexAst::Concat(s.iter().map(|&b| RegexAst::byte(b)).collect()),
+        }
+    }
+
+    /// The capture `!name{inner}`.
+    pub fn capture(name: &str, inner: RegexAst) -> RegexAst {
+        RegexAst::Capture(name.to_string(), Box::new(inner))
+    }
+
+    /// Concatenation of the given formulas (flattening nested concatenations).
+    pub fn concat(parts: Vec<RegexAst>) -> RegexAst {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                RegexAst::Concat(inner) => flat.extend(inner),
+                RegexAst::Epsilon => {}
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => RegexAst::Epsilon,
+            1 => flat.pop().expect("length checked"),
+            _ => RegexAst::Concat(flat),
+        }
+    }
+
+    /// Alternation of the given formulas (flattening nested alternations).
+    pub fn alternation(parts: Vec<RegexAst>) -> RegexAst {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                RegexAst::Alternation(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => RegexAst::Epsilon,
+            1 => flat.pop().expect("length checked"),
+            _ => RegexAst::Alternation(flat),
+        }
+    }
+
+    /// The set of variable names occurring in the formula, the paper's `var(γ)`,
+    /// in sorted order.
+    pub fn variables(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables(&self, out: &mut BTreeSet<String>) {
+        match self {
+            RegexAst::Epsilon | RegexAst::Class(_) => {}
+            RegexAst::Capture(name, inner) => {
+                out.insert(name.clone());
+                inner.collect_variables(out);
+            }
+            RegexAst::Concat(parts) | RegexAst::Alternation(parts) => {
+                for p in parts {
+                    p.collect_variables(out);
+                }
+            }
+            RegexAst::Star(inner)
+            | RegexAst::Plus(inner)
+            | RegexAst::Optional(inner)
+            | RegexAst::Repeat { inner, .. } => inner.collect_variables(out),
+        }
+    }
+
+    /// The paper's size measure `|γ|`: number of alphabet symbols (byte classes)
+    /// and operators in the formula.
+    pub fn size(&self) -> usize {
+        match self {
+            RegexAst::Epsilon | RegexAst::Class(_) => 1,
+            RegexAst::Capture(_, inner) => 1 + inner.size(),
+            RegexAst::Concat(parts) | RegexAst::Alternation(parts) => {
+                parts.len().saturating_sub(1) + parts.iter().map(RegexAst::size).sum::<usize>()
+            }
+            RegexAst::Star(inner)
+            | RegexAst::Plus(inner)
+            | RegexAst::Optional(inner)
+            | RegexAst::Repeat { inner, .. } => 1 + inner.size(),
+        }
+    }
+
+    /// Syntactic functionality check (Fagin et al.): whether every mapping
+    /// produced by the formula is guaranteed to assign **all** its variables.
+    ///
+    /// * a capture is functional if its body is and does not re-capture the
+    ///   same variable;
+    /// * a concatenation is functional if its parts are and use disjoint
+    ///   variables;
+    /// * an alternation is functional if its branches are and use the *same*
+    ///   variables;
+    /// * starred / optional / repeated sub-formulas must not capture at all
+    ///   (except `γ{m,n}` with `m ≥ 1` and `n = 1`, which is just `γ`).
+    pub fn is_functional(&self) -> bool {
+        self.functional_check().is_some()
+    }
+
+    /// Returns the variable set if functional, `None` otherwise.
+    fn functional_check(&self) -> Option<BTreeSet<String>> {
+        match self {
+            RegexAst::Epsilon | RegexAst::Class(_) => Some(BTreeSet::new()),
+            RegexAst::Capture(name, inner) => {
+                let mut vars = inner.functional_check()?;
+                if vars.contains(name) {
+                    return None;
+                }
+                vars.insert(name.clone());
+                Some(vars)
+            }
+            RegexAst::Concat(parts) => {
+                let mut vars: BTreeSet<String> = BTreeSet::new();
+                for p in parts {
+                    let pv = p.functional_check()?;
+                    if !vars.is_disjoint(&pv) {
+                        return None;
+                    }
+                    vars.extend(pv);
+                }
+                Some(vars)
+            }
+            RegexAst::Alternation(parts) => {
+                let mut iter = parts.iter();
+                let first = iter.next()?.functional_check()?;
+                for p in iter {
+                    if p.functional_check()? != first {
+                        return None;
+                    }
+                }
+                Some(first)
+            }
+            RegexAst::Star(inner) | RegexAst::Optional(inner) => {
+                let vars = inner.functional_check()?;
+                if vars.is_empty() {
+                    Some(vars)
+                } else {
+                    None
+                }
+            }
+            RegexAst::Plus(inner) => {
+                // γ+ = γ · γ*: functional iff γ is functional and γ* is, i.e.
+                // γ has no variables — unless the star part can only repeat 0
+                // times, which we cannot know syntactically, so require no vars.
+                let vars = inner.functional_check()?;
+                if vars.is_empty() {
+                    Some(vars)
+                } else {
+                    None
+                }
+            }
+            RegexAst::Repeat { inner, min, max } => {
+                let vars = inner.functional_check()?;
+                if vars.is_empty() || (*min == 1 && *max == Some(1)) {
+                    Some(vars)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for RegexAst {
+    /// Renders the formula back into the concrete syntax accepted by the parser.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn needs_group(ast: &RegexAst) -> bool {
+            matches!(ast, RegexAst::Concat(_) | RegexAst::Alternation(_))
+        }
+        fn write_atom(ast: &RegexAst, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            if needs_group(ast) {
+                write!(f, "({ast})")
+            } else {
+                write!(f, "{ast}")
+            }
+        }
+        match self {
+            RegexAst::Epsilon => write!(f, "()"),
+            RegexAst::Class(c) => {
+                if *c == ByteClass::any() {
+                    write!(f, ".")
+                } else if c.len() == 1 {
+                    let b = c.first().expect("non-empty class");
+                    if b"()[]{}|*+?.!\\".contains(&b) {
+                        write!(f, "\\{}", b as char)
+                    } else if b.is_ascii_graphic() || b == b' ' {
+                        write!(f, "{}", b as char)
+                    } else {
+                        write!(f, "\\x{b:02x}")
+                    }
+                } else {
+                    write!(f, "{c}")
+                }
+            }
+            RegexAst::Capture(name, inner) => write!(f, "!{name}{{{inner}}}"),
+            RegexAst::Concat(parts) => {
+                for p in parts {
+                    if matches!(p, RegexAst::Alternation(_)) {
+                        write!(f, "({p})")?;
+                    } else {
+                        write!(f, "{p}")?;
+                    }
+                }
+                Ok(())
+            }
+            RegexAst::Alternation(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            RegexAst::Star(inner) => {
+                write_atom(inner, f)?;
+                write!(f, "*")
+            }
+            RegexAst::Plus(inner) => {
+                write_atom(inner, f)?;
+                write!(f, "+")
+            }
+            RegexAst::Optional(inner) => {
+                write_atom(inner, f)?;
+                write!(f, "?")
+            }
+            RegexAst::Repeat { inner, min, max } => {
+                write_atom(inner, f)?;
+                match max {
+                    Some(max) if max == min => write!(f, "{{{min}}}"),
+                    Some(max) => write!(f, "{{{min},{max}}}"),
+                    None => write!(f, "{{{min},}}"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_byte() {
+        assert_eq!(RegexAst::literal(b""), RegexAst::Epsilon);
+        assert_eq!(RegexAst::literal(b"a"), RegexAst::byte(b'a'));
+        assert_eq!(
+            RegexAst::literal(b"ab"),
+            RegexAst::Concat(vec![RegexAst::byte(b'a'), RegexAst::byte(b'b')])
+        );
+    }
+
+    #[test]
+    fn concat_flattens() {
+        let inner = RegexAst::concat(vec![RegexAst::byte(b'a'), RegexAst::byte(b'b')]);
+        let outer = RegexAst::concat(vec![inner, RegexAst::Epsilon, RegexAst::byte(b'c')]);
+        assert_eq!(outer, RegexAst::literal(b"abc"));
+        assert_eq!(RegexAst::concat(vec![]), RegexAst::Epsilon);
+        assert_eq!(RegexAst::concat(vec![RegexAst::byte(b'x')]), RegexAst::byte(b'x'));
+    }
+
+    #[test]
+    fn alternation_flattens() {
+        let inner = RegexAst::alternation(vec![RegexAst::byte(b'a'), RegexAst::byte(b'b')]);
+        let outer = RegexAst::alternation(vec![inner, RegexAst::byte(b'c')]);
+        match outer {
+            RegexAst::Alternation(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected alternation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variables_collected_in_order() {
+        let ast = RegexAst::concat(vec![
+            RegexAst::capture("b", RegexAst::byte(b'x')),
+            RegexAst::capture("a", RegexAst::capture("c", RegexAst::byte(b'y'))),
+        ]);
+        let vars: Vec<String> = ast.variables().into_iter().collect();
+        assert_eq!(vars, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn size_measure() {
+        // a · b has two symbols and one operator.
+        assert_eq!(RegexAst::literal(b"ab").size(), 3);
+        assert_eq!(RegexAst::Epsilon.size(), 1);
+        let ast = RegexAst::capture("x", RegexAst::Star(Box::new(RegexAst::byte(b'a'))));
+        assert_eq!(ast.size(), 3);
+    }
+
+    #[test]
+    fn functional_checks() {
+        // !x{a} is functional.
+        assert!(RegexAst::capture("x", RegexAst::byte(b'a')).is_functional());
+        // !x{a} · !y{b} is functional.
+        assert!(RegexAst::concat(vec![
+            RegexAst::capture("x", RegexAst::byte(b'a')),
+            RegexAst::capture("y", RegexAst::byte(b'b')),
+        ])
+        .is_functional());
+        // !x{a} · !x{b} is not (variable reused in a concatenation).
+        assert!(!RegexAst::concat(vec![
+            RegexAst::capture("x", RegexAst::byte(b'a')),
+            RegexAst::capture("x", RegexAst::byte(b'b')),
+        ])
+        .is_functional());
+        // !x{a} ∨ !x{b} is functional (same variables on both branches).
+        assert!(RegexAst::alternation(vec![
+            RegexAst::capture("x", RegexAst::byte(b'a')),
+            RegexAst::capture("x", RegexAst::byte(b'b')),
+        ])
+        .is_functional());
+        // !x{a} ∨ b is not (branches differ in variables).
+        assert!(!RegexAst::alternation(vec![
+            RegexAst::capture("x", RegexAst::byte(b'a')),
+            RegexAst::byte(b'b'),
+        ])
+        .is_functional());
+        // (!x{a})* is not functional; a* is.
+        assert!(!RegexAst::Star(Box::new(RegexAst::capture("x", RegexAst::byte(b'a'))))
+            .is_functional());
+        assert!(RegexAst::Star(Box::new(RegexAst::byte(b'a'))).is_functional());
+        // nested capture of the same name is not functional.
+        assert!(!RegexAst::capture("x", RegexAst::capture("x", RegexAst::byte(b'a')))
+            .is_functional());
+        // optional captures are not functional.
+        assert!(!RegexAst::Optional(Box::new(RegexAst::capture("x", RegexAst::byte(b'a'))))
+            .is_functional());
+    }
+
+    #[test]
+    fn display_round_trippable_forms() {
+        let ast = RegexAst::concat(vec![
+            RegexAst::Star(Box::new(RegexAst::Class(ByteClass::any()))),
+            RegexAst::capture("x", RegexAst::Plus(Box::new(RegexAst::Class(ByteClass::ascii_digits())))),
+        ]);
+        let rendered = ast.to_string();
+        assert!(rendered.contains(".*"));
+        assert!(rendered.contains("!x{"));
+        // escaped metacharacter
+        assert_eq!(RegexAst::byte(b'.').to_string(), "\\.");
+        assert_eq!(RegexAst::byte(b'a').to_string(), "a");
+        // repetition forms
+        let r = RegexAst::Repeat { inner: Box::new(RegexAst::byte(b'a')), min: 2, max: Some(4) };
+        assert_eq!(r.to_string(), "a{2,4}");
+        let r = RegexAst::Repeat { inner: Box::new(RegexAst::byte(b'a')), min: 3, max: Some(3) };
+        assert_eq!(r.to_string(), "a{3}");
+        let r = RegexAst::Repeat { inner: Box::new(RegexAst::byte(b'a')), min: 1, max: None };
+        assert_eq!(r.to_string(), "a{1,}");
+    }
+
+    #[test]
+    fn alternation_inside_concat_is_grouped() {
+        let ast = RegexAst::concat(vec![
+            RegexAst::byte(b'a'),
+            RegexAst::alternation(vec![RegexAst::byte(b'b'), RegexAst::byte(b'c')]),
+        ]);
+        assert_eq!(ast.to_string(), "a(b|c)");
+    }
+}

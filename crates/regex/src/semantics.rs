@@ -1,0 +1,297 @@
+//! The reference semantics of regex formulas (Table 1 of the paper).
+//!
+//! `⟦γ⟧(d)` is defined through the auxiliary relation `[γ](d)` of pairs
+//! `(s, µ)` where `s` is a span of `d` matched by `γ` and `µ` the mapping
+//! produced as a side effect. This module implements that definition literally,
+//! by structural induction — it is intentionally naive (worst-case exponential)
+//! and serves as the ground-truth oracle for differential tests against the
+//! automaton pipeline. Never use it on large documents.
+
+use crate::ast::RegexAst;
+use spanners_core::{Document, Mapping, Span, SpannerError, VarRegistry};
+use std::collections::BTreeSet;
+
+/// A set of `(span, mapping)` pairs — the value of `[γ](d)` in Table 1.
+type Rel = BTreeSet<(Span, Mapping)>;
+
+/// Evaluates a regex formula over a document according to Table 1, returning
+/// `⟦γ⟧(d)` (the mappings of matches covering the whole document), together
+/// with the registry that maps the formula's variable names to ids.
+pub fn eval_regex(ast: &RegexAst, doc: &Document) -> Result<(Vec<Mapping>, VarRegistry), SpannerError> {
+    let mut registry = VarRegistry::new();
+    for name in ast.variables() {
+        registry.intern(&name)?;
+    }
+    let rel = eval_rel(ast, doc, &registry)?;
+    let full = doc.full_span();
+    let out: Vec<Mapping> =
+        rel.into_iter().filter(|(s, _)| *s == full).map(|(_, m)| m).collect();
+    Ok((out, registry))
+}
+
+/// Evaluates the auxiliary relation `[γ](d)`.
+pub fn eval_rel(ast: &RegexAst, doc: &Document, registry: &VarRegistry) -> Result<Rel, SpannerError> {
+    Ok(match ast {
+        RegexAst::Epsilon => (0..=doc.len()).map(|i| (Span::empty_at(i), Mapping::new())).collect(),
+        RegexAst::Class(c) => (0..doc.len())
+            .filter(|&i| c.contains(doc.bytes()[i]))
+            .map(|i| (Span::new_unchecked(i, i + 1), Mapping::new()))
+            .collect(),
+        RegexAst::Capture(name, inner) => {
+            let var = registry
+                .get(name)
+                .ok_or_else(|| SpannerError::InvalidVariable { var: 0, num_vars: registry.len() })?;
+            eval_rel(inner, doc, registry)?
+                .into_iter()
+                .filter(|(_, m)| !m.contains(var))
+                .map(|(s, m)| (s, m.with(var, s)))
+                .collect()
+        }
+        RegexAst::Concat(parts) => {
+            let mut acc: Rel =
+                (0..=doc.len()).map(|i| (Span::empty_at(i), Mapping::new())).collect();
+            for p in parts {
+                let next = eval_rel(p, doc, registry)?;
+                acc = combine(&acc, &next);
+            }
+            acc
+        }
+        RegexAst::Alternation(parts) => {
+            let mut acc = Rel::new();
+            for p in parts {
+                acc.extend(eval_rel(p, doc, registry)?);
+            }
+            acc
+        }
+        RegexAst::Star(inner) => star(&eval_rel(inner, doc, registry)?, doc),
+        RegexAst::Plus(inner) => {
+            let base = eval_rel(inner, doc, registry)?;
+            combine(&base, &star(&base, doc))
+        }
+        RegexAst::Optional(inner) => {
+            let mut acc: Rel =
+                (0..=doc.len()).map(|i| (Span::empty_at(i), Mapping::new())).collect();
+            acc.extend(eval_rel(inner, doc, registry)?);
+            acc
+        }
+        RegexAst::Repeat { inner, min, max } => {
+            let base = eval_rel(inner, doc, registry)?;
+            let eps: Rel = (0..=doc.len()).map(|i| (Span::empty_at(i), Mapping::new())).collect();
+            let mut acc = eps.clone();
+            for _ in 0..*min {
+                acc = combine(&acc, &base);
+            }
+            match max {
+                None => combine(&acc, &star(&base, doc)),
+                Some(max) => {
+                    let mut result = acc.clone();
+                    for _ in *min..*max {
+                        acc = combine(&acc, &base);
+                        result.extend(acc.clone());
+                    }
+                    result
+                }
+            }
+        }
+    })
+}
+
+/// The concatenation rule of Table 1: join adjacent spans with disjoint-domain
+/// mappings.
+fn combine(left: &Rel, right: &Rel) -> Rel {
+    let mut out = Rel::new();
+    for (s1, m1) in left {
+        for (s2, m2) in right {
+            if let Some(s) = s1.concat(s2) {
+                if m1.domain().is_disjoint(&m2.domain()) {
+                    let merged = m1.union(m2).expect("disjoint domains are always compatible");
+                    out.insert((s, merged));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The Kleene-star rule of Table 1: `[γ*] = [ε] ∪ [γ] ∪ [γ²] ∪ …`, computed as
+/// a least fixpoint (the chain stabilises because spans and domains are finite).
+fn star(base: &Rel, doc: &Document) -> Rel {
+    let mut acc: Rel = (0..=doc.len()).map(|i| (Span::empty_at(i), Mapping::new())).collect();
+    loop {
+        let next = combine(&acc, base);
+        let before = acc.len();
+        acc.extend(next);
+        if acc.len() == before {
+            return acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn eval(pattern: &str, doc: &str) -> Vec<Mapping> {
+        let ast = parse(pattern).unwrap();
+        let (mut out, _) = eval_regex(&ast, &Document::from(doc)).unwrap();
+        out.sort();
+        out
+    }
+
+    fn eval_named(pattern: &str, doc: &str) -> (Vec<Mapping>, VarRegistry) {
+        let ast = parse(pattern).unwrap();
+        let (mut out, reg) = eval_regex(&ast, &Document::from(doc)).unwrap();
+        out.sort();
+        (out, reg)
+    }
+
+    #[test]
+    fn plain_regular_expressions_boolean_semantics() {
+        // Without variables, ⟦γ⟧(d) is {∅} if d matches γ entirely, {} otherwise.
+        assert_eq!(eval("abc", "abc"), vec![Mapping::new()]);
+        assert!(eval("abc", "abd").is_empty());
+        assert!(eval("abc", "ab").is_empty());
+        assert_eq!(eval("a*", ""), vec![Mapping::new()]);
+        assert_eq!(eval("a*", "aaaa"), vec![Mapping::new()]);
+        assert!(eval("a*", "ab").is_empty());
+        assert_eq!(eval("a|b", "b"), vec![Mapping::new()]);
+        assert_eq!(eval("(ab)+", "abab"), vec![Mapping::new()]);
+        assert!(eval("(ab)+", "").is_empty());
+        assert_eq!(eval("a?b", "b"), vec![Mapping::new()]);
+        assert_eq!(eval("a{2,3}", "aa"), vec![Mapping::new()]);
+        assert_eq!(eval("a{2,3}", "aaa"), vec![Mapping::new()]);
+        assert!(eval("a{2,3}", "aaaa").is_empty());
+        assert!(eval("a{2}", "a").is_empty());
+        assert_eq!(eval("a{2,}", "aaaaa"), vec![Mapping::new()]);
+    }
+
+    #[test]
+    fn single_capture_every_position() {
+        // .*!x{a}.* captures every occurrence of `a`.
+        let (out, reg) = eval_named(".*!x{a}.*", "abca");
+        let x = reg.get("x").unwrap();
+        let spans: Vec<Span> = out.iter().map(|m| m.get(x).unwrap()).collect();
+        assert_eq!(spans, vec![Span::new(0, 1).unwrap(), Span::new(3, 4).unwrap()]);
+    }
+
+    #[test]
+    fn all_spans_capture_quadratic() {
+        // The introduction's example: Σ* x{Σ*} Σ* captures every span.
+        let (out, _) = eval_named(".*!x{.*}.*", "abc");
+        // (n+1)(n+2)/2 spans for n = 3.
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn nested_captures_cubic() {
+        // Σ* x1{Σ* x2{Σ*} Σ*} Σ*: x2 inside x1 — Ω(|d|²) and more outputs.
+        let (out, reg) = eval_named(".*!x1{.*!x2{.*}.*}.*", "ab");
+        let x1 = reg.get("x1").unwrap();
+        let x2 = reg.get("x2").unwrap();
+        for m in &out {
+            let s1 = m.get(x1).unwrap();
+            let s2 = m.get(x2).unwrap();
+            assert!(s1.start() <= s2.start() && s2.end() <= s1.end(), "x2 nested in x1");
+        }
+        // number of pairs (s1 ⊇ s2) over a length-2 document: enumerate spans of
+        // "ab": 6 spans; pairs with containment: Σ over s1 of #subspans.
+        // spans: [0,0⟩ [0,1⟩ [0,2⟩ [1,1⟩ [1,2⟩ [2,2⟩ → subspan counts 1,3,6,1,3,1 = 15.
+        assert_eq!(out.len(), 15);
+    }
+
+    #[test]
+    fn capture_under_alternation() {
+        let (out, reg) = eval_named("!x{a}|!y{b}", "a");
+        let x = reg.get("x").unwrap();
+        let y = reg.get("y").unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(x), Some(Span::new(0, 1).unwrap()));
+        assert_eq!(out[0].get(y), None);
+        let (out, _) = eval_named("!x{a}|!y{b}", "b");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains(reg.get("y").unwrap_or(y)));
+    }
+
+    #[test]
+    fn capture_of_empty_span() {
+        let (out, reg) = eval_named("a!x{}b", "ab");
+        let x = reg.get("x").unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(x), Some(Span::new(1, 1).unwrap()));
+    }
+
+    #[test]
+    fn optional_capture_produces_partial_mappings() {
+        // (!x{a})? on "a": either the branch with x or the ε branch — but the ε
+        // branch only matches the empty document, so here only the capture.
+        let (out, reg) = eval_named("(!x{a})?", "a");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains(reg.get("x").unwrap()));
+        // On the empty document both branches match but produce {} and {x→ε}… the
+        // capture branch matches the empty document only if `a` can match ε — it
+        // cannot, so only the empty mapping remains.
+        let (out, _) = eval_named("(!x{a})?", "");
+        assert_eq!(out, vec![Mapping::new()]);
+    }
+
+    #[test]
+    fn starred_capture_at_most_once() {
+        // (!x{a})* : iterations must use disjoint domains, so x can be captured at
+        // most once; the star therefore matches ε or a single `a`.
+        let (out, _) = eval_named("(!x{a})*", "a");
+        assert_eq!(out.len(), 1);
+        assert!(eval("(!x{a})*", "aa").is_empty());
+        let (out, _) = eval_named("(!x{a})*", "");
+        assert_eq!(out, vec![Mapping::new()]);
+    }
+
+    #[test]
+    fn repeated_capture_in_concat_yields_nothing() {
+        // !x{a}!x{a}: the two captures clash (domains not disjoint), so no output.
+        assert!(eval("!x{a}!x{a}", "aa").is_empty());
+        // but the same span captured twice through an alternation is fine
+        assert_eq!(eval("!x{a}|!x{a}", "a").len(), 1);
+    }
+
+    #[test]
+    fn figure_1_example() {
+        // The paper's running example (Figure 1 / Example 2.1), with simplified
+        // sub-formulas for names, e-mails and phone numbers.
+        let doc = "John xj@g.bey, Jane x555-12y";
+        let pattern = ".*!name{[A-Z][a-z]+} x(!email{[a-z.@]+}|!phone{[0-9-]+})y.*";
+        let (out, reg) = eval_named(pattern, doc);
+        let name = reg.get("name").unwrap();
+        let email = reg.get("email").unwrap();
+        let phone = reg.get("phone").unwrap();
+        // µ1: name → [1,5⟩, email → [7,13⟩ ; µ2: name → [16,20⟩, phone → [22,28⟩
+        let mu1 = Mapping::from_pairs([
+            (name, Span::from_paper(1, 5).unwrap()),
+            (email, Span::from_paper(7, 13).unwrap()),
+        ]);
+        let mu2 = Mapping::from_pairs([
+            (name, Span::from_paper(16, 20).unwrap()),
+            (phone, Span::from_paper(22, 28).unwrap()),
+        ]);
+        assert!(out.contains(&mu1), "µ1 missing from {out:?}");
+        assert!(out.contains(&mu2), "µ2 missing from {out:?}");
+    }
+
+    #[test]
+    fn word_boundaries_with_classes() {
+        let (out, reg) = eval_named("[^0-9]*!num{[0-9]+}[^0-9]*", "ab123cd");
+        let num = reg.get("num").unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(num), Some(Span::new(2, 5).unwrap()));
+    }
+
+    #[test]
+    fn unknown_variables_are_impossible_by_construction() {
+        // eval_regex interns every variable of the formula, so Capture always
+        // resolves; this test simply exercises a formula with several variables.
+        let (out, reg) = eval_named("!a{x}!b{y}!c{z}", "xyz");
+        assert_eq!(reg.len(), 3);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 3);
+    }
+}

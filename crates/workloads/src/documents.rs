@@ -1,0 +1,170 @@
+//! Synthetic document generators.
+//!
+//! The paper evaluates purely combinatorial algorithms, so any reproducible
+//! text source with controllable size and match density exercises the same
+//! code paths as real corpora. All generators are seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spanners_core::Document;
+
+/// Uniformly random text over the given alphabet.
+pub fn random_text(seed: u64, len: usize, alphabet: &[u8]) -> Document {
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bytes: Vec<u8> = (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect();
+    Document::new(bytes)
+}
+
+/// Random lowercase text with spaces, resembling natural-language tokens.
+pub fn random_words(seed: u64, len: usize) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bytes = Vec::with_capacity(len);
+    while bytes.len() < len {
+        let word_len = rng.gen_range(2..9);
+        for _ in 0..word_len {
+            bytes.push(b'a' + rng.gen_range(0..26) as u8);
+        }
+        bytes.push(b' ');
+    }
+    bytes.truncate(len);
+    Document::new(bytes)
+}
+
+/// A synthetic contact directory in the format of the paper's Figure 1 /
+/// Example 2.1: entries `Name xcontacty` separated by `, `, where the contact
+/// is alternately an e-mail address and a phone number.
+///
+/// Returns the document together with the number of entries generated, which
+/// equals the number of mappings the Example 2.1 spanner extracts from it.
+pub fn contact_directory(seed: u64, entries: usize) -> (Document, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let first_names = [
+        // Names avoid the letters x/y, which the Figure 1 format uses as delimiters.
+        "John", "Jane", "Ada", "Alan", "Grace", "Edsger", "Donald", "Barbara", "Alonzo", "Leslie",
+    ];
+    let hosts = ["g.be", "mail.cl", "uc.cl", "ulb.ac.be", "example.org"];
+    let mut text = String::new();
+    for i in 0..entries {
+        if i > 0 {
+            text.push_str(", ");
+        }
+        let name = first_names[rng.gen_range(0..first_names.len())];
+        text.push_str(name);
+        text.push_str(" x");
+        if i % 2 == 0 {
+            // e-mail; user names avoid the letters x/y/z, which the Figure 1
+            // format uses as entry delimiters.
+            let user_len = rng.gen_range(1..6);
+            for _ in 0..user_len {
+                text.push((b'a' + rng.gen_range(0..23) as u8) as char);
+            }
+            text.push('@');
+            text.push_str(hosts[rng.gen_range(0..hosts.len())]);
+        } else {
+            // phone
+            for _ in 0..3 {
+                text.push((b'0' + rng.gen_range(0..10) as u8) as char);
+            }
+            text.push('-');
+            for _ in 0..2 {
+                text.push((b'0' + rng.gen_range(0..10) as u8) as char);
+            }
+        }
+        text.push('y');
+    }
+    (Document::from(text), entries)
+}
+
+/// Apache-style log lines: `IP - - [timestamp] "GET /path" status size`.
+pub fn log_lines(seed: u64, lines: usize) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut text = String::new();
+    let paths = ["/", "/index.html", "/api/v1/items", "/static/app.js", "/login"];
+    for _ in 0..lines {
+        let ip = format!(
+            "{}.{}.{}.{}",
+            rng.gen_range(1..255),
+            rng.gen_range(0..255),
+            rng.gen_range(0..255),
+            rng.gen_range(1..255)
+        );
+        let status = [200, 200, 200, 304, 404, 500][rng.gen_range(0..6)];
+        let size = rng.gen_range(100..100_000);
+        let path = paths[rng.gen_range(0..paths.len())];
+        text.push_str(&format!(
+            "{ip} - - [14/Jun/2026:12:{:02}:{:02} +0000] \"GET {path}\" {status} {size}\n",
+            rng.gen_range(0..60),
+            rng.gen_range(0..60)
+        ));
+    }
+    Document::from(text)
+}
+
+/// DNA-like sequences over `{A, C, G, T}`.
+pub fn dna(seed: u64, len: usize) -> Document {
+    random_text(seed, len, b"ACGT")
+}
+
+/// The exact document of Figure 1 in the paper.
+pub fn figure1_document() -> Document {
+    Document::from("John xj@g.bey, Jane x555-12y")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_text_is_deterministic_and_sized() {
+        let a = random_text(7, 1000, b"ab");
+        let b = random_text(7, 1000, b"ab");
+        let c = random_text(8, 1000, b"ab");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 1000);
+        assert!(a.bytes().iter().all(|&x| x == b'a' || x == b'b'));
+    }
+
+    #[test]
+    fn random_words_look_like_words() {
+        let d = random_words(1, 200);
+        assert_eq!(d.len(), 200);
+        assert!(d.bytes().iter().all(|&b| b == b' ' || b.is_ascii_lowercase()));
+        assert!(d.bytes().contains(&b' '));
+    }
+
+    #[test]
+    fn contact_directory_structure() {
+        let (doc, n) = contact_directory(3, 10);
+        assert_eq!(n, 10);
+        let text = String::from_utf8(doc.bytes().to_vec()).unwrap();
+        assert_eq!(text.matches(" x").count(), 10);
+        assert_eq!(text.matches('y').count(), 10);
+        assert_eq!(text.matches('@').count(), 5);
+        assert_eq!(text.matches(", ").count(), 9);
+    }
+
+    #[test]
+    fn log_lines_count() {
+        let doc = log_lines(5, 25);
+        let text = String::from_utf8(doc.bytes().to_vec()).unwrap();
+        assert_eq!(text.lines().count(), 25);
+        assert!(text.contains("GET"));
+    }
+
+    #[test]
+    fn dna_alphabet() {
+        let doc = dna(11, 500);
+        assert_eq!(doc.len(), 500);
+        assert!(doc.bytes().iter().all(|b| b"ACGT".contains(b)));
+    }
+
+    #[test]
+    fn figure1_matches_paper() {
+        let d = figure1_document();
+        assert_eq!(d.len(), 28);
+        assert_eq!(d.paper_content(1, 5).unwrap(), b"John");
+        assert_eq!(d.paper_content(22, 28).unwrap(), b"555-12");
+    }
+}

@@ -1,0 +1,310 @@
+//! Parameterised spanner families used by tests, examples and benchmarks.
+//!
+//! Each family reproduces a concrete object from the paper (the automata of
+//! Figures 2, 3 and 7, the nested-capture regex of the introduction, the
+//! Example 2.1 extraction rule) or a workload the evaluation needs (all-spans
+//! spanners, keyword dictionaries, random functional VA).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spanners_automata::{Va, VaBuilder};
+use spanners_core::{ByteClass, Eva, EvaBuilder, MarkerSet, SpannerError, VarRegistry};
+
+/// The extended functional VA of **Figure 3**, over variables `x` and `y`.
+pub fn figure3_eva() -> Eva {
+    let mut reg = VarRegistry::new();
+    let x = reg.intern("x").unwrap();
+    let y = reg.intern("y").unwrap();
+    let mut b = EvaBuilder::new(reg);
+    let q = b.add_states(10);
+    b.set_initial(q[0]);
+    b.set_final(q[9]);
+    let ms = MarkerSet::new;
+    b.add_var(q[0], ms().with_open(x), q[1]).unwrap();
+    b.add_var(q[0], ms().with_open(y), q[2]).unwrap();
+    b.add_var(q[0], ms().with_open(x).with_open(y), q[3]).unwrap();
+    b.add_letter(q[3], ByteClass::from_bytes(b"ab"), q[3]);
+    b.add_byte(q[1], b'a', q[4]);
+    b.add_byte(q[2], b'a', q[5]);
+    b.add_var(q[4], ms().with_open(y), q[6]).unwrap();
+    b.add_var(q[5], ms().with_open(x), q[7]).unwrap();
+    b.add_byte(q[6], b'b', q[8]);
+    b.add_byte(q[7], b'b', q[8]);
+    b.add_var(q[8], ms().with_close(x).with_close(y), q[9]).unwrap();
+    b.add_var(q[3], ms().with_close(x).with_close(y), q[9]).unwrap();
+    b.build().unwrap()
+}
+
+/// The functional VA of **Figure 2**: two interleavings of opening `x` and `y`
+/// that produce the same output mapping.
+pub fn figure2_va() -> Va {
+    let mut reg = VarRegistry::new();
+    let x = reg.intern("x").unwrap();
+    let y = reg.intern("y").unwrap();
+    let mut b = VaBuilder::new(reg);
+    let q = b.add_states(6);
+    b.set_initial(q[0]);
+    b.set_final(q[5]);
+    b.add_open(q[0], x, q[1]);
+    b.add_open(q[1], y, q[3]);
+    b.add_open(q[0], y, q[2]);
+    b.add_open(q[2], x, q[3]);
+    b.add_byte(q[3], b'a', q[3]);
+    b.add_close(q[3], x, q[4]);
+    b.add_close(q[4], y, q[5]);
+    b.build().unwrap()
+}
+
+/// The **Figure 7 / Proposition 4.2** family: a sequential VA with `2ℓ`
+/// variables (`x_1..x_ℓ`, `y_1..y_ℓ`) whose smallest equivalent extended VA
+/// needs `2^ℓ` extended transitions.
+pub fn prop42_va(ell: usize) -> Result<Va, SpannerError> {
+    let mut reg = VarRegistry::new();
+    let xs: Result<Vec<_>, _> = (0..ell).map(|i| reg.intern(&format!("x{i}"))).collect();
+    let ys: Result<Vec<_>, _> = (0..ell).map(|i| reg.intern(&format!("y{i}"))).collect();
+    let (xs, ys) = (xs?, ys?);
+    let mut b = VaBuilder::new(reg);
+    let start = b.add_state();
+    b.set_initial(start);
+    let mut cur = start;
+    for i in 0..ell {
+        let next = b.add_state();
+        let mid_x = b.add_state();
+        b.add_open(cur, xs[i], mid_x);
+        b.add_close(mid_x, xs[i], next);
+        let mid_y = b.add_state();
+        b.add_open(cur, ys[i], mid_y);
+        b.add_close(mid_y, ys[i], next);
+        cur = next;
+    }
+    let fin = b.add_state();
+    b.add_byte(cur, b'a', fin);
+    b.set_final(fin);
+    b.build()
+}
+
+/// The "every span into `x`" spanner (the introduction's `Σ* x{Σ*} Σ*`),
+/// as a deterministic sequential eVA. Output size is `Θ(|d|²)`.
+pub fn all_spans_eva() -> Eva {
+    let mut reg = VarRegistry::new();
+    let x = reg.intern("x").unwrap();
+    let mut b = EvaBuilder::new(reg);
+    let q0 = b.add_state();
+    let q1 = b.add_state();
+    let q2 = b.add_state();
+    b.set_initial(q0);
+    b.set_final(q2);
+    let any = ByteClass::any();
+    b.add_letter(q0, any, q0);
+    b.add_letter(q1, any, q1);
+    b.add_letter(q2, any, q2);
+    b.add_var(q0, MarkerSet::new().with_open(x), q1).unwrap();
+    b.add_var(q1, MarkerSet::new().with_close(x), q2).unwrap();
+    b.add_var(q0, MarkerSet::new().with_open(x).with_close(x), q2).unwrap();
+    b.build().unwrap()
+}
+
+/// The nested-capture regex formula of the introduction,
+/// `Σ* !x1{Σ* !x2{… Σ*} Σ*} Σ*`, with `depth` nested variables.
+/// Its output size is `Ω(|d|^depth)`.
+pub fn nested_captures_pattern(depth: usize) -> String {
+    let mut pattern = String::from(".*");
+    for i in 1..=depth {
+        pattern.push_str(&format!("!x{i}{{.*"));
+    }
+    for _ in 0..depth {
+        pattern.push_str("}.*");
+    }
+    pattern
+}
+
+/// The Example 2.1 extraction rule (names + e-mail or phone), in the concrete
+/// syntax understood by `spanners_regex::compile`, matching the synthetic
+/// directories produced by [`crate::documents::contact_directory`] and the
+/// Figure 1 document.
+pub fn contact_pattern() -> &'static str {
+    ".*!name{[A-Z][a-z]+} x(!email{[a-z.@]+}|!phone{[0-9-]+})y.*"
+}
+
+/// A pattern extracting every maximal-or-not run of decimal digits.
+pub fn digit_runs_pattern() -> &'static str {
+    ".*!num{[0-9]+}.*"
+}
+
+/// A keyword-dictionary extraction pattern: captures any of the given keywords
+/// into the variable `kw`.
+pub fn keyword_dictionary_pattern(keywords: &[&str]) -> String {
+    let alternatives = keywords.join("|");
+    format!(".*!kw{{{alternatives}}}.*")
+}
+
+/// IPv4-address extraction from log lines (used with [`crate::documents::log_lines`]).
+pub fn ipv4_pattern() -> &'static str {
+    ".*!ip{[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}}.*"
+}
+
+/// A random **functional VA**: a linear chain of `blocks` blocks, each reading
+/// a few random letters and capturing one variable, with random optional
+/// branches. Used to stress the determinization pipeline with irregular shapes.
+pub fn random_functional_va(seed: u64, blocks: usize, vars: usize) -> Result<Va, SpannerError> {
+    assert!(vars >= 1 && vars <= blocks);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reg = VarRegistry::new();
+    let var_ids: Result<Vec<_>, _> = (0..vars).map(|i| reg.intern(&format!("v{i}"))).collect();
+    let var_ids = var_ids?;
+    let mut b = VaBuilder::new(reg);
+    let start = b.add_state();
+    b.set_initial(start);
+    let mut cur = start;
+    for block in 0..blocks {
+        // Random letters before the capture.
+        for _ in 0..rng.gen_range(0..3) {
+            let next = b.add_state();
+            let byte = b'a' + rng.gen_range(0..4) as u8;
+            b.add_byte(cur, byte, next);
+            // optional alternative letter to the same target
+            if rng.gen_bool(0.5) {
+                b.add_byte(cur, b'a' + rng.gen_range(0..4) as u8, next);
+            }
+            cur = next;
+        }
+        if block < vars {
+            // Capture one letter into variable `block`.
+            let open = b.add_state();
+            let mid = b.add_state();
+            let close = b.add_state();
+            b.add_open(cur, var_ids[block], open);
+            let byte = b'a' + rng.gen_range(0..4) as u8;
+            b.add_byte(open, byte, mid);
+            if rng.gen_bool(0.5) {
+                b.add_byte(open, b'a' + rng.gen_range(0..4) as u8, mid);
+            }
+            b.add_close(mid, var_ids[block], close);
+            cur = close;
+        }
+    }
+    b.set_final(cur);
+    b.build()
+}
+
+/// A document that the automaton produced by [`random_functional_va`] accepts
+/// with at least one output, obtained by replaying one of its runs.
+pub fn witness_document(va: &Va, max_len: usize) -> Option<spanners_core::Document> {
+    // Breadth-first search over (state, word) until a final state is reached.
+    use spanners_automata::VaLabel;
+    use std::collections::VecDeque;
+    let mut queue: VecDeque<(usize, Vec<u8>)> = VecDeque::new();
+    let mut visited = vec![false; va.num_states()];
+    queue.push_back((va.initial(), Vec::new()));
+    visited[va.initial()] = true;
+    while let Some((q, word)) = queue.pop_front() {
+        if va.is_final(q) {
+            return Some(spanners_core::Document::new(word));
+        }
+        if word.len() > max_len {
+            continue;
+        }
+        for t in va.transitions(q) {
+            if visited[t.target] {
+                continue;
+            }
+            visited[t.target] = true;
+            let mut next_word = word.clone();
+            if let VaLabel::Letter(c) = &t.label {
+                next_word.push(c.first().expect("letter classes are non-empty"));
+            }
+            queue.push_back((t.target, next_word));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanners_core::Document;
+
+    #[test]
+    fn figure3_family_properties() {
+        let a = figure3_eva();
+        assert!(a.is_deterministic() && a.is_sequential() && a.is_functional());
+        assert_eq!(a.eval_naive(&Document::from("ab")).len(), 3);
+    }
+
+    #[test]
+    fn figure2_family_properties() {
+        let a = figure2_va();
+        assert!(a.is_functional());
+        assert_eq!(a.eval_naive(&Document::from("a")).len(), 1);
+    }
+
+    #[test]
+    fn prop42_family_sizes() {
+        for ell in 1..=5 {
+            let a = prop42_va(ell).unwrap();
+            assert_eq!(a.num_states(), 3 * ell + 2);
+            assert_eq!(a.num_transitions(), 4 * ell + 1);
+            assert!(a.is_sequential());
+        }
+        assert!(prop42_va(20).is_err()); // 40 variables exceed the limit
+    }
+
+    #[test]
+    fn all_spans_output_size() {
+        let a = all_spans_eva();
+        let n = 12;
+        let out = a.eval_naive(&Document::new(vec![b'q'; n]));
+        assert_eq!(out.len(), (n + 1) * (n + 2) / 2);
+    }
+
+    #[test]
+    fn nested_pattern_shape() {
+        assert_eq!(nested_captures_pattern(1), ".*!x1{.*}.*");
+        assert_eq!(nested_captures_pattern(2), ".*!x1{.*!x2{.*}.*}.*");
+        let ast = spanners_regex::parse(&nested_captures_pattern(3)).unwrap();
+        assert_eq!(ast.variables().len(), 3);
+    }
+
+    #[test]
+    fn contact_pattern_extracts_figure1() {
+        let spanner = spanners_regex::compile(contact_pattern()).unwrap();
+        let doc = crate::documents::figure1_document();
+        assert_eq!(spanner.count_u64(&doc).unwrap(), 2);
+    }
+
+    #[test]
+    fn contact_pattern_scales_with_directory() {
+        let spanner = spanners_regex::compile(contact_pattern()).unwrap();
+        for entries in [1usize, 5, 20] {
+            let (doc, n) = crate::documents::contact_directory(42, entries);
+            assert_eq!(spanner.count_u64(&doc).unwrap() as usize, n, "entries = {entries}");
+        }
+    }
+
+    #[test]
+    fn keyword_dictionary_counts_occurrences() {
+        let pattern = keyword_dictionary_pattern(&["cat", "dog"]);
+        let spanner = spanners_regex::compile(&pattern).unwrap();
+        let doc = Document::from("cat dog catdog");
+        assert_eq!(spanner.count_u64(&doc).unwrap(), 4);
+    }
+
+    #[test]
+    fn ipv4_pattern_matches_logs() {
+        let spanner = spanners_regex::compile(ipv4_pattern()).unwrap();
+        let doc = crate::documents::log_lines(9, 3);
+        // Every line contributes at least one IP capture (plus substring matches
+        // of the liberal 1-3 digit groups).
+        assert!(spanner.count_u64(&doc).unwrap() >= 3);
+    }
+
+    #[test]
+    fn random_functional_va_is_functional() {
+        for seed in 0..5 {
+            let va = random_functional_va(seed, 4, 3).unwrap();
+            assert!(va.is_functional(), "seed {seed}");
+            let doc = witness_document(&va, 64).expect("witness exists");
+            assert!(!va.eval_naive(&doc).is_empty(), "seed {seed}");
+        }
+    }
+}

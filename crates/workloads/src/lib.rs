@@ -1,0 +1,24 @@
+//! # spanners-workloads
+//!
+//! Reproducible synthetic workloads for the test and benchmark harness:
+//! seeded document generators ([`documents`]) and parameterised spanner
+//! families ([`families`]) reproducing the concrete objects of the paper
+//! (Figures 2, 3 and 7, Example 2.1, the nested-capture spanners of the
+//! introduction) plus realistic extraction rules (log IPs, keyword
+//! dictionaries, contact directories).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod documents;
+pub mod families;
+
+pub use documents::{
+    contact_directory, dna, figure1_document, log_lines, random_text, random_words,
+};
+pub use families::{
+    all_spans_eva, contact_pattern, digit_runs_pattern, figure2_va, figure3_eva, ipv4_pattern,
+    keyword_dictionary_pattern, nested_captures_pattern, prop42_va, random_functional_va,
+    witness_document,
+};

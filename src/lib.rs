@@ -1,0 +1,25 @@
+//! # spanners — constant-delay evaluation of regular document spanners
+//!
+//! Facade crate re-exporting the public API of the `spanners-*` workspace.
+//! See the individual crates for details:
+//!
+//! * [`core`](spanners_core) — spans, mappings, extended VA, the constant-delay
+//!   enumeration (Algorithms 1–2) and counting (Algorithm 3) of the paper;
+//! * [`automata`](spanners_automata) — classical variable-set automata and the
+//!   translations/determinization of Section 4;
+//! * [`regex`](spanners_regex) — regex formulas with capture variables;
+//! * [`algebra`](spanners_algebra) — the spanner algebra `{π, ∪, ⋈}`;
+//! * [`baselines`](spanners_baselines) — comparison evaluation algorithms;
+//! * [`workloads`](spanners_workloads) — synthetic documents and spanner families.
+
+pub use spanners_algebra as algebra;
+pub use spanners_automata as automata;
+pub use spanners_baselines as baselines;
+pub use spanners_core as core;
+pub use spanners_regex as regex;
+pub use spanners_workloads as workloads;
+
+pub use spanners_core::{
+    count_mappings, CompiledSpanner, Document, EnumerationDag, Eva, EvaBuilder, Mapping,
+    MarkerSet, Span, SpannerError, VarId, VarRegistry,
+};

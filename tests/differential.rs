@@ -1,0 +1,174 @@
+//! Differential and property-based tests across the whole pipeline:
+//! Table 1 reference semantics ⇔ compiled constant-delay evaluation ⇔ counting
+//! ⇔ all baseline algorithms, on randomly generated documents and automata.
+
+use proptest::prelude::*;
+use spanners::automata::{compile_va, CompileOptions};
+use spanners::baselines::{materialize_enumerate, naive_enumerate, PolyDelayEnumerator};
+use spanners::core::{count_mappings, dedup_mappings, Document, EnumerationDag, Mapping};
+use spanners::regex::{compile, eval_regex, parse};
+use spanners::workloads::{random_functional_va, witness_document};
+
+/// The fixed pattern zoo used by the random-document differential tests.
+/// Each pattern exercises a different combination of features (captures,
+/// alternation, nesting, classes, repetition, optionality).
+const PATTERNS: &[&str] = &[
+    ".*!x{a+}.*",
+    ".*!x{[ab]+}.*!y{b+}.*",
+    "!x{.*}",
+    ".*!x{a!y{b*}a}.*",
+    "(!x{a}|b)*",
+    ".*!num{[0-9]{1,2}}.*",
+    ".*(!left{a+}|!right{b+}).*",
+    "!prefix{[ab]*}c?!suffix{[ab]*}",
+];
+
+fn enumerate_sorted(spanner: &spanners::CompiledSpanner, doc: &Document) -> Vec<Mapping> {
+    let mut out = spanner.mappings(doc);
+    dedup_mappings(&mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compiled pipeline agrees with the Table 1 reference semantics on
+    /// random short documents, for every pattern in the zoo.
+    #[test]
+    fn pipeline_matches_reference_semantics(doc_bytes in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'0'), Just(b'1')], 0..9)) {
+        let doc = Document::new(doc_bytes);
+        for pattern in PATTERNS {
+            let ast = parse(pattern).unwrap();
+            let (mut expected, _) = eval_regex(&ast, &doc).unwrap();
+            dedup_mappings(&mut expected);
+            let spanner = compile(pattern).unwrap();
+            let got = enumerate_sorted(&spanner, &doc);
+            prop_assert_eq!(&got, &expected, "pattern {} on {:?}", pattern, doc.to_string());
+            // Counting agrees (Theorem 5.1), and so does DAG path counting.
+            let count: u64 = spanner.count(&doc).unwrap();
+            prop_assert_eq!(count as usize, expected.len());
+            let dag = spanner.evaluate(&doc);
+            prop_assert_eq!(dag.count_paths(), count as u128);
+        }
+    }
+
+    /// The constant-delay enumeration never produces duplicates, on documents
+    /// too large for the reference semantics.
+    #[test]
+    fn no_duplicates_on_larger_documents(doc_bytes in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'0')], 0..40)) {
+        let doc = Document::new(doc_bytes);
+        for pattern in &[".*!x{a+}.*", ".*!x{[ab]+}.*!y{b+}.*", ".*!num{[0-9]{1,2}}.*"] {
+            let spanner = compile(pattern).unwrap();
+            let all = spanner.mappings(&doc);
+            let mut dedup = all.clone();
+            dedup_mappings(&mut dedup);
+            prop_assert_eq!(all.len(), dedup.len(), "pattern {}", pattern);
+            prop_assert_eq!(all.len() as u64, spanner.count_u64(&doc).unwrap());
+        }
+    }
+
+    /// All three baseline algorithms agree with the constant-delay algorithm.
+    #[test]
+    fn baselines_agree_with_constant_delay(doc_bytes in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'1')], 0..16)) {
+        let doc = Document::new(doc_bytes);
+        for pattern in &[".*!x{a+}.*", ".*!x{[ab]+}.*!y{b+}.*", "!w{.*}"] {
+            let spanner = compile(pattern).unwrap();
+            let expected = enumerate_sorted(&spanner, &doc);
+
+            let mut materialized = materialize_enumerate(spanner.automaton(), &doc);
+            dedup_mappings(&mut materialized);
+            prop_assert_eq!(&materialized, &expected, "materialize, pattern {}", pattern);
+
+            let mut poly = PolyDelayEnumerator::new(spanner.automaton(), &doc).collect();
+            dedup_mappings(&mut poly);
+            prop_assert_eq!(&poly, &expected, "polydelay, pattern {}", pattern);
+        }
+    }
+
+    /// Random functional VA: the full Section 4 pipeline (functional VA → eVA →
+    /// determinize → Algorithm 1/3) agrees with naive run enumeration.
+    #[test]
+    fn random_functional_va_pipeline(seed in 0u64..500) {
+        let va = random_functional_va(seed, 4, 2).unwrap();
+        prop_assume!(va.is_functional());
+        let doc = witness_document(&va, 64).unwrap();
+        let expected = va.eval_naive(&doc);
+        prop_assert!(!expected.is_empty());
+
+        let det = compile_va(&va, CompileOptions::default()).unwrap();
+        let dag = EnumerationDag::build(&det, &doc);
+        let mut got = dag.collect_mappings();
+        let before_dedup = got.len();
+        dedup_mappings(&mut got);
+        prop_assert_eq!(before_dedup, got.len(), "no duplicates");
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(count_mappings::<u64>(&det, &doc).unwrap() as usize, expected.len());
+
+        // The naive baseline agrees as well (on the eVA produced by translation).
+        let eva = spanners::automata::va_to_eva(&va).unwrap();
+        let (naive, _) = naive_enumerate(&eva, &doc);
+        prop_assert_eq!(&naive, &expected);
+    }
+
+    /// Spans, mappings and marker sets survive the round trip through the
+    /// enumeration DAG: every enumerated mapping only uses spans that fit the
+    /// document and only variables of the spanner.
+    #[test]
+    fn enumerated_mappings_are_well_formed(doc_bytes in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b')], 0..24)) {
+        let doc = Document::new(doc_bytes);
+        let spanner = compile(".*!x{a+}!y{b*}.*").unwrap();
+        let vars = spanner.registry().len();
+        for mapping in spanner.evaluate(&doc).iter() {
+            for (var, span) in mapping.iter() {
+                prop_assert!(var.index() < vars);
+                prop_assert!(span.fits(doc.len()));
+                prop_assert!(span.start() <= span.end());
+            }
+        }
+    }
+}
+
+/// Deterministic (non-proptest) cross-checks on the workload generators, kept
+/// here because they span several crates.
+#[test]
+fn workload_patterns_count_consistently() {
+    use spanners::workloads as w;
+    let cases: Vec<(String, Document)> = vec![
+        (w::digit_runs_pattern().to_string(), w::log_lines(3, 5)),
+        (w::contact_pattern().to_string(), w::contact_directory(9, 25).0),
+        (w::keyword_dictionary_pattern(&["GET", "POST"]), w::log_lines(4, 10)),
+        (w::nested_captures_pattern(2), w::random_text(5, 60, b"ab")),
+    ];
+    for (pattern, doc) in cases {
+        let spanner = compile(&pattern).unwrap();
+        let dag = spanner.evaluate(&doc);
+        let count: u128 = spanner.count(&doc).unwrap();
+        assert_eq!(dag.count_paths(), count, "pattern {pattern}");
+        if count < 200_000 {
+            assert_eq!(dag.collect_mappings().len() as u128, count, "pattern {pattern}");
+        }
+    }
+}
+
+/// The delay between consecutive outputs does not grow with the document:
+/// structural check counting the work performed per `next()` call.
+#[test]
+fn per_output_work_is_document_independent() {
+    let spanner = compile(".*!x{[ab]+}.*").unwrap();
+    let mut max_cells_per_output = Vec::new();
+    for n in [64usize, 256, 1024] {
+        let doc = spanners::workloads::random_text(7, n, b"ab");
+        let dag = spanner.evaluate(&doc);
+        let outputs = dag.count_paths();
+        // Every output corresponds to one root-to-⊥ path whose length is bounded
+        // by the number of variable transitions of a run (≤ 2 here), so the
+        // total number of cells visited during a full enumeration is ≤ depth
+        // factor × outputs; we check the ratio stays bounded as |d| grows.
+        let visited = dag.collect_mappings().len();
+        assert_eq!(visited as u128, outputs);
+        max_cells_per_output.push(dag.num_cells() as f64 / outputs as f64);
+    }
+    for ratio in &max_cells_per_output {
+        assert!(*ratio < 8.0, "cells per output stays bounded: {max_cells_per_output:?}");
+    }
+}
