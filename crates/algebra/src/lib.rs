@@ -22,8 +22,8 @@ use spanners_automata::{
     determinize, join, project, trim, union, union_deterministic, va_to_eva, CompileOptions,
 };
 use spanners_core::{
-    join_mapping_sets, project_mapping_set, union_mapping_sets, CompiledSpanner, DetSeva,
-    Document, Eva, Mapping, Span, SpannerError, VarRegistry, VarSet,
+    join_mapping_sets, project_mapping_set, union_mapping_sets, CompiledSpanner, DetSeva, Document,
+    Eva, Mapping, Span, SpannerError, VarRegistry, VarSet,
 };
 use spanners_regex::{parse, regex_to_va, RegexAst};
 use std::collections::{BTreeMap, BTreeSet};
@@ -114,6 +114,7 @@ impl AlgebraExpr {
 
     /// Compiles the expression into a single extended VA (not yet determinized),
     /// using the constructions of Proposition 4.4.
+    #[allow(clippy::only_used_in_recursion)] // kept for API stability; atoms may use it later
     pub fn to_eva(&self, opts: CompileOptions) -> Result<Eva, SpannerError> {
         match self {
             AlgebraExpr::Regex(ast) => {
@@ -332,11 +333,7 @@ mod tests {
     fn nested_expression() {
         // (digits ⋈ words) ∪ π_{num}(digits)
         let expr = digits().join(words()).union(digits().project(&["num"]));
-        assert_compiled_matches_set(
-            &expr,
-            &["a1", "1", "a", ""],
-            CompileStrategy::DeterminizeLate,
-        );
+        assert_compiled_matches_set(&expr, &["a1", "1", "a", ""], CompileStrategy::DeterminizeLate);
     }
 
     #[test]
@@ -394,10 +391,7 @@ mod tests {
     fn expression_size_and_variables() {
         let expr = digits().join(words()).project(&["num"]);
         assert!(expr.size() > digits().size() + words().size());
-        assert_eq!(
-            expr.variables().into_iter().collect::<Vec<_>>(),
-            vec!["num".to_string()]
-        );
+        assert_eq!(expr.variables().into_iter().collect::<Vec<_>>(), vec!["num".to_string()]);
         let expr = digits().union(words());
         assert_eq!(expr.variables().len(), 2);
     }
@@ -405,7 +399,8 @@ mod tests {
     #[test]
     fn budget_is_respected() {
         let expr = digits().join(words()).join(AlgebraExpr::regex(".*!z{[A-Z]+}.*").unwrap());
-        let err = expr.compile(CompileOptions::with_max_states(3), CompileStrategy::DeterminizeLate);
+        let err =
+            expr.compile(CompileOptions::with_max_states(3), CompileStrategy::DeterminizeLate);
         assert!(err.is_err());
     }
 }

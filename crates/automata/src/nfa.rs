@@ -67,8 +67,8 @@ impl Nfa {
         current[self.initial] = true;
         for &b in word {
             let mut next = vec![false; self.num_states];
-            for q in 0..self.num_states {
-                if current[q] {
+            for (q, &live) in current.iter().enumerate() {
+                if live {
                     for &(byte, to) in &self.transitions[q] {
                         if byte == b {
                             next[to] = true;
@@ -183,9 +183,9 @@ mod tests {
             nfa.add_transition(q, b'a', 3.min(q + 1));
         }
         nfa.add_transition(3, b'a', 3);
-        assert_eq!(nfa.count_accepted_words(3, &[b'a']), 1);
-        assert_eq!(nfa.count_accepted_words(5, &[b'a']), 1);
-        assert_eq!(nfa.count_accepted_words(2, &[b'a']), 0);
+        assert_eq!(nfa.count_accepted_words(3, b"a"), 1);
+        assert_eq!(nfa.count_accepted_words(5, b"a"), 1);
+        assert_eq!(nfa.count_accepted_words(2, b"a"), 0);
     }
 
     #[test]
@@ -194,7 +194,7 @@ mod tests {
         nfa.set_initial(0);
         nfa.set_final(0);
         assert!(nfa.accepts(b""));
-        assert_eq!(nfa.count_accepted_words(0, &[b'a', b'b']), 1);
-        assert_eq!(contains_ab().count_accepted_words(0, &[b'a', b'b']), 0);
+        assert_eq!(nfa.count_accepted_words(0, b"ab"), 1);
+        assert_eq!(contains_ab().count_accepted_words(0, b"ab"), 0);
     }
 }

@@ -64,10 +64,8 @@ pub fn join(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
     let vars1: VarSet = a1.variables();
     let vars2: VarSet = a2.variables().iter().map(|v| map2[v.index()]).collect();
     let shared = vars1.intersection(&vars2);
-    let shared_markers: MarkerSet = shared
-        .iter()
-        .flat_map(|v| [Marker::Open(v), Marker::Close(v)])
-        .collect();
+    let shared_markers: MarkerSet =
+        shared.iter().flat_map(|v| [Marker::Open(v), Marker::Close(v)]).collect();
 
     let mut b = EvaBuilder::new(registry);
     let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
@@ -84,9 +82,9 @@ pub fn join(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
             b.set_final(from);
         }
         let intern = |b: &mut EvaBuilder,
-                          index: &mut HashMap<(StateId, StateId), StateId>,
-                          worklist: &mut Vec<(StateId, StateId)>,
-                          key: (StateId, StateId)|
+                      index: &mut HashMap<(StateId, StateId), StateId>,
+                      worklist: &mut Vec<(StateId, StateId)>,
+                      key: (StateId, StateId)|
          -> StateId {
             *index.entry(key).or_insert_with(|| {
                 worklist.push(key);
@@ -153,9 +151,9 @@ pub fn union(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
     b.set_initial(start);
 
     let copy = |b: &mut EvaBuilder,
-                    a: &Eva,
-                    states: &[StateId],
-                    map: &[VarId]|
+                a: &Eva,
+                states: &[StateId],
+                map: &[VarId]|
      -> Result<(), SpannerError> {
         for q in 0..a.num_states() {
             if a.is_final(q) {
@@ -235,9 +233,9 @@ pub fn union_deterministic(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
             b.set_final(from);
         }
         let intern = |b: &mut EvaBuilder,
-                          index: &mut HashMap<(StateId, StateId), StateId>,
-                          worklist: &mut Vec<(StateId, StateId)>,
-                          key: (StateId, StateId)|
+                      index: &mut HashMap<(StateId, StateId), StateId>,
+                      worklist: &mut Vec<(StateId, StateId)>,
+                      key: (StateId, StateId)|
          -> StateId {
             *index.entry(key).or_insert_with(|| {
                 worklist.push(key);
@@ -330,10 +328,8 @@ pub fn project(eva: &Eva, keep: &[&str]) -> Result<Eva, SpannerError> {
         .map(|(_, name)| new_registry.get(name).unwrap_or(VarId::new(0).expect("id 0")))
         .collect();
 
-    let keep_markers: MarkerSet = keep_set
-        .iter()
-        .flat_map(|v| [Marker::Open(v), Marker::Close(v)])
-        .collect();
+    let keep_markers: MarkerSet =
+        keep_set.iter().flat_map(|v| [Marker::Open(v), Marker::Close(v)]).collect();
 
     // ε-edges: projected-away variable transitions whose label becomes empty.
     let mut eps: Vec<Vec<StateId>> = vec![Vec::new(); eva.num_states()];
@@ -427,7 +423,8 @@ mod tests {
         assert!(j.is_functional());
         assert!(j.num_states() <= a1.num_states() * a2.num_states());
         let doc = Document::from("a1b");
-        let expected = join_mapping_sets(&naive_rebased(&a1, &j, &doc), &naive_rebased(&a2, &j, &doc));
+        let expected =
+            join_mapping_sets(&naive_rebased(&a1, &j, &doc), &naive_rebased(&a2, &j, &doc));
         let mut got = naive(&j, &doc);
         dedup_mappings(&mut got);
         assert_eq!(got, expected);
@@ -491,10 +488,8 @@ mod tests {
         let doc = Document::from("a1");
         let mut got = naive(&u, &doc);
         dedup_mappings(&mut got);
-        let expected = union_mapping_sets(
-            &naive_rebased(&a1, &u, &doc),
-            &naive_rebased(&a2, &u, &doc),
-        );
+        let expected =
+            union_mapping_sets(&naive_rebased(&a1, &u, &doc), &naive_rebased(&a2, &u, &doc));
         assert_eq!(got, expected);
         assert_eq!(u.num_states(), a1.num_states() + a2.num_states() + 1);
     }
@@ -510,10 +505,8 @@ mod tests {
             let doc = Document::from(text);
             let mut got = naive(&u, &doc);
             dedup_mappings(&mut got);
-            let expected = union_mapping_sets(
-                &naive_rebased(&a1, &u, &doc),
-                &naive_rebased(&a2, &u, &doc),
-            );
+            let expected =
+                union_mapping_sets(&naive_rebased(&a1, &u, &doc), &naive_rebased(&a2, &u, &doc));
             assert_eq!(got, expected, "on {text:?}");
         }
         // Plain union of these two automata is *not* deterministic (the fresh

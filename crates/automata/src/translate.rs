@@ -19,9 +19,7 @@ use crate::determinize::{determinize, trim};
 use crate::va::{Va, VaBuilder, VaLabel};
 use spanners_core::eva::StateId;
 use spanners_core::markerset::VariableStatus;
-use spanners_core::{
-    DetSeva, Eva, EvaBuilder, Marker, MarkerSet, SpannerError,
-};
+use spanners_core::{DetSeva, Eva, EvaBuilder, Marker, MarkerSet, SpannerError};
 use std::collections::HashMap;
 
 /// Resource limits for the potentially-exponential constructions.
@@ -106,9 +104,9 @@ pub fn eva_to_va(eva: &Eva) -> Result<Va, SpannerError> {
     let mut builder = VaBuilder::new(eva.registry().clone());
     let states = builder.add_states(eva.num_states());
     builder.set_initial(states[eva.initial()]);
-    for q in 0..eva.num_states() {
+    for (q, &state) in states.iter().enumerate() {
         if eva.is_final(q) {
-            builder.set_final(states[q]);
+            builder.set_final(state);
         }
     }
     for (q, t) in eva.all_letter_transitions() {
@@ -123,8 +121,7 @@ pub fn eva_to_va(eva: &Eva) -> Result<Va, SpannerError> {
         });
         let mut cur = states[q];
         for (i, m) in markers.iter().enumerate() {
-            let next =
-                if i + 1 == markers.len() { states[t.target] } else { builder.add_state() };
+            let next = if i + 1 == markers.len() { states[t.target] } else { builder.add_state() };
             builder.add_marker(cur, *m, next);
             cur = next;
         }
@@ -212,7 +209,11 @@ pub fn compile_va(va: &Va, opts: CompileOptions) -> Result<DetSeva, SpannerError
 /// Compiles an extended VA (not necessarily deterministic) into a [`DetSeva`]:
 /// determinize (Proposition 3.2), trim, and build the dense representation.
 /// The input must be sequential; this is checked unless `trusted` is set.
-pub fn compile_eva(eva: &Eva, opts: CompileOptions, trusted: bool) -> Result<DetSeva, SpannerError> {
+pub fn compile_eva(
+    eva: &Eva,
+    opts: CompileOptions,
+    trusted: bool,
+) -> Result<DetSeva, SpannerError> {
     if !trusted {
         eva.check_sequential()?;
     }
@@ -313,10 +314,8 @@ mod tests {
             let eva = va_to_eva(&va).unwrap();
             // Count extended transitions from the initial state to the last
             // chain state (the ones carrying a complete choice of x_i/y_i).
-            let full: usize = eva
-                .all_var_transitions()
-                .filter(|(_, t)| t.markers.len() == 2 * ell)
-                .count();
+            let full: usize =
+                eva.all_var_transitions().filter(|(_, t)| t.markers.len() == 2 * ell).count();
             assert_eq!(full, 1 << ell, "ℓ = {ell}");
         }
     }

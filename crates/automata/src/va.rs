@@ -11,9 +11,7 @@
 use spanners_core::byteclass::ByteClass;
 use spanners_core::eva::StateId;
 use spanners_core::markerset::{MarkerSet, VarSet, VariableStatus};
-use spanners_core::{
-    dedup_mappings, Document, Mapping, Marker, Span, SpannerError, VarRegistry,
-};
+use spanners_core::{dedup_mappings, Document, Mapping, Marker, Span, SpannerError, VarRegistry};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -163,22 +161,20 @@ impl Va {
                             stack.push(c);
                         }
                     }
-                    VaLabel::Variable(m) => {
-                        match status.apply(MarkerSet::singleton(*m)) {
-                            Some(next) => {
-                                let c = (t.target, next);
-                                if seen.insert(c) {
-                                    stack.push(c);
-                                }
-                            }
-                            None => {
-                                if !invalid[t.target] {
-                                    invalid[t.target] = true;
-                                    invalid_stack.push(t.target);
-                                }
+                    VaLabel::Variable(m) => match status.apply(MarkerSet::singleton(*m)) {
+                        Some(next) => {
+                            let c = (t.target, next);
+                            if seen.insert(c) {
+                                stack.push(c);
                             }
                         }
-                    }
+                        None => {
+                            if !invalid[t.target] {
+                                invalid[t.target] = true;
+                                invalid_stack.push(t.target);
+                            }
+                        }
+                    },
                 }
             }
         }
@@ -553,10 +549,8 @@ mod tests {
         assert_eq!(a.eval_naive(&doc).len(), 1);
         let x = a.registry().get("x").unwrap();
         let y = a.registry().get("y").unwrap();
-        let expected = Mapping::from_pairs([
-            (x, Span::new(0, 1).unwrap()),
-            (y, Span::new(0, 1).unwrap()),
-        ]);
+        let expected =
+            Mapping::from_pairs([(x, Span::new(0, 1).unwrap()), (y, Span::new(0, 1).unwrap())]);
         assert_eq!(a.eval_naive(&doc)[0], expected);
     }
 

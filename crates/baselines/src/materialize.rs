@@ -7,7 +7,7 @@
 //! case; the point of the comparison is that the constant-delay algorithm does
 //! the same single pass but with O(1) work per (state, transition, position).
 
-use spanners_core::{DetSeva, Document, Mapping, Span};
+use spanners_core::{DetSeva, Document, Mapping, Span, SparseSet};
 
 /// A partial mapping under construction: spans already closed plus the start
 /// positions of currently-open variables.
@@ -32,17 +32,23 @@ pub fn materialize_enumerate(aut: &DetSeva, doc: &Document) -> Vec<Mapping> {
     let n_states = aut.num_states();
     let mut per_state: Vec<Vec<Partial>> = vec![Vec::new(); n_states];
     per_state[aut.initial()].push(Partial::new());
+    // Same sparse active-state organisation as the constant-delay engine:
+    // both phases walk only the states holding at least one partial mapping.
+    let mut active = SparseSet::new(n_states);
+    let mut next_active = SparseSet::new(n_states);
+    active.insert(aut.initial());
 
     let bytes = doc.bytes();
     for i in 0..=bytes.len() {
-        // Capturing(i): extend with variable transitions.
-        let snapshot: Vec<usize> = per_state.iter().map(Vec::len).collect();
-        for q in 0..n_states {
-            if snapshot[q] == 0 {
-                continue;
-            }
+        // Capturing(i): extend with variable transitions. Only the partials
+        // present at phase start are extended (`snapshot` lengths).
+        let live = active.len();
+        let snapshot: Vec<usize> = (0..live).map(|idx| per_state[active.get(idx)].len()).collect();
+        for (idx, &snap_len) in snapshot.iter().enumerate() {
+            let q = active.get(idx);
             for &(markers, p) in aut.markers_from(q) {
-                for k in 0..snapshot[q] {
+                active.insert(p);
+                for k in 0..snap_len {
                     let mut partial = per_state[q][k].clone();
                     for v in markers.opened_vars().iter() {
                         partial.open_starts.push((v.index() as u8, i as u32));
@@ -64,16 +70,25 @@ pub fn materialize_enumerate(aut: &DetSeva, doc: &Document) -> Vec<Mapping> {
             break;
         }
         // Reading(i): move sets along the letter transition.
-        let mut next: Vec<Vec<Partial>> = vec![Vec::new(); n_states];
-        for q in 0..n_states {
-            if per_state[q].is_empty() {
+        let cls = aut.byte_class(bytes[i]);
+        let live = active.len();
+        let mut moved: Vec<Vec<Partial>> = Vec::with_capacity(live);
+        for idx in 0..live {
+            let q = active.get(idx);
+            moved.push(std::mem::take(&mut per_state[q]));
+        }
+        next_active.clear();
+        for (idx, mut partials) in moved.into_iter().enumerate() {
+            let q = active.get(idx);
+            if partials.is_empty() {
                 continue;
             }
-            if let Some(p) = aut.step_letter(q, bytes[i]) {
-                next[p].append(&mut per_state[q]);
+            if let Some(p) = aut.step_class(q, cls) {
+                next_active.insert(p);
+                per_state[p].append(&mut partials);
             }
         }
-        per_state = next;
+        std::mem::swap(&mut active, &mut next_active);
     }
 
     let mut out = Vec::new();

@@ -26,7 +26,17 @@ pub fn naive_enumerate(eva: &Eva, doc: &Document) -> (Vec<Mapping>, NaiveStats) 
     let mut seen: HashSet<Mapping> = HashSet::new();
     let mut stats = NaiveStats::default();
     let mut path: Vec<(MarkerSet, usize)> = Vec::new();
-    explore(eva, doc, eva.initial(), 0, false, VariableStatus::new(), &mut path, &mut seen, &mut stats);
+    explore(
+        eva,
+        doc,
+        eva.initial(),
+        0,
+        false,
+        VariableStatus::new(),
+        &mut path,
+        &mut seen,
+        &mut stats,
+    );
     let mut out: Vec<Mapping> = seen.into_iter().collect();
     out.sort();
     stats.distinct_outputs = out.len();

@@ -31,22 +31,19 @@ impl<'a> PolyDelayEnumerator<'a> {
         // Backward pass. At position n (all input consumed) a state is useful if
         // it is final or one variable transition away from a final state.
         for q in 0..n_states {
-            let ok = aut.is_final(q)
-                || aut.markers_from(q).iter().any(|&(_, p)| aut.is_final(p));
+            let ok = aut.is_final(q) || aut.markers_from(q).iter().any(|&(_, p)| aut.is_final(p));
             useful[n * n_states + q] = ok;
         }
         for pos in (0..n).rev() {
             let b = doc.bytes()[pos];
             for q in 0..n_states {
                 // Reading directly.
-                let mut ok = aut
-                    .step_letter(q, b)
-                    .is_some_and(|p| useful[(pos + 1) * n_states + p]);
+                let mut ok =
+                    aut.step_letter(q, b).is_some_and(|p| useful[(pos + 1) * n_states + p]);
                 // Or capturing first, then reading.
                 if !ok {
                     ok = aut.markers_from(q).iter().any(|&(_, r)| {
-                        aut.step_letter(r, b)
-                            .is_some_and(|p| useful[(pos + 1) * n_states + p])
+                        aut.step_letter(r, b).is_some_and(|p| useful[(pos + 1) * n_states + p])
                     });
                 }
                 useful[pos * n_states + q] = ok;
@@ -151,7 +148,11 @@ mod tests {
                 let mut got = enumerator.collect();
                 dedup_mappings(&mut got);
                 assert_eq!(got, expected, "pattern {pattern:?} on {text:?}");
-                assert_eq!(enumerator.collect().len(), expected.len(), "dup check {pattern:?} {text:?}");
+                assert_eq!(
+                    enumerator.collect().len(),
+                    expected.len(),
+                    "dup check {pattern:?} {text:?}"
+                );
             }
         }
     }

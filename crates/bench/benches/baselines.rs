@@ -12,11 +12,11 @@
 //! algorithm scales with `|A|·|d| + |output|`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use spanners_baselines::{materialize_enumerate, naive_enumerate, PolyDelayEnumerator};
 use spanners_bench::{contact_doc, contact_spanner, digit_spanner};
 use spanners_core::CompiledSpanner;
 use spanners_workloads::{all_spans_eva, random_text};
+use std::time::Duration;
 
 fn bench_contact_directory(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_baselines_contact_directory");

@@ -2,11 +2,11 @@
 //! `O(|A| × |d|)`, regardless of how astronomically large the output is.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use spanners_bench::{contact_doc, contact_spanner, digit_spanner};
 use spanners_core::{count_mappings, CompiledSpanner, Document};
 use spanners_regex::compile;
 use spanners_workloads::{all_spans_eva, random_text};
+use std::time::Duration;
 
 /// Counting scales linearly with the document, for outputs of very different sizes.
 fn bench_count_vs_document(c: &mut Criterion) {
@@ -20,9 +20,11 @@ fn bench_count_vs_document(c: &mut Criterion) {
     for &n in &[10_000usize, 100_000, 1_000_000] {
         group.throughput(Throughput::Bytes(n as u64));
         let plain = Document::new(vec![b'z'; n]);
-        group.bench_with_input(BenchmarkId::new("all_spans_quadratic_output", n), &plain, |b, d| {
-            b.iter(|| count_mappings::<u128>(all_spans.automaton(), d).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("all_spans_quadratic_output", n),
+            &plain,
+            |b, d| b.iter(|| count_mappings::<u128>(all_spans.automaton(), d).unwrap()),
+        );
         let text = random_text(11, n, b"abcdefghij0123456789");
         group.bench_with_input(BenchmarkId::new("digit_runs", n), &text, |b, d| {
             b.iter(|| count_mappings::<u64>(digits.automaton(), d).unwrap())
@@ -79,5 +81,10 @@ fn bench_count_vs_enumerate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_count_vs_document, bench_count_vs_automaton, bench_count_vs_enumerate);
+criterion_group!(
+    benches,
+    bench_count_vs_document,
+    bench_count_vs_automaton,
+    bench_count_vs_enumerate
+);
 criterion_main!(benches);

@@ -11,10 +11,10 @@
 //!   synthetic directories (compile + evaluate + stream).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use spanners_bench::{contact_doc, contact_spanner, digit_spanner, drain, DOC_SIZES};
-use spanners_core::{CompiledSpanner, Document, EnumerationDag};
+use spanners_core::{CompiledSpanner, Document, EnumerationDag, Evaluator};
 use spanners_workloads::{all_spans_eva, figure3_eva, random_text};
+use std::time::Duration;
 
 /// E1: preprocessing time as a function of |d| (bytes/second reported).
 fn bench_preprocessing(c: &mut Criterion) {
@@ -34,6 +34,34 @@ fn bench_preprocessing(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("digit_runs_regex", n), &text_doc, |b, doc| {
             b.iter(|| EnumerationDag::build(digits.automaton(), doc).num_nodes())
         });
+    }
+    group.finish();
+}
+
+/// E1b: the same preprocessing through a warm reusable [`Evaluator`] — the
+/// serving configuration. Also asserts the zero-allocation contract: after
+/// warm-up, repeated `eval` calls must not reallocate the node/cell arenas.
+fn bench_preprocessing_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1b_preprocessing_evaluator_reuse");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let digits = digit_spanner();
+    let mut evaluator = Evaluator::new();
+    for &n in DOC_SIZES {
+        group.throughput(Throughput::Bytes(n as u64));
+        let doc = random_text(2, n, b"abc0123456789 ");
+        // Warm the arenas, then record the capacity the steady state must keep.
+        drain(evaluator.eval(digits.automaton(), &doc).iter());
+        let warm = (evaluator.node_capacity(), evaluator.cell_capacity());
+        group.bench_with_input(BenchmarkId::new("digit_runs_reused", n), &doc, |b, doc| {
+            b.iter(|| evaluator.eval(digits.automaton(), doc).num_nodes())
+        });
+        assert_eq!(
+            (evaluator.node_capacity(), evaluator.cell_capacity()),
+            warm,
+            "evaluator reallocated its arenas during steady-state reuse"
+        );
     }
     group.finish();
 }
@@ -106,6 +134,7 @@ fn bench_end_to_end(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_preprocessing,
+    bench_preprocessing_reuse,
     bench_constant_delay,
     bench_total_enumeration,
     bench_end_to_end

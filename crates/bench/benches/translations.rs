@@ -8,10 +8,12 @@
 //!   Propositions 4.5/4.6.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use spanners_algebra::{AlgebraExpr, CompileStrategy};
-use spanners_automata::{compile_va, determinize, join, union, union_deterministic, va_to_eva, CompileOptions};
+use spanners_automata::{
+    compile_va, determinize, join, union, union_deterministic, va_to_eva, CompileOptions,
+};
 use spanners_workloads::{figure3_eva, prop42_va, random_functional_va};
+use std::time::Duration;
 
 /// E6a: Proposition 4.2 — translating the Figure 7 family for growing ℓ.
 fn bench_prop42_blowup(c: &mut Criterion) {
@@ -37,7 +39,10 @@ fn bench_functional_determinization(c: &mut Criterion) {
     for blocks in [2usize, 4, 6, 8] {
         let va = random_functional_va(blocks as u64, blocks, blocks.min(4)).unwrap();
         group.bench_with_input(
-            BenchmarkId::new("compile_va_pipeline", format!("blocks{blocks}_states{}", va.num_states())),
+            BenchmarkId::new(
+                "compile_va_pipeline",
+                format!("blocks{blocks}_states{}", va.num_states()),
+            ),
             &va,
             |b, va| b.iter(|| compile_va(va, CompileOptions::default()).unwrap().num_states()),
         );
@@ -79,11 +84,7 @@ fn bench_algebra_strategies(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(500));
-    let atoms = [
-        ".*!a{[0-9]+}.*",
-        ".*!b{[a-z]+}.*",
-        ".*!c{[A-Z]+}.*",
-    ];
+    let atoms = [".*!a{[0-9]+}.*", ".*!b{[a-z]+}.*", ".*!c{[A-Z]+}.*"];
     for k in 1..=atoms.len() {
         let mut expr = AlgebraExpr::regex(atoms[0]).unwrap();
         for atom in &atoms[1..k] {

@@ -20,7 +20,8 @@ pub const DOC_SIZES: &[usize] = &[1_000, 10_000, 100_000];
 
 /// Builds the Example 2.1 contact spanner once.
 pub fn contact_spanner() -> CompiledSpanner {
-    spanners_regex::compile(spanners_workloads::contact_pattern()).expect("contact pattern compiles")
+    spanners_regex::compile(spanners_workloads::contact_pattern())
+        .expect("contact pattern compiles")
 }
 
 /// Builds the digit-run spanner `Σ* !num{[0-9]+} Σ*`.

@@ -75,7 +75,9 @@ impl ByteClass {
 
     /// ASCII alphanumerics plus underscore (`\w`).
     pub fn ascii_word() -> Self {
-        ByteClass::ascii_alpha().union(&ByteClass::ascii_digits()).union(&ByteClass::singleton(b'_'))
+        ByteClass::ascii_alpha()
+            .union(&ByteClass::ascii_digits())
+            .union(&ByteClass::singleton(b'_'))
     }
 
     /// ASCII whitespace (`\s`): space, tab, newline, carriage return, form feed, vertical tab.
@@ -116,8 +118,8 @@ impl ByteClass {
     /// Set union.
     pub fn union(&self, other: &ByteClass) -> ByteClass {
         let mut bits = [0u64; 4];
-        for i in 0..4 {
-            bits[i] = self.bits[i] | other.bits[i];
+        for (i, w) in bits.iter_mut().enumerate() {
+            *w = self.bits[i] | other.bits[i];
         }
         ByteClass { bits }
     }
@@ -125,8 +127,8 @@ impl ByteClass {
     /// Set intersection.
     pub fn intersection(&self, other: &ByteClass) -> ByteClass {
         let mut bits = [0u64; 4];
-        for i in 0..4 {
-            bits[i] = self.bits[i] & other.bits[i];
+        for (i, w) in bits.iter_mut().enumerate() {
+            *w = self.bits[i] & other.bits[i];
         }
         ByteClass { bits }
     }
@@ -134,8 +136,8 @@ impl ByteClass {
     /// Set difference `self \ other`.
     pub fn difference(&self, other: &ByteClass) -> ByteClass {
         let mut bits = [0u64; 4];
-        for i in 0..4 {
-            bits[i] = self.bits[i] & !other.bits[i];
+        for (i, w) in bits.iter_mut().enumerate() {
+            *w = self.bits[i] & !other.bits[i];
         }
         ByteClass { bits }
     }
@@ -143,8 +145,8 @@ impl ByteClass {
     /// Complement with respect to the full byte alphabet.
     pub fn complement(&self) -> ByteClass {
         let mut bits = [0u64; 4];
-        for i in 0..4 {
-            bits[i] = !self.bits[i];
+        for (i, w) in bits.iter_mut().enumerate() {
+            *w = !self.bits[i];
         }
         ByteClass { bits }
     }
@@ -244,11 +246,11 @@ impl AlphabetPartition {
         let classes: Vec<&ByteClass> = classes.into_iter().collect();
         // Signature of byte b = bitmask over `classes` membership. With more
         // than 128 distinct classes we fall back to a vector signature.
-        let mut signatures: Vec<Vec<u64>> = vec![vec![0u64; (classes.len() + 63) / 64]; 256];
+        let mut signatures: Vec<Vec<u64>> = vec![vec![0u64; classes.len().div_ceil(64)]; 256];
         for (ci, c) in classes.iter().enumerate() {
-            for b in 0..256usize {
+            for (b, sig) in signatures.iter_mut().enumerate() {
                 if c.contains(b as u8) {
-                    signatures[b][ci / 64] |= 1u64 << (ci % 64);
+                    sig[ci / 64] |= 1u64 << (ci % 64);
                 }
             }
         }

@@ -11,6 +11,7 @@
 use crate::det::DetSeva;
 use crate::document::Document;
 use crate::error::SpannerError;
+use crate::sparse::SparseSet;
 
 /// Numeric types usable as mapping counters.
 ///
@@ -104,41 +105,56 @@ impl Counter for f64 {
 /// ```
 pub fn count_mappings<C: Counter>(aut: &DetSeva, doc: &Document) -> Result<C, SpannerError> {
     let n_states = aut.num_states();
-    // N[q] = number of partial runs currently ending in q.
+    // N[q] = number of partial runs currently ending in q. Dense storage, but
+    // both phases walk only the sparse set of states with a non-zero count —
+    // the same active-state organisation as the enumeration engine.
     let mut counts: Vec<C> = vec![C::zero(); n_states];
     let mut old: Vec<C> = vec![C::zero(); n_states];
+    let mut active = SparseSet::new(n_states);
+    let mut next_active = SparseSet::new(n_states);
     counts[aut.initial()] = C::one();
+    active.insert(aut.initial());
 
+    // Invariant: `active` ⊇ the states with a non-zero count, and counts[q] is
+    // zero for every state outside `active`.
     let bytes = doc.bytes();
     for i in 0..=bytes.len() {
         // Capturing(i): extend runs with extended variable transitions.
-        old.clone_from_slice(&counts);
-        for q in 0..n_states {
-            if old[q].is_zero() {
+        let live = active.len();
+        for idx in 0..live {
+            let q = active.get(idx);
+            old[q] = counts[q].clone();
+        }
+        for idx in 0..live {
+            let q = active.get(idx);
+            if !aut.has_var_transitions(q) {
                 continue;
             }
             for &(_, p) in aut.markers_from(q) {
-                counts[p] = counts[p]
-                    .checked_add(&old[q])
-                    .ok_or(SpannerError::CountOverflow)?;
+                active.insert(p);
+                counts[p] = counts[p].checked_add(&old[q]).ok_or(SpannerError::CountOverflow)?;
             }
         }
         if i == bytes.len() {
             break;
         }
         // Reading(i): extend runs with the letter transition on byte i.
-        std::mem::swap(&mut old, &mut counts);
-        counts.iter_mut().for_each(|c| *c = C::zero());
-        for q in 0..n_states {
-            if old[q].is_zero() {
-                continue;
-            }
-            if let Some(p) = aut.step_letter(q, bytes[i]) {
-                counts[p] = counts[p]
-                    .checked_add(&old[q])
-                    .ok_or(SpannerError::CountOverflow)?;
+        let cls = aut.byte_class(bytes[i]);
+        let live = active.len();
+        for idx in 0..live {
+            let q = active.get(idx);
+            old[q] = counts[q].clone();
+            counts[q] = C::zero();
+        }
+        next_active.clear();
+        for idx in 0..live {
+            let q = active.get(idx);
+            if let Some(p) = aut.step_class(q, cls) {
+                next_active.insert(p);
+                counts[p] = counts[p].checked_add(&old[q]).ok_or(SpannerError::CountOverflow)?;
             }
         }
+        std::mem::swap(&mut active, &mut next_active);
     }
 
     let mut total = C::zero();
@@ -218,7 +234,11 @@ mod tests {
             let doc = Document::from(text);
             let n: u64 = count_mappings(&aut, &doc).unwrap();
             let dag = EnumerationDag::build(&aut, &doc);
-            assert_eq!(n as usize, dag.collect_mappings().len(), "enumeration mismatch on {text:?}");
+            assert_eq!(
+                n as usize,
+                dag.collect_mappings().len(),
+                "enumeration mismatch on {text:?}"
+            );
             assert_eq!(n as u128, dag.count_paths(), "path count mismatch on {text:?}");
             assert_eq!(n as usize, eva.eval_naive(&doc).len(), "naive mismatch on {text:?}");
         }

@@ -15,6 +15,7 @@ use crate::document::Document;
 use crate::error::SpannerError;
 use crate::eva::{Eva, StateId};
 use crate::markerset::MarkerSet;
+use crate::sparse::SparseSet;
 use crate::variable::VarRegistry;
 
 /// Sentinel for "no transition" in the dense letter table.
@@ -33,10 +34,18 @@ pub struct DetSeva {
     initial: StateId,
     finals: Vec<bool>,
     partition: AlphabetPartition,
-    /// `letter_table[q * num_classes + class]` is the target state or `NO_STATE`.
+    /// `letter_table[row_base[q] + class]` is the target state or `NO_STATE`.
     letter_table: Vec<u32>,
-    /// `Markers_δ(q)` with targets, per state.
-    var_trans: Vec<Vec<(MarkerSet, StateId)>>,
+    /// Premultiplied row strides: `row_base[q] = q × num_classes`, so the
+    /// `Reading` inner loop performs a single add instead of a multiply.
+    row_base: Vec<u32>,
+    /// `Markers_δ(q)` with targets, flattened CSR-style: the transitions of
+    /// state `q` are `var_pairs[var_offsets[q] .. var_offsets[q + 1]]`. One
+    /// flat arena keeps the `Capturing` loop a contiguous slice walk instead
+    /// of a pointer chase through per-state `Vec`s.
+    var_offsets: Vec<u32>,
+    /// The flat `(MarkerSet, target)` arena indexed by [`DetSeva::var_offsets`].
+    var_pairs: Vec<(MarkerSet, StateId)>,
     /// Number of variables of the underlying registry.
     num_vars: usize,
     /// Size measure `|A|` of the source automaton (states + transitions).
@@ -78,9 +87,22 @@ impl DetSeva {
                 *slot = t.target as u32;
             }
         }
-        let var_trans: Vec<Vec<(MarkerSet, StateId)>> = (0..n)
-            .map(|q| eva.var_transitions(q).iter().map(|t| (t.markers, t.target)).collect())
-            .collect();
+        debug_assert!(
+            n.saturating_mul(ncls) <= u32::MAX as usize,
+            "letter table exceeds the u32 offset space ({n} states × {ncls} classes)"
+        );
+        let row_base: Vec<u32> = (0..n).map(|q| (q * ncls) as u32).collect();
+        let mut var_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut var_pairs: Vec<(MarkerSet, StateId)> = Vec::new();
+        var_offsets.push(0);
+        for q in 0..n {
+            var_pairs.extend(eva.var_transitions(q).iter().map(|t| (t.markers, t.target)));
+            debug_assert!(
+                var_pairs.len() <= u32::MAX as usize,
+                "variable-transition arena exceeds the u32 offset space"
+            );
+            var_offsets.push(var_pairs.len() as u32);
+        }
         Ok(DetSeva {
             registry: eva.registry().clone(),
             num_states: n,
@@ -88,7 +110,9 @@ impl DetSeva {
             finals: (0..n).map(|q| eva.is_final(q)).collect(),
             partition,
             letter_table,
-            var_trans,
+            row_base,
+            var_offsets,
+            var_pairs,
             num_vars: eva.registry().len(),
             source_size: eva.size(),
         })
@@ -132,7 +156,7 @@ impl DetSeva {
     #[inline]
     pub fn step_letter(&self, q: StateId, byte: u8) -> Option<StateId> {
         let cls = self.partition.class_of(byte);
-        let t = self.letter_table[q * self.partition.num_classes() + cls];
+        let t = self.letter_table[self.row_base[q] as usize + cls];
         if t == NO_STATE {
             None
         } else {
@@ -140,10 +164,42 @@ impl DetSeva {
         }
     }
 
-    /// The extended variable transitions `Markers_δ(q)` (with their targets).
+    /// Like [`DetSeva::step_letter`] but on a pre-resolved alphabet class,
+    /// letting the evaluation loop hoist `class_of(byte)` out of the per-state
+    /// scan (one table lookup per byte instead of one per live state).
+    #[inline]
+    pub fn step_class(&self, q: StateId, cls: usize) -> Option<StateId> {
+        let t = self.letter_table[self.row_base[q] as usize + cls];
+        if t == NO_STATE {
+            None
+        } else {
+            Some(t as usize)
+        }
+    }
+
+    /// Maps a byte to its alphabet equivalence class (for [`DetSeva::step_class`]).
+    #[inline]
+    pub fn byte_class(&self, byte: u8) -> usize {
+        self.partition.class_of(byte)
+    }
+
+    /// The extended variable transitions `Markers_δ(q)` (with their targets),
+    /// as one contiguous slice of the flat CSR arena.
     #[inline]
     pub fn markers_from(&self, q: StateId) -> &[(MarkerSet, StateId)] {
-        &self.var_trans[q]
+        &self.var_pairs[self.var_offsets[q] as usize..self.var_offsets[q + 1] as usize]
+    }
+
+    /// Whether `q` has any extended variable transition (one subtraction,
+    /// no slice construction — the common-case filter of the `Capturing` loop).
+    #[inline]
+    pub fn has_var_transitions(&self, q: StateId) -> bool {
+        self.var_offsets[q] != self.var_offsets[q + 1]
+    }
+
+    /// Total number of extended variable transitions across all states.
+    pub fn num_var_transitions(&self) -> usize {
+        self.var_pairs.len()
     }
 
     /// Number of alphabet equivalence classes of the compiled letter table.
@@ -160,46 +216,46 @@ impl DetSeva {
     /// output, returning whether the document is *accepted* (i.e. whether
     /// `⟦A⟧(d)` is non-empty). Linear time, used as a cheap pre-check.
     pub fn accepts(&self, doc: &Document) -> bool {
-        // Live set of states, tracked as a boolean vector (the automaton is
-        // deterministic per transition label, but several runs with different
-        // marker choices coexist).
-        let mut live = vec![false; self.num_states];
-        let mut next = vec![false; self.num_states];
-        live[self.initial] = true;
+        // Live set of states, tracked sparsely (the automaton is deterministic
+        // per transition label, but several runs with different marker choices
+        // coexist). Per-byte work is proportional to the live set, not |Q|.
+        let mut live = SparseSet::new(self.num_states);
+        let mut next = SparseSet::new(self.num_states);
+        live.insert(self.initial);
         for &b in doc.bytes() {
-            // Capturing: add marker successors (keeping current states live).
-            let mut with_markers = live.clone();
-            for q in 0..self.num_states {
-                if live[q] {
-                    for &(_, p) in &self.var_trans[q] {
-                        with_markers[p] = true;
-                    }
+            // Capturing: add the one-step marker successors of the states
+            // live at phase start (variable and letter transitions alternate,
+            // so marker steps do not chain within one position).
+            let snapshot = live.len();
+            for idx in 0..snapshot {
+                let q = live.get(idx);
+                for &(_, p) in self.markers_from(q) {
+                    live.insert(p);
                 }
             }
             // Reading.
-            next.iter_mut().for_each(|x| *x = false);
-            for q in 0..self.num_states {
-                if with_markers[q] {
-                    if let Some(p) = self.step_letter(q, b) {
-                        next[p] = true;
-                    }
+            let cls = self.byte_class(b);
+            next.clear();
+            for idx in 0..live.len() {
+                if let Some(p) = self.step_class(live.get(idx), cls) {
+                    next.insert(p);
                 }
             }
             std::mem::swap(&mut live, &mut next);
-            if live.iter().all(|&x| !x) {
+            if live.is_empty() {
                 return false;
             }
         }
-        // Final capturing step.
-        let mut with_markers = live.clone();
-        for q in 0..self.num_states {
-            if live[q] {
-                for &(_, p) in &self.var_trans[q] {
-                    with_markers[p] = true;
-                }
+        // Final capturing step (again one marker step, then the final check).
+        let snapshot = live.len();
+        for idx in 0..snapshot {
+            let q = live.get(idx);
+            for &(_, p) in self.markers_from(q) {
+                live.insert(p);
             }
         }
-        (0..self.num_states).any(|q| with_markers[q] && self.finals[q])
+        let accepted = live.iter().any(|q| self.finals[q]);
+        accepted
     }
 }
 

@@ -11,6 +11,20 @@
 //! paper requires — `add` (prepend), `lazycopy` (copy of the `(start, end)`
 //! pair) and `append` (splice another list after the end element).
 //!
+//! Both phases are driven by a **sparse active-state set** ([`SparseSet`]):
+//! only states whose list is non-empty are visited, so the cost per document
+//! position is proportional to the number of *live* states (plus the work of
+//! their transitions), not to the total number of automaton states. This is
+//! the same organisation production regex engines use for NFA simulation and
+//! is what makes the `O(|A| × |d|)` preprocessing bound tight in practice.
+//!
+//! The evaluation state (node/cell arenas, list vectors, active sets) lives in
+//! a reusable [`Evaluator`], so a long-running service evaluating one compiled
+//! spanner over millions of documents performs **no allocation after
+//! warm-up** — each [`Evaluator::eval`] call recycles the previous document's
+//! capacity. [`EnumerationDag::build`] remains as the one-shot convenience
+//! wrapper producing an owned DAG.
+//!
 //! `Enumerate` then traverses the DAG depth-first from the lists of the final
 //! states; every time it reaches `⊥` the markers collected along the path form
 //! exactly one output mapping. The delay between two consecutive outputs is
@@ -22,6 +36,7 @@ use crate::document::Document;
 use crate::mapping::Mapping;
 use crate::markerset::MarkerSet;
 use crate::span::Span;
+use crate::sparse::SparseSet;
 use crate::variable::{VarRegistry, MAX_VARIABLES};
 
 /// Index of a node in the DAG arena. Node 0 is the sink `⊥`.
@@ -31,13 +46,28 @@ type CellId = u32;
 
 const BOTTOM: NodeId = 0;
 
+/// Converts an arena length into the id of the element about to be pushed,
+/// with a loud debug check instead of a silent wraparound: a document/automaton
+/// pair pathological enough to create more than `u32::MAX` nodes or cells
+/// would otherwise corrupt the DAG.
+#[inline]
+fn next_arena_id(len: usize, what: &str) -> u32 {
+    debug_assert!(
+        len <= u32::MAX as usize,
+        "{what} arena overflow: {len} elements exceed the u32 id space"
+    );
+    len as u32
+}
+
 /// A singly linked list of DAG nodes, represented as the `(start, end)` pair of
 /// pointers described in the paper. Cheap to copy (`lazycopy` is a bitwise copy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ListRef {
     head: CellId,
     tail: CellId,
-    /// Empty lists are encoded by `len == 0`; `head`/`tail` are then meaningless.
+    /// Empty lists are encoded by `len == 0`; `head`/`tail` are then
+    /// meaningless. Saturates at `u32::MAX` — it is a hint for diagnostics
+    /// (`StageTrace`), not load-bearing state.
     len_hint: u32,
 }
 
@@ -67,196 +97,29 @@ struct Node {
     list: ListRef,
 }
 
-/// The output of Algorithm 1: a compact DAG representation of all output
-/// mappings of a deterministic sequential eVA over a document.
-///
-/// Build it with [`EnumerationDag::build`]; enumerate with
-/// [`EnumerationDag::iter`] (constant delay per item), count paths with
-/// [`EnumerationDag::count_paths`], or materialize with
-/// [`EnumerationDag::collect_mappings`].
-#[derive(Debug, Clone)]
-pub struct EnumerationDag {
+/// The arena-backed DAG produced by Algorithm 1: nodes, list cells and the
+/// root lists of the final states. Shared by the owned [`EnumerationDag`] and
+/// the borrowed [`DagView`] an [`Evaluator`] hands out.
+#[derive(Debug, Clone, Default)]
+struct DagStore {
     nodes: Vec<Node>,
     cells: Vec<Cell>,
     /// Lists of the final states after the last `Capturing` phase
-    /// (the entry points of Algorithm 2).
+    /// (the entry points of Algorithm 2), in increasing state order.
     roots: Vec<ListRef>,
-    registry: VarRegistry,
-    doc_len: usize,
 }
 
-impl EnumerationDag {
-    /// Runs Algorithm 1 (`Evaluate`) over the document, producing the DAG.
-    ///
-    /// Preprocessing time is `O(|A| × |d|)`: each document position triggers one
-    /// `Capturing` and one `Reading` pass, each of which scans the automaton's
-    /// transitions and performs O(1) list operations per transition.
-    pub fn build(aut: &DetSeva, doc: &Document) -> EnumerationDag {
-        Self::build_inner(aut, doc, None)
-    }
-
-    /// Like [`EnumerationDag::build`] but records, after every `Capturing`/
-    /// `Reading` phase, which state lists are non-empty and how many cells each
-    /// holds. Used by tests that replay the trace of Figure 5 and by the
-    /// benchmark harness to report DAG growth; slower than `build`.
-    pub fn build_with_trace(aut: &DetSeva, doc: &Document) -> (EnumerationDag, Vec<StageTrace>) {
-        let mut traces = Vec::new();
-        let dag = Self::build_inner(aut, doc, Some(&mut traces));
-        (dag, traces)
-    }
-
-    fn build_inner(
-        aut: &DetSeva,
-        doc: &Document,
-        mut trace: Option<&mut Vec<StageTrace>>,
-    ) -> EnumerationDag {
-        let n_states = aut.num_states();
-        // Node 0 is the sink ⊥; its markers/list are never read.
-        let mut nodes: Vec<Node> =
-            vec![Node { markers: MarkerSet::new(), pos: 0, list: ListRef::EMPTY }];
-        let mut cells: Vec<Cell> = Vec::new();
-
-        // list_q for every state q: initially empty except list_{q0} = [⊥].
-        let mut lists: Vec<ListRef> = vec![ListRef::EMPTY; n_states];
-        cells.push(Cell { node: BOTTOM, next: None });
-        lists[aut.initial()] = ListRef { head: 0, tail: 0, len_hint: 1 };
-
-        // Scratch buffer reused by the Reading phase.
-        let mut old: Vec<ListRef> = vec![ListRef::EMPTY; n_states];
-
-        let bytes = doc.bytes();
-        for i in 0..=bytes.len() {
-            // ----- Capturing(i): variable transitions before letter i -----
-            // lazycopy of every list (ListRef is Copy, so this is a memcpy).
-            old.copy_from_slice(&lists);
-            for q in 0..n_states {
-                if old[q].is_empty() {
-                    continue;
-                }
-                for &(markers, p) in aut.markers_from(q) {
-                    let node_id = nodes.len() as NodeId;
-                    nodes.push(Node { markers, pos: i as u32, list: old[q] });
-                    // list_p.add(node): prepend a fresh cell.
-                    let cell_id = cells.len() as CellId;
-                    if lists[p].is_empty() {
-                        cells.push(Cell { node: node_id, next: None });
-                        lists[p] = ListRef { head: cell_id, tail: cell_id, len_hint: 1 };
-                    } else {
-                        cells.push(Cell { node: node_id, next: Some(lists[p].head) });
-                        lists[p] = ListRef {
-                            head: cell_id,
-                            tail: lists[p].tail,
-                            len_hint: lists[p].len_hint + 1,
-                        };
-                    }
-                }
-            }
-            if let Some(t) = trace.as_deref_mut() {
-                t.push(StageTrace::capture(i, &lists));
-            }
-
-            // ----- Reading(i): the letter transition on byte i -----
-            if i == bytes.len() {
-                break;
-            }
-            let byte = bytes[i];
-            std::mem::swap(&mut old, &mut lists);
-            lists.iter_mut().for_each(|l| *l = ListRef::EMPTY);
-            for q in 0..n_states {
-                if old[q].is_empty() {
-                    continue;
-                }
-                if let Some(p) = aut.step_letter(q, byte) {
-                    // list_p.append(list_old_q)
-                    if lists[p].is_empty() {
-                        lists[p] = old[q];
-                    } else {
-                        let tail = lists[p].tail as usize;
-                        debug_assert!(cells[tail].next.is_none(), "append target must end in null");
-                        cells[tail].next = Some(old[q].head);
-                        lists[p] = ListRef {
-                            head: lists[p].head,
-                            tail: old[q].tail,
-                            len_hint: lists[p].len_hint + old[q].len_hint,
-                        };
-                    }
-                }
-            }
-            if let Some(t) = trace.as_deref_mut() {
-                t.push(StageTrace::read(i, &lists));
-            }
-        }
-
-        let roots: Vec<ListRef> =
-            aut.final_states().map(|q| lists[q]).filter(|l| !l.is_empty()).collect();
-        EnumerationDag { nodes, cells, roots, registry: aut.registry().clone(), doc_len: doc.len() }
-    }
-
-    /// The variable registry of the automaton that produced this DAG.
-    pub fn registry(&self) -> &VarRegistry {
-        &self.registry
-    }
-
-    /// Length of the document this DAG was built over.
-    pub fn document_len(&self) -> usize {
-        self.doc_len
-    }
-
-    /// Number of DAG nodes created (including the sink `⊥`).
-    pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// Number of list cells created.
-    pub fn num_cells(&self) -> usize {
-        self.cells.len()
-    }
-
-    /// Number of root lists (non-empty final-state lists).
-    pub fn num_roots(&self) -> usize {
-        self.roots.len()
-    }
-
-    /// Whether the spanner produced no output on this document.
-    pub fn is_empty(&self) -> bool {
-        self.roots.is_empty()
-    }
-
-    /// Algorithm 2 as a pull-based iterator with constant delay per item.
-    pub fn iter(&self) -> MappingIter<'_> {
+impl DagStore {
+    fn iter(&self) -> MappingIter<'_> {
         MappingIter {
-            dag: self,
+            store: self,
             next_root: 0,
             stack: Vec::with_capacity(2 * MAX_VARIABLES + 2),
             path: Vec::with_capacity(2 * MAX_VARIABLES + 2),
         }
     }
 
-    /// Materializes all output mappings (in enumeration order).
-    pub fn collect_mappings(&self) -> Vec<Mapping> {
-        self.iter().collect()
-    }
-
-    /// Runs Algorithm 2 with a callback instead of an iterator; stops early if
-    /// the callback returns `false`. Returns the number of mappings visited.
-    pub fn for_each_mapping<F: FnMut(Mapping) -> bool>(&self, mut f: F) -> usize {
-        let mut n = 0;
-        for m in self.iter() {
-            n += 1;
-            if !f(m) {
-                break;
-            }
-        }
-        n
-    }
-
-    /// Counts the number of output mappings by counting paths from the roots to
-    /// `⊥` in the DAG. Because the source automaton is deterministic, paths are
-    /// in bijection with output mappings.
-    ///
-    /// This is an alternative to Algorithm 3 (see [`crate::count`]) that reuses
-    /// an already-built DAG; it runs in time linear in the DAG size.
-    pub fn count_paths(&self) -> u128 {
+    fn count_paths(&self) -> u128 {
         // Memoized number of paths from each node to ⊥.
         let mut memo: Vec<Option<u128>> = vec![None; self.nodes.len()];
         memo[BOTTOM as usize] = Some(1);
@@ -289,12 +152,390 @@ impl EnumerationDag {
     /// Iterates over the cell ids of a list, honouring the `(start, end)` bounds
     /// (cells appended after `end` by later `append` operations are not visible).
     fn list_cells(&self, list: ListRef) -> ListCellIter<'_> {
-        ListCellIter { dag: self, cur: if list.is_empty() { None } else { Some(list.head) }, tail: list.tail }
+        ListCellIter {
+            store: self,
+            cur: if list.is_empty() { None } else { Some(list.head) },
+            tail: list.tail,
+        }
+    }
+}
+
+/// The reusable evaluation engine behind Algorithm 1.
+///
+/// An `Evaluator` owns every piece of mutable state the `Evaluate` loop needs:
+/// the DAG node/cell arenas, the per-state list vectors, and the sparse
+/// active-state sets. Calling [`Evaluator::eval`] runs Algorithm 1 and returns
+/// a [`DagView`] borrowing the arenas; the next `eval` call reuses all of the
+/// retained capacity, so in steady state (same automaton, comparable document
+/// sizes) evaluation performs **zero heap allocation**:
+///
+/// ```
+/// # use spanners_core::{EvaBuilder, DetSeva, ByteClass, MarkerSet, VarRegistry, Document};
+/// # use spanners_core::Evaluator;
+/// # let mut reg = VarRegistry::new();
+/// # let x = reg.intern("x").unwrap();
+/// # let mut b = EvaBuilder::new(reg);
+/// # let q0 = b.add_state();
+/// # let q1 = b.add_state();
+/// # let q2 = b.add_state();
+/// # b.set_initial(q0);
+/// # b.set_final(q2);
+/// # let any = ByteClass::any();
+/// # b.add_letter(q0, any, q0);
+/// # b.add_letter(q1, any, q1);
+/// # b.add_letter(q2, any, q2);
+/// # b.add_var(q0, MarkerSet::new().with_open(x), q1).unwrap();
+/// # b.add_var(q1, MarkerSet::new().with_close(x), q2).unwrap();
+/// # let aut = DetSeva::compile(&b.build().unwrap()).unwrap();
+/// let mut evaluator = Evaluator::new();
+/// for text in ["stream of", "many documents", "served by one cache"] {
+///     let doc = Document::from(text);
+///     let dag = evaluator.eval(&aut, &doc);
+///     let _n = dag.iter().count(); // constant-delay enumeration
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Evaluator {
+    store: DagStore,
+    /// `list_q` for every state (dense, indexed by state id).
+    lists: Vec<ListRef>,
+    /// Phase-start snapshots of `lists` for the active states.
+    old: Vec<ListRef>,
+    /// States with a non-empty list in the current phase.
+    active: SparseSet,
+    /// The active set under construction during a `Reading` phase.
+    next_active: SparseSet,
+    /// Scratch for collecting `(final state, list)` pairs before sorting.
+    root_scratch: Vec<(u32, ListRef)>,
+}
+
+impl Evaluator {
+    /// A fresh evaluator with empty arenas. Arenas grow on first use and are
+    /// retained across [`Evaluator::eval`] calls.
+    pub fn new() -> Evaluator {
+        Evaluator::default()
+    }
+
+    /// Runs Algorithm 1 (`Evaluate`) over the document and returns a view of
+    /// the resulting DAG, reusing all previously allocated arena capacity.
+    ///
+    /// Preprocessing time is `O(|A| × |d|)` in the worst case, and
+    /// `O(live states × |d|)` in the common case where only a few automaton
+    /// states carry runs at any position.
+    pub fn eval<'a>(&'a mut self, aut: &'a DetSeva, doc: &Document) -> DagView<'a> {
+        self.run(aut, doc, None);
+        DagView { store: &self.store, registry: aut.registry(), doc_len: doc.len() }
+    }
+
+    /// Like [`Evaluator::eval`] but moves the finished DAG out as an owned
+    /// [`EnumerationDag`], surrendering the arena capacity (the evaluator's
+    /// arenas start empty again). Use when the DAG must outlive the evaluator.
+    pub fn eval_owned(&mut self, aut: &DetSeva, doc: &Document) -> EnumerationDag {
+        self.run(aut, doc, None);
+        EnumerationDag {
+            store: std::mem::take(&mut self.store),
+            registry: aut.registry().clone(),
+            doc_len: doc.len(),
+        }
+    }
+
+    /// Current capacity of the node arena (diagnostics: a warmed-up evaluator
+    /// keeps its capacity across documents instead of reallocating).
+    pub fn node_capacity(&self) -> usize {
+        self.store.nodes.capacity()
+    }
+
+    /// Current capacity of the cell arena.
+    pub fn cell_capacity(&self) -> usize {
+        self.store.cells.capacity()
+    }
+
+    /// The core of Algorithm 1, shared by every public entry point.
+    fn run(&mut self, aut: &DetSeva, doc: &Document, mut trace: Option<&mut Vec<StageTrace>>) {
+        let n_states = aut.num_states();
+        // Reset retained storage without releasing capacity.
+        self.store.nodes.clear();
+        self.store.cells.clear();
+        self.store.roots.clear();
+        self.lists.clear();
+        self.lists.resize(n_states, ListRef::EMPTY);
+        self.old.clear();
+        self.old.resize(n_states, ListRef::EMPTY);
+        self.active.reset(n_states);
+        self.next_active.reset(n_states);
+
+        // Node 0 is the sink ⊥; its markers/list are never read.
+        self.store.nodes.push(Node { markers: MarkerSet::new(), pos: 0, list: ListRef::EMPTY });
+        // list_q for every state q: initially empty except list_{q0} = [⊥].
+        self.store.cells.push(Cell { node: BOTTOM, next: None });
+        self.lists[aut.initial()] = ListRef { head: 0, tail: 0, len_hint: 1 };
+        self.active.insert(aut.initial());
+
+        // Loop invariant: `active` holds exactly the states whose list is
+        // non-empty, and `lists[q]` is EMPTY for every inactive q.
+        let bytes = doc.bytes();
+        for i in 0..=bytes.len() {
+            // ----- Capturing(i): variable transitions before letter i -----
+            // lazycopy the lists of the phase-start active states (the paper's
+            // lazy copy of every list; inactive lists are all EMPTY).
+            let live = self.active.len();
+            for idx in 0..live {
+                let q = self.active.get(idx);
+                self.old[q] = self.lists[q];
+            }
+            for idx in 0..live {
+                let q = self.active.get(idx);
+                if !aut.has_var_transitions(q) {
+                    continue;
+                }
+                let src = self.old[q];
+                for &(markers, p) in aut.markers_from(q) {
+                    let node_id = next_arena_id(self.store.nodes.len(), "DAG node");
+                    self.store.nodes.push(Node { markers, pos: i as u32, list: src });
+                    // list_p.add(node): prepend a fresh cell.
+                    let cell_id = next_arena_id(self.store.cells.len(), "list cell");
+                    if self.active.insert(p) {
+                        // p had an empty list: start it.
+                        self.store.cells.push(Cell { node: node_id, next: None });
+                        self.lists[p] = ListRef { head: cell_id, tail: cell_id, len_hint: 1 };
+                    } else {
+                        let cur = self.lists[p];
+                        self.store.cells.push(Cell { node: node_id, next: Some(cur.head) });
+                        self.lists[p] = ListRef {
+                            head: cell_id,
+                            tail: cur.tail,
+                            len_hint: cur.len_hint.saturating_add(1),
+                        };
+                    }
+                }
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(StageTrace::capture(i, &self.lists));
+            }
+
+            // ----- Reading(i): the letter transition on byte i -----
+            if i == bytes.len() {
+                break;
+            }
+            let cls = aut.byte_class(bytes[i]);
+            let live = self.active.len();
+            for idx in 0..live {
+                let q = self.active.get(idx);
+                self.old[q] = self.lists[q];
+                self.lists[q] = ListRef::EMPTY;
+            }
+            self.next_active.clear();
+            for idx in 0..live {
+                let q = self.active.get(idx);
+                if let Some(p) = aut.step_class(q, cls) {
+                    let src = self.old[q];
+                    // list_p.append(list_old_q)
+                    if self.next_active.insert(p) {
+                        self.lists[p] = src;
+                    } else {
+                        let cur = self.lists[p];
+                        let tail = cur.tail as usize;
+                        debug_assert!(
+                            self.store.cells[tail].next.is_none(),
+                            "append target must end in null"
+                        );
+                        self.store.cells[tail].next = Some(src.head);
+                        self.lists[p] = ListRef {
+                            head: cur.head,
+                            tail: src.tail,
+                            len_hint: cur.len_hint.saturating_add(src.len_hint),
+                        };
+                    }
+                }
+            }
+            std::mem::swap(&mut self.active, &mut self.next_active);
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(StageTrace::read(i, &self.lists));
+            }
+        }
+
+        // Roots: the (non-empty) lists of the final states, in state order so
+        // enumeration order is independent of active-set insertion order.
+        self.root_scratch.clear();
+        for idx in 0..self.active.len() {
+            let q = self.active.get(idx);
+            if aut.is_final(q) {
+                self.root_scratch.push((q as u32, self.lists[q]));
+            }
+        }
+        self.root_scratch.sort_unstable_by_key(|&(q, _)| q);
+        self.store.roots.extend(self.root_scratch.iter().map(|&(_, l)| l));
+    }
+}
+
+/// A borrowed view of the DAG held inside an [`Evaluator`] — the zero-copy
+/// result of [`Evaluator::eval`]. Supports the same read operations as
+/// [`EnumerationDag`] (enumerate, count, materialize) without owning the
+/// arenas, so the evaluator can recycle them for the next document as soon as
+/// the view is dropped.
+#[derive(Debug, Clone, Copy)]
+pub struct DagView<'a> {
+    store: &'a DagStore,
+    registry: &'a VarRegistry,
+    doc_len: usize,
+}
+
+impl<'a> DagView<'a> {
+    /// The variable registry of the automaton that produced this DAG.
+    pub fn registry(&self) -> &'a VarRegistry {
+        self.registry
+    }
+
+    /// Length of the document this DAG was built over.
+    pub fn document_len(&self) -> usize {
+        self.doc_len
+    }
+
+    /// Number of DAG nodes created (including the sink `⊥`).
+    pub fn num_nodes(&self) -> usize {
+        self.store.nodes.len()
+    }
+
+    /// Number of list cells created.
+    pub fn num_cells(&self) -> usize {
+        self.store.cells.len()
+    }
+
+    /// Number of root lists (non-empty final-state lists).
+    pub fn num_roots(&self) -> usize {
+        self.store.roots.len()
+    }
+
+    /// Whether the spanner produced no output on this document.
+    pub fn is_empty(&self) -> bool {
+        self.store.roots.is_empty()
+    }
+
+    /// Algorithm 2 as a pull-based iterator with constant delay per item.
+    pub fn iter(&self) -> MappingIter<'a> {
+        self.store.iter()
+    }
+
+    /// Materializes all output mappings (in enumeration order).
+    pub fn collect_mappings(&self) -> Vec<Mapping> {
+        self.iter().collect()
+    }
+
+    /// Counts mappings by counting root-to-`⊥` paths (see
+    /// [`EnumerationDag::count_paths`]).
+    pub fn count_paths(&self) -> u128 {
+        self.store.count_paths()
+    }
+}
+
+/// The output of Algorithm 1: a compact DAG representation of all output
+/// mappings of a deterministic sequential eVA over a document.
+///
+/// Build it with [`EnumerationDag::build`] (one-shot) or keep a reusable
+/// [`Evaluator`] when evaluating many documents; enumerate with
+/// [`EnumerationDag::iter`] (constant delay per item), count paths with
+/// [`EnumerationDag::count_paths`], or materialize with
+/// [`EnumerationDag::collect_mappings`].
+#[derive(Debug, Clone)]
+pub struct EnumerationDag {
+    store: DagStore,
+    registry: VarRegistry,
+    doc_len: usize,
+}
+
+impl EnumerationDag {
+    /// Runs Algorithm 1 (`Evaluate`) over the document, producing the DAG.
+    ///
+    /// This is a thin convenience wrapper creating a fresh [`Evaluator`] per
+    /// call; preprocessing time is `O(|A| × |d|)`. Hot paths evaluating many
+    /// documents should hold on to one [`Evaluator`] instead, which amortizes
+    /// every allocation across documents.
+    pub fn build(aut: &DetSeva, doc: &Document) -> EnumerationDag {
+        Evaluator::new().eval_owned(aut, doc)
+    }
+
+    /// Like [`EnumerationDag::build`] but records, after every `Capturing`/
+    /// `Reading` phase, which state lists are non-empty and how many cells each
+    /// holds. Used by tests that replay the trace of Figure 5 and by the
+    /// benchmark harness to report DAG growth; slower than `build`.
+    pub fn build_with_trace(aut: &DetSeva, doc: &Document) -> (EnumerationDag, Vec<StageTrace>) {
+        let mut traces = Vec::new();
+        let mut evaluator = Evaluator::new();
+        evaluator.run(aut, doc, Some(&mut traces));
+        let dag = EnumerationDag {
+            store: std::mem::take(&mut evaluator.store),
+            registry: aut.registry().clone(),
+            doc_len: doc.len(),
+        };
+        (dag, traces)
+    }
+
+    /// The variable registry of the automaton that produced this DAG.
+    pub fn registry(&self) -> &VarRegistry {
+        &self.registry
+    }
+
+    /// Length of the document this DAG was built over.
+    pub fn document_len(&self) -> usize {
+        self.doc_len
+    }
+
+    /// Number of DAG nodes created (including the sink `⊥`).
+    pub fn num_nodes(&self) -> usize {
+        self.store.nodes.len()
+    }
+
+    /// Number of list cells created.
+    pub fn num_cells(&self) -> usize {
+        self.store.cells.len()
+    }
+
+    /// Number of root lists (non-empty final-state lists).
+    pub fn num_roots(&self) -> usize {
+        self.store.roots.len()
+    }
+
+    /// Whether the spanner produced no output on this document.
+    pub fn is_empty(&self) -> bool {
+        self.store.roots.is_empty()
+    }
+
+    /// Algorithm 2 as a pull-based iterator with constant delay per item.
+    pub fn iter(&self) -> MappingIter<'_> {
+        self.store.iter()
+    }
+
+    /// Materializes all output mappings (in enumeration order).
+    pub fn collect_mappings(&self) -> Vec<Mapping> {
+        self.iter().collect()
+    }
+
+    /// Runs Algorithm 2 with a callback instead of an iterator; stops early if
+    /// the callback returns `false`. Returns the number of mappings visited.
+    pub fn for_each_mapping<F: FnMut(Mapping) -> bool>(&self, mut f: F) -> usize {
+        let mut n = 0;
+        for m in self.iter() {
+            n += 1;
+            if !f(m) {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Counts the number of output mappings by counting paths from the roots to
+    /// `⊥` in the DAG. Because the source automaton is deterministic, paths are
+    /// in bijection with output mappings.
+    ///
+    /// This is an alternative to Algorithm 3 (see [`crate::count`]) that reuses
+    /// an already-built DAG; it runs in time linear in the DAG size.
+    pub fn count_paths(&self) -> u128 {
+        self.store.count_paths()
     }
 }
 
 struct ListCellIter<'a> {
-    dag: &'a EnumerationDag,
+    store: &'a DagStore,
     cur: Option<CellId>,
     tail: CellId,
 }
@@ -303,7 +544,7 @@ impl Iterator for ListCellIter<'_> {
     type Item = CellId;
     fn next(&mut self) -> Option<CellId> {
         let cur = self.cur?;
-        self.cur = if cur == self.tail { None } else { self.dag.cells[cur as usize].next };
+        self.cur = if cur == self.tail { None } else { self.store.cells[cur as usize].next };
         Some(cur)
     }
 }
@@ -357,15 +598,15 @@ struct Frame {
     pushed: bool,
 }
 
-/// Iterator over the output mappings encoded by an [`EnumerationDag`]
-/// (Algorithm 2 of the paper).
+/// Iterator over the output mappings encoded by an [`EnumerationDag`] or a
+/// [`DagView`] (Algorithm 2 of the paper).
 ///
 /// Each call to [`next`](Iterator::next) performs a bounded amount of work that
 /// depends only on the number of variables of the spanner, never on the
 /// document length — this is the constant-delay guarantee.
 #[derive(Debug, Clone)]
 pub struct MappingIter<'a> {
-    dag: &'a EnumerationDag,
+    store: &'a DagStore,
     next_root: usize,
     stack: Vec<Frame>,
     /// Markers collected along the current DFS path, from the last variable
@@ -405,10 +646,10 @@ impl Iterator for MappingIter<'_> {
         loop {
             // Refill from the next root list when the stack is exhausted.
             if self.stack.is_empty() {
-                if self.next_root >= self.dag.roots.len() {
+                if self.next_root >= self.store.roots.len() {
                     return None;
                 }
-                let root = self.dag.roots[self.next_root];
+                let root = self.store.roots[self.next_root];
                 self.next_root += 1;
                 self.push_list(root, false);
                 continue;
@@ -423,14 +664,14 @@ impl Iterator for MappingIter<'_> {
                 continue;
             };
             // Advance the cursor within the current list.
-            let cell = self.dag.cells[cell_id as usize];
+            let cell = self.store.cells[cell_id as usize];
             top.cursor = if cell_id == top.tail { None } else { cell.next };
 
             if cell.node == BOTTOM {
                 // A complete path: emit one mapping.
                 return Some(self.build_mapping());
             }
-            let node = self.dag.nodes[cell.node as usize];
+            let node = self.store.nodes[cell.node as usize];
             self.path.push((node.markers, node.pos));
             self.push_list(node.list, true);
         }
@@ -663,7 +904,7 @@ mod tests {
         let eva = figure3();
         let aut = det(&eva);
         for n in [4usize, 16, 64, 256] {
-            let text: String = std::iter::repeat("ab").take(n).collect();
+            let text: String = std::iter::repeat_n("ab", n).collect();
             let dag = EnumerationDag::build(&aut, &Document::from(text.as_str()));
             let mut it = dag.iter();
             let mut max_stack = 0;
@@ -719,5 +960,92 @@ mod tests {
         let (traced, stages) = EnumerationDag::build_with_trace(&aut, &doc);
         assert_eq!(plain.collect_mappings(), traced.collect_mappings());
         assert_eq!(stages.len(), 2 * 4 + 1);
+    }
+
+    #[test]
+    fn evaluator_reuse_matches_one_shot_builds() {
+        let eva = figure3();
+        let aut = det(&eva);
+        let mut evaluator = Evaluator::new();
+        for text in ["ab", "", "abab", "zz", "aabb", "ababab", "a"] {
+            let doc = Document::from(text);
+            let reused = evaluator.eval(&aut, &doc);
+            let fresh = EnumerationDag::build(&aut, &doc);
+            assert_eq!(reused.num_nodes(), fresh.num_nodes(), "nodes on {text:?}");
+            assert_eq!(reused.num_cells(), fresh.num_cells(), "cells on {text:?}");
+            assert_eq!(reused.num_roots(), fresh.num_roots(), "roots on {text:?}");
+            assert_eq!(reused.count_paths(), fresh.count_paths(), "paths on {text:?}");
+            assert_eq!(reused.collect_mappings(), fresh.collect_mappings(), "mappings on {text:?}");
+        }
+    }
+
+    #[test]
+    fn evaluator_retains_arena_capacity_across_documents() {
+        let eva = figure3();
+        let aut = det(&eva);
+        let mut evaluator = Evaluator::new();
+        // Warm up on the largest document of the batch.
+        let big: String = std::iter::repeat_n("ab", 512).collect();
+        let _ = evaluator.eval(&aut, &Document::from(big.as_str()));
+        let warm_nodes = evaluator.node_capacity();
+        let warm_cells = evaluator.cell_capacity();
+        assert!(warm_nodes > 0 && warm_cells > 0);
+        // Subsequent smaller documents must not grow (or shrink) the arenas.
+        for n in [1usize, 17, 100, 512] {
+            let text: String = std::iter::repeat_n("ab", n).collect();
+            let view = evaluator.eval(&aut, &Document::from(text.as_str()));
+            assert!(!view.is_empty());
+            assert_eq!(evaluator.node_capacity(), warm_nodes, "node arena reallocated at n={n}");
+            assert_eq!(evaluator.cell_capacity(), warm_cells, "cell arena reallocated at n={n}");
+        }
+    }
+
+    #[test]
+    fn evaluator_adapts_to_different_automata() {
+        // One evaluator serving two automata of different state counts.
+        let f3 = det(&figure3());
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q2);
+        let any = ByteClass::any();
+        b.add_letter(q0, any, q0);
+        b.add_letter(q1, any, q1);
+        b.add_letter(q2, any, q2);
+        let ms = MarkerSet::new;
+        b.add_var(q0, ms().with_open(x), q1).unwrap();
+        b.add_var(q1, ms().with_close(x), q2).unwrap();
+        let small = DetSeva::compile(&b.build().unwrap()).unwrap();
+
+        let mut evaluator = Evaluator::new();
+        for _ in 0..3 {
+            let doc = Document::from("ab");
+            assert_eq!(evaluator.eval(&f3, &doc).count_paths(), 3);
+            let doc = Document::from("aaa");
+            assert_eq!(
+                evaluator.eval(&small, &doc).count_paths(),
+                EnumerationDag::build(&small, &doc).count_paths()
+            );
+        }
+    }
+
+    #[test]
+    fn eval_owned_produces_independent_dag() {
+        let eva = figure3();
+        let aut = det(&eva);
+        let mut evaluator = Evaluator::new();
+        let dag = evaluator.eval_owned(&aut, &Document::from("ab"));
+        // The evaluator can immediately be reused…
+        let view = evaluator.eval(&aut, &Document::from("abab"));
+        // …while the owned DAG remains valid and unchanged.
+        assert_eq!(dag.count_paths(), 3);
+        assert_eq!(
+            view.count_paths(),
+            EnumerationDag::build(&aut, &Document::from("abab")).count_paths()
+        );
     }
 }

@@ -86,13 +86,17 @@ impl fmt::Display for SpannerError {
             SpannerError::NotSequential(why) => write!(f, "automaton is not sequential: {why}"),
             SpannerError::NotFunctional(why) => write!(f, "automaton is not functional: {why}"),
             SpannerError::InvalidSpan { start, end, doc_len } => match doc_len {
-                Some(len) => write!(f, "invalid span [{start}, {end}⟩ for document of length {len}"),
+                Some(len) => {
+                    write!(f, "invalid span [{start}, {end}⟩ for document of length {len}")
+                }
                 None => write!(f, "invalid span [{start}, {end}⟩"),
             },
             SpannerError::IncompatibleMappings { variable } => {
                 write!(f, "mappings assign different spans to variable `{variable}`")
             }
-            SpannerError::CountOverflow => write!(f, "mapping count overflowed the chosen counter type"),
+            SpannerError::CountOverflow => {
+                write!(f, "mapping count overflowed the chosen counter type")
+            }
             SpannerError::Parse(e) => write!(f, "regex formula parse error: {e}"),
             SpannerError::BudgetExceeded { what, limit } => {
                 write!(f, "{what} exceeded the configured budget of {limit}")
@@ -182,6 +186,8 @@ mod tests {
         assert!(SpannerError::NotSequential("variable x reopened".into())
             .to_string()
             .contains("not sequential"));
-        assert!(SpannerError::NotFunctional("x unused".into()).to_string().contains("not functional"));
+        assert!(SpannerError::NotFunctional("x unused".into())
+            .to_string()
+            .contains("not functional"));
     }
 }

@@ -442,11 +442,8 @@ impl Eva {
     /// Evaluates the spanner naively: the set of mappings of all **valid**
     /// accepting runs over `d`, without duplicates. Reference semantics only.
     pub fn eval_naive(&self, doc: &Document) -> Vec<Mapping> {
-        let mut out: Vec<Mapping> = self
-            .accepting_runs(doc)
-            .iter()
-            .filter_map(|r| r.mapping())
-            .collect();
+        let mut out: Vec<Mapping> =
+            self.accepting_runs(doc).iter().filter_map(|r| r.mapping()).collect();
         dedup_mappings(&mut out);
         out
     }

@@ -15,7 +15,9 @@
 //! * the **deterministic sequential eVA** representation [`DetSeva`] used by the
 //!   evaluation algorithms;
 //! * **Algorithm 1 + 2**: linear-time preprocessing and constant-delay enumeration of
-//!   all output mappings ([`enumerate`]);
+//!   all output mappings ([`enumerate`]), driven by a sparse active-state set
+//!   ([`sparse`]) and exposed both as the one-shot [`EnumerationDag`] and as the
+//!   reusable, allocation-free-after-warm-up [`Evaluator`];
 //! * **Algorithm 3**: counting the number of output mappings in `O(|A| × |d|)`
 //!   ([`count`]);
 //! * a high-level [`CompiledSpanner`] façade tying it all together.
@@ -40,13 +42,14 @@ pub mod markerset;
 pub mod product;
 pub mod span;
 pub mod spanner;
+pub mod sparse;
 pub mod variable;
 
 pub use byteclass::{AlphabetPartition, ByteClass};
 pub use count::{count_mappings, Counter};
 pub use det::DetSeva;
 pub use document::Document;
-pub use enumerate::{EnumerationDag, MappingIter};
+pub use enumerate::{DagView, EnumerationDag, Evaluator, MappingIter};
 pub use error::{ParseError, Result, SpannerError};
 pub use eva::{Eva, EvaBuilder, EvaRun, StateId};
 pub use mapping::{
@@ -56,4 +59,5 @@ pub use markerset::{MarkerSet, VarSet, VariableStatus};
 pub use product::{AnnotatedProduct, AnnotatedTransition};
 pub use span::{all_spans, Span};
 pub use spanner::CompiledSpanner;
+pub use sparse::SparseSet;
 pub use variable::{Marker, VarId, VarRegistry, MAX_VARIABLES};

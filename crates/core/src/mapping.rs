@@ -69,10 +69,7 @@ impl Mapping {
 
     /// The span assigned to `var`, if any.
     pub fn get(&self, var: VarId) -> Option<Span> {
-        self.entries
-            .binary_search_by_key(&var, |(v, _)| *v)
-            .ok()
-            .map(|i| self.entries[i].1)
+        self.entries.binary_search_by_key(&var, |(v, _)| *v).ok().map(|i| self.entries[i].1)
     }
 
     /// Whether `var` is in the domain.
@@ -425,10 +422,8 @@ mod tests {
 
     #[test]
     fn join_mapping_sets_basic() {
-        let left = vec![
-            Mapping::from_pairs([(v(0), sp(0, 1))]),
-            Mapping::from_pairs([(v(0), sp(1, 2))]),
-        ];
+        let left =
+            vec![Mapping::from_pairs([(v(0), sp(0, 1))]), Mapping::from_pairs([(v(0), sp(1, 2))])];
         let right = vec![
             Mapping::from_pairs([(v(0), sp(0, 1)), (v(1), sp(5, 6))]),
             Mapping::from_pairs([(v(1), sp(7, 8))]),

@@ -255,7 +255,7 @@ impl Iterator for MarkerSetIter {
         let tz = self.bits.trailing_zeros() as usize;
         self.bits &= self.bits - 1;
         let var = VarId::new(tz / 2).expect("marker bit within variable limit");
-        Some(if tz % 2 == 0 { Marker::Open(var) } else { Marker::Close(var) })
+        Some(if tz.is_multiple_of(2) { Marker::Open(var) } else { Marker::Close(var) })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

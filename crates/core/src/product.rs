@@ -73,12 +73,7 @@ impl AnnotatedProduct {
         while let Some((q, pos)) = stack.pop() {
             // Variable transitions stay at the same position.
             for &(markers, p) in aut.markers_from(q) {
-                annotated.push(AnnotatedTransition {
-                    from: (q, pos),
-                    markers,
-                    pos,
-                    to: (p, pos),
-                });
+                annotated.push(AnnotatedTransition { from: (q, pos), markers, pos, to: (p, pos) });
                 if !reachable[p][pos] {
                     reachable[p][pos] = true;
                     stack.push((p, pos));
@@ -112,7 +107,12 @@ impl AnnotatedProduct {
             let mut cur = t.to;
             while let Some(&next) = eps_next.get(&cur) {
                 cur = next;
-                closure.push(AnnotatedTransition { from: t.from, markers: t.markers, pos: t.pos, to: cur });
+                closure.push(AnnotatedTransition {
+                    from: t.from,
+                    markers: t.markers,
+                    pos: t.pos,
+                    to: cur,
+                });
             }
         }
         // The initial state also reaches states through ε edges alone (runs whose

@@ -134,9 +134,7 @@ impl Span {
     /// Empty spans cover no byte positions and therefore never overlap anything.
     #[inline]
     pub fn overlaps(&self, other: &Span) -> bool {
-        self.start < other.end && other.start < self.end
-            && !self.is_empty()
-            && !other.is_empty()
+        self.start < other.end && other.start < self.end && !self.is_empty() && !other.is_empty()
     }
 
     /// Whether the byte offset `pos` lies inside the span.

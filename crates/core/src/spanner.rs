@@ -3,7 +3,7 @@
 use crate::count::{count_mappings, Counter};
 use crate::det::DetSeva;
 use crate::document::Document;
-use crate::enumerate::{EnumerationDag, MappingIter};
+use crate::enumerate::{DagView, EnumerationDag, Evaluator, MappingIter};
 use crate::error::SpannerError;
 use crate::eva::Eva;
 use crate::mapping::Mapping;
@@ -59,6 +59,18 @@ impl CompiledSpanner {
     /// producing the compact DAG representation of all output mappings.
     pub fn evaluate(&self, doc: &Document) -> EnumerationDag {
         EnumerationDag::build(&self.automaton, doc)
+    }
+
+    /// Like [`CompiledSpanner::evaluate`], but running inside a caller-owned
+    /// [`Evaluator`] so that repeated evaluations over many documents reuse
+    /// the DAG arenas instead of allocating fresh ones — the hot-path entry
+    /// point for serving workloads.
+    pub fn evaluate_with<'a>(
+        &'a self,
+        evaluator: &'a mut Evaluator,
+        doc: &Document,
+    ) -> DagView<'a> {
+        evaluator.eval(&self.automaton, doc)
     }
 
     /// Evaluates and materializes all output mappings.

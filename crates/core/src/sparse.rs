@@ -1,0 +1,165 @@
+//! A dense/sparse *active set* over small integer ids — the classic
+//! constant-time set used by production regex engines to drive NFA/DFA
+//! simulation over only the **live** states instead of scanning the whole
+//! state space.
+//!
+//! The evaluation loops of Algorithms 1 and 3 touch, at every document
+//! position, only the states whose run list (or run count) is non-empty.
+//! Tracking that set in a [`SparseSet`] makes the per-byte cost proportional
+//! to the number of live states rather than to `num_states`, which is the
+//! difference between `O(|A|·|d|)` in theory and in practice for the large
+//! automata produced by determinization.
+//!
+//! Operations: `insert`, `contains`, `clear`, indexed access and iteration
+//! are all O(1) (O(len) for iteration), and `clear` does **not** touch the
+//! backing memory, so a set can be reused across millions of documents
+//! without reallocation.
+
+/// A constant-time set of `usize` ids drawn from a bounded universe
+/// `0..universe`, preserving insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct SparseSet {
+    /// The members, in insertion order.
+    dense: Vec<u32>,
+    /// `sparse[v]` is the index of `v` in `dense`, if `v` is a member.
+    /// Entries for non-members are arbitrary (checked against `dense`).
+    sparse: Vec<u32>,
+}
+
+impl SparseSet {
+    /// An empty set over the universe `0..universe`.
+    pub fn new(universe: usize) -> SparseSet {
+        assert!(universe <= u32::MAX as usize, "SparseSet universe exceeds u32 ids");
+        SparseSet { dense: Vec::with_capacity(universe), sparse: vec![0; universe] }
+    }
+
+    /// Empties the set and grows the universe to `0..universe` if needed.
+    /// Keeps all allocated capacity; reallocates only when the universe grows
+    /// beyond any previously seen size.
+    pub fn reset(&mut self, universe: usize) {
+        assert!(universe <= u32::MAX as usize, "SparseSet universe exceeds u32 ids");
+        self.dense.clear();
+        if self.sparse.len() < universe {
+            self.sparse.resize(universe, 0);
+        }
+    }
+
+    /// The size of the universe (maximum id + 1 the set can hold).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.sparse.len()
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dense.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dense.is_empty()
+    }
+
+    /// Whether `v` is a member.
+    #[inline]
+    pub fn contains(&self, v: usize) -> bool {
+        debug_assert!(v < self.sparse.len(), "id {v} outside SparseSet universe");
+        let slot = self.sparse[v] as usize;
+        slot < self.dense.len() && self.dense[slot] as usize == v
+    }
+
+    /// Inserts `v`; returns `true` if it was **not** already a member.
+    #[inline]
+    pub fn insert(&mut self, v: usize) -> bool {
+        if self.contains(v) {
+            return false;
+        }
+        self.sparse[v] = self.dense.len() as u32;
+        self.dense.push(v as u32);
+        true
+    }
+
+    /// The `i`-th member in insertion order (`i < len`).
+    #[inline]
+    pub fn get(&self, i: usize) -> usize {
+        self.dense[i] as usize
+    }
+
+    /// Removes all members in O(1); the backing memory is untouched.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.dense.clear();
+    }
+
+    /// Iterates the members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dense.iter().map(|&v| v as usize)
+    }
+
+    /// The members in insertion order, as a slice of raw ids.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_clear() {
+        let mut s = SparseSet::new(10);
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(s.insert(7));
+        assert!(!s.insert(3), "double insert reports already-present");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3) && s.contains(7));
+        assert!(!s.contains(0) && !s.contains(9));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(3), "stale sparse entries are not visible after clear");
+        assert!(s.insert(3));
+    }
+
+    #[test]
+    fn insertion_order_is_preserved() {
+        let mut s = SparseSet::new(100);
+        for v in [42, 0, 99, 7] {
+            s.insert(v);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![42, 0, 99, 7]);
+        assert_eq!(s.get(2), 99);
+        assert_eq!(s.as_slice(), &[42, 0, 99, 7]);
+    }
+
+    #[test]
+    fn reset_grows_universe_and_clears() {
+        let mut s = SparseSet::new(4);
+        s.insert(1);
+        s.reset(4);
+        assert!(s.is_empty());
+        s.reset(1000);
+        assert_eq!(s.universe(), 1000);
+        assert!(s.insert(999));
+        assert!(s.contains(999));
+        // Shrinking requests keep the larger universe (capacity retention).
+        s.reset(2);
+        assert_eq!(s.universe(), 1000);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn garbage_sparse_entries_never_alias() {
+        // Adversarial pattern for the dense/sparse trick: query ids whose
+        // uninitialized sparse slot points at a valid dense index.
+        let mut s = SparseSet::new(8);
+        s.insert(5);
+        for v in 0..8 {
+            assert_eq!(s.contains(v), v == 5);
+        }
+    }
+}

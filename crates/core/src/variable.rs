@@ -29,7 +29,10 @@ impl VarId {
     /// Returns an error if `index >= MAX_VARIABLES`.
     pub fn new(index: usize) -> Result<Self, SpannerError> {
         if index >= MAX_VARIABLES {
-            return Err(SpannerError::TooManyVariables { requested: index + 1, limit: MAX_VARIABLES });
+            return Err(SpannerError::TooManyVariables {
+                requested: index + 1,
+                limit: MAX_VARIABLES,
+            });
         }
         Ok(VarId(index as u8))
     }

@@ -372,12 +372,14 @@ mod tests {
         ])
         .is_functional());
         // (!x{a})* is not functional; a* is.
-        assert!(!RegexAst::Star(Box::new(RegexAst::capture("x", RegexAst::byte(b'a'))))
-            .is_functional());
+        assert!(
+            !RegexAst::Star(Box::new(RegexAst::capture("x", RegexAst::byte(b'a')))).is_functional()
+        );
         assert!(RegexAst::Star(Box::new(RegexAst::byte(b'a'))).is_functional());
         // nested capture of the same name is not functional.
-        assert!(!RegexAst::capture("x", RegexAst::capture("x", RegexAst::byte(b'a')))
-            .is_functional());
+        assert!(
+            !RegexAst::capture("x", RegexAst::capture("x", RegexAst::byte(b'a'))).is_functional()
+        );
         // optional captures are not functional.
         assert!(!RegexAst::Optional(Box::new(RegexAst::capture("x", RegexAst::byte(b'a'))))
             .is_functional());
@@ -387,7 +389,10 @@ mod tests {
     fn display_round_trippable_forms() {
         let ast = RegexAst::concat(vec![
             RegexAst::Star(Box::new(RegexAst::Class(ByteClass::any()))),
-            RegexAst::capture("x", RegexAst::Plus(Box::new(RegexAst::Class(ByteClass::ascii_digits())))),
+            RegexAst::capture(
+                "x",
+                RegexAst::Plus(Box::new(RegexAst::Class(ByteClass::ascii_digits()))),
+            ),
         ]);
         let rendered = ast.to_string();
         assert!(rendered.contains(".*"));

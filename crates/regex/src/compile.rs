@@ -9,9 +9,7 @@
 
 use crate::ast::RegexAst;
 use spanners_automata::{compile_va, CompileOptions, Va, VaBuilder};
-use spanners_core::{
-    ByteClass, CompiledSpanner, Marker, SpannerError, VarRegistry,
-};
+use spanners_core::{ByteClass, CompiledSpanner, Marker, SpannerError, VarRegistry};
 
 /// Labels of the intermediate Thompson ε-NFA.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,10 +123,9 @@ fn build(ast: &RegexAst, nfa: &mut EpsNfa, registry: &VarRegistry) -> Result<Fra
             Frag { start: s, end: e }
         }
         RegexAst::Capture(name, inner) => {
-            let var = registry.get(name).ok_or(SpannerError::InvalidVariable {
-                var: 0,
-                num_vars: registry.len(),
-            })?;
+            let var = registry
+                .get(name)
+                .ok_or(SpannerError::InvalidVariable { var: 0, num_vars: registry.len() })?;
             let f = build(inner, nfa, registry)?;
             let s = nfa.add_state();
             let e = nfa.add_state();

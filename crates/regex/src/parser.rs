@@ -208,7 +208,10 @@ impl Parser<'_> {
             }
             Some(b) if b"*+?)|]}".contains(&b) => Err(ParseError::new(
                 self.pos,
-                format!("unexpected `{}` (escape it with a backslash to match it literally)", b as char),
+                format!(
+                    "unexpected `{}` (escape it with a backslash to match it literally)",
+                    b as char
+                ),
             )),
             Some(b) => {
                 self.bump();
@@ -250,10 +253,9 @@ impl Parser<'_> {
                 let lo = self.parse_hex_digit()?;
                 Ok(ByteClass::singleton(hi * 16 + lo))
             }
-            Some(b) if b.is_ascii_alphanumeric() => Err(ParseError::new(
-                self.pos - 1,
-                format!("unknown escape `\\{}`", b as char),
-            )),
+            Some(b) if b.is_ascii_alphanumeric() => {
+                Err(ParseError::new(self.pos - 1, format!("unknown escape `\\{}`", b as char)))
+            }
             Some(b) => Ok(ByteClass::singleton(b)),
         }
     }
@@ -367,15 +369,9 @@ mod tests {
         assert_eq!(parse("a*").unwrap(), R::Star(Box::new(R::byte(b'a'))));
         assert_eq!(parse("a+").unwrap(), R::Plus(Box::new(R::byte(b'a'))));
         assert_eq!(parse("a?").unwrap(), R::Optional(Box::new(R::byte(b'a'))));
-        assert_eq!(
-            parse("(ab)*").unwrap(),
-            R::Star(Box::new(R::literal(b"ab")))
-        );
+        assert_eq!(parse("(ab)*").unwrap(), R::Star(Box::new(R::literal(b"ab"))));
         // double postfix
-        assert_eq!(
-            parse("a*?").unwrap(),
-            R::Optional(Box::new(R::Star(Box::new(R::byte(b'a')))))
-        );
+        assert_eq!(parse("a*?").unwrap(), R::Optional(Box::new(R::Star(Box::new(R::byte(b'a'))))));
     }
 
     #[test]
@@ -474,10 +470,7 @@ mod tests {
     #[test]
     fn parse_dot() {
         assert_eq!(parse(".").unwrap(), R::Class(ByteClass::any()));
-        assert_eq!(
-            parse(".*").unwrap(),
-            R::Star(Box::new(R::Class(ByteClass::any())))
-        );
+        assert_eq!(parse(".*").unwrap(), R::Star(Box::new(R::Class(ByteClass::any()))));
     }
 
     #[test]
@@ -516,8 +509,9 @@ mod tests {
         ] {
             let ast = parse(pattern).unwrap();
             let rendered = ast.to_string();
-            let reparsed = parse(&rendered)
-                .unwrap_or_else(|e| panic!("re-parsing {rendered:?} (from {pattern:?}) failed: {e}"));
+            let reparsed = parse(&rendered).unwrap_or_else(|e| {
+                panic!("re-parsing {rendered:?} (from {pattern:?}) failed: {e}")
+            });
             assert_eq!(ast, reparsed, "round trip of {pattern:?} via {rendered:?}");
         }
     }

@@ -17,20 +17,26 @@ type Rel = BTreeSet<(Span, Mapping)>;
 /// Evaluates a regex formula over a document according to Table 1, returning
 /// `⟦γ⟧(d)` (the mappings of matches covering the whole document), together
 /// with the registry that maps the formula's variable names to ids.
-pub fn eval_regex(ast: &RegexAst, doc: &Document) -> Result<(Vec<Mapping>, VarRegistry), SpannerError> {
+pub fn eval_regex(
+    ast: &RegexAst,
+    doc: &Document,
+) -> Result<(Vec<Mapping>, VarRegistry), SpannerError> {
     let mut registry = VarRegistry::new();
     for name in ast.variables() {
         registry.intern(&name)?;
     }
     let rel = eval_rel(ast, doc, &registry)?;
     let full = doc.full_span();
-    let out: Vec<Mapping> =
-        rel.into_iter().filter(|(s, _)| *s == full).map(|(_, m)| m).collect();
+    let out: Vec<Mapping> = rel.into_iter().filter(|(s, _)| *s == full).map(|(_, m)| m).collect();
     Ok((out, registry))
 }
 
 /// Evaluates the auxiliary relation `[γ](d)`.
-pub fn eval_rel(ast: &RegexAst, doc: &Document, registry: &VarRegistry) -> Result<Rel, SpannerError> {
+pub fn eval_rel(
+    ast: &RegexAst,
+    doc: &Document,
+    registry: &VarRegistry,
+) -> Result<Rel, SpannerError> {
     Ok(match ast {
         RegexAst::Epsilon => (0..=doc.len()).map(|i| (Span::empty_at(i), Mapping::new())).collect(),
         RegexAst::Class(c) => (0..doc.len())
@@ -38,9 +44,10 @@ pub fn eval_rel(ast: &RegexAst, doc: &Document, registry: &VarRegistry) -> Resul
             .map(|i| (Span::new_unchecked(i, i + 1), Mapping::new()))
             .collect(),
         RegexAst::Capture(name, inner) => {
-            let var = registry
-                .get(name)
-                .ok_or_else(|| SpannerError::InvalidVariable { var: 0, num_vars: registry.len() })?;
+            let var = registry.get(name).ok_or_else(|| SpannerError::InvalidVariable {
+                var: 0,
+                num_vars: registry.len(),
+            })?;
             eval_rel(inner, doc, registry)?
                 .into_iter()
                 .filter(|(_, m)| !m.contains(var))

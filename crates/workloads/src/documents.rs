@@ -4,8 +4,7 @@
 //! text source with controllable size and match density exercises the same
 //! code paths as real corpora. All generators are seeded and deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use spanners_core::Document;
 
 /// Uniformly random text over the given alphabet.

@@ -5,8 +5,7 @@
 //! Example 2.1 extraction rule) or a workload the evaluation needs (all-spans
 //! spanners, keyword dictionaries, random functional VA).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use spanners_automata::{Va, VaBuilder};
 use spanners_core::{ByteClass, Eva, EvaBuilder, MarkerSet, SpannerError, VarRegistry};
 
@@ -156,6 +155,7 @@ pub fn random_functional_va(seed: u64, blocks: usize, vars: usize) -> Result<Va,
     let start = b.add_state();
     b.set_initial(start);
     let mut cur = start;
+    #[allow(clippy::needless_range_loop)] // `block` drives both var_ids and the < vars test
     for block in 0..blocks {
         // Random letters before the capture.
         for _ in 0..rng.gen_range(0..3) {

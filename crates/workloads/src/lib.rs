@@ -13,6 +13,7 @@
 
 pub mod documents;
 pub mod families;
+pub mod rng;
 
 pub use documents::{
     contact_directory, dna, figure1_document, log_lines, random_text, random_words,

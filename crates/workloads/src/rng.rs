@@ -1,0 +1,130 @@
+//! A tiny deterministic pseudo-random generator standing in for the `rand`
+//! crate, which is unavailable in offline builds.
+//!
+//! The generator is xorshift64* seeded through SplitMix64 — statistically fine
+//! for synthetic workload generation and, crucially, **stable across
+//! platforms and releases**, so seeded documents are byte-for-byte
+//! reproducible forever (the real `StdRng` explicitly does not promise
+//! cross-version stability). The API mirrors the subset of `rand` the
+//! generators use: `StdRng::seed_from_u64`, `gen_range`, `gen_bool`.
+
+use std::ops::Range;
+
+/// Deterministic RNG with the same call surface as `rand::rngs::StdRng`.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Seeds the generator; equal seeds yield equal streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        // SplitMix64 scramble so that small consecutive seeds diverge.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        StdRng { state: (z ^ (z >> 31)) | 1 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform sample from `range` (half-open, must be non-empty).
+    pub fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53 high bits → uniform f64 in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+/// Integer types [`StdRng::gen_range`] can sample.
+pub trait SampleUniform: Copy {
+    /// Uniform sample from a half-open range.
+    fn sample(rng: &mut StdRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut StdRng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range on empty range");
+                // `as u64` sign-extends, so the wrapping difference is the
+                // span for signed types too; the offset is < span ≤ 2^bits,
+                // so the truncating cast plus wrapping add is exact modular
+                // arithmetic even for full-width ranges like i32::MIN..MAX.
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                // Modulo bias is < 2⁻⁵⁰ for the spans used here (< 2¹⁷).
+                range.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..10).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u8..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(0usize..1);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn full_width_signed_ranges_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(i32::MIN..i32::MAX);
+            assert!(v < i32::MAX);
+            let w = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "suspicious coin: {heads}");
+    }
+}

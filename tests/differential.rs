@@ -1,12 +1,16 @@
-//! Differential and property-based tests across the whole pipeline:
+//! Differential and randomized tests across the whole pipeline:
 //! Table 1 reference semantics ⇔ compiled constant-delay evaluation ⇔ counting
-//! ⇔ all baseline algorithms, on randomly generated documents and automata.
+//! ⇔ all baseline algorithms, on seeded random documents and automata.
+//!
+//! Originally written against `proptest`; rewritten as deterministic seeded
+//! loops (via `spanners_workloads::rng`) so the suite builds with no external
+//! dependencies. Every case is reproducible from its printed seed.
 
-use proptest::prelude::*;
 use spanners::automata::{compile_va, CompileOptions};
 use spanners::baselines::{materialize_enumerate, naive_enumerate, PolyDelayEnumerator};
 use spanners::core::{count_mappings, dedup_mappings, Document, EnumerationDag, Mapping};
 use spanners::regex::{compile, eval_regex, parse};
+use spanners::workloads::rng::StdRng;
 use spanners::workloads::{random_functional_va, witness_document};
 
 /// The fixed pattern zoo used by the random-document differential tests.
@@ -23,113 +27,141 @@ const PATTERNS: &[&str] = &[
     "!prefix{[ab]*}c?!suffix{[ab]*}",
 ];
 
+const CASES: u64 = 64;
+
+/// A random document over `alphabet` with length in `0..max_len`.
+fn random_doc(rng: &mut StdRng, alphabet: &[u8], max_len: usize) -> Document {
+    let len = rng.gen_range(0..max_len);
+    let bytes: Vec<u8> = (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect();
+    Document::new(bytes)
+}
+
 fn enumerate_sorted(spanner: &spanners::CompiledSpanner, doc: &Document) -> Vec<Mapping> {
     let mut out = spanner.mappings(doc);
     dedup_mappings(&mut out);
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The compiled pipeline agrees with the Table 1 reference semantics on
-    /// random short documents, for every pattern in the zoo.
-    #[test]
-    fn pipeline_matches_reference_semantics(doc_bytes in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'0'), Just(b'1')], 0..9)) {
-        let doc = Document::new(doc_bytes);
+/// The compiled pipeline agrees with the Table 1 reference semantics on
+/// random short documents, for every pattern in the zoo.
+#[test]
+fn pipeline_matches_reference_semantics() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_doc(&mut rng, b"abc01", 9);
         for pattern in PATTERNS {
             let ast = parse(pattern).unwrap();
             let (mut expected, _) = eval_regex(&ast, &doc).unwrap();
             dedup_mappings(&mut expected);
             let spanner = compile(pattern).unwrap();
             let got = enumerate_sorted(&spanner, &doc);
-            prop_assert_eq!(&got, &expected, "pattern {} on {:?}", pattern, doc.to_string());
+            assert_eq!(got, expected, "seed {} pattern {} on {:?}", seed, pattern, doc.to_string());
             // Counting agrees (Theorem 5.1), and so does DAG path counting.
             let count: u64 = spanner.count(&doc).unwrap();
-            prop_assert_eq!(count as usize, expected.len());
+            assert_eq!(count as usize, expected.len(), "seed {seed} pattern {pattern}");
             let dag = spanner.evaluate(&doc);
-            prop_assert_eq!(dag.count_paths(), count as u128);
+            assert_eq!(dag.count_paths(), count as u128, "seed {seed} pattern {pattern}");
         }
     }
+}
 
-    /// The constant-delay enumeration never produces duplicates, on documents
-    /// too large for the reference semantics.
-    #[test]
-    fn no_duplicates_on_larger_documents(doc_bytes in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'0')], 0..40)) {
-        let doc = Document::new(doc_bytes);
+/// The constant-delay enumeration never produces duplicates, on documents
+/// too large for the reference semantics.
+#[test]
+fn no_duplicates_on_larger_documents() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x1000 + seed);
+        let doc = random_doc(&mut rng, b"ab0", 40);
         for pattern in &[".*!x{a+}.*", ".*!x{[ab]+}.*!y{b+}.*", ".*!num{[0-9]{1,2}}.*"] {
             let spanner = compile(pattern).unwrap();
             let all = spanner.mappings(&doc);
             let mut dedup = all.clone();
             dedup_mappings(&mut dedup);
-            prop_assert_eq!(all.len(), dedup.len(), "pattern {}", pattern);
-            prop_assert_eq!(all.len() as u64, spanner.count_u64(&doc).unwrap());
+            assert_eq!(all.len(), dedup.len(), "seed {seed} pattern {pattern}");
+            assert_eq!(all.len() as u64, spanner.count_u64(&doc).unwrap(), "seed {seed}");
         }
     }
+}
 
-    /// All three baseline algorithms agree with the constant-delay algorithm.
-    #[test]
-    fn baselines_agree_with_constant_delay(doc_bytes in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'1')], 0..16)) {
-        let doc = Document::new(doc_bytes);
+/// All baseline algorithms agree with the constant-delay algorithm.
+#[test]
+fn baselines_agree_with_constant_delay() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x2000 + seed);
+        let doc = random_doc(&mut rng, b"ab1", 16);
         for pattern in &[".*!x{a+}.*", ".*!x{[ab]+}.*!y{b+}.*", "!w{.*}"] {
             let spanner = compile(pattern).unwrap();
             let expected = enumerate_sorted(&spanner, &doc);
 
             let mut materialized = materialize_enumerate(spanner.automaton(), &doc);
             dedup_mappings(&mut materialized);
-            prop_assert_eq!(&materialized, &expected, "materialize, pattern {}", pattern);
+            assert_eq!(materialized, expected, "materialize, seed {seed} pattern {pattern}");
 
-            let mut poly = PolyDelayEnumerator::new(spanner.automaton(), &doc).collect();
+            let mut poly: Vec<Mapping> =
+                PolyDelayEnumerator::new(spanner.automaton(), &doc).collect();
             dedup_mappings(&mut poly);
-            prop_assert_eq!(&poly, &expected, "polydelay, pattern {}", pattern);
+            assert_eq!(poly, expected, "polydelay, seed {seed} pattern {pattern}");
         }
     }
+}
 
-    /// Random functional VA: the full Section 4 pipeline (functional VA → eVA →
-    /// determinize → Algorithm 1/3) agrees with naive run enumeration.
-    #[test]
-    fn random_functional_va_pipeline(seed in 0u64..500) {
+/// Random functional VA: the full Section 4 pipeline (functional VA → eVA →
+/// determinize → Algorithm 1/3) agrees with naive run enumeration.
+#[test]
+fn random_functional_va_pipeline() {
+    let mut checked = 0;
+    for seed in 0..500u64 {
         let va = random_functional_va(seed, 4, 2).unwrap();
-        prop_assume!(va.is_functional());
+        if !va.is_functional() {
+            continue;
+        }
         let doc = witness_document(&va, 64).unwrap();
         let expected = va.eval_naive(&doc);
-        prop_assert!(!expected.is_empty());
+        assert!(!expected.is_empty(), "witness document accepted, seed {seed}");
 
         let det = compile_va(&va, CompileOptions::default()).unwrap();
         let dag = EnumerationDag::build(&det, &doc);
         let mut got = dag.collect_mappings();
         let before_dedup = got.len();
         dedup_mappings(&mut got);
-        prop_assert_eq!(before_dedup, got.len(), "no duplicates");
-        prop_assert_eq!(&got, &expected);
-        prop_assert_eq!(count_mappings::<u64>(&det, &doc).unwrap() as usize, expected.len());
+        assert_eq!(before_dedup, got.len(), "no duplicates, seed {seed}");
+        assert_eq!(got, expected, "seed {seed}");
+        assert_eq!(count_mappings::<u64>(&det, &doc).unwrap() as usize, expected.len());
 
         // The naive baseline agrees as well (on the eVA produced by translation).
         let eva = spanners::automata::va_to_eva(&va).unwrap();
         let (naive, _) = naive_enumerate(&eva, &doc);
-        prop_assert_eq!(&naive, &expected);
+        assert_eq!(naive, expected, "naive, seed {seed}");
+        checked += 1;
+        if checked >= CASES {
+            break;
+        }
     }
+    assert!(checked >= 16, "too few functional VA generated: {checked}");
+}
 
-    /// Spans, mappings and marker sets survive the round trip through the
-    /// enumeration DAG: every enumerated mapping only uses spans that fit the
-    /// document and only variables of the spanner.
-    #[test]
-    fn enumerated_mappings_are_well_formed(doc_bytes in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b')], 0..24)) {
-        let doc = Document::new(doc_bytes);
-        let spanner = compile(".*!x{a+}!y{b*}.*").unwrap();
-        let vars = spanner.registry().len();
+/// Spans, mappings and marker sets survive the round trip through the
+/// enumeration DAG: every enumerated mapping only uses spans that fit the
+/// document and only variables of the spanner.
+#[test]
+fn enumerated_mappings_are_well_formed() {
+    let spanner = compile(".*!x{a+}!y{b*}.*").unwrap();
+    let vars = spanner.registry().len();
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x3000 + seed);
+        let doc = random_doc(&mut rng, b"ab", 24);
         for mapping in spanner.evaluate(&doc).iter() {
             for (var, span) in mapping.iter() {
-                prop_assert!(var.index() < vars);
-                prop_assert!(span.fits(doc.len()));
-                prop_assert!(span.start() <= span.end());
+                assert!(var.index() < vars);
+                assert!(span.fits(doc.len()));
+                assert!(span.start() <= span.end());
             }
         }
     }
 }
 
-/// Deterministic (non-proptest) cross-checks on the workload generators, kept
-/// here because they span several crates.
+/// Deterministic cross-checks on the workload generators, kept here because
+/// they span several crates.
 #[test]
 fn workload_patterns_count_consistently() {
     use spanners::workloads as w;

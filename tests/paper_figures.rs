@@ -8,9 +8,7 @@ use spanners::core::{
     count_mappings, dedup_mappings, CompiledSpanner, Document, EnumerationDag, Mapping, Span,
 };
 use spanners::regex::{compile, eval_regex, parse};
-use spanners::workloads::{
-    contact_pattern, figure1_document, figure2_va, figure3_eva, prop42_va,
-};
+use spanners::workloads::{contact_pattern, figure1_document, figure2_va, figure3_eva, prop42_va};
 
 // ---------------------------------------------------------------------------
 // Figure 1 + Example 2.1
@@ -160,10 +158,7 @@ fn prop42_translation_needs_exponentially_many_extended_transitions() {
         let eva = va_to_eva(&va).unwrap();
         // Figure 9: the equivalent eVA has one extended transition per choice of
         // x_i/y_i per block, i.e. 2^ℓ transitions carrying 2ℓ markers each.
-        let full = eva
-            .all_var_transitions()
-            .filter(|(_, t)| t.markers.len() == 2 * ell)
-            .count();
+        let full = eva.all_var_transitions().filter(|(_, t)| t.markers.len() == 2 * ell).count();
         assert_eq!(full, 1 << ell, "ℓ = {ell}");
     }
 }
@@ -193,11 +188,7 @@ fn nested_capture_output_sizes_match_the_formula() {
     let spanner = compile(".*!x1{.*}.*").unwrap();
     for n in [0usize, 1, 5, 40] {
         let doc = Document::new(vec![b'z'; n]);
-        assert_eq!(
-            spanner.count_u64(&doc).unwrap() as usize,
-            (n + 1) * (n + 2) / 2,
-            "n = {n}"
-        );
+        assert_eq!(spanner.count_u64(&doc).unwrap() as usize, (n + 1) * (n + 2) / 2, "n = {n}");
     }
     // Adding a nested variable multiplies the output again (Ω(|d|^ℓ)).
     let nested = compile(".*!x1{.*!x2{.*}.*}.*").unwrap();

@@ -7,7 +7,9 @@ use spanners::automata::{
     union_deterministic, va_to_eva, CompileOptions,
 };
 use spanners::core::{dedup_mappings, Document, EnumerationDag};
-use spanners::workloads::{figure2_va, figure3_eva, prop42_va, random_functional_va, witness_document};
+use spanners::workloads::{
+    figure2_va, figure3_eva, prop42_va, random_functional_va, witness_document,
+};
 
 // ---------------------------------------------------------------------------
 // Theorem 3.1 + Proposition 3.2 round trips
