@@ -1,4 +1,4 @@
-//! Experiments E1, E2, E3, E8: the core claims of Section 3.
+//! Experiments E1, E2, E3, E8, E9: the core claims of Section 3.
 //!
 //! * **E1 — linear preprocessing.** Algorithm 1 (`EnumerationDag::build`) over
 //!   documents of growing size: time per input byte should stay flat.
@@ -9,10 +9,14 @@
 //!   against output size.
 //! * **E8 — end-to-end extraction.** The Example 2.1 contact pipeline on
 //!   synthetic directories (compile + evaluate + stream).
+//! * **E9 — run skipping vs. match density.** The class-run engine against the
+//!   per-byte engine as the fraction of marker-active positions sweeps
+//!   0% → 100%: big wins on sparse-match documents, graceful degradation to
+//!   per-byte speed at full density.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spanners_bench::{contact_doc, contact_spanner, digit_spanner, drain, DOC_SIZES};
-use spanners_core::{CompiledSpanner, Document, EnumerationDag, Evaluator};
+use spanners_core::{CompiledSpanner, Document, EngineMode, EnumerationDag, Evaluator};
 use spanners_workloads::{all_spans_eva, figure3_eva, random_text};
 use std::time::Duration;
 
@@ -24,6 +28,7 @@ fn bench_preprocessing(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     let figure3 = CompiledSpanner::from_eva(&figure3_eva()).unwrap();
     let digits = digit_spanner();
+    let contacts = contact_spanner();
     for &n in DOC_SIZES {
         group.throughput(Throughput::Bytes(n as u64));
         let ab_doc = random_text(1, n, b"ab");
@@ -33,6 +38,11 @@ fn bench_preprocessing(c: &mut Criterion) {
         let text_doc = random_text(2, n, b"abc0123456789 ");
         group.bench_with_input(BenchmarkId::new("digit_runs_regex", n), &text_doc, |b, doc| {
             b.iter(|| EnumerationDag::build(digits.automaton(), doc).num_nodes())
+        });
+        let dir = contact_doc(n);
+        group.throughput(Throughput::Bytes(dir.len() as u64));
+        group.bench_with_input(BenchmarkId::new("contact_directory", n), &dir, |b, doc| {
+            b.iter(|| EnumerationDag::build(contacts.automaton(), doc).num_nodes())
         });
     }
     group.finish();
@@ -53,14 +63,15 @@ fn bench_preprocessing_reuse(c: &mut Criterion) {
         let doc = random_text(2, n, b"abc0123456789 ");
         // Warm the arenas, then record the capacity the steady state must keep.
         drain(evaluator.eval(digits.automaton(), &doc).iter());
-        let warm = (evaluator.node_capacity(), evaluator.cell_capacity());
+        let warm =
+            (evaluator.node_capacity(), evaluator.cell_capacity(), evaluator.class_buf_capacity());
         group.bench_with_input(BenchmarkId::new("digit_runs_reused", n), &doc, |b, doc| {
             b.iter(|| evaluator.eval(digits.automaton(), doc).num_nodes())
         });
         assert_eq!(
-            (evaluator.node_capacity(), evaluator.cell_capacity()),
+            (evaluator.node_capacity(), evaluator.cell_capacity(), evaluator.class_buf_capacity()),
             warm,
-            "evaluator reallocated its arenas during steady-state reuse"
+            "evaluator reallocated its arenas or class buffer during steady-state reuse"
         );
     }
     group.finish();
@@ -131,12 +142,51 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// E9: run-skipping throughput as a function of match density. Documents of a
+/// fixed size sweep the fraction of marker-active (digit) positions from 0%
+/// to 100%; the class-run engine is benchmarked against the per-byte engine
+/// on identical documents. At 0% almost every position is skippable; at 100%
+/// none is, and the class-run loop must degrade gracefully to per-byte speed
+/// (its only extra costs are the bulk classification pass and the
+/// one-load-per-state skip test).
+fn bench_run_skipping_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_run_skipping_vs_match_density");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let digits = digit_spanner();
+    let n = 100_000usize;
+    // Alphabets with 0/4, 1/4, 2/4, 3/4, 4/4 digit characters: the expected
+    // fraction of marker-active positions in the random text.
+    let sweeps: &[(&str, &[u8])] = &[
+        ("density_000", b"abcd"),
+        ("density_025", b"0abc"),
+        ("density_050", b"01ab"),
+        ("density_075", b"012a"),
+        ("density_100", b"0123"),
+    ];
+    let mut skipping = Evaluator::new();
+    let mut per_byte = Evaluator::with_mode(EngineMode::PerByte);
+    for &(label, alphabet) in sweeps {
+        let doc = random_text(9, n, alphabet);
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::new("class_runs", label), &doc, |b, doc| {
+            b.iter(|| skipping.eval(digits.automaton(), doc).num_nodes())
+        });
+        group.bench_with_input(BenchmarkId::new("per_byte", label), &doc, |b, doc| {
+            b.iter(|| per_byte.eval(digits.automaton(), doc).num_nodes())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_preprocessing,
     bench_preprocessing_reuse,
     bench_constant_delay,
     bench_total_enumeration,
-    bench_end_to_end
+    bench_end_to_end,
+    bench_run_skipping_density
 );
 criterion_main!(benches);

@@ -7,9 +7,19 @@
 //! `A` is sequential every partial run encodes a valid partial mapping, and
 //! because `A` is deterministic different runs encode different mappings, so
 //! the run counts equal the mapping counts.
+//!
+//! Like the enumeration engine, counting comes in two forms: the reusable
+//! [`CountCache`] (zero steady-state allocation, class-run fast path — the
+//! serving configuration) and the one-shot [`count_mappings`] convenience
+//! wrapper. Run skipping leaves counts unchanged for the same reason it
+//! leaves the enumeration lists unchanged: on a skippable class every live
+//! state's count moves onto itself and every capture attempt is zeroed by the
+//! following `Reading` phase before it can reach a final state.
 
+use crate::byteclass::ClassRuns;
 use crate::det::DetSeva;
 use crate::document::Document;
+use crate::enumerate::EngineMode;
 use crate::error::SpannerError;
 use crate::sparse::SparseSet;
 
@@ -104,64 +114,205 @@ impl Counter for f64 {
 /// assert_eq!(n, 10);
 /// ```
 pub fn count_mappings<C: Counter>(aut: &DetSeva, doc: &Document) -> Result<C, SpannerError> {
-    let n_states = aut.num_states();
-    // N[q] = number of partial runs currently ending in q. Dense storage, but
-    // both phases walk only the sparse set of states with a non-zero count —
-    // the same active-state organisation as the enumeration engine.
-    let mut counts: Vec<C> = vec![C::zero(); n_states];
-    let mut old: Vec<C> = vec![C::zero(); n_states];
-    let mut active = SparseSet::new(n_states);
-    let mut next_active = SparseSet::new(n_states);
-    counts[aut.initial()] = C::one();
-    active.insert(aut.initial());
+    CountCache::new().count(aut, doc)
+}
 
-    // Invariant: `active` ⊇ the states with a non-zero count, and counts[q] is
-    // zero for every state outside `active`.
-    let bytes = doc.bytes();
-    for i in 0..=bytes.len() {
-        // Capturing(i): extend runs with extended variable transitions.
-        let live = active.len();
+/// The reusable engine behind Algorithm 3 — the counting mirror of
+/// [`crate::Evaluator`].
+///
+/// A `CountCache` owns the per-state count vectors, the sparse active sets,
+/// and the byte-class buffer of the class-run fast path, all retained across
+/// [`CountCache::count`] calls: in steady state (same automaton, comparable
+/// document sizes) counting performs **zero heap allocation**. The one-shot
+/// [`count_mappings`] wrapper creates a fresh cache per call.
+///
+/// ```
+/// # use spanners_core::{EvaBuilder, DetSeva, ByteClass, MarkerSet, VarRegistry, Document};
+/// # use spanners_core::CountCache;
+/// # let mut reg = VarRegistry::new();
+/// # let x = reg.intern("x").unwrap();
+/// # let mut b = EvaBuilder::new(reg);
+/// # let q0 = b.add_state();
+/// # let q1 = b.add_state();
+/// # let q2 = b.add_state();
+/// # b.set_initial(q0);
+/// # b.set_final(q2);
+/// # let any = ByteClass::any();
+/// # b.add_letter(q0, any, q0);
+/// # b.add_letter(q1, any, q1);
+/// # b.add_letter(q2, any, q2);
+/// # b.add_var(q0, MarkerSet::new().with_open(x), q1).unwrap();
+/// # b.add_var(q1, MarkerSet::new().with_close(x), q2).unwrap();
+/// # let aut = DetSeva::compile(&b.build().unwrap()).unwrap();
+/// let mut cache = CountCache::<u64>::new();
+/// for text in ["stream of", "many documents", "served by one cache"] {
+///     let n = cache.count(&aut, &Document::from(text)).unwrap();
+///     assert!(n > 0);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountCache<C: Counter> {
+    /// N[q] = number of partial runs currently ending in q. Dense storage, but
+    /// both phases walk only the sparse set of states with a non-zero count —
+    /// the same active-state organisation as the enumeration engine.
+    counts: Vec<C>,
+    /// Phase-start snapshots of `counts` for the active states.
+    old: Vec<C>,
+    /// States with a (possibly) non-zero count in the current phase.
+    active: SparseSet,
+    /// The active set under construction during a `Reading` phase.
+    next_active: SparseSet,
+    /// Reusable byte → alphabet-class buffer of the class-run fast path.
+    class_buf: Vec<u8>,
+    /// Which inner loop drives Algorithm 3.
+    mode: EngineMode,
+}
+
+impl<C: Counter> Default for CountCache<C> {
+    fn default() -> Self {
+        CountCache {
+            counts: Vec::new(),
+            old: Vec::new(),
+            active: SparseSet::new(0),
+            next_active: SparseSet::new(0),
+            class_buf: Vec::new(),
+            mode: EngineMode::default(),
+        }
+    }
+}
+
+impl<C: Counter> CountCache<C> {
+    /// A fresh cache using the default [`EngineMode::ClassRuns`] loop.
+    /// Buffers grow on first use and are retained across calls.
+    pub fn new() -> Self {
+        CountCache::default()
+    }
+
+    /// A fresh cache driving Algorithm 3 with the given engine.
+    pub fn with_mode(mode: EngineMode) -> Self {
+        CountCache { mode, ..CountCache::default() }
+    }
+
+    /// The engine mode this cache runs.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Switches the engine mode for subsequent [`CountCache::count`] calls.
+    pub fn set_mode(&mut self, mode: EngineMode) {
+        self.mode = mode;
+    }
+
+    /// Current capacity of the per-state count vector (diagnostics: a warm
+    /// cache keeps its capacity across documents instead of reallocating).
+    pub fn counts_capacity(&self) -> usize {
+        self.counts.capacity()
+    }
+
+    /// Current capacity of the byte-class buffer.
+    pub fn class_buf_capacity(&self) -> usize {
+        self.class_buf.capacity()
+    }
+
+    /// Counts `|⟦A⟧(d)|` (Algorithm 3 / Theorem 5.1), reusing all previously
+    /// allocated capacity. Returns [`SpannerError::CountOverflow`] if the
+    /// counter type overflows.
+    pub fn count(&mut self, aut: &DetSeva, doc: &Document) -> Result<C, SpannerError> {
+        let n_states = aut.num_states();
+        // Reset retained storage without releasing capacity.
+        self.counts.clear();
+        self.counts.resize(n_states, C::zero());
+        self.old.clear();
+        self.old.resize(n_states, C::zero());
+        self.active.reset(n_states);
+        self.next_active.reset(n_states);
+        self.counts[aut.initial()] = C::one();
+        self.active.insert(aut.initial());
+
+        // Invariant: `active` ⊇ the states with a non-zero count, and
+        // counts[q] is zero for every state outside `active`.
+        if self.mode == EngineMode::PerByte {
+            let bytes = doc.bytes();
+            for i in 0..=bytes.len() {
+                self.capture_phase(aut)?;
+                if i == bytes.len() {
+                    break;
+                }
+                self.read_phase(aut, aut.byte_class(bytes[i]))?;
+            }
+        } else {
+            // Run-skipping loop: identical counts by the argument in the
+            // module docs — a skippable class moves every live count onto
+            // itself and zeroes every capture attempt at the next Reading.
+            let mut class_buf = std::mem::take(&mut self.class_buf);
+            aut.classify_document(doc, &mut class_buf);
+            for run in ClassRuns::new(&class_buf) {
+                let cls = run.class as usize;
+                let end = run.start + run.len;
+                let mut i = run.start;
+                while i < end {
+                    if self.active.as_slice().iter().all(|&q| aut.run_skippable(q as usize, cls)) {
+                        break;
+                    }
+                    self.capture_phase(aut)?;
+                    self.read_phase(aut, cls)?;
+                    i += 1;
+                }
+            }
+            self.class_buf = class_buf;
+            self.capture_phase(aut)?;
+        }
+
+        let mut total = C::zero();
+        for q in aut.final_states() {
+            total = total.checked_add(&self.counts[q]).ok_or(SpannerError::CountOverflow)?;
+        }
+        Ok(total)
+    }
+
+    /// `Capturing(i)`: extend runs with extended variable transitions.
+    #[inline]
+    fn capture_phase(&mut self, aut: &DetSeva) -> Result<(), SpannerError> {
+        let live = self.active.len();
         for idx in 0..live {
-            let q = active.get(idx);
-            old[q] = counts[q].clone();
+            let q = self.active.get(idx);
+            self.old[q] = self.counts[q].clone();
         }
         for idx in 0..live {
-            let q = active.get(idx);
-            if !aut.has_var_transitions(q) {
+            let q = self.active.get(idx);
+            if !aut.has_markers(q) {
                 continue;
             }
             for &(_, p) in aut.markers_from(q) {
-                active.insert(p);
-                counts[p] = counts[p].checked_add(&old[q]).ok_or(SpannerError::CountOverflow)?;
+                self.active.insert(p);
+                self.counts[p] =
+                    self.counts[p].checked_add(&self.old[q]).ok_or(SpannerError::CountOverflow)?;
             }
         }
-        if i == bytes.len() {
-            break;
-        }
-        // Reading(i): extend runs with the letter transition on byte i.
-        let cls = aut.byte_class(bytes[i]);
-        let live = active.len();
-        for idx in 0..live {
-            let q = active.get(idx);
-            old[q] = counts[q].clone();
-            counts[q] = C::zero();
-        }
-        next_active.clear();
-        for idx in 0..live {
-            let q = active.get(idx);
-            if let Some(p) = aut.step_class(q, cls) {
-                next_active.insert(p);
-                counts[p] = counts[p].checked_add(&old[q]).ok_or(SpannerError::CountOverflow)?;
-            }
-        }
-        std::mem::swap(&mut active, &mut next_active);
+        Ok(())
     }
 
-    let mut total = C::zero();
-    for q in aut.final_states() {
-        total = total.checked_add(&counts[q]).ok_or(SpannerError::CountOverflow)?;
+    /// `Reading(i)`: extend runs with the letter transition on class `cls`.
+    #[inline]
+    fn read_phase(&mut self, aut: &DetSeva, cls: usize) -> Result<(), SpannerError> {
+        let live = self.active.len();
+        for idx in 0..live {
+            let q = self.active.get(idx);
+            self.old[q] = self.counts[q].clone();
+            self.counts[q] = C::zero();
+        }
+        self.next_active.clear();
+        for idx in 0..live {
+            let q = self.active.get(idx);
+            if let Some(p) = aut.step_class(q, cls) {
+                self.next_active.insert(p);
+                self.counts[p] =
+                    self.counts[p].checked_add(&self.old[q]).ok_or(SpannerError::CountOverflow)?;
+            }
+        }
+        std::mem::swap(&mut self.active, &mut self.next_active);
+        Ok(())
     }
-    Ok(total)
 }
 
 #[cfg(test)]

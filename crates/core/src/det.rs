@@ -46,6 +46,15 @@ pub struct DetSeva {
     var_offsets: Vec<u32>,
     /// The flat `(MarkerSet, target)` arena indexed by [`DetSeva::var_offsets`].
     var_pairs: Vec<(MarkerSet, StateId)>,
+    /// Whether `Markers_δ(q)` is non-empty, one flag per state (the
+    /// common-case filter of the `Capturing` loop, precomputed at compile
+    /// time so the hot loops do one load instead of two offset compares).
+    has_markers: Vec<bool>,
+    /// `skip_table[row_base[q] + cls]`: whether a `(Capturing; Reading)` step
+    /// on class `cls` is a no-op for a run living in `q` — `q` self-loops on
+    /// `cls` and every extended variable transition of `q` targets a state
+    /// with no letter transition on `cls`. See [`DetSeva::run_skippable`].
+    skip_table: Vec<bool>,
     /// Number of variables of the underlying registry.
     num_vars: usize,
     /// Size measure `|A|` of the source automaton (states + transitions).
@@ -76,6 +85,17 @@ impl DetSeva {
         let partition = AlphabetPartition::from_classes(classes.iter());
         let ncls = partition.num_classes();
         let n = eva.num_states();
+        // Reject hostile sizes *before* allocating the dense table: offsets
+        // into it (and the premultiplied row bases) are u32, so a state/class
+        // product past u32::MAX would corrupt lookups in release builds.
+        // checked_mul, not saturating_mul: on 32-bit targets saturation stops
+        // at usize::MAX == u32::MAX and the guard could never fire.
+        if n.checked_mul(ncls).is_none_or(|p| p > u32::MAX as usize) {
+            return Err(SpannerError::BudgetExceeded {
+                what: "deterministic letter table (states × alphabet classes)",
+                limit: u32::MAX as usize,
+            });
+        }
         let mut letter_table = vec![NO_STATE; n * ncls];
         for (q, t) in eva.all_letter_transitions() {
             for cls in partition.classes_intersecting(&t.class) {
@@ -87,21 +107,35 @@ impl DetSeva {
                 *slot = t.target as u32;
             }
         }
-        debug_assert!(
-            n.saturating_mul(ncls) <= u32::MAX as usize,
-            "letter table exceeds the u32 offset space ({n} states × {ncls} classes)"
-        );
         let row_base: Vec<u32> = (0..n).map(|q| (q * ncls) as u32).collect();
         let mut var_offsets: Vec<u32> = Vec::with_capacity(n + 1);
         let mut var_pairs: Vec<(MarkerSet, StateId)> = Vec::new();
         var_offsets.push(0);
         for q in 0..n {
             var_pairs.extend(eva.var_transitions(q).iter().map(|t| (t.markers, t.target)));
-            debug_assert!(
-                var_pairs.len() <= u32::MAX as usize,
-                "variable-transition arena exceeds the u32 offset space"
-            );
+            if var_pairs.len() > u32::MAX as usize {
+                return Err(SpannerError::BudgetExceeded {
+                    what: "extended variable transition arena",
+                    limit: u32::MAX as usize,
+                });
+            }
             var_offsets.push(var_pairs.len() as u32);
+        }
+        let has_markers: Vec<bool> = (0..n).map(|q| var_offsets[q] != var_offsets[q + 1]).collect();
+        // Per-(state, class) fast-path test for the run-skipping engines:
+        // a `(Capturing; Reading)` step on class `cls` leaves the per-state
+        // lists/counts and the active set unchanged — and creates only
+        // DAG nodes unreachable from any root — iff the state self-loops on
+        // `cls` and every one of its marker targets dies on `cls`. (A marker
+        // target can never be another live self-looping state: it has no
+        // `cls` transition while every live state loops on `cls`.)
+        let mut skip_table = vec![false; n * ncls];
+        for q in 0..n {
+            let pairs = &var_pairs[var_offsets[q] as usize..var_offsets[q + 1] as usize];
+            for cls in 0..ncls {
+                skip_table[q * ncls + cls] = letter_table[q * ncls + cls] == q as u32
+                    && pairs.iter().all(|&(_, p)| letter_table[p * ncls + cls] == NO_STATE);
+            }
         }
         Ok(DetSeva {
             registry: eva.registry().clone(),
@@ -113,6 +147,8 @@ impl DetSeva {
             row_base,
             var_offsets,
             var_pairs,
+            has_markers,
+            skip_table,
             num_vars: eva.registry().len(),
             source_size: eva.size(),
         })
@@ -183,6 +219,38 @@ impl DetSeva {
         self.partition.class_of(byte)
     }
 
+    /// The alphabet equivalence-class partition of the compiled letter table.
+    #[inline]
+    pub fn partition(&self) -> &AlphabetPartition {
+        &self.partition
+    }
+
+    /// Bulk-classifies a whole document into the reusable buffer `out` (one
+    /// equivalence-class byte per position) — the vectorised front end of the
+    /// run-skipping evaluation loops. See [`AlphabetPartition::classify_into`].
+    #[inline]
+    pub fn classify_document(&self, doc: &Document, out: &mut Vec<u8>) {
+        self.partition.classify_into(doc.bytes(), out);
+    }
+
+    /// Whether a `(Capturing; Reading)` evaluation step on alphabet class
+    /// `cls` is a **no-op** for a run currently in state `q`:
+    ///
+    /// * `δ(q, cls) = q` (the state self-loops, so `Reading` moves `q`'s
+    ///   list/count onto itself unchanged), and
+    /// * every extended variable transition of `q` targets a state with no
+    ///   letter transition on `cls` (so anything `Capturing` creates is wiped
+    ///   by the following `Reading` before it can reach an output).
+    ///
+    /// When this holds for *every* live state, an entire run of `cls`-class
+    /// bytes can be consumed in one step: lists, counts, the active set and
+    /// every enumerable output are provably identical to the per-byte walk.
+    /// Precomputed at compile time from the letter table; one flat load.
+    #[inline]
+    pub fn run_skippable(&self, q: StateId, cls: usize) -> bool {
+        self.skip_table[self.row_base[q] as usize + cls]
+    }
+
     /// The extended variable transitions `Markers_δ(q)` (with their targets),
     /// as one contiguous slice of the flat CSR arena.
     #[inline]
@@ -190,11 +258,11 @@ impl DetSeva {
         &self.var_pairs[self.var_offsets[q] as usize..self.var_offsets[q + 1] as usize]
     }
 
-    /// Whether `q` has any extended variable transition (one subtraction,
-    /// no slice construction — the common-case filter of the `Capturing` loop).
+    /// Whether `Markers_δ(q)` is non-empty (one precomputed load — the
+    /// common-case filter of the `Capturing` loop).
     #[inline]
-    pub fn has_var_transitions(&self, q: StateId) -> bool {
-        self.var_offsets[q] != self.var_offsets[q + 1]
+    pub fn has_markers(&self, q: StateId) -> bool {
+        self.has_markers[q]
     }
 
     /// Total number of extended variable transitions across all states.
@@ -361,6 +429,43 @@ mod tests {
         assert!(matches!(DetSeva::compile(&eva), Err(SpannerError::NotSequential(_))));
         // compile_trusted skips the sequentiality check by design.
         assert!(DetSeva::compile_trusted(&eva).is_ok());
+    }
+
+    #[test]
+    fn fast_path_metadata() {
+        let det = DetSeva::compile(&figure3()).unwrap();
+        assert!(det.has_markers(0));
+        assert!(det.has_markers(3));
+        assert!(!det.has_markers(1));
+        for q in 0..det.num_states() {
+            assert_eq!(det.has_markers(q), !det.markers_from(q).is_empty());
+        }
+        let ca = det.byte_class(b'a');
+        let cb = det.byte_class(b'b');
+        let cz = det.byte_class(b'z');
+        // q3 self-loops on both a and b, and its single marker target q9 has
+        // no letter transitions at all: skippable on a/b, not on z (no loop).
+        assert!(det.run_skippable(3, ca));
+        assert!(det.run_skippable(3, cb));
+        assert!(!det.run_skippable(3, cz));
+        // q0 has no letter transitions: never skippable.
+        assert!(!det.run_skippable(0, ca));
+        // q1 steps a → q4 (not a self-loop): not skippable.
+        assert!(!det.run_skippable(1, ca));
+    }
+
+    #[test]
+    fn classify_document_matches_byte_class() {
+        let det = DetSeva::compile(&figure3()).unwrap();
+        let doc = Document::from("abzabbaaz-!ab");
+        let mut buf = Vec::new();
+        det.classify_document(&doc, &mut buf);
+        assert_eq!(buf.len(), doc.len());
+        for (i, &b) in doc.bytes().iter().enumerate() {
+            assert_eq!(buf[i] as usize, det.byte_class(b), "at {i}");
+        }
+        det.classify_document(&Document::empty(), &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -18,6 +18,18 @@
 //! the same organisation production regex engines use for NFA simulation and
 //! is what makes the `O(|A| × |d|)` preprocessing bound tight in practice.
 //!
+//! On top of the sparse loop sits a **class-run fast path**
+//! ([`EngineMode::ClassRuns`], the default): the document is first mapped to
+//! alphabet equivalence classes in one vectorised pass
+//! ([`crate::byteclass::AlphabetPartition::classify_into`]) and the main loop
+//! walks maximal same-class runs. A run on whose class every live state is
+//! [`DetSeva::run_skippable`] — it self-loops and all its capture targets die
+//! on that class — is consumed in `O(live states)` total, because the
+//! per-byte walk would provably change nothing over those positions. Long
+//! stretches of "noise" between matches (the common case in Example 2.1-style
+//! extraction) then cost almost nothing; the byte-at-a-time loop remains
+//! available as [`EngineMode::PerByte`] and for traced runs.
+//!
 //! The evaluation state (node/cell arenas, list vectors, active sets) lives in
 //! a reusable [`Evaluator`], so a long-running service evaluating one compiled
 //! spanner over millions of documents performs **no allocation after
@@ -31,6 +43,7 @@
 //! bounded by a function of the number of variables only — it does not depend
 //! on the document.
 
+use crate::byteclass::ClassRuns;
 use crate::det::DetSeva;
 use crate::document::Document;
 use crate::mapping::Mapping;
@@ -160,6 +173,32 @@ impl DagStore {
     }
 }
 
+/// Which inner loop an [`Evaluator`] (or a `CountCache`) drives Algorithm 1 /
+/// Algorithm 3 with.
+///
+/// Both modes produce **identical outputs**: the same mappings in the same
+/// enumeration order, the same counts, the same root lists. The class-run mode
+/// may allocate *fewer* DAG nodes/cells, because the per-byte walk also
+/// materializes capture attempts that the very next `Reading` phase provably
+/// kills (they are unreachable from every root); the run-skipping loop elides
+/// those positions wholesale. Diagnostic arena sizes (`num_nodes`,
+/// `num_cells`) are therefore comparable only within one mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Iterate the document as run-length-encoded alphabet-class runs
+    /// (vectorised bulk classification + `O(live states)` consumption of
+    /// runs on which every live state is [`DetSeva::run_skippable`]). The
+    /// default: never slower than per-byte beyond the one classification
+    /// pass, and far faster on sparse-match documents.
+    #[default]
+    ClassRuns,
+    /// The classic byte-at-a-time sparse loop. Used automatically for traced
+    /// runs (a [`StageTrace`] needs per-position granularity) and kept
+    /// selectable so differential tests can pin the two engines against each
+    /// other byte for byte.
+    PerByte,
+}
+
 /// The reusable evaluation engine behind Algorithm 1.
 ///
 /// An `Evaluator` owns every piece of mutable state the `Evaluate` loop needs:
@@ -207,13 +246,35 @@ pub struct Evaluator {
     next_active: SparseSet,
     /// Scratch for collecting `(final state, list)` pairs before sorting.
     root_scratch: Vec<(u32, ListRef)>,
+    /// Reusable per-document byte → alphabet-class buffer (the vectorised
+    /// classification pass of the class-run engine). Retained across `eval`
+    /// calls like the arenas, so steady-state allocation stays zero.
+    class_buf: Vec<u8>,
+    /// Which inner loop drives Algorithm 1.
+    mode: EngineMode,
 }
 
 impl Evaluator {
-    /// A fresh evaluator with empty arenas. Arenas grow on first use and are
+    /// A fresh evaluator with empty arenas, using the default
+    /// [`EngineMode::ClassRuns`] loop. Arenas grow on first use and are
     /// retained across [`Evaluator::eval`] calls.
     pub fn new() -> Evaluator {
         Evaluator::default()
+    }
+
+    /// A fresh evaluator driving Algorithm 1 with the given engine.
+    pub fn with_mode(mode: EngineMode) -> Evaluator {
+        Evaluator { mode, ..Evaluator::default() }
+    }
+
+    /// The engine mode this evaluator runs.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Switches the engine mode for subsequent [`Evaluator::eval`] calls.
+    pub fn set_mode(&mut self, mode: EngineMode) {
+        self.mode = mode;
     }
 
     /// Runs Algorithm 1 (`Evaluate`) over the document and returns a view of
@@ -250,8 +311,18 @@ impl Evaluator {
         self.store.cells.capacity()
     }
 
+    /// Current capacity of the byte-class buffer (diagnostics: like the
+    /// arenas, it is retained across documents in steady state).
+    pub fn class_buf_capacity(&self) -> usize {
+        self.class_buf.capacity()
+    }
+
     /// The core of Algorithm 1, shared by every public entry point.
-    fn run(&mut self, aut: &DetSeva, doc: &Document, mut trace: Option<&mut Vec<StageTrace>>) {
+    ///
+    /// Traced runs always use the per-byte loop: a [`StageTrace`] records the
+    /// list state after *every* `Capturing`/`Reading` phase, which requires
+    /// per-position granularity the run-skipping loop deliberately elides.
+    fn run(&mut self, aut: &DetSeva, doc: &Document, trace: Option<&mut Vec<StageTrace>>) {
         let n_states = aut.num_states();
         // Reset retained storage without releasing capacity.
         self.store.nodes.clear();
@@ -271,87 +342,10 @@ impl Evaluator {
         self.lists[aut.initial()] = ListRef { head: 0, tail: 0, len_hint: 1 };
         self.active.insert(aut.initial());
 
-        // Loop invariant: `active` holds exactly the states whose list is
-        // non-empty, and `lists[q]` is EMPTY for every inactive q.
-        let bytes = doc.bytes();
-        for i in 0..=bytes.len() {
-            // ----- Capturing(i): variable transitions before letter i -----
-            // lazycopy the lists of the phase-start active states (the paper's
-            // lazy copy of every list; inactive lists are all EMPTY).
-            let live = self.active.len();
-            for idx in 0..live {
-                let q = self.active.get(idx);
-                self.old[q] = self.lists[q];
-            }
-            for idx in 0..live {
-                let q = self.active.get(idx);
-                if !aut.has_var_transitions(q) {
-                    continue;
-                }
-                let src = self.old[q];
-                for &(markers, p) in aut.markers_from(q) {
-                    let node_id = next_arena_id(self.store.nodes.len(), "DAG node");
-                    self.store.nodes.push(Node { markers, pos: i as u32, list: src });
-                    // list_p.add(node): prepend a fresh cell.
-                    let cell_id = next_arena_id(self.store.cells.len(), "list cell");
-                    if self.active.insert(p) {
-                        // p had an empty list: start it.
-                        self.store.cells.push(Cell { node: node_id, next: None });
-                        self.lists[p] = ListRef { head: cell_id, tail: cell_id, len_hint: 1 };
-                    } else {
-                        let cur = self.lists[p];
-                        self.store.cells.push(Cell { node: node_id, next: Some(cur.head) });
-                        self.lists[p] = ListRef {
-                            head: cell_id,
-                            tail: cur.tail,
-                            len_hint: cur.len_hint.saturating_add(1),
-                        };
-                    }
-                }
-            }
-            if let Some(t) = trace.as_deref_mut() {
-                t.push(StageTrace::capture(i, &self.lists));
-            }
-
-            // ----- Reading(i): the letter transition on byte i -----
-            if i == bytes.len() {
-                break;
-            }
-            let cls = aut.byte_class(bytes[i]);
-            let live = self.active.len();
-            for idx in 0..live {
-                let q = self.active.get(idx);
-                self.old[q] = self.lists[q];
-                self.lists[q] = ListRef::EMPTY;
-            }
-            self.next_active.clear();
-            for idx in 0..live {
-                let q = self.active.get(idx);
-                if let Some(p) = aut.step_class(q, cls) {
-                    let src = self.old[q];
-                    // list_p.append(list_old_q)
-                    if self.next_active.insert(p) {
-                        self.lists[p] = src;
-                    } else {
-                        let cur = self.lists[p];
-                        let tail = cur.tail as usize;
-                        debug_assert!(
-                            self.store.cells[tail].next.is_none(),
-                            "append target must end in null"
-                        );
-                        self.store.cells[tail].next = Some(src.head);
-                        self.lists[p] = ListRef {
-                            head: cur.head,
-                            tail: src.tail,
-                            len_hint: cur.len_hint.saturating_add(src.len_hint),
-                        };
-                    }
-                }
-            }
-            std::mem::swap(&mut self.active, &mut self.next_active);
-            if let Some(t) = trace.as_deref_mut() {
-                t.push(StageTrace::read(i, &self.lists));
-            }
+        if self.mode == EngineMode::PerByte || trace.is_some() {
+            self.run_per_byte(aut, doc, trace);
+        } else {
+            self.run_class_runs(aut, doc);
         }
 
         // Roots: the (non-empty) lists of the final states, in state order so
@@ -365,6 +359,140 @@ impl Evaluator {
         }
         self.root_scratch.sort_unstable_by_key(|&(q, _)| q);
         self.store.roots.extend(self.root_scratch.iter().map(|&(_, l)| l));
+    }
+
+    /// The classic byte-at-a-time sparse loop (kept verbatim as the reference
+    /// engine and as the per-position backend of traced runs).
+    ///
+    /// Loop invariant: `active` holds exactly the states whose list is
+    /// non-empty, and `lists[q]` is EMPTY for every inactive q.
+    fn run_per_byte(
+        &mut self,
+        aut: &DetSeva,
+        doc: &Document,
+        mut trace: Option<&mut Vec<StageTrace>>,
+    ) {
+        let bytes = doc.bytes();
+        for i in 0..=bytes.len() {
+            self.capture_phase(aut, i);
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(StageTrace::capture(i, &self.lists));
+            }
+            if i == bytes.len() {
+                break;
+            }
+            self.read_phase(aut, aut.byte_class(bytes[i]));
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(StageTrace::read(i, &self.lists));
+            }
+        }
+    }
+
+    /// The run-skipping loop: classify the whole document into alphabet
+    /// classes in one vectorised pass, then walk maximal class runs. Whenever
+    /// every live state is [`DetSeva::run_skippable`] on the run's class, the
+    /// remainder of the run is consumed in one step — the per-byte walk would
+    /// leave every list, the active set, and all reachable DAG structure
+    /// bitwise unchanged over those positions (see `run_skippable` for the
+    /// proof obligations), so nothing needs to be executed. Positions that
+    /// fail the test fall back to the per-byte phases, one byte at a time,
+    /// re-testing after each byte (capture transitions mid-run can both
+    /// create and destroy skippability).
+    fn run_class_runs(&mut self, aut: &DetSeva, doc: &Document) {
+        let mut class_buf = std::mem::take(&mut self.class_buf);
+        aut.classify_document(doc, &mut class_buf);
+        for run in ClassRuns::new(&class_buf) {
+            let cls = run.class as usize;
+            let end = run.start + run.len;
+            let mut i = run.start;
+            while i < end {
+                if self.active.as_slice().iter().all(|&q| aut.run_skippable(q as usize, cls)) {
+                    // The rest of the run is a no-op for every live state
+                    // (vacuously so once the active set is empty).
+                    break;
+                }
+                self.capture_phase(aut, i);
+                self.read_phase(aut, cls);
+                i += 1;
+            }
+        }
+        self.capture_phase(aut, doc.len());
+        self.class_buf = class_buf;
+    }
+
+    /// `Capturing(i)`: the extended variable transitions taken immediately
+    /// before letter `i`. Lazycopies the lists of the phase-start active
+    /// states (the paper's lazy copy of every list; inactive lists are EMPTY).
+    #[inline]
+    fn capture_phase(&mut self, aut: &DetSeva, i: usize) {
+        let live = self.active.len();
+        for idx in 0..live {
+            let q = self.active.get(idx);
+            self.old[q] = self.lists[q];
+        }
+        for idx in 0..live {
+            let q = self.active.get(idx);
+            if !aut.has_markers(q) {
+                continue;
+            }
+            let src = self.old[q];
+            for &(markers, p) in aut.markers_from(q) {
+                let node_id = next_arena_id(self.store.nodes.len(), "DAG node");
+                self.store.nodes.push(Node { markers, pos: i as u32, list: src });
+                // list_p.add(node): prepend a fresh cell.
+                let cell_id = next_arena_id(self.store.cells.len(), "list cell");
+                if self.active.insert(p) {
+                    // p had an empty list: start it.
+                    self.store.cells.push(Cell { node: node_id, next: None });
+                    self.lists[p] = ListRef { head: cell_id, tail: cell_id, len_hint: 1 };
+                } else {
+                    let cur = self.lists[p];
+                    self.store.cells.push(Cell { node: node_id, next: Some(cur.head) });
+                    self.lists[p] = ListRef {
+                        head: cell_id,
+                        tail: cur.tail,
+                        len_hint: cur.len_hint.saturating_add(1),
+                    };
+                }
+            }
+        }
+    }
+
+    /// `Reading(i)`: the letter transition on the byte whose alphabet class
+    /// is `cls`.
+    #[inline]
+    fn read_phase(&mut self, aut: &DetSeva, cls: usize) {
+        let live = self.active.len();
+        for idx in 0..live {
+            let q = self.active.get(idx);
+            self.old[q] = self.lists[q];
+            self.lists[q] = ListRef::EMPTY;
+        }
+        self.next_active.clear();
+        for idx in 0..live {
+            let q = self.active.get(idx);
+            if let Some(p) = aut.step_class(q, cls) {
+                let src = self.old[q];
+                // list_p.append(list_old_q)
+                if self.next_active.insert(p) {
+                    self.lists[p] = src;
+                } else {
+                    let cur = self.lists[p];
+                    let tail = cur.tail as usize;
+                    debug_assert!(
+                        self.store.cells[tail].next.is_none(),
+                        "append target must end in null"
+                    );
+                    self.store.cells[tail].next = Some(src.head);
+                    self.lists[p] = ListRef {
+                        head: cur.head,
+                        tail: src.tail,
+                        len_hint: cur.len_hint.saturating_add(src.len_hint),
+                    };
+                }
+            }
+        }
+        std::mem::swap(&mut self.active, &mut self.next_active);
     }
 }
 

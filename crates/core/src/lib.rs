@@ -45,11 +45,11 @@ pub mod spanner;
 pub mod sparse;
 pub mod variable;
 
-pub use byteclass::{AlphabetPartition, ByteClass};
-pub use count::{count_mappings, Counter};
+pub use byteclass::{AlphabetPartition, ByteClass, ClassRun, ClassRuns};
+pub use count::{count_mappings, CountCache, Counter};
 pub use det::DetSeva;
 pub use document::Document;
-pub use enumerate::{DagView, EnumerationDag, Evaluator, MappingIter};
+pub use enumerate::{DagView, EngineMode, EnumerationDag, Evaluator, MappingIter};
 pub use error::{ParseError, Result, SpannerError};
 pub use eva::{Eva, EvaBuilder, EvaRun, StateId};
 pub use mapping::{

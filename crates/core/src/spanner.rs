@@ -1,6 +1,6 @@
 //! High-level façade tying compilation, evaluation, enumeration and counting together.
 
-use crate::count::{count_mappings, Counter};
+use crate::count::{count_mappings, CountCache, Counter};
 use crate::det::DetSeva;
 use crate::document::Document;
 use crate::enumerate::{DagView, EnumerationDag, Evaluator, MappingIter};
@@ -91,6 +91,18 @@ impl CompiledSpanner {
     /// Counts `|⟦A⟧(d)|` as a `u64`.
     pub fn count_u64(&self, doc: &Document) -> Result<u64, SpannerError> {
         self.count(doc)
+    }
+
+    /// Like [`CompiledSpanner::count`], but running inside a caller-owned
+    /// [`CountCache`] so that repeated counts over many documents reuse the
+    /// per-state buffers instead of allocating fresh ones — the hot-path
+    /// entry point for counting workloads.
+    pub fn count_with<C: Counter>(
+        &self,
+        cache: &mut CountCache<C>,
+        doc: &Document,
+    ) -> Result<C, SpannerError> {
+        cache.count(&self.automaton, doc)
     }
 
     /// Whether the spanner produces at least one mapping on `doc`.

@@ -230,15 +230,18 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// Byte throughput is always reported in decimal MB/s (with enough precision
+/// at the low end), so throughput numbers for the E1/E9 experiments can be
+/// compared across runs and read straight out of CI logs without unit
+/// juggling.
 fn fmt_bytes(rate: f64) -> String {
-    if rate >= 1e9 {
-        format!("{:.2} GiB", rate / (1u64 << 30) as f64)
-    } else if rate >= 1e6 {
-        format!("{:.2} MiB", rate / (1u64 << 20) as f64)
-    } else if rate >= 1e3 {
-        format!("{:.2} KiB", rate / 1024.0)
+    let mb = rate / 1e6;
+    if mb >= 100.0 {
+        format!("{mb:.1} MB")
+    } else if mb >= 0.01 {
+        format!("{mb:.2} MB")
     } else {
-        format!("{rate:.0} B")
+        format!("{mb:.4} MB")
     }
 }
 
@@ -316,5 +319,13 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
         assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+
+    #[test]
+    fn byte_throughput_is_reported_in_decimal_mb() {
+        assert_eq!(fmt_bytes(52_428_800.0), "52.43 MB");
+        assert_eq!(fmt_bytes(1.23e9), "1230.0 MB");
+        assert_eq!(fmt_bytes(123_456.0), "0.12 MB");
+        assert_eq!(fmt_bytes(500.0), "0.0005 MB");
     }
 }
