@@ -13,11 +13,20 @@
 //!   per-byte engine as the fraction of marker-active positions sweeps
 //!   0% → 100%: big wins on sparse-match documents, graceful degradation to
 //!   per-byte speed at full density.
+//! * **E10 — lazy vs. eager determinization.** End-to-end (compile + evaluate)
+//!   on the exponential-blowup family across automaton sizes, plus warm-cache
+//!   lazy evaluation against the eagerly determinized automaton across match
+//!   densities: the eager columns pay `Θ(2ⁿ)` subset construction up front,
+//!   the lazy columns only ever materialize the subsets the document visits.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spanners_automata::determinize;
 use spanners_bench::{contact_doc, contact_spanner, digit_spanner, drain, DOC_SIZES};
-use spanners_core::{CompiledSpanner, Document, EngineMode, EnumerationDag, Evaluator};
-use spanners_workloads::{all_spans_eva, figure3_eva, random_text};
+use spanners_core::{
+    CompiledSpanner, CountCache, DetSeva, Document, EngineMode, EnumerationDag, Evaluator,
+    LazyConfig, LazyDetSeva,
+};
+use spanners_workloads::{all_spans_eva, exp_blowup_eva, figure3_eva, random_text};
 use std::time::Duration;
 
 /// E1: preprocessing time as a function of |d| (bytes/second reported).
@@ -180,6 +189,75 @@ fn bench_run_skipping_density(c: &mut Criterion) {
     group.finish();
 }
 
+/// E10a: end-to-end cost — compile (eager subset construction vs. lazy
+/// preparation) plus one evaluation — on the `.*a.{n}`-style exponential
+/// family as the window width `n` grows. The eager column is only run for
+/// sizes whose `2ⁿ` subset construction stays tractable; larger sizes would
+/// trip the determinization budget, which is precisely the gap the lazy
+/// engine closes.
+fn bench_lazy_vs_eager_compile_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_lazy_vs_eager_determinization");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let doc = random_text(77, 20_000, b"abcdefgh");
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    for &n in &[4usize, 8, 12, 16] {
+        let eva = exp_blowup_eva(n);
+        if n <= 12 {
+            group.bench_with_input(BenchmarkId::new("eager_compile_plus_eval", n), &doc, |b, d| {
+                b.iter(|| {
+                    let det = determinize(&eva, 1 << 20).expect("within budget at this size");
+                    let aut = DetSeva::compile_trusted(&det).expect("determinized input");
+                    Evaluator::new().eval(&aut, d).num_nodes()
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("lazy_compile_plus_eval", n), &doc, |b, d| {
+            b.iter(|| {
+                let lazy = LazyDetSeva::new(&eva, LazyConfig::default()).expect("sequential");
+                Evaluator::new().eval_lazy(&lazy, d).num_nodes()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E10b: steady-state evaluation (warm evaluator, warm lazy cache) against
+/// the eagerly determinized automaton, as the density of subset-churning
+/// bytes (`a`) sweeps up. Also covers warm lazy counting.
+fn bench_lazy_warm_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10b_lazy_warm_vs_eager_density");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let n = 12usize;
+    let eva = exp_blowup_eva(n);
+    let lazy = LazyDetSeva::new(&eva, LazyConfig::default()).expect("sequential");
+    let det = determinize(&eva, 1 << 20).expect("2^12 subsets fit the budget");
+    let eager = DetSeva::compile_trusted(&det).expect("determinized input");
+    let size = 100_000usize;
+    let sweeps: &[(&str, &[u8])] =
+        &[("density_006", b"abcdefghijklmnop"), ("density_025", b"abcd"), ("density_050", b"ab")];
+    let mut lazy_eval = Evaluator::new();
+    let mut eager_eval = Evaluator::new();
+    let mut lazy_counts = CountCache::<u64>::new();
+    for &(label, alphabet) in sweeps {
+        let doc = random_text(13, size, alphabet);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("lazy_warm_eval", label), &doc, |b, d| {
+            b.iter(|| lazy_eval.eval_lazy(&lazy, d).num_nodes())
+        });
+        group.bench_with_input(BenchmarkId::new("eager_eval", label), &doc, |b, d| {
+            b.iter(|| eager_eval.eval(&eager, d).num_nodes())
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_warm_count", label), &doc, |b, d| {
+            b.iter(|| lazy_counts.count_lazy(&lazy, d).unwrap())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_preprocessing,
@@ -187,6 +265,8 @@ criterion_group!(
     bench_constant_delay,
     bench_total_enumeration,
     bench_end_to_end,
-    bench_run_skipping_density
+    bench_run_skipping_density,
+    bench_lazy_vs_eager_compile_eval,
+    bench_lazy_warm_density
 );
 criterion_main!(benches);

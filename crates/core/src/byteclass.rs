@@ -319,11 +319,24 @@ impl AlphabetPartition {
 
     /// All equivalence-class indices that intersect the given byte class.
     pub fn classes_intersecting(&self, c: &ByteClass) -> Vec<usize> {
-        let mut seen = vec![false; self.num_classes];
+        let mut out = Vec::new();
+        self.classes_intersecting_into(c, &mut out);
+        out
+    }
+
+    /// Like [`AlphabetPartition::classes_intersecting`], but writing the
+    /// (ascending) class indices into a caller-provided buffer so bulk
+    /// transition-table construction — e.g. the per-(state, class) target
+    /// lists of the lazy determinizer — performs one allocation total instead
+    /// of one per transition.
+    pub fn classes_intersecting_into(&self, c: &ByteClass, out: &mut Vec<usize>) {
+        out.clear();
+        // At most 256 classes exist, so a stack bitmap avoids heap traffic.
+        let mut seen = [false; 256];
         for b in c.iter() {
             seen[self.class_of(b)] = true;
         }
-        (0..self.num_classes).filter(|&i| seen[i]).collect()
+        out.extend((0..self.num_classes).filter(|&i| seen[i]));
     }
 }
 
@@ -517,6 +530,24 @@ mod tests {
         assert_eq!(hit[0], p.class_of(b'5'));
         let all = p.classes_intersecting(&ByteClass::any());
         assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn classes_intersecting_into_matches_allocating_form() {
+        let digits = ByteClass::ascii_digits();
+        let alpha = ByteClass::ascii_alpha();
+        let p = AlphabetPartition::from_classes([&digits, &alpha]);
+        let mut buf = Vec::new();
+        for probe in [
+            ByteClass::any(),
+            ByteClass::empty(),
+            ByteClass::singleton(b'5'),
+            ByteClass::range(b'0', b'z'),
+            ByteClass::from_bytes(b"a0!"),
+        ] {
+            p.classes_intersecting_into(&probe, &mut buf);
+            assert_eq!(buf, p.classes_intersecting(&probe), "probe {probe}");
+        }
     }
 
     #[test]

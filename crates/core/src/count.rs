@@ -17,10 +17,11 @@
 //! following `Reading` phase before it can reach a final state.
 
 use crate::byteclass::ClassRuns;
-use crate::det::DetSeva;
+use crate::det::{DetSeva, Stepper};
 use crate::document::Document;
 use crate::enumerate::EngineMode;
 use crate::error::SpannerError;
+use crate::lazy::{LazyCache, LazyDetSeva, LazyStepper};
 use crate::sparse::SparseSet;
 
 /// Numeric types usable as mapping counters.
@@ -164,6 +165,15 @@ pub struct CountCache<C: Counter> {
     next_active: SparseSet,
     /// Reusable byte → alphabet-class buffer of the class-run fast path.
     class_buf: Vec<u8>,
+    /// Live-id scratch of the clear-and-restart eviction protocol (lazy
+    /// automata only; see [`Stepper::maintain`]).
+    maint_ids: Vec<u32>,
+    /// The live states' counts, saved across an eviction's id remap.
+    maint_counts: Vec<C>,
+    /// The lazy determinization cache of the automaton last counted with
+    /// [`CountCache::count_lazy`], tagged with the automaton's identity
+    /// (mirrors [`crate::Evaluator`]'s embedded cache).
+    lazy: Option<(u64, LazyCache)>,
     /// Which inner loop drives Algorithm 3.
     mode: EngineMode,
 }
@@ -176,6 +186,9 @@ impl<C: Counter> Default for CountCache<C> {
             active: SparseSet::new(0),
             next_active: SparseSet::new(0),
             class_buf: Vec::new(),
+            maint_ids: Vec::new(),
+            maint_counts: Vec::new(),
+            lazy: None,
             mode: EngineMode::default(),
         }
     }
@@ -218,27 +231,59 @@ impl<C: Counter> CountCache<C> {
     /// allocated capacity. Returns [`SpannerError::CountOverflow`] if the
     /// counter type overflows.
     pub fn count(&mut self, aut: &DetSeva, doc: &Document) -> Result<C, SpannerError> {
-        let n_states = aut.num_states();
-        // Reset retained storage without releasing capacity.
+        let mut stepper: &DetSeva = aut;
+        self.count_run(&mut stepper, doc)
+    }
+
+    /// Like [`CountCache::count`] but over a **lazily determinized**
+    /// automaton, using (and retaining, warm) the cache embedded in this
+    /// `CountCache` — the Algorithm 3 mirror of
+    /// [`crate::Evaluator::eval_lazy`].
+    pub fn count_lazy(&mut self, aut: &LazyDetSeva, doc: &Document) -> Result<C, SpannerError> {
+        let mut cache = match self.lazy.take() {
+            Some((id, cache)) if id == aut.id() => cache,
+            _ => aut.create_cache(),
+        };
+        let mut stepper = LazyStepper::new(aut, &mut cache);
+        let result = self.count_run(&mut stepper, doc);
+        self.lazy = Some((aut.id(), cache));
+        result
+    }
+
+    /// The embedded lazy determinization cache, if a lazy automaton has been
+    /// counted (diagnostics; mirrors [`crate::Evaluator::lazy_cache`]).
+    pub fn lazy_cache(&self) -> Option<&LazyCache> {
+        self.lazy.as_ref().map(|(_, c)| c)
+    }
+
+    /// The Algorithm 3 loop, generic over the eager/lazy [`Stepper`] seam.
+    fn count_run<S: Stepper>(&mut self, aut: &mut S, doc: &Document) -> Result<C, SpannerError> {
+        let n_states = aut.state_bound();
+        // Reset retained storage without releasing capacity; `ensure_state`
+        // grows it when a lazy stepper discovers states mid-document.
         self.counts.clear();
         self.counts.resize(n_states, C::zero());
         self.old.clear();
         self.old.resize(n_states, C::zero());
         self.active.reset(n_states);
         self.next_active.reset(n_states);
-        self.counts[aut.initial()] = C::one();
-        self.active.insert(aut.initial());
+        let init = aut.start_state();
+        self.ensure_state(init);
+        self.counts[init] = C::one();
+        self.active.insert(init);
 
         // Invariant: `active` ⊇ the states with a non-zero count, and
         // counts[q] is zero for every state outside `active`.
         if self.mode == EngineMode::PerByte {
             let bytes = doc.bytes();
             for i in 0..=bytes.len() {
+                self.maintenance_point(aut);
                 self.capture_phase(aut)?;
                 if i == bytes.len() {
                     break;
                 }
-                self.read_phase(aut, aut.byte_class(bytes[i]))?;
+                let cls = aut.byte_class(bytes[i]);
+                self.read_phase(aut, cls)?;
             }
         } else {
             // Run-skipping loop: identical counts by the argument in the
@@ -251,6 +296,7 @@ impl<C: Counter> CountCache<C> {
                 let end = run.start + run.len;
                 let mut i = run.start;
                 while i < end {
+                    self.maintenance_point(aut);
                     if self.active.as_slice().iter().all(|&q| aut.run_skippable(q as usize, cls)) {
                         break;
                     }
@@ -260,19 +306,70 @@ impl<C: Counter> CountCache<C> {
                 }
             }
             self.class_buf = class_buf;
+            self.maintenance_point(aut);
             self.capture_phase(aut)?;
         }
 
         let mut total = C::zero();
-        for q in aut.final_states() {
-            total = total.checked_add(&self.counts[q]).ok_or(SpannerError::CountOverflow)?;
+        for idx in 0..self.active.len() {
+            let q = self.active.get(idx);
+            if aut.is_final(q) {
+                total = total.checked_add(&self.counts[q]).ok_or(SpannerError::CountOverflow)?;
+            }
         }
         Ok(total)
     }
 
+    /// Grows the per-state storage to cover state id `q` (no-op for eager
+    /// automata; amortized bump when a lazy automaton interns fresh subsets).
+    #[inline]
+    fn ensure_state(&mut self, q: usize) {
+        if q >= self.counts.len() {
+            let n = q + 1;
+            self.counts.resize(n, C::zero());
+            self.old.resize(n, C::zero());
+            self.active.grow(n);
+            self.next_active.grow(n);
+        }
+    }
+
+    /// Once-per-position cache-budget hook; the counting mirror of
+    /// [`crate::Evaluator`]'s maintenance point (counts are saved across the
+    /// eviction's id remap instead of lists).
+    #[inline]
+    fn maintenance_point<S: Stepper>(&mut self, aut: &mut S) {
+        if !aut.wants_maintenance() {
+            return;
+        }
+        let mut ids = std::mem::take(&mut self.maint_ids);
+        let mut saved = std::mem::take(&mut self.maint_counts);
+        ids.clear();
+        ids.extend_from_slice(self.active.as_slice());
+        saved.clear();
+        for &q in &ids {
+            saved.push(self.counts[q as usize].clone());
+            self.counts[q as usize] = C::zero();
+        }
+        if aut.maintain(&mut ids) {
+            self.active.clear();
+            for (k, &q) in ids.iter().enumerate() {
+                let q = q as usize;
+                self.ensure_state(q);
+                self.active.insert(q);
+                self.counts[q] = saved[k].clone();
+            }
+        } else {
+            for (k, &q) in ids.iter().enumerate() {
+                self.counts[q as usize] = saved[k].clone();
+            }
+        }
+        self.maint_ids = ids;
+        self.maint_counts = saved;
+    }
+
     /// `Capturing(i)`: extend runs with extended variable transitions.
     #[inline]
-    fn capture_phase(&mut self, aut: &DetSeva) -> Result<(), SpannerError> {
+    fn capture_phase<S: Stepper>(&mut self, aut: &mut S) -> Result<(), SpannerError> {
         let live = self.active.len();
         for idx in 0..live {
             let q = self.active.get(idx);
@@ -284,6 +381,7 @@ impl<C: Counter> CountCache<C> {
                 continue;
             }
             for &(_, p) in aut.markers_from(q) {
+                self.ensure_state(p);
                 self.active.insert(p);
                 self.counts[p] =
                     self.counts[p].checked_add(&self.old[q]).ok_or(SpannerError::CountOverflow)?;
@@ -294,7 +392,7 @@ impl<C: Counter> CountCache<C> {
 
     /// `Reading(i)`: extend runs with the letter transition on class `cls`.
     #[inline]
-    fn read_phase(&mut self, aut: &DetSeva, cls: usize) -> Result<(), SpannerError> {
+    fn read_phase<S: Stepper>(&mut self, aut: &mut S, cls: usize) -> Result<(), SpannerError> {
         let live = self.active.len();
         for idx in 0..live {
             let q = self.active.get(idx);
@@ -305,6 +403,7 @@ impl<C: Counter> CountCache<C> {
         for idx in 0..live {
             let q = self.active.get(idx);
             if let Some(p) = aut.step_class(q, cls) {
+                self.ensure_state(p);
                 self.next_active.insert(p);
                 self.counts[p] =
                     self.counts[p].checked_add(&self.old[q]).ok_or(SpannerError::CountOverflow)?;

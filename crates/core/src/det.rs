@@ -283,47 +283,201 @@ impl DetSeva {
     /// Runs the letter/marker transition relation over `doc` without producing
     /// output, returning whether the document is *accepted* (i.e. whether
     /// `⟦A⟧(d)` is non-empty). Linear time, used as a cheap pre-check.
+    /// One definition of the acceptance loop exists — [`accepts_generic`] —
+    /// shared with the lazy engine through the zero-cost `&DetSeva` shim.
     pub fn accepts(&self, doc: &Document) -> bool {
-        // Live set of states, tracked sparsely (the automaton is deterministic
-        // per transition label, but several runs with different marker choices
-        // coexist). Per-byte work is proportional to the live set, not |Q|.
-        let mut live = SparseSet::new(self.num_states);
-        let mut next = SparseSet::new(self.num_states);
-        live.insert(self.initial);
-        for &b in doc.bytes() {
-            // Capturing: add the one-step marker successors of the states
-            // live at phase start (variable and letter transitions alternate,
-            // so marker steps do not chain within one position).
-            let snapshot = live.len();
-            for idx in 0..snapshot {
-                let q = live.get(idx);
-                for &(_, p) in self.markers_from(q) {
-                    live.insert(p);
-                }
-            }
-            // Reading.
-            let cls = self.byte_class(b);
-            next.clear();
-            for idx in 0..live.len() {
-                if let Some(p) = self.step_class(live.get(idx), cls) {
-                    next.insert(p);
-                }
-            }
-            std::mem::swap(&mut live, &mut next);
-            if live.is_empty() {
-                return false;
-            }
-        }
-        // Final capturing step (again one marker step, then the final check).
+        let mut stepper: &DetSeva = self;
+        accepts_generic(&mut stepper, doc)
+    }
+}
+
+/// The transition interface the evaluation engines (Algorithms 1 and 3) are
+/// generic over — the seam between the *eager* [`DetSeva`] and the *lazy*
+/// hybrid determinization cache ([`crate::lazy::LazyDetSeva`]).
+///
+/// All stepping methods take `&mut self` because a lazy implementation fills
+/// transition-table rows (and interns freshly discovered subset states) the
+/// first time they are asked for; the eager implementation on `&DetSeva` is a
+/// zero-cost forwarding shim. The contract mirrors `DetSeva`'s inherent
+/// methods, plus two cache-management hooks:
+///
+/// * **growing state space** — state ids handed out by `step_class` /
+///   `markers_from` may exceed [`Stepper::state_bound`] as observed at the
+///   start of evaluation; engines must grow their dense per-state storage on
+///   demand;
+/// * **clear-and-restart eviction** — when [`Stepper::wants_maintenance`]
+///   reports the cache is over budget, the engine calls
+///   [`Stepper::maintain`] with its live state ids; the implementation may
+///   then clear the cache, re-intern exactly those states, and rewrite each
+///   id in place (order preserved). The engine remaps its own per-state
+///   structures afterwards. Between maintenance points ids are stable.
+pub trait Stepper {
+    /// Current upper bound on state ids (may grow during evaluation for a
+    /// lazy implementation; fixed for an eager one).
+    fn state_bound(&self) -> usize;
+
+    /// The initial state, interning it first if necessary.
+    fn start_state(&mut self) -> StateId;
+
+    /// Whether `q` is a final state.
+    fn is_final(&self, q: StateId) -> bool;
+
+    /// Maps a byte to its alphabet equivalence class.
+    fn byte_class(&self, byte: u8) -> usize;
+
+    /// Bulk-classifies a document into the reusable buffer `out`.
+    fn classify_document(&self, doc: &Document, out: &mut Vec<u8>);
+
+    /// The deterministic letter transition on alphabet class `cls`.
+    fn step_class(&mut self, q: StateId, cls: usize) -> Option<StateId>;
+
+    /// Whether `Markers_δ(q)` is non-empty.
+    fn has_markers(&mut self, q: StateId) -> bool;
+
+    /// The extended variable transitions `Markers_δ(q)` with their targets.
+    fn markers_from(&mut self, q: StateId) -> &[(MarkerSet, StateId)];
+
+    /// Whether a `(Capturing; Reading)` step on class `cls` is a no-op for a
+    /// run living in `q` (see [`DetSeva::run_skippable`]).
+    fn run_skippable(&mut self, q: StateId, cls: usize) -> bool;
+
+    /// Whether the implementation wants a [`Stepper::maintain`] call at the
+    /// next safe point (i.e. its cache exceeded the configured budget).
+    /// Engines check this once per executed document position.
+    #[inline]
+    fn wants_maintenance(&self) -> bool {
+        false
+    }
+
+    /// Clear-and-restart eviction hook. `live` holds the engine's live state
+    /// ids; on eviction the implementation re-interns exactly those states
+    /// into the fresh cache and rewrites each id in place (order preserved),
+    /// returning `true` so the engine can remap its per-state structures.
+    /// Returning `false` means ids were left untouched.
+    #[inline]
+    fn maintain(&mut self, live: &mut [u32]) -> bool {
+        let _ = live;
+        false
+    }
+}
+
+/// The eager engine: a compiled [`DetSeva`] is a `Stepper` whose every lookup
+/// is a precomputed flat load and whose cache hooks are no-ops (the dense
+/// tables are immutable, so the `&mut` receivers never mutate).
+impl Stepper for &DetSeva {
+    #[inline]
+    fn state_bound(&self) -> usize {
+        self.num_states
+    }
+
+    #[inline]
+    fn start_state(&mut self) -> StateId {
+        self.initial
+    }
+
+    #[inline]
+    fn is_final(&self, q: StateId) -> bool {
+        self.finals[q]
+    }
+
+    #[inline]
+    fn byte_class(&self, byte: u8) -> usize {
+        DetSeva::byte_class(self, byte)
+    }
+
+    #[inline]
+    fn classify_document(&self, doc: &Document, out: &mut Vec<u8>) {
+        DetSeva::classify_document(self, doc, out)
+    }
+
+    #[inline]
+    fn step_class(&mut self, q: StateId, cls: usize) -> Option<StateId> {
+        DetSeva::step_class(self, q, cls)
+    }
+
+    #[inline]
+    fn has_markers(&mut self, q: StateId) -> bool {
+        DetSeva::has_markers(self, q)
+    }
+
+    #[inline]
+    fn markers_from(&mut self, q: StateId) -> &[(MarkerSet, StateId)] {
+        DetSeva::markers_from(self, q)
+    }
+
+    #[inline]
+    fn run_skippable(&mut self, q: StateId, cls: usize) -> bool {
+        DetSeva::run_skippable(self, q, cls)
+    }
+}
+
+/// Runs the letter/marker transition relation of any [`Stepper`] over `doc`
+/// without producing output, returning whether the document is accepted.
+/// Generic backend of [`DetSeva::accepts`] and
+/// [`crate::lazy::LazyDetSeva::accepts`]; honours the maintenance hooks, so a
+/// lazy implementation stays within its memory budget here too.
+pub(crate) fn accepts_generic<S: Stepper>(aut: &mut S, doc: &Document) -> bool {
+    let mut live = SparseSet::new(aut.state_bound());
+    let mut next = SparseSet::new(aut.state_bound());
+    let mut maint: Vec<u32> = Vec::new();
+    let init = aut.start_state();
+    live.grow(init + 1);
+    next.grow(init + 1);
+    live.insert(init);
+    for &b in doc.bytes() {
+        maintain_set(aut, &mut live, &mut maint);
+        // Capturing: add the one-step marker successors of the states live at
+        // phase start (marker steps do not chain within one position).
         let snapshot = live.len();
         for idx in 0..snapshot {
             let q = live.get(idx);
-            for &(_, p) in self.markers_from(q) {
+            for &(_, p) in aut.markers_from(q) {
+                live.grow(p + 1);
                 live.insert(p);
             }
         }
-        let accepted = live.iter().any(|q| self.finals[q]);
-        accepted
+        // Reading.
+        let cls = aut.byte_class(b);
+        next.clear();
+        for idx in 0..live.len() {
+            if let Some(p) = aut.step_class(live.get(idx), cls) {
+                next.grow(p + 1);
+                next.insert(p);
+            }
+        }
+        std::mem::swap(&mut live, &mut next);
+        if live.is_empty() {
+            return false;
+        }
+    }
+    // Final capturing step, then the final check.
+    maintain_set(aut, &mut live, &mut maint);
+    let snapshot = live.len();
+    for idx in 0..snapshot {
+        let q = live.get(idx);
+        for &(_, p) in aut.markers_from(q) {
+            live.grow(p + 1);
+            live.insert(p);
+        }
+    }
+    let accepted = live.iter().any(|q| aut.is_final(q));
+    accepted
+}
+
+/// Maintenance helper for [`accepts_generic`]: runs the clear-and-restart
+/// eviction protocol on a bare live set (no per-state payload to remap).
+fn maintain_set<S: Stepper>(aut: &mut S, live: &mut SparseSet, scratch: &mut Vec<u32>) {
+    if !aut.wants_maintenance() {
+        return;
+    }
+    scratch.clear();
+    scratch.extend_from_slice(live.as_slice());
+    if aut.maintain(scratch) {
+        live.clear();
+        for &q in scratch.iter() {
+            live.grow(q as usize + 1);
+            live.insert(q as usize);
+        }
     }
 }
 

@@ -44,8 +44,9 @@
 //! on the document.
 
 use crate::byteclass::ClassRuns;
-use crate::det::DetSeva;
+use crate::det::{DetSeva, Stepper};
 use crate::document::Document;
+use crate::lazy::{LazyCache, LazyDetSeva, LazyStepper};
 use crate::mapping::Mapping;
 use crate::markerset::MarkerSet;
 use crate::span::Span;
@@ -250,6 +251,17 @@ pub struct Evaluator {
     /// classification pass of the class-run engine). Retained across `eval`
     /// calls like the arenas, so steady-state allocation stays zero.
     class_buf: Vec<u8>,
+    /// Scratch for the clear-and-restart eviction protocol of a lazy
+    /// automaton: the live state ids handed to [`Stepper::maintain`]…
+    maint_ids: Vec<u32>,
+    /// …and the live states' lists, saved across the id remap.
+    maint_lists: Vec<ListRef>,
+    /// The lazy determinization cache of the automaton last evaluated with
+    /// [`Evaluator::eval_lazy`], tagged with the automaton's identity so a
+    /// different lazy automaton gets a fresh cache. Kept inside the evaluator
+    /// because the cache is exactly the same kind of per-worker mutable,
+    /// warm-capacity state as the DAG arenas.
+    lazy: Option<(u64, LazyCache)>,
     /// Which inner loop drives Algorithm 1.
     mode: EngineMode,
 }
@@ -284,7 +296,8 @@ impl Evaluator {
     /// `O(live states × |d|)` in the common case where only a few automaton
     /// states carry runs at any position.
     pub fn eval<'a>(&'a mut self, aut: &'a DetSeva, doc: &Document) -> DagView<'a> {
-        self.run(aut, doc, None);
+        let mut stepper: &DetSeva = aut;
+        self.run(&mut stepper, doc, None);
         DagView { store: &self.store, registry: aut.registry(), doc_len: doc.len() }
     }
 
@@ -292,11 +305,68 @@ impl Evaluator {
     /// [`EnumerationDag`], surrendering the arena capacity (the evaluator's
     /// arenas start empty again). Use when the DAG must outlive the evaluator.
     pub fn eval_owned(&mut self, aut: &DetSeva, doc: &Document) -> EnumerationDag {
-        self.run(aut, doc, None);
+        let mut stepper: &DetSeva = aut;
+        self.run(&mut stepper, doc, None);
         EnumerationDag {
             store: std::mem::take(&mut self.store),
             registry: aut.registry().clone(),
             doc_len: doc.len(),
+        }
+    }
+
+    /// Runs Algorithm 1 over a **lazily determinized** automaton: subset
+    /// states and transition rows are discovered on demand inside the
+    /// evaluator's embedded [`LazyCache`] (created on first use, retained —
+    /// warm — across documents, and replaced when a different lazy automaton
+    /// is evaluated). Behaviour is otherwise identical to [`Evaluator::eval`]:
+    /// same engine modes, same zero-steady-state-allocation contract once
+    /// both the arenas and the cache are warm.
+    pub fn eval_lazy<'a>(&'a mut self, aut: &'a LazyDetSeva, doc: &Document) -> DagView<'a> {
+        let mut cache = self.take_lazy_cache(aut);
+        let mut stepper = LazyStepper::new(aut, &mut cache);
+        self.run(&mut stepper, doc, None);
+        self.lazy = Some((aut.id(), cache));
+        DagView { store: &self.store, registry: aut.registry(), doc_len: doc.len() }
+    }
+
+    /// Like [`Evaluator::eval_lazy`] but moving the finished DAG out as an
+    /// owned [`EnumerationDag`] (see [`Evaluator::eval_owned`]).
+    pub fn eval_lazy_owned(&mut self, aut: &LazyDetSeva, doc: &Document) -> EnumerationDag {
+        let mut cache = self.take_lazy_cache(aut);
+        let mut stepper = LazyStepper::new(aut, &mut cache);
+        self.run(&mut stepper, doc, None);
+        self.lazy = Some((aut.id(), cache));
+        EnumerationDag {
+            store: std::mem::take(&mut self.store),
+            registry: aut.registry().clone(),
+            doc_len: doc.len(),
+        }
+    }
+
+    /// Whether the lazily determinized automaton accepts `doc`, using (and
+    /// warming) the evaluator's embedded [`LazyCache`] — the hot-path match
+    /// check: unlike a one-shot `accepts` with a fresh cache, repeated calls
+    /// reuse all previously discovered subset states and transition rows.
+    pub fn accepts_lazy(&mut self, aut: &LazyDetSeva, doc: &Document) -> bool {
+        let mut cache = self.take_lazy_cache(aut);
+        let accepted = aut.accepts(&mut cache, doc);
+        self.lazy = Some((aut.id(), cache));
+        accepted
+    }
+
+    /// The embedded lazy determinization cache, if a lazy automaton has been
+    /// evaluated (diagnostics: subset-state count, eviction count, capacity
+    /// signature for allocation-retention assertions).
+    pub fn lazy_cache(&self) -> Option<&LazyCache> {
+        self.lazy.as_ref().map(|(_, c)| c)
+    }
+
+    /// Takes the embedded cache out for an evaluation of `aut`, replacing it
+    /// with a fresh one if it belonged to a different lazy automaton.
+    fn take_lazy_cache(&mut self, aut: &LazyDetSeva) -> LazyCache {
+        match self.lazy.take() {
+            Some((id, cache)) if id == aut.id() => cache,
+            _ => aut.create_cache(),
         }
     }
 
@@ -317,14 +387,22 @@ impl Evaluator {
         self.class_buf.capacity()
     }
 
-    /// The core of Algorithm 1, shared by every public entry point.
+    /// The core of Algorithm 1, shared by every public entry point and
+    /// generic over the eager/lazy [`Stepper`] seam.
     ///
     /// Traced runs always use the per-byte loop: a [`StageTrace`] records the
     /// list state after *every* `Capturing`/`Reading` phase, which requires
     /// per-position granularity the run-skipping loop deliberately elides.
-    fn run(&mut self, aut: &DetSeva, doc: &Document, trace: Option<&mut Vec<StageTrace>>) {
-        let n_states = aut.num_states();
-        // Reset retained storage without releasing capacity.
+    fn run<S: Stepper>(
+        &mut self,
+        aut: &mut S,
+        doc: &Document,
+        trace: Option<&mut Vec<StageTrace>>,
+    ) {
+        let n_states = aut.state_bound();
+        // Reset retained storage without releasing capacity. A lazy stepper
+        // may discover states past `n_states` mid-document; `ensure_state`
+        // grows the per-state storage on demand.
         self.store.nodes.clear();
         self.store.cells.clear();
         self.store.roots.clear();
@@ -339,8 +417,10 @@ impl Evaluator {
         self.store.nodes.push(Node { markers: MarkerSet::new(), pos: 0, list: ListRef::EMPTY });
         // list_q for every state q: initially empty except list_{q0} = [⊥].
         self.store.cells.push(Cell { node: BOTTOM, next: None });
-        self.lists[aut.initial()] = ListRef { head: 0, tail: 0, len_hint: 1 };
-        self.active.insert(aut.initial());
+        let init = aut.start_state();
+        self.ensure_state(init);
+        self.lists[init] = ListRef { head: 0, tail: 0, len_hint: 1 };
+        self.active.insert(init);
 
         if self.mode == EngineMode::PerByte || trace.is_some() {
             self.run_per_byte(aut, doc, trace);
@@ -366,14 +446,15 @@ impl Evaluator {
     ///
     /// Loop invariant: `active` holds exactly the states whose list is
     /// non-empty, and `lists[q]` is EMPTY for every inactive q.
-    fn run_per_byte(
+    fn run_per_byte<S: Stepper>(
         &mut self,
-        aut: &DetSeva,
+        aut: &mut S,
         doc: &Document,
         mut trace: Option<&mut Vec<StageTrace>>,
     ) {
         let bytes = doc.bytes();
         for i in 0..=bytes.len() {
+            self.maintenance_point(aut);
             self.capture_phase(aut, i);
             if let Some(t) = trace.as_deref_mut() {
                 t.push(StageTrace::capture(i, &self.lists));
@@ -381,7 +462,8 @@ impl Evaluator {
             if i == bytes.len() {
                 break;
             }
-            self.read_phase(aut, aut.byte_class(bytes[i]));
+            let cls = aut.byte_class(bytes[i]);
+            self.read_phase(aut, cls);
             if let Some(t) = trace.as_deref_mut() {
                 t.push(StageTrace::read(i, &self.lists));
             }
@@ -398,7 +480,7 @@ impl Evaluator {
     /// fail the test fall back to the per-byte phases, one byte at a time,
     /// re-testing after each byte (capture transitions mid-run can both
     /// create and destroy skippability).
-    fn run_class_runs(&mut self, aut: &DetSeva, doc: &Document) {
+    fn run_class_runs<S: Stepper>(&mut self, aut: &mut S, doc: &Document) {
         let mut class_buf = std::mem::take(&mut self.class_buf);
         aut.classify_document(doc, &mut class_buf);
         for run in ClassRuns::new(&class_buf) {
@@ -406,6 +488,7 @@ impl Evaluator {
             let end = run.start + run.len;
             let mut i = run.start;
             while i < end {
+                self.maintenance_point(aut);
                 if self.active.as_slice().iter().all(|&q| aut.run_skippable(q as usize, cls)) {
                     // The rest of the run is a no-op for every live state
                     // (vacuously so once the active set is empty).
@@ -416,15 +499,68 @@ impl Evaluator {
                 i += 1;
             }
         }
+        self.maintenance_point(aut);
         self.capture_phase(aut, doc.len());
         self.class_buf = class_buf;
+    }
+
+    /// Grows the per-state storage (lists, snapshots, active sets) to cover
+    /// state id `q` — a no-op for eager automata, whose state space is fixed,
+    /// and an amortized bump when a lazy automaton interns fresh subsets.
+    #[inline]
+    fn ensure_state(&mut self, q: usize) {
+        if q >= self.lists.len() {
+            let n = q + 1;
+            self.lists.resize(n, ListRef::EMPTY);
+            self.old.resize(n, ListRef::EMPTY);
+            self.active.grow(n);
+            self.next_active.grow(n);
+        }
+    }
+
+    /// Once-per-position cache-budget hook: when a lazy stepper reports it is
+    /// over budget, hand it the live state ids, let it clear-and-restart, and
+    /// remap the evaluator's per-state structures onto the rewritten ids.
+    /// Free for eager automata (`wants_maintenance` is a constant `false`).
+    #[inline]
+    fn maintenance_point<S: Stepper>(&mut self, aut: &mut S) {
+        if !aut.wants_maintenance() {
+            return;
+        }
+        // Save the live lists in active order and clear the old slots before
+        // any new id is written (old and new id ranges overlap).
+        let mut ids = std::mem::take(&mut self.maint_ids);
+        let mut saved = std::mem::take(&mut self.maint_lists);
+        ids.clear();
+        ids.extend_from_slice(self.active.as_slice());
+        saved.clear();
+        for &q in &ids {
+            saved.push(self.lists[q as usize]);
+            self.lists[q as usize] = ListRef::EMPTY;
+        }
+        if aut.maintain(&mut ids) {
+            self.active.clear();
+            for (k, &q) in ids.iter().enumerate() {
+                let q = q as usize;
+                self.ensure_state(q);
+                self.active.insert(q);
+                self.lists[q] = saved[k];
+            }
+        } else {
+            // No eviction after all: restore the slots untouched.
+            for (k, &q) in ids.iter().enumerate() {
+                self.lists[q as usize] = saved[k];
+            }
+        }
+        self.maint_ids = ids;
+        self.maint_lists = saved;
     }
 
     /// `Capturing(i)`: the extended variable transitions taken immediately
     /// before letter `i`. Lazycopies the lists of the phase-start active
     /// states (the paper's lazy copy of every list; inactive lists are EMPTY).
     #[inline]
-    fn capture_phase(&mut self, aut: &DetSeva, i: usize) {
+    fn capture_phase<S: Stepper>(&mut self, aut: &mut S, i: usize) {
         let live = self.active.len();
         for idx in 0..live {
             let q = self.active.get(idx);
@@ -437,6 +573,7 @@ impl Evaluator {
             }
             let src = self.old[q];
             for &(markers, p) in aut.markers_from(q) {
+                self.ensure_state(p);
                 let node_id = next_arena_id(self.store.nodes.len(), "DAG node");
                 self.store.nodes.push(Node { markers, pos: i as u32, list: src });
                 // list_p.add(node): prepend a fresh cell.
@@ -461,7 +598,7 @@ impl Evaluator {
     /// `Reading(i)`: the letter transition on the byte whose alphabet class
     /// is `cls`.
     #[inline]
-    fn read_phase(&mut self, aut: &DetSeva, cls: usize) {
+    fn read_phase<S: Stepper>(&mut self, aut: &mut S, cls: usize) {
         let live = self.active.len();
         for idx in 0..live {
             let q = self.active.get(idx);
@@ -472,6 +609,7 @@ impl Evaluator {
         for idx in 0..live {
             let q = self.active.get(idx);
             if let Some(p) = aut.step_class(q, cls) {
+                self.ensure_state(p);
                 let src = self.old[q];
                 // list_p.append(list_old_q)
                 if self.next_active.insert(p) {
@@ -589,7 +727,8 @@ impl EnumerationDag {
     pub fn build_with_trace(aut: &DetSeva, doc: &Document) -> (EnumerationDag, Vec<StageTrace>) {
         let mut traces = Vec::new();
         let mut evaluator = Evaluator::new();
-        evaluator.run(aut, doc, Some(&mut traces));
+        let mut stepper: &DetSeva = aut;
+        evaluator.run(&mut stepper, doc, Some(&mut traces));
         let dag = EnumerationDag {
             store: std::mem::take(&mut evaluator.store),
             registry: aut.registry().clone(),

@@ -1,0 +1,820 @@
+//! Lazy hybrid determinization: subset construction on demand, behind a
+//! bounded memory budget (the regex-automata "hybrid" lazy-DFA idiom, adapted
+//! to extended VA).
+//!
+//! [`crate::det::DetSeva`] compiles a *deterministic* automaton into dense
+//! tables up front, and the eager subset construction
+//! (`spanners_automata::determinize`) that feeds it can blow up exponentially
+//! before the first byte of input is read — exactly the cost the
+//! constant-delay framework is meant to amortize away. [`LazyDetSeva`] instead
+//! keeps the **nondeterministic** (but sequential) eVA in a compact
+//! CSR layout and determinizes *during* evaluation:
+//!
+//! * deterministic states are interned **subset keys** (sorted NFA state
+//!   sets) discovered as the document is read;
+//! * per-(state, class) letter-table entries and marker-transition CSR rows
+//!   are filled the first time they are stepped — including the
+//!   `run_skippable` / `has_markers` fast-path metadata, which the eager
+//!   compiler precomputes and this cache derives lazily;
+//! * everything mutable lives in a [`LazyCache`] governed by a configurable
+//!   byte budget ([`LazyConfig`]); when the budget is exceeded the cache is
+//!   **cleared and restarted**: the evaluation engine's live states are
+//!   re-interned into the fresh cache and every other state is forgotten,
+//!   so memory stays bounded no matter how adversarial the automaton is.
+//!
+//! The cache plugs into the existing evaluation engines
+//! ([`crate::Evaluator`], [`crate::CountCache`]) through the
+//! [`crate::det::Stepper`] abstraction, so both the per-byte and the
+//! class-run run-skipping fast paths work unchanged on lazily determinized
+//! automata. Outputs are byte-for-byte the mappings/counts of the eagerly
+//! determinized automaton — determinization (lazy or not) preserves the
+//! semantics, and subset states make Algorithm 1 duplicate-free even though
+//! the source automaton is nondeterministic.
+
+use crate::byteclass::AlphabetPartition;
+use crate::det::{accepts_generic, Stepper};
+use crate::document::Document;
+use crate::error::SpannerError;
+use crate::eva::{Eva, StateId};
+use crate::markerset::MarkerSet;
+use crate::sparse::SparseSet;
+use crate::variable::VarRegistry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel for "no transition" in a lazy letter-table row.
+const NO_TARGET: u32 = u32::MAX;
+/// Sentinel for "not yet computed" in a lazy letter-table row.
+const UNKNOWN: u32 = u32::MAX - 1;
+/// Sentinel for "marker row not yet materialized".
+const VARS_UNMATERIALIZED: u32 = u32::MAX;
+/// Three-valued per-(state, class) skip metadata.
+const SKIP_UNKNOWN: u8 = 0;
+const SKIP_YES: u8 = 1;
+const SKIP_NO: u8 = 2;
+
+/// Monotone source of identities tying a [`LazyCache`] to the [`LazyDetSeva`]
+/// whose subset ids it holds (ids from different automata must never mix).
+static NEXT_SEVA_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Configuration of the lazy determinization cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LazyConfig {
+    /// Approximate byte budget of one [`LazyCache`]. When the cached subset
+    /// states, transition rows and interning index exceed this many bytes the
+    /// cache is cleared and restarted at the next document position. The
+    /// budget is soft: the working set of a single position is always
+    /// admitted, so evaluation makes progress even under absurdly small
+    /// budgets (it merely thrashes).
+    pub memory_budget: usize,
+}
+
+impl Default for LazyConfig {
+    fn default() -> Self {
+        // Matches the regex-automata hybrid default order of magnitude: big
+        // enough that realistic spanners never evict, small enough that a
+        // pathological blow-up cannot take the process down.
+        LazyConfig { memory_budget: 8 * 1024 * 1024 }
+    }
+}
+
+/// A sequential (possibly nondeterministic) extended VA prepared for **lazy
+/// determinization** — the immutable half of the hybrid engine.
+///
+/// Construction is linear in the source automaton (no subset construction
+/// happens here): the eVA's letter transitions are laid out as a
+/// per-(state, alphabet-class) CSR of target lists and its variable
+/// transitions as per-state sorted runs, which is exactly what the on-demand
+/// subset stepping of [`LazyCache`] consumes. All mutable state lives in the
+/// cache, so one `LazyDetSeva` can be shared by many evaluators, each with
+/// its own cache (create one with [`LazyDetSeva::create_cache`]).
+#[derive(Debug, Clone)]
+pub struct LazyDetSeva {
+    id: u64,
+    registry: VarRegistry,
+    partition: AlphabetPartition,
+    config: LazyConfig,
+    num_nfa_states: usize,
+    ncls: usize,
+    initial: u32,
+    nfa_finals: Vec<bool>,
+    /// Letter CSR: targets of NFA state `q` on class `cls` are
+    /// `letter_targets[letter_offsets[q*ncls+cls] .. letter_offsets[q*ncls+cls+1]]`.
+    letter_offsets: Vec<u32>,
+    letter_targets: Vec<u32>,
+    /// Variable CSR: `(markers, target)` pairs of NFA state `q`, sorted by
+    /// `(markers, target)` so subset grouping is a linear merge.
+    var_offsets: Vec<u32>,
+    var_pairs: Vec<(MarkerSet, u32)>,
+    num_vars: usize,
+    source_size: usize,
+}
+
+impl LazyDetSeva {
+    /// Prepares a sequential eVA for lazy determinization.
+    ///
+    /// The input may be nondeterministic — that is the point: the subset
+    /// construction happens on demand during evaluation instead of up front.
+    /// Returns [`SpannerError::NotSequential`] if the automaton is not
+    /// sequential (Algorithm 1 requires sequentiality for its outputs to be
+    /// exactly the valid runs).
+    pub fn new(eva: &Eva, config: LazyConfig) -> Result<Self, SpannerError> {
+        eva.check_sequential()?;
+        Self::new_trusted(eva, config)
+    }
+
+    /// Like [`LazyDetSeva::new`] but trusting the caller that the automaton
+    /// is sequential (e.g. guaranteed by construction via the Section 4
+    /// translations).
+    pub fn new_trusted(eva: &Eva, config: LazyConfig) -> Result<Self, SpannerError> {
+        let partition = AlphabetPartition::from_classes(eva.letter_classes().iter());
+        let ncls = partition.num_classes();
+        let n = eva.num_states();
+        // Same hostile-size guard as the eager compiler: CSR offsets are u32.
+        if n.checked_mul(ncls).is_none_or(|p| p >= u32::MAX as usize) {
+            return Err(SpannerError::BudgetExceeded {
+                what: "lazy determinizer letter CSR (states × alphabet classes)",
+                limit: u32::MAX as usize,
+            });
+        }
+        // Bucket the letter transitions per (state, class), then flatten.
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n * ncls];
+        let mut cls_scratch = Vec::new();
+        for (q, t) in eva.all_letter_transitions() {
+            partition.classes_intersecting_into(&t.class, &mut cls_scratch);
+            for &cls in &cls_scratch {
+                buckets[q * ncls + cls].push(t.target as u32);
+            }
+        }
+        let mut letter_offsets = Vec::with_capacity(n * ncls + 1);
+        let mut letter_targets = Vec::new();
+        letter_offsets.push(0);
+        for bucket in &mut buckets {
+            bucket.sort_unstable();
+            bucket.dedup();
+            letter_targets.extend_from_slice(bucket);
+            if letter_targets.len() > u32::MAX as usize {
+                return Err(SpannerError::BudgetExceeded {
+                    what: "lazy determinizer letter target arena",
+                    limit: u32::MAX as usize,
+                });
+            }
+            letter_offsets.push(letter_targets.len() as u32);
+        }
+        let mut var_offsets = Vec::with_capacity(n + 1);
+        let mut var_pairs: Vec<(MarkerSet, u32)> = Vec::new();
+        let mut pair_scratch: Vec<(MarkerSet, u32)> = Vec::new();
+        var_offsets.push(0);
+        for q in 0..n {
+            pair_scratch.clear();
+            pair_scratch
+                .extend(eva.var_transitions(q).iter().map(|t| (t.markers, t.target as u32)));
+            pair_scratch.sort_unstable();
+            pair_scratch.dedup();
+            var_pairs.extend_from_slice(&pair_scratch);
+            if var_pairs.len() > u32::MAX as usize {
+                return Err(SpannerError::BudgetExceeded {
+                    what: "lazy determinizer variable transition arena",
+                    limit: u32::MAX as usize,
+                });
+            }
+            var_offsets.push(var_pairs.len() as u32);
+        }
+        Ok(LazyDetSeva {
+            id: NEXT_SEVA_ID.fetch_add(1, Ordering::Relaxed),
+            registry: eva.registry().clone(),
+            partition,
+            config,
+            num_nfa_states: n,
+            ncls,
+            initial: eva.initial() as u32,
+            nfa_finals: (0..n).map(|q| eva.is_final(q)).collect(),
+            letter_offsets,
+            letter_targets,
+            var_offsets,
+            var_pairs,
+            num_vars: eva.registry().len(),
+            source_size: eva.size(),
+        })
+    }
+
+    /// A unique identity for cache-binding checks (clones share it: they are
+    /// the same automaton, so their subset ids are interchangeable).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The variable registry naming the capture variables.
+    pub fn registry(&self) -> &VarRegistry {
+        &self.registry
+    }
+
+    /// Number of capture variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of states of the underlying nondeterministic eVA.
+    #[inline]
+    pub fn num_nfa_states(&self) -> usize {
+        self.num_nfa_states
+    }
+
+    /// Number of alphabet equivalence classes.
+    #[inline]
+    pub fn num_alphabet_classes(&self) -> usize {
+        self.ncls
+    }
+
+    /// The configured cache behaviour.
+    #[inline]
+    pub fn config(&self) -> &LazyConfig {
+        &self.config
+    }
+
+    /// The paper's size measure `|A|` of the source automaton.
+    pub fn source_size(&self) -> usize {
+        self.source_size
+    }
+
+    /// Creates a cache sized for this automaton. One cache per evaluation
+    /// thread; the same cache amortizes determinization across documents.
+    pub fn create_cache(&self) -> LazyCache {
+        let mut cache = LazyCache::default();
+        cache.bind(self);
+        cache
+    }
+
+    /// Whether the document is accepted (i.e. `⟦A⟧(d)` is non-empty), using
+    /// (and lazily extending) `cache`. Linear time, bounded memory.
+    pub fn accepts(&self, cache: &mut LazyCache, doc: &Document) -> bool {
+        let mut stepper = LazyStepper::new(self, cache);
+        accepts_generic(&mut stepper, doc)
+    }
+
+    /// NFA letter targets of `q` on alphabet class `cls`.
+    #[inline]
+    fn letter_targets(&self, q: usize, cls: usize) -> &[u32] {
+        let slot = q * self.ncls + cls;
+        &self.letter_targets
+            [self.letter_offsets[slot] as usize..self.letter_offsets[slot + 1] as usize]
+    }
+
+    /// NFA variable transitions of `q`, sorted by `(markers, target)`.
+    #[inline]
+    fn var_pairs_of(&self, q: usize) -> &[(MarkerSet, u32)] {
+        &self.var_pairs[self.var_offsets[q] as usize..self.var_offsets[q + 1] as usize]
+    }
+}
+
+/// The mutable half of the hybrid engine: interned subset states, lazily
+/// filled transition rows, and the byte budget governing them.
+///
+/// A cache belongs to exactly one [`LazyDetSeva`] at a time (it rebinds —
+/// discarding its contents — when used with a different automaton). All
+/// storage is retained across documents and across evictions, so a **warm
+/// cache performs no heap allocation on hits**: stepping an already-filled
+/// row is one flat load, exactly like the eager tables.
+#[derive(Debug, Clone)]
+pub struct LazyCache {
+    seva_id: u64,
+    ncls: usize,
+    budget: usize,
+    /// Subset key of det state `q`: `keys[key_offsets[q]..key_offsets[q+1]]`
+    /// (sorted NFA state ids).
+    key_offsets: Vec<u32>,
+    keys: Vec<u32>,
+    /// Whether the subset contains a final NFA state (known at intern time).
+    finals: Vec<bool>,
+    /// Lazily materialized marker rows: `var_pairs[var_starts[q]..+var_lens[q]]`,
+    /// or `var_starts[q] == VARS_UNMATERIALIZED`.
+    var_starts: Vec<u32>,
+    var_lens: Vec<u32>,
+    /// `letter_rows[q*ncls+cls]`: target id, `NO_TARGET`, or `UNKNOWN`.
+    letter_rows: Vec<u32>,
+    /// `skip_rows[q*ncls+cls]`: `SKIP_UNKNOWN` / `SKIP_YES` / `SKIP_NO`.
+    skip_rows: Vec<u8>,
+    /// Flat arena of materialized det marker rows, sorted by marker set
+    /// within each row (deterministic capture order).
+    var_pairs: Vec<(MarkerSet, StateId)>,
+    /// Subset key → det state id.
+    index: HashMap<Box<[u32]>, u32>,
+    /// Approximate bytes held by states, rows and index entries.
+    bytes: usize,
+    clears: u64,
+    states_interned: u64,
+    // Reusable scratch (retained like everything else).
+    set_scratch: SparseSet,
+    key_scratch: Vec<u32>,
+    group_scratch: Vec<(MarkerSet, u32)>,
+    row_scratch: Vec<(MarkerSet, StateId)>,
+    target_scratch: Vec<u32>,
+    evict_keys: Vec<u32>,
+    evict_offsets: Vec<u32>,
+}
+
+impl Default for LazyCache {
+    fn default() -> Self {
+        LazyCache {
+            seva_id: 0,
+            ncls: 0,
+            budget: usize::MAX,
+            key_offsets: Vec::new(),
+            keys: Vec::new(),
+            finals: Vec::new(),
+            var_starts: Vec::new(),
+            var_lens: Vec::new(),
+            letter_rows: Vec::new(),
+            skip_rows: Vec::new(),
+            var_pairs: Vec::new(),
+            index: HashMap::new(),
+            bytes: 0,
+            clears: 0,
+            states_interned: 0,
+            set_scratch: SparseSet::new(0),
+            key_scratch: Vec::new(),
+            group_scratch: Vec::new(),
+            row_scratch: Vec::new(),
+            target_scratch: Vec::new(),
+            evict_keys: Vec::new(),
+            evict_offsets: Vec::new(),
+        }
+    }
+}
+
+impl LazyCache {
+    /// An unbound cache; it binds to the first automaton it is used with.
+    pub fn new() -> LazyCache {
+        LazyCache::default()
+    }
+
+    /// Number of deterministic subset states currently interned.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.finals.len()
+    }
+
+    /// Approximate bytes currently held (states + rows + index entries).
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// How many clear-and-restart evictions have happened over the cache's
+    /// lifetime (across rebinds it resets to zero).
+    #[inline]
+    pub fn clear_count(&self) -> u64 {
+        self.clears
+    }
+
+    /// Total subset states interned over the cache's lifetime, including
+    /// states re-created after evictions — `states_interned() - num_states()`
+    /// measures determinization work wasted to thrashing.
+    #[inline]
+    pub fn states_interned(&self) -> u64 {
+        self.states_interned
+    }
+
+    /// The byte budget inherited from the bound automaton's [`LazyConfig`].
+    #[inline]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Capacity snapshot of every internal buffer, for allocation-retention
+    /// assertions (the lazy analogue of the E1b arena-capacity checks): in
+    /// steady state — warm cache, no evictions — repeated evaluation must
+    /// leave this signature unchanged.
+    pub fn capacity_signature(&self) -> [usize; 7] {
+        [
+            self.keys.capacity(),
+            self.key_offsets.capacity(),
+            self.finals.capacity(),
+            self.letter_rows.capacity(),
+            self.skip_rows.capacity(),
+            self.var_pairs.capacity(),
+            self.index.capacity(),
+        ]
+    }
+
+    /// Binds the cache to `seva`, resetting it if it was bound to a
+    /// different automaton.
+    pub fn bind(&mut self, seva: &LazyDetSeva) {
+        if self.seva_id == seva.id {
+            return;
+        }
+        self.seva_id = seva.id;
+        self.ncls = seva.ncls;
+        self.budget = seva.config.memory_budget;
+        self.clears = 0;
+        self.states_interned = 0;
+        self.set_scratch.reset(seva.num_nfa_states);
+        self.clear_states();
+    }
+
+    /// Drops every interned state and row, keeping allocated capacity.
+    fn clear_states(&mut self) {
+        self.key_offsets.clear();
+        self.key_offsets.push(0);
+        self.keys.clear();
+        self.finals.clear();
+        self.var_starts.clear();
+        self.var_lens.clear();
+        self.letter_rows.clear();
+        self.skip_rows.clear();
+        self.var_pairs.clear();
+        self.index.clear();
+        self.bytes = 0;
+    }
+
+    /// Approximate bytes a fresh state with a `key_len`-element subset key
+    /// costs: the key is stored twice (arena + index), the letter and skip
+    /// rows are allocated eagerly per state (so cache hits never allocate),
+    /// and the index entry carries hash-map overhead.
+    #[inline]
+    fn state_cost(&self, key_len: usize) -> usize {
+        key_len * 8 + self.ncls * 5 + 64
+    }
+
+    #[inline]
+    fn key_range(&self, q: usize) -> (usize, usize) {
+        (self.key_offsets[q] as usize, self.key_offsets[q + 1] as usize)
+    }
+
+    /// Looks up or creates the det state for the (sorted) subset `key`.
+    fn intern(&mut self, key: &[u32], seva: &LazyDetSeva) -> u32 {
+        if let Some(&id) = self.index.get(key) {
+            return id;
+        }
+        let id = self.finals.len();
+        assert!(id < (UNKNOWN as usize) - 1, "lazy determinizer exhausted the u32 id space");
+        self.keys.extend_from_slice(key);
+        self.key_offsets.push(self.keys.len() as u32);
+        self.finals.push(key.iter().any(|&q| seva.nfa_finals[q as usize]));
+        self.var_starts.push(VARS_UNMATERIALIZED);
+        self.var_lens.push(0);
+        self.letter_rows.resize(self.letter_rows.len() + self.ncls, UNKNOWN);
+        self.skip_rows.resize(self.skip_rows.len() + self.ncls, SKIP_UNKNOWN);
+        self.index.insert(key.into(), id as u32);
+        self.bytes += self.state_cost(key.len());
+        self.states_interned += 1;
+        id as u32
+    }
+
+    /// The det state of the subset `{initial}` (interning it on first use).
+    fn start_state(&mut self, seva: &LazyDetSeva) -> StateId {
+        self.intern(&[seva.initial], seva) as StateId
+    }
+
+    /// Lazy `δ(q, cls)`: fills the letter-row entry on first use.
+    fn step_class(&mut self, seva: &LazyDetSeva, q: StateId, cls: usize) -> Option<StateId> {
+        let slot = q * self.ncls + cls;
+        let t = self.letter_rows[slot];
+        if t == NO_TARGET {
+            return None;
+        }
+        if t != UNKNOWN {
+            return Some(t as StateId);
+        }
+        // First step of this (state, class): union the NFA targets of every
+        // subset member, intern the resulting subset, memoize.
+        self.set_scratch.clear();
+        let (a, b) = self.key_range(q);
+        for i in a..b {
+            let nq = self.keys[i] as usize;
+            for &t in seva.letter_targets(nq, cls) {
+                self.set_scratch.insert(t as usize);
+            }
+        }
+        if self.set_scratch.is_empty() {
+            self.letter_rows[slot] = NO_TARGET;
+            return None;
+        }
+        let mut ks = std::mem::take(&mut self.key_scratch);
+        ks.clear();
+        ks.extend_from_slice(self.set_scratch.as_slice());
+        ks.sort_unstable();
+        let id = self.intern(&ks, seva);
+        self.key_scratch = ks;
+        self.letter_rows[slot] = id;
+        Some(id as StateId)
+    }
+
+    /// Materializes the marker row of `q` (grouping the subset members'
+    /// variable transitions by marker set, interning each target subset) and
+    /// returns its `(start, len)` extent in the row arena.
+    fn materialize_vars(&mut self, seva: &LazyDetSeva, q: StateId) -> (u32, u32) {
+        let start = self.var_starts[q];
+        if start != VARS_UNMATERIALIZED {
+            return (start, self.var_lens[q]);
+        }
+        let mut groups = std::mem::take(&mut self.group_scratch);
+        groups.clear();
+        let (a, b) = self.key_range(q);
+        for i in a..b {
+            let nq = self.keys[i] as usize;
+            groups.extend_from_slice(seva.var_pairs_of(nq));
+        }
+        // Group by marker set; targets of one group become one subset state.
+        // The sort also fixes a deterministic (marker-set-ordered) capture
+        // order, independent of subset member order.
+        groups.sort_unstable();
+        groups.dedup();
+        let mut row = std::mem::take(&mut self.row_scratch);
+        let mut ks = std::mem::take(&mut self.key_scratch);
+        row.clear();
+        let mut i = 0;
+        while i < groups.len() {
+            let markers = groups[i].0;
+            ks.clear();
+            while i < groups.len() && groups[i].0 == markers {
+                ks.push(groups[i].1);
+                i += 1;
+            }
+            // Sorted and deduplicated already (inherited from `groups`).
+            let id = self.intern(&ks, seva);
+            row.push((markers, id as StateId));
+        }
+        let start = self.var_pairs.len() as u32;
+        let len = row.len() as u32;
+        self.var_pairs.extend_from_slice(&row);
+        self.var_starts[q] = start;
+        self.var_lens[q] = len;
+        self.bytes += row.len() * std::mem::size_of::<(MarkerSet, StateId)>();
+        self.group_scratch = groups;
+        self.row_scratch = row;
+        self.key_scratch = ks;
+        (start, len)
+    }
+
+    /// Lazy `Markers_δ(q)` with targets.
+    fn markers_from(&mut self, seva: &LazyDetSeva, q: StateId) -> &[(MarkerSet, StateId)] {
+        let (start, len) = self.materialize_vars(seva, q);
+        &self.var_pairs[start as usize..(start + len) as usize]
+    }
+
+    /// Lazy `has_markers(q)` — materializes the row on first use.
+    fn has_markers(&mut self, seva: &LazyDetSeva, q: StateId) -> bool {
+        self.materialize_vars(seva, q).1 != 0
+    }
+
+    /// Lazy `run_skippable(q, cls)` — derives (and memoizes) the same
+    /// per-(state, class) predicate the eager compiler precomputes: `q`
+    /// self-loops on `cls` and every marker target of `q` dies on `cls`.
+    fn run_skippable(&mut self, seva: &LazyDetSeva, q: StateId, cls: usize) -> bool {
+        match self.skip_rows[q * self.ncls + cls] {
+            SKIP_YES => return true,
+            SKIP_NO => return false,
+            _ => {}
+        }
+        let skip = self.compute_skippable(seva, q, cls);
+        // Note: `compute_skippable` may intern states, growing `skip_rows`
+        // at the end — the slot index for `q` is unaffected.
+        self.skip_rows[q * self.ncls + cls] = if skip { SKIP_YES } else { SKIP_NO };
+        skip
+    }
+
+    fn compute_skippable(&mut self, seva: &LazyDetSeva, q: StateId, cls: usize) -> bool {
+        if self.step_class(seva, q, cls) != Some(q) {
+            return false;
+        }
+        let (start, len) = self.materialize_vars(seva, q);
+        let mut targets = std::mem::take(&mut self.target_scratch);
+        targets.clear();
+        targets.extend(
+            self.var_pairs[start as usize..(start + len) as usize].iter().map(|&(_, p)| p as u32),
+        );
+        let mut skip = true;
+        for &p in &targets {
+            if self.step_class(seva, p as StateId, cls).is_some() {
+                skip = false;
+                break;
+            }
+        }
+        self.target_scratch = targets;
+        skip
+    }
+
+    /// Clear-and-restart eviction: forget everything, re-intern exactly the
+    /// `live` states (their subset keys survive the clear via a scratch
+    /// snapshot) and rewrite each live id in place. Row contents — including
+    /// skip metadata — are recomputed on demand after the restart.
+    fn evict(&mut self, seva: &LazyDetSeva, live: &mut [u32]) -> bool {
+        let mut ek = std::mem::take(&mut self.evict_keys);
+        let mut eo = std::mem::take(&mut self.evict_offsets);
+        ek.clear();
+        eo.clear();
+        eo.push(0);
+        for &q in live.iter() {
+            let (a, b) = self.key_range(q as usize);
+            ek.extend_from_slice(&self.keys[a..b]);
+            eo.push(ek.len() as u32);
+        }
+        self.clear_states();
+        for (k, q) in live.iter_mut().enumerate() {
+            let key = &ek[eo[k] as usize..eo[k + 1] as usize];
+            *q = self.intern(key, seva);
+        }
+        self.clears += 1;
+        self.evict_keys = ek;
+        self.evict_offsets = eo;
+        true
+    }
+}
+
+/// The pairing of a [`LazyDetSeva`] with a [`LazyCache`] that implements
+/// [`Stepper`] — what the evaluation engines actually drive.
+///
+/// Constructing one binds (and if necessary resets) the cache to the
+/// automaton. The stepper borrows both halves for the duration of one
+/// evaluation; ids it hands out index the cache.
+#[derive(Debug)]
+pub struct LazyStepper<'a> {
+    seva: &'a LazyDetSeva,
+    cache: &'a mut LazyCache,
+}
+
+impl<'a> LazyStepper<'a> {
+    /// Pairs an automaton with a cache, binding the cache first.
+    pub fn new(seva: &'a LazyDetSeva, cache: &'a mut LazyCache) -> Self {
+        cache.bind(seva);
+        LazyStepper { seva, cache }
+    }
+}
+
+impl Stepper for LazyStepper<'_> {
+    #[inline]
+    fn state_bound(&self) -> usize {
+        self.cache.num_states()
+    }
+
+    #[inline]
+    fn start_state(&mut self) -> StateId {
+        self.cache.start_state(self.seva)
+    }
+
+    #[inline]
+    fn is_final(&self, q: StateId) -> bool {
+        self.cache.finals[q]
+    }
+
+    #[inline]
+    fn byte_class(&self, byte: u8) -> usize {
+        self.seva.partition.class_of(byte)
+    }
+
+    #[inline]
+    fn classify_document(&self, doc: &Document, out: &mut Vec<u8>) {
+        self.seva.partition.classify_into(doc.bytes(), out);
+    }
+
+    #[inline]
+    fn step_class(&mut self, q: StateId, cls: usize) -> Option<StateId> {
+        self.cache.step_class(self.seva, q, cls)
+    }
+
+    #[inline]
+    fn has_markers(&mut self, q: StateId) -> bool {
+        self.cache.has_markers(self.seva, q)
+    }
+
+    #[inline]
+    fn markers_from(&mut self, q: StateId) -> &[(MarkerSet, StateId)] {
+        self.cache.markers_from(self.seva, q)
+    }
+
+    #[inline]
+    fn run_skippable(&mut self, q: StateId, cls: usize) -> bool {
+        self.cache.run_skippable(self.seva, q, cls)
+    }
+
+    #[inline]
+    fn wants_maintenance(&self) -> bool {
+        self.cache.bytes > self.cache.budget
+    }
+
+    #[inline]
+    fn maintain(&mut self, live: &mut [u32]) -> bool {
+        self.cache.evict(self.seva, live)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byteclass::ByteClass;
+    use crate::eva::EvaBuilder;
+    use crate::markerset::MarkerSet;
+    use crate::variable::VarRegistry;
+
+    /// A small nondeterministic eVA: two overlapping letter ranges from the
+    /// same state (cannot be fed to `DetSeva::compile`).
+    fn nondet_eva() -> Eva {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        let q3 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q3);
+        let ms = MarkerSet::new;
+        b.add_var(q0, ms().with_open(x), q1).unwrap();
+        b.add_letter(q1, ByteClass::range(b'a', b'm'), q1);
+        b.add_letter(q1, ByteClass::range(b'g', b'z'), q2);
+        b.add_letter(q2, ByteClass::range(b'a', b'z'), q2);
+        b.add_var(q1, ms().with_close(x), q3).unwrap();
+        b.add_var(q2, ms().with_close(x), q3).unwrap();
+        b.add_letter(q3, ByteClass::any(), q3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn prepares_without_subset_construction() {
+        let eva = nondet_eva();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig::default()).unwrap();
+        assert_eq!(lazy.num_nfa_states(), 4);
+        assert_eq!(lazy.num_vars(), 1);
+        assert_eq!(lazy.source_size(), eva.size());
+        // No subset states exist until a document is evaluated.
+        let cache = lazy.create_cache();
+        assert_eq!(cache.num_states(), 0);
+        assert_eq!(cache.clear_count(), 0);
+    }
+
+    #[test]
+    fn accepts_matches_naive_nonemptiness() {
+        let eva = nondet_eva();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig::default()).unwrap();
+        let mut cache = lazy.create_cache();
+        for text in ["", "a", "g", "z", "ag", "gz", "abcxyz", "A", "a!b"] {
+            let doc = Document::from(text);
+            assert_eq!(
+                lazy.accepts(&mut cache, &doc),
+                !eva.eval_naive(&doc).is_empty(),
+                "acceptance mismatch on {text:?}"
+            );
+        }
+        assert!(cache.num_states() > 0, "evaluation interned subset states");
+    }
+
+    #[test]
+    fn accepts_under_tiny_budget_evicts_but_stays_correct() {
+        let eva = nondet_eva();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig { memory_budget: 1 }).unwrap();
+        let mut cache = lazy.create_cache();
+        let doc = Document::from("agzagzagz");
+        assert!(lazy.accepts(&mut cache, &doc));
+        assert!(cache.clear_count() > 0, "tiny budget must force evictions");
+        assert!(!lazy.accepts(&mut cache, &Document::from("!!!")));
+    }
+
+    #[test]
+    fn rejects_non_sequential() {
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q2);
+        b.add_var(q0, MarkerSet::new().with_open(x), q1).unwrap();
+        b.add_byte(q1, b'a', q2);
+        let eva = b.build().unwrap();
+        assert!(matches!(
+            LazyDetSeva::new(&eva, LazyConfig::default()),
+            Err(SpannerError::NotSequential(_))
+        ));
+        assert!(LazyDetSeva::new_trusted(&eva, LazyConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn cache_rebinds_to_a_different_automaton() {
+        let a = LazyDetSeva::new(&nondet_eva(), LazyConfig::default()).unwrap();
+        let b = LazyDetSeva::new(&nondet_eva(), LazyConfig::default()).unwrap();
+        assert_ne!(a.id(), b.id());
+        let mut cache = a.create_cache();
+        assert!(a.accepts(&mut cache, &Document::from("az")));
+        let populated = cache.num_states();
+        assert!(populated > 0);
+        // Binding to `b` resets; binding back to `a` resets again.
+        let _ = b.accepts(&mut cache, &Document::from("az"));
+        assert!(a.accepts(&mut cache, &Document::from("az")));
+    }
+
+    #[test]
+    fn clones_share_identity_and_caches() {
+        let a = LazyDetSeva::new(&nondet_eva(), LazyConfig::default()).unwrap();
+        let b = a.clone();
+        assert_eq!(a.id(), b.id());
+        let mut cache = a.create_cache();
+        assert!(a.accepts(&mut cache, &Document::from("az")));
+        let warm = cache.num_states();
+        assert!(b.accepts(&mut cache, &Document::from("az")));
+        assert_eq!(cache.num_states(), warm, "clone reused the warm cache without rebinding");
+    }
+}

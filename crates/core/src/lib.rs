@@ -13,7 +13,9 @@
 //!   automaton model in which a transition carries a *set* of variable markers and
 //!   variable/letter transitions alternate (Section 3.1);
 //! * the **deterministic sequential eVA** representation [`DetSeva`] used by the
-//!   evaluation algorithms;
+//!   evaluation algorithms, and its **lazy hybrid** counterpart
+//!   ([`LazyDetSeva`] + budgeted [`LazyCache`], module [`lazy`]) that
+//!   determinizes nondeterministic eVA on demand behind the [`Stepper`] seam;
 //! * **Algorithm 1 + 2**: linear-time preprocessing and constant-delay enumeration of
 //!   all output mappings ([`enumerate`]), driven by a sparse active-state set
 //!   ([`sparse`]) and exposed both as the one-shot [`EnumerationDag`] and as the
@@ -37,6 +39,7 @@ pub mod document;
 pub mod enumerate;
 pub mod error;
 pub mod eva;
+pub mod lazy;
 pub mod mapping;
 pub mod markerset;
 pub mod product;
@@ -47,17 +50,18 @@ pub mod variable;
 
 pub use byteclass::{AlphabetPartition, ByteClass, ClassRun, ClassRuns};
 pub use count::{count_mappings, CountCache, Counter};
-pub use det::DetSeva;
+pub use det::{DetSeva, Stepper};
 pub use document::Document;
 pub use enumerate::{DagView, EngineMode, EnumerationDag, Evaluator, MappingIter};
 pub use error::{ParseError, Result, SpannerError};
 pub use eva::{Eva, EvaBuilder, EvaRun, StateId};
+pub use lazy::{LazyCache, LazyConfig, LazyDetSeva, LazyStepper};
 pub use mapping::{
     dedup_mappings, join_mapping_sets, project_mapping_set, union_mapping_sets, Mapping,
 };
 pub use markerset::{MarkerSet, VarSet, VariableStatus};
 pub use product::{AnnotatedProduct, AnnotatedTransition};
 pub use span::{all_spans, Span};
-pub use spanner::CompiledSpanner;
+pub use spanner::{CompiledSpanner, EnginePolicy};
 pub use sparse::SparseSet;
 pub use variable::{Marker, VarId, VarRegistry, MAX_VARIABLES};

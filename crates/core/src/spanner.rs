@@ -1,21 +1,57 @@
 //! High-level façade tying compilation, evaluation, enumeration and counting together.
 
-use crate::count::{count_mappings, CountCache, Counter};
+use crate::count::{CountCache, Counter};
 use crate::det::DetSeva;
 use crate::document::Document;
 use crate::enumerate::{DagView, EnumerationDag, Evaluator, MappingIter};
 use crate::error::SpannerError;
 use crate::eva::Eva;
+use crate::lazy::{LazyConfig, LazyDetSeva};
 use crate::mapping::Mapping;
 use crate::variable::VarRegistry;
 
+/// Which determinization engine a [`CompiledSpanner`] should use.
+///
+/// * **Eager** compiles the automaton into the dense tables of [`DetSeva`]
+///   up front — the fastest per-byte stepping, but it requires the input to
+///   already be deterministic and pays the full table cost at compile time.
+/// * **Lazy** keeps the (possibly nondeterministic) automaton and
+///   determinizes on demand inside a budgeted [`crate::LazyCache`] — large or
+///   nondeterministic user-supplied spanners start evaluating immediately and
+///   never exceed the memory budget, at the cost of cache bookkeeping on
+///   cold rows.
+/// * **Auto** (the default) picks eager for small deterministic automata and
+///   lazy for everything else — see [`CompiledSpanner::from_eva_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnginePolicy {
+    /// Eager below [`CompiledSpanner::AUTO_EAGER_MAX_CELLS`] letter-table
+    /// cells (and only for deterministic input), lazy above it.
+    #[default]
+    Auto,
+    /// Always compile eagerly; fails with [`SpannerError::NotDeterministic`]
+    /// on nondeterministic input.
+    Eager,
+    /// Always determinize lazily, with the default [`LazyConfig`].
+    Lazy,
+}
+
+/// The compiled engine behind a [`CompiledSpanner`].
+#[derive(Debug, Clone)]
+enum Engine {
+    Eager(DetSeva),
+    Lazy(LazyDetSeva),
+}
+
 /// A compiled document spanner, ready to be evaluated over many documents.
 ///
-/// A `CompiledSpanner` wraps a deterministic sequential extended VA
-/// ([`DetSeva`]). Construct one from an [`Eva`] with [`CompiledSpanner::from_eva`],
-/// or — more conveniently — from a regex formula or classical VA through the
-/// `spanners-regex` / `spanners-automata` crates, which perform the
-/// translations of Section 4 of the paper and end with this type.
+/// A `CompiledSpanner` wraps either an eagerly compiled deterministic
+/// sequential extended VA ([`DetSeva`]) or a lazily determinized one
+/// ([`LazyDetSeva`]); the engine is chosen by an [`EnginePolicy`] (see
+/// [`CompiledSpanner::from_eva_with`]). Construct one from an [`Eva`] with
+/// [`CompiledSpanner::from_eva`], or — more conveniently — from a regex
+/// formula or classical VA through the `spanners-regex` / `spanners-automata`
+/// crates, which perform the translations of Section 4 of the paper and end
+/// with this type.
 ///
 /// Evaluation follows the two-phase structure of the paper:
 ///
@@ -26,51 +62,140 @@ use crate::variable::VarRegistry;
 ///
 /// The convenience methods [`CompiledSpanner::mappings`],
 /// [`CompiledSpanner::count`] and [`CompiledSpanner::is_match`] bundle the two
-/// phases for one-shot use.
+/// phases for one-shot use; [`CompiledSpanner::evaluate_with`] and
+/// [`CompiledSpanner::count_with`] are the hot-path entry points and work
+/// with both engines (the lazy determinization cache lives inside the
+/// caller's [`Evaluator`] / [`CountCache`] and stays warm across documents).
 #[derive(Debug, Clone)]
 pub struct CompiledSpanner {
-    automaton: DetSeva,
+    engine: Engine,
 }
 
 impl CompiledSpanner {
-    /// Compiles a deterministic sequential eVA into a spanner.
+    /// [`EnginePolicy::Auto`]'s eager/lazy threshold, in letter-table cells
+    /// (states × alphabet classes). Deterministic automata at or below it
+    /// compile eagerly (the dense table is at most a few hundred kilobytes);
+    /// anything larger — or any nondeterministic automaton — goes lazy.
+    pub const AUTO_EAGER_MAX_CELLS: usize = 1 << 16;
+
+    /// Compiles a sequential eVA into a spanner under [`EnginePolicy::Auto`].
     ///
-    /// Fails if the automaton is not deterministic or not sequential.
+    /// Fails if the automaton is not sequential, or — for the eager engine
+    /// only — not deterministic. Nondeterministic input is handled by the
+    /// lazy engine, which `Auto` selects for it automatically.
     pub fn from_eva(eva: &Eva) -> Result<Self, SpannerError> {
-        Ok(CompiledSpanner { automaton: DetSeva::compile(eva)? })
+        Self::from_eva_with(eva, EnginePolicy::Auto)
     }
 
-    /// Wraps an already-compiled deterministic sequential eVA.
+    /// Compiles a sequential eVA with an explicit engine choice.
+    ///
+    /// `Auto` resolves to eager iff the input is deterministic **and** its
+    /// dense letter table would hold at most
+    /// [`CompiledSpanner::AUTO_EAGER_MAX_CELLS`] cells; otherwise lazy.
+    pub fn from_eva_with(eva: &Eva, policy: EnginePolicy) -> Result<Self, SpannerError> {
+        let engine = match policy {
+            EnginePolicy::Eager => Engine::Eager(DetSeva::compile(eva)?),
+            EnginePolicy::Lazy => Engine::Lazy(LazyDetSeva::new(eva, LazyConfig::default())?),
+            EnginePolicy::Auto => {
+                let cells = eva.num_states().saturating_mul(
+                    crate::byteclass::AlphabetPartition::from_classes(eva.letter_classes().iter())
+                        .num_classes(),
+                );
+                if cells <= Self::AUTO_EAGER_MAX_CELLS && eva.is_deterministic() {
+                    Engine::Eager(DetSeva::compile(eva)?)
+                } else {
+                    Engine::Lazy(LazyDetSeva::new(eva, LazyConfig::default())?)
+                }
+            }
+        };
+        Ok(CompiledSpanner { engine })
+    }
+
+    /// Compiles a sequential eVA with the lazy engine and an explicit cache
+    /// configuration (memory budget).
+    pub fn from_eva_lazy(eva: &Eva, config: LazyConfig) -> Result<Self, SpannerError> {
+        Ok(CompiledSpanner { engine: Engine::Lazy(LazyDetSeva::new(eva, config)?) })
+    }
+
+    /// Wraps an already-compiled deterministic sequential eVA (eager engine).
     pub fn from_det(automaton: DetSeva) -> Self {
-        CompiledSpanner { automaton }
+        CompiledSpanner { engine: Engine::Eager(automaton) }
+    }
+
+    /// Wraps an already-prepared lazy automaton (lazy engine).
+    pub fn from_lazy(automaton: LazyDetSeva) -> Self {
+        CompiledSpanner { engine: Engine::Lazy(automaton) }
+    }
+
+    /// Whether this spanner runs on the lazy determinization engine.
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.engine, Engine::Lazy(_))
+    }
+
+    /// The underlying eagerly compiled automaton, if the eager engine is in
+    /// use (`None` for lazy spanners).
+    pub fn eager_automaton(&self) -> Option<&DetSeva> {
+        match &self.engine {
+            Engine::Eager(det) => Some(det),
+            Engine::Lazy(_) => None,
+        }
+    }
+
+    /// The underlying lazy automaton, if the lazy engine is in use.
+    pub fn lazy_automaton(&self) -> Option<&LazyDetSeva> {
+        match &self.engine {
+            Engine::Eager(_) => None,
+            Engine::Lazy(lazy) => Some(lazy),
+        }
     }
 
     /// The underlying deterministic sequential eVA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spanner uses the lazy engine (there is no eagerly
+    /// compiled automaton to return) — check [`CompiledSpanner::is_lazy`] or
+    /// use [`CompiledSpanner::eager_automaton`] when the engine is not known
+    /// statically. Spanners produced by the regex/algebra pipelines are
+    /// always eager, so their callers can use this accessor freely.
     pub fn automaton(&self) -> &DetSeva {
-        &self.automaton
+        self.eager_automaton().expect(
+            "CompiledSpanner::automaton called on a lazy spanner; \
+             use eager_automaton()/lazy_automaton()",
+        )
     }
 
     /// The registry naming the spanner's capture variables.
     pub fn registry(&self) -> &VarRegistry {
-        self.automaton.registry()
+        match &self.engine {
+            Engine::Eager(det) => det.registry(),
+            Engine::Lazy(lazy) => lazy.registry(),
+        }
     }
 
     /// Phase 1 (Algorithm 1): preprocess `doc` in time `O(|A| × |d|)`,
     /// producing the compact DAG representation of all output mappings.
     pub fn evaluate(&self, doc: &Document) -> EnumerationDag {
-        EnumerationDag::build(&self.automaton, doc)
+        match &self.engine {
+            Engine::Eager(det) => EnumerationDag::build(det, doc),
+            Engine::Lazy(lazy) => Evaluator::new().eval_lazy_owned(lazy, doc),
+        }
     }
 
     /// Like [`CompiledSpanner::evaluate`], but running inside a caller-owned
     /// [`Evaluator`] so that repeated evaluations over many documents reuse
-    /// the DAG arenas instead of allocating fresh ones — the hot-path entry
-    /// point for serving workloads.
+    /// the DAG arenas — and, for lazy spanners, the warm determinization
+    /// cache — instead of allocating fresh ones. The hot-path entry point
+    /// for serving workloads.
     pub fn evaluate_with<'a>(
         &'a self,
         evaluator: &'a mut Evaluator,
         doc: &Document,
     ) -> DagView<'a> {
-        evaluator.eval(&self.automaton, doc)
+        match &self.engine {
+            Engine::Eager(det) => evaluator.eval(det, doc),
+            Engine::Lazy(lazy) => evaluator.eval_lazy(lazy, doc),
+        }
     }
 
     /// Evaluates and materializes all output mappings.
@@ -85,7 +210,7 @@ impl CompiledSpanner {
     /// Counts `|⟦A⟧(d)|` in time `O(|A| × |d|)` without enumerating
     /// (Algorithm 3 / Theorem 5.1).
     pub fn count<C: Counter>(&self, doc: &Document) -> Result<C, SpannerError> {
-        count_mappings(&self.automaton, doc)
+        self.count_with(&mut CountCache::new(), doc)
     }
 
     /// Counts `|⟦A⟧(d)|` as a `u64`.
@@ -95,22 +220,43 @@ impl CompiledSpanner {
 
     /// Like [`CompiledSpanner::count`], but running inside a caller-owned
     /// [`CountCache`] so that repeated counts over many documents reuse the
-    /// per-state buffers instead of allocating fresh ones — the hot-path
-    /// entry point for counting workloads.
+    /// per-state buffers (and, for lazy spanners, the warm determinization
+    /// cache) instead of allocating fresh ones — the hot-path entry point
+    /// for counting workloads.
     pub fn count_with<C: Counter>(
         &self,
         cache: &mut CountCache<C>,
         doc: &Document,
     ) -> Result<C, SpannerError> {
-        cache.count(&self.automaton, doc)
+        match &self.engine {
+            Engine::Eager(det) => cache.count(det, doc),
+            Engine::Lazy(lazy) => cache.count_lazy(lazy, doc),
+        }
     }
 
     /// Whether the spanner produces at least one mapping on `doc`.
     ///
     /// Runs the transition relation without building the DAG — linear time,
-    /// constant memory in the document.
+    /// constant memory in the document (for lazy spanners: bounded by the
+    /// configured cache budget). One-shot: a lazy spanner determinizes from
+    /// a cold cache each call; hot paths matching many documents should use
+    /// [`CompiledSpanner::is_match_with`] instead.
     pub fn is_match(&self, doc: &Document) -> bool {
-        self.automaton.accepts(doc)
+        match &self.engine {
+            Engine::Eager(det) => det.accepts(doc),
+            Engine::Lazy(lazy) => lazy.accepts(&mut lazy.create_cache(), doc),
+        }
+    }
+
+    /// Like [`CompiledSpanner::is_match`], but reusing the caller-owned
+    /// [`Evaluator`]'s embedded determinization cache, so repeated match
+    /// checks on a lazy spanner amortize subset construction across
+    /// documents exactly like [`CompiledSpanner::evaluate_with`] does.
+    pub fn is_match_with(&self, evaluator: &mut Evaluator, doc: &Document) -> bool {
+        match &self.engine {
+            Engine::Eager(det) => det.accepts(doc),
+            Engine::Lazy(lazy) => evaluator.accepts_lazy(lazy, doc),
+        }
     }
 
     /// Convenience wrapper: evaluate and iterate in one call, holding the DAG
@@ -130,7 +276,7 @@ mod tests {
 
     /// `Σ* x{a+} Σ*` — x captures every maximal-or-not run of `a`s… precisely:
     /// every span consisting solely of `a`s (non-empty).
-    fn a_block_spanner() -> CompiledSpanner {
+    fn a_block_eva() -> Eva {
         let mut reg = VarRegistry::new();
         let x = reg.intern("x").unwrap();
         let mut b = EvaBuilder::new(reg);
@@ -145,7 +291,11 @@ mod tests {
         b.add_letter(q2, any, q2);
         b.add_var(q0, MarkerSet::new().with_open(x), q1).unwrap();
         b.add_var(q1, MarkerSet::new().with_close(x), q2).unwrap();
-        CompiledSpanner::from_eva(&b.build().unwrap()).unwrap()
+        b.build().unwrap()
+    }
+
+    fn a_block_spanner() -> CompiledSpanner {
+        CompiledSpanner::from_eva(&a_block_eva()).unwrap()
     }
 
     #[test]
@@ -181,7 +331,8 @@ mod tests {
 
     #[test]
     fn rejects_bad_automata() {
-        // Non-sequential automaton is rejected at compile time.
+        // Non-sequential automaton is rejected at compile time — by every
+        // engine (the lazy engine needs sequentiality just as much).
         let mut reg = VarRegistry::new();
         let x = reg.intern("x").unwrap();
         let mut b = EvaBuilder::new(reg);
@@ -192,7 +343,75 @@ mod tests {
         b.set_final(q2);
         b.add_var(q0, MarkerSet::new().with_open(x), q1).unwrap();
         b.add_byte(q1, b'a', q2);
-        assert!(CompiledSpanner::from_eva(&b.build().unwrap()).is_err());
+        let eva = b.build().unwrap();
+        assert!(CompiledSpanner::from_eva(&eva).is_err());
+        assert!(CompiledSpanner::from_eva_with(&eva, EnginePolicy::Eager).is_err());
+        assert!(CompiledSpanner::from_eva_with(&eva, EnginePolicy::Lazy).is_err());
+    }
+
+    #[test]
+    fn auto_policy_picks_eager_for_small_deterministic_input() {
+        let sp = a_block_spanner();
+        assert!(!sp.is_lazy());
+        assert!(sp.eager_automaton().is_some());
+        assert!(sp.lazy_automaton().is_none());
+        // automaton() works (and does not panic) on the eager engine.
+        assert_eq!(sp.automaton().num_states(), 3);
+    }
+
+    #[test]
+    fn explicit_lazy_override_on_deterministic_input() {
+        let eva = a_block_eva();
+        let eager = CompiledSpanner::from_eva_with(&eva, EnginePolicy::Eager).unwrap();
+        let lazy = CompiledSpanner::from_eva_with(&eva, EnginePolicy::Lazy).unwrap();
+        assert!(lazy.is_lazy());
+        assert!(lazy.eager_automaton().is_none());
+        for text in ["", "a", "baab", "aaaa", "bbbb", "abab"] {
+            let doc = Document::from(text);
+            let mut e = eager.mappings(&doc);
+            let mut l = lazy.mappings(&doc);
+            e.sort();
+            l.sort();
+            assert_eq!(e, l, "engines diverged on {text:?}");
+            assert_eq!(
+                eager.count_u64(&doc).unwrap(),
+                lazy.count_u64(&doc).unwrap(),
+                "counts diverged on {text:?}"
+            );
+            assert_eq!(eager.is_match(&doc), lazy.is_match(&doc), "is_match on {text:?}");
+        }
+    }
+
+    #[test]
+    fn auto_policy_picks_lazy_for_nondeterministic_input() {
+        // Overlapping letter ranges: not deterministic, eager must refuse,
+        // Auto must fall through to the lazy engine and still evaluate.
+        let mut reg = VarRegistry::new();
+        let x = reg.intern("x").unwrap();
+        let mut b = EvaBuilder::new(reg);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.set_final(q2);
+        b.add_var(q0, MarkerSet::new().with_open(x), q1).unwrap();
+        b.add_letter(q1, ByteClass::range(b'a', b'm'), q1);
+        b.add_letter(q1, ByteClass::range(b'g', b'z'), q1);
+        b.add_var(q1, MarkerSet::new().with_close(x), q2).unwrap();
+        let eva = b.build().unwrap();
+        assert!(matches!(
+            CompiledSpanner::from_eva_with(&eva, EnginePolicy::Eager),
+            Err(SpannerError::NotDeterministic(_))
+        ));
+        let sp = CompiledSpanner::from_eva(&eva).unwrap();
+        assert!(sp.is_lazy());
+        let doc = Document::from("xagzx");
+        let mut got = sp.mappings(&doc);
+        got.sort();
+        let mut expected = eva.eval_naive(&doc);
+        expected.sort();
+        assert_eq!(got, expected);
+        assert_eq!(sp.count_u64(&doc).unwrap() as usize, expected.len());
     }
 
     #[test]

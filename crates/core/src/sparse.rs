@@ -44,6 +44,19 @@ impl SparseSet {
         }
     }
 
+    /// Grows the universe to `0..universe` **without** clearing the members.
+    ///
+    /// Used by the evaluation engines when a lazily determinized automaton
+    /// discovers new states mid-document: the live set must keep its contents
+    /// while making room for the fresh ids. Shrinking requests are ignored.
+    #[inline]
+    pub fn grow(&mut self, universe: usize) {
+        assert!(universe <= u32::MAX as usize, "SparseSet universe exceeds u32 ids");
+        if self.sparse.len() < universe {
+            self.sparse.resize(universe, 0);
+        }
+    }
+
     /// The size of the universe (maximum id + 1 the set can hold).
     #[inline]
     pub fn universe(&self) -> usize {
@@ -150,6 +163,21 @@ mod tests {
         s.reset(2);
         assert_eq!(s.universe(), 1000);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grow_preserves_members() {
+        let mut s = SparseSet::new(4);
+        s.insert(3);
+        s.insert(0);
+        s.grow(100);
+        assert_eq!(s.universe(), 100);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 0]);
+        assert!(s.insert(99));
+        // Shrinking requests are ignored, members untouched.
+        s.grow(2);
+        assert_eq!(s.universe(), 100);
+        assert!(s.contains(99) && s.contains(3) && s.contains(0));
     }
 
     #[test]

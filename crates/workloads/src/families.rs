@@ -82,6 +82,51 @@ pub fn prop42_va(ell: usize) -> Result<Va, SpannerError> {
     b.build()
 }
 
+/// The classic `.*a.{n}`-style **exponential determinization family**, with a
+/// marker variant: `x` captures the byte exactly `n` positions after an `a`.
+///
+/// The eVA has `n + 4` states — an initial `Σ` self-loop, a letter chain of
+/// `n` states entered on `a`, then `{x⊢} · Σ · {⊣x}` and a final `Σ`
+/// self-loop — but it is nondeterministic on `a`, and its subset construction
+/// must track which of the last `n` positions held an `a`: the smallest
+/// equivalent deterministic automaton has `Θ(2ⁿ)` states. Eager
+/// determinization therefore blows up before reading a single byte, while
+/// the lazy hybrid cache only ever materializes the subsets that actually
+/// occur in the document (at most one per position, bounded further by the
+/// cache budget).
+///
+/// On a document `d` the output is one single-byte capture `x = [i+n, i+n+1⟩`
+/// per position `i` with `d[i] == 'a'` and `i + n + 1 ≤ |d|`.
+pub fn exp_blowup_eva(n: usize) -> Eva {
+    assert!(n >= 1, "the window must cover at least one position");
+    let mut reg = VarRegistry::new();
+    let x = reg.intern("x").unwrap();
+    let mut b = EvaBuilder::new(reg);
+    let q0 = b.add_state();
+    b.set_initial(q0);
+    b.add_letter(q0, ByteClass::any(), q0);
+    let chain = b.add_states(n);
+    b.add_byte(q0, b'a', chain[0]);
+    for w in chain.windows(2) {
+        b.add_letter(w[0], ByteClass::any(), w[1]);
+    }
+    let g = b.add_state();
+    let h = b.add_state();
+    let f = b.add_state();
+    b.add_var(chain[n - 1], MarkerSet::new().with_open(x), g).unwrap();
+    b.add_letter(g, ByteClass::any(), h);
+    b.add_var(h, MarkerSet::new().with_close(x), f).unwrap();
+    b.add_letter(f, ByteClass::any(), f);
+    b.set_final(f);
+    b.build().unwrap()
+}
+
+/// The number of output mappings of [`exp_blowup_eva`]`(n)` on `doc` — the
+/// closed-form oracle used by the lazy-determinization regression tests.
+pub fn exp_blowup_expected(n: usize, doc: &spanners_core::Document) -> usize {
+    doc.bytes().iter().enumerate().filter(|&(i, &b)| b == b'a' && i + n < doc.len()).count()
+}
+
 /// The "every span into `x`" spanner (the introduction's `Σ* x{Σ*} Σ*`),
 /// as a deterministic sequential eVA. Output size is `Θ(|d|²)`.
 pub fn all_spans_eva() -> Eva {
@@ -247,6 +292,24 @@ mod tests {
             assert!(a.is_sequential());
         }
         assert!(prop42_va(20).is_err()); // 40 variables exceed the limit
+    }
+
+    #[test]
+    fn exp_blowup_family_shape_and_oracle() {
+        for n in [1usize, 2, 5] {
+            let a = exp_blowup_eva(n);
+            assert_eq!(a.num_states(), n + 4);
+            assert!(a.is_sequential(), "n = {n}");
+            assert!(!a.is_deterministic(), "n = {n}: the 'a' step must be nondeterministic");
+            for text in ["", "a", "ab", "aab", "abab", "bbbb", "aaaa", "abba"] {
+                let doc = Document::from(text);
+                assert_eq!(
+                    a.eval_naive(&doc).len(),
+                    exp_blowup_expected(n, &doc),
+                    "n = {n} on {text:?}"
+                );
+            }
+        }
     }
 
     #[test]

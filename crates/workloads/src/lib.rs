@@ -19,7 +19,7 @@ pub use documents::{
     contact_directory, dna, figure1_document, log_lines, random_text, random_words,
 };
 pub use families::{
-    all_spans_eva, contact_pattern, digit_runs_pattern, figure2_va, figure3_eva, ipv4_pattern,
-    keyword_dictionary_pattern, nested_captures_pattern, prop42_va, random_functional_va,
-    witness_document,
+    all_spans_eva, contact_pattern, digit_runs_pattern, exp_blowup_eva, exp_blowup_expected,
+    figure2_va, figure3_eva, ipv4_pattern, keyword_dictionary_pattern, nested_captures_pattern,
+    prop42_va, random_functional_va, witness_document,
 };

@@ -20,6 +20,7 @@ pub use spanners_regex as regex;
 pub use spanners_workloads as workloads;
 
 pub use spanners_core::{
-    count_mappings, CompiledSpanner, CountCache, Document, EngineMode, EnumerationDag, Eva,
-    EvaBuilder, Evaluator, Mapping, MarkerSet, Span, SpannerError, VarId, VarRegistry,
+    count_mappings, CompiledSpanner, CountCache, Document, EngineMode, EnginePolicy,
+    EnumerationDag, Eva, EvaBuilder, Evaluator, LazyCache, LazyConfig, LazyDetSeva, Mapping,
+    MarkerSet, Span, SpannerError, VarId, VarRegistry,
 };

@@ -9,11 +9,13 @@
 //! differ: the fast path elides capture attempts that the per-byte walk
 //! materializes and the next `Reading` phase provably kills.
 
+use spanners::automata::va_to_eva;
 use spanners::baselines::{materialize_enumerate, naive_enumerate};
 use spanners::core::{
-    count_mappings, dedup_mappings, CountCache, Document, EngineMode, Evaluator, Mapping,
+    count_mappings, dedup_mappings, CountCache, Document, EngineMode, Evaluator, LazyConfig,
+    LazyDetSeva, Mapping,
 };
-use spanners::regex::compile;
+use spanners::regex::{compile, parse, regex_to_va};
 use spanners::workloads as w;
 use spanners::CompiledSpanner;
 
@@ -216,4 +218,135 @@ fn mode_switching_is_safe() {
     let fast_again = evaluator.eval(spanner.automaton(), &doc).collect_mappings();
     assert_eq!(fast, slow);
     assert_eq!(fast, fast_again);
+}
+
+/// The digit-runs workload as an undeterminized eVA for the lazy engine.
+fn digit_runs_lazy(budget: Option<usize>) -> LazyDetSeva {
+    let ast = parse(w::digit_runs_pattern()).unwrap();
+    let va = regex_to_va(&ast).unwrap();
+    let eva = va_to_eva(&va).unwrap();
+    let config = budget.map(|memory_budget| LazyConfig { memory_budget }).unwrap_or_default();
+    LazyDetSeva::new(&eva, config).unwrap()
+}
+
+/// Lazy-engine rows of the fast-path matrix: the class-run loop over a
+/// **cold** cache — every `run_skippable`/`has_markers` bit is computed
+/// lazily, mid-run, the first time a run of that class is entered — must
+/// match the lazy per-byte loop and the eager baseline on the adversarial
+/// documents (long single-class runs, marker-broken runs, 16-byte
+/// chunk-boundary documents, empty documents).
+#[test]
+fn lazy_class_run_engine_matches_per_byte_and_eager() {
+    let eager = compile(w::digit_runs_pattern()).unwrap();
+    let lazy = digit_runs_lazy(None);
+    let mut eager_eval = Evaluator::new();
+    let mut cold_counts = CountCache::<u128>::new();
+    for doc in adversarial_docs() {
+        let expected_paths = eager_eval.eval(eager.automaton(), &doc).count_paths();
+        // Fresh evaluators per document: the skip metadata for every class
+        // run is populated lazily *during* this very evaluation.
+        let cold = Evaluator::new().eval_lazy_owned(&lazy, &doc);
+        let cold_bytes = Evaluator::with_mode(EngineMode::PerByte).eval_lazy_owned(&lazy, &doc);
+        assert_eq!(cold.count_paths(), expected_paths, "cold class-runs paths, |d|={}", doc.len());
+        assert_eq!(
+            cold_bytes.count_paths(),
+            expected_paths,
+            "cold per-byte paths, |d|={}",
+            doc.len()
+        );
+        assert_eq!(
+            cold_counts.count_lazy(&lazy, &doc).unwrap(),
+            expected_paths,
+            "lazy count, |d| = {}",
+            doc.len()
+        );
+        // Materializing all-digit 4 kB documents means millions of mappings;
+        // compare the full output only where it is reasonably sized (the
+        // path-count equality above already pins the DAG for the rest).
+        if expected_paths < 200_000 {
+            let expected = sorted(eager_eval.eval(eager.automaton(), &doc).collect_mappings());
+            assert_eq!(
+                sorted(cold.collect_mappings()),
+                expected,
+                "cold class-runs, |d| = {}",
+                doc.len()
+            );
+            assert_eq!(
+                sorted(cold_bytes.collect_mappings()),
+                expected,
+                "cold per-byte, |d| = {}",
+                doc.len()
+            );
+        }
+    }
+}
+
+/// A warm lazy cache skips runs exactly like the eager skip table: after one
+/// pass populated the metadata, a second pass over the same documents must
+/// reproduce the first byte for byte (same DAG arena sizes included — the
+/// warm cache makes the lazy engine fully deterministic).
+#[test]
+fn lazy_run_skipping_is_stable_once_warm() {
+    let lazy = digit_runs_lazy(None);
+    let mut evaluator = Evaluator::new();
+    let docs = adversarial_docs();
+    let first: Vec<(usize, usize, u128, Vec<Mapping>)> = docs
+        .iter()
+        .map(|doc| {
+            let view = evaluator.eval_lazy(&lazy, doc);
+            let paths = view.count_paths();
+            let mappings = if paths < 200_000 { view.collect_mappings() } else { Vec::new() };
+            (view.num_nodes(), view.num_cells(), paths, mappings)
+        })
+        .collect();
+    for (doc, (nodes, cells, paths, mappings)) in docs.iter().zip(&first) {
+        let view = evaluator.eval_lazy(&lazy, doc);
+        assert_eq!(view.num_nodes(), *nodes, "node count drifted, |d| = {}", doc.len());
+        assert_eq!(view.num_cells(), *cells, "cell count drifted, |d| = {}", doc.len());
+        assert_eq!(view.count_paths(), *paths, "path count drifted, |d| = {}", doc.len());
+        if *paths < 200_000 {
+            assert_eq!(&view.collect_mappings(), mappings, "output drifted, |d| = {}", doc.len());
+        }
+    }
+}
+
+/// Mid-run eviction under the class-run engine: a budget small enough to
+/// clear the cache inside long runs discards the lazily computed skip
+/// metadata mid-document, forcing recomputation — outputs must not change.
+#[test]
+fn lazy_run_skipping_survives_mid_run_eviction() {
+    let eager = compile(w::digit_runs_pattern()).unwrap();
+    let strict = digit_runs_lazy(Some(256));
+    let mut eager_eval = Evaluator::new();
+    let mut thrash = Evaluator::new();
+    for doc in adversarial_docs() {
+        let eager_view = eager_eval.eval(eager.automaton(), &doc);
+        let paths = eager_view.count_paths();
+        let expected =
+            if paths < 200_000 { sorted(eager_view.collect_mappings()) } else { Vec::new() };
+        let view = thrash.eval_lazy(&strict, &doc);
+        assert_eq!(view.count_paths(), paths, "thrashing paths diverged, |d| = {}", doc.len());
+        if paths < 200_000 {
+            let got = sorted(view.collect_mappings());
+            assert_eq!(got, expected, "thrashing class-runs diverged, |d| = {}", doc.len());
+        }
+    }
+    let cache = thrash.lazy_cache().unwrap();
+    assert!(cache.clear_count() > 0, "256-byte budget never evicted the skip metadata");
+}
+
+/// Lazy mode switching mirrors the eager contract: one evaluator, one warm
+/// cache, both loops, identical outputs.
+#[test]
+fn lazy_mode_switching_is_safe() {
+    let lazy = digit_runs_lazy(None);
+    let mut evaluator = Evaluator::new();
+    let doc = w::random_text(23, 700, b"abc123 ");
+    let fast = evaluator.eval_lazy(&lazy, &doc).collect_mappings();
+    evaluator.set_mode(EngineMode::PerByte);
+    let slow = evaluator.eval_lazy(&lazy, &doc).collect_mappings();
+    evaluator.set_mode(EngineMode::ClassRuns);
+    let fast_again = evaluator.eval_lazy(&lazy, &doc).collect_mappings();
+    assert_eq!(sorted(fast.clone()), sorted(slow));
+    assert_eq!(fast, fast_again, "warm reruns must be byte-for-byte identical");
 }
