@@ -120,7 +120,8 @@ mod tests {
                 let doc = Document::from(text);
                 let mut expected = spanner.mappings(&doc);
                 dedup_mappings(&mut expected);
-                let mut got = materialize_enumerate(spanner.automaton(), &doc);
+                let mut got =
+                    materialize_enumerate(spanner.try_automaton().expect("eager engine"), &doc);
                 dedup_mappings(&mut got);
                 assert_eq!(got, expected, "pattern {pattern:?} on {text:?}");
             }
@@ -131,18 +132,26 @@ mod tests {
     fn no_duplicates_for_deterministic_input() {
         let spanner = compile(".*!x{[ab]+}.*").unwrap();
         let doc = Document::from("abab");
-        let got = materialize_enumerate(spanner.automaton(), &doc);
+        let got = materialize_enumerate(spanner.try_automaton().expect("eager engine"), &doc);
         let mut dedup = got.clone();
         dedup_mappings(&mut dedup);
         assert_eq!(got.len(), dedup.len());
-        let dag = EnumerationDag::build(spanner.automaton(), &doc);
+        let dag = EnumerationDag::build(spanner.try_automaton().expect("eager engine"), &doc);
         assert_eq!(got.len(), dag.collect_mappings().len());
     }
 
     #[test]
     fn empty_results() {
         let spanner = compile("!x{[0-9]+}").unwrap();
-        assert!(materialize_enumerate(spanner.automaton(), &Document::from("abc")).is_empty());
-        assert!(materialize_enumerate(spanner.automaton(), &Document::empty()).is_empty());
+        assert!(materialize_enumerate(
+            spanner.try_automaton().expect("eager engine"),
+            &Document::from("abc")
+        )
+        .is_empty());
+        assert!(materialize_enumerate(
+            spanner.try_automaton().expect("eager engine"),
+            &Document::empty()
+        )
+        .is_empty());
     }
 }

@@ -144,7 +144,8 @@ mod tests {
                 let doc = Document::from(text);
                 let mut expected = spanner.mappings(&doc);
                 dedup_mappings(&mut expected);
-                let enumerator = PolyDelayEnumerator::new(spanner.automaton(), &doc);
+                let enumerator =
+                    PolyDelayEnumerator::new(spanner.try_automaton().expect("eager engine"), &doc);
                 let mut got = enumerator.collect();
                 dedup_mappings(&mut got);
                 assert_eq!(got, expected, "pattern {pattern:?} on {text:?}");
@@ -161,17 +162,19 @@ mod tests {
     fn pruning_never_explores_dead_documents() {
         let spanner = compile("!x{[0-9]+}").unwrap();
         let doc = Document::from("abcdef");
-        let enumerator = PolyDelayEnumerator::new(spanner.automaton(), &doc);
+        let enumerator =
+            PolyDelayEnumerator::new(spanner.try_automaton().expect("eager engine"), &doc);
         assert!(enumerator.collect().is_empty());
         // The initial configuration itself is already known to be useless.
-        assert!(!enumerator.is_useful(0, spanner.automaton().initial()));
+        assert!(!enumerator.is_useful(0, spanner.try_automaton().expect("eager engine").initial()));
     }
 
     #[test]
     fn early_stop_via_callback_side_channel() {
         let spanner = compile(".*!x{[ab]+}.*").unwrap();
         let doc = Document::from("abab");
-        let enumerator = PolyDelayEnumerator::new(spanner.automaton(), &doc);
+        let enumerator =
+            PolyDelayEnumerator::new(spanner.try_automaton().expect("eager engine"), &doc);
         let total = enumerator.collect().len();
         assert!(total > 3);
         let mut first_three = Vec::new();

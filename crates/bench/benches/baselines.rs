@@ -37,10 +37,16 @@ fn bench_contact_directory(c: &mut Criterion) {
             b.iter(|| spanner.evaluate(d).iter().count())
         });
         group.bench_with_input(BenchmarkId::new("materialize", n), &doc, |b, d| {
-            b.iter(|| materialize_enumerate(spanner.automaton(), d).len())
+            b.iter(|| {
+                materialize_enumerate(spanner.try_automaton().expect("eager engine"), d).len()
+            })
         });
         group.bench_with_input(BenchmarkId::new("polydelay", n), &doc, |b, d| {
-            b.iter(|| PolyDelayEnumerator::new(spanner.automaton(), d).collect().len())
+            b.iter(|| {
+                PolyDelayEnumerator::new(spanner.try_automaton().expect("eager engine"), d)
+                    .collect()
+                    .len()
+            })
         });
         let _ = &eva_for_naive;
     }
@@ -64,10 +70,16 @@ fn bench_dense_output(c: &mut Criterion) {
             b.iter(|| spanner.evaluate(d).iter().count())
         });
         group.bench_with_input(BenchmarkId::new("materialize", n), &doc, |b, d| {
-            b.iter(|| materialize_enumerate(spanner.automaton(), d).len())
+            b.iter(|| {
+                materialize_enumerate(spanner.try_automaton().expect("eager engine"), d).len()
+            })
         });
         group.bench_with_input(BenchmarkId::new("polydelay", n), &doc, |b, d| {
-            b.iter(|| PolyDelayEnumerator::new(spanner.automaton(), d).collect().len())
+            b.iter(|| {
+                PolyDelayEnumerator::new(spanner.try_automaton().expect("eager engine"), d)
+                    .collect()
+                    .len()
+            })
         });
         if n <= 64 {
             group.bench_with_input(BenchmarkId::new("naive_backtracking", n), &doc, |b, d| {
@@ -93,10 +105,16 @@ fn bench_sparse_output(c: &mut Criterion) {
             b.iter(|| spanner.evaluate(d).iter().count())
         });
         group.bench_with_input(BenchmarkId::new("materialize", n), &doc, |b, d| {
-            b.iter(|| materialize_enumerate(spanner.automaton(), d).len())
+            b.iter(|| {
+                materialize_enumerate(spanner.try_automaton().expect("eager engine"), d).len()
+            })
         });
         group.bench_with_input(BenchmarkId::new("polydelay", n), &doc, |b, d| {
-            b.iter(|| PolyDelayEnumerator::new(spanner.automaton(), d).collect().len())
+            b.iter(|| {
+                PolyDelayEnumerator::new(spanner.try_automaton().expect("eager engine"), d)
+                    .collect()
+                    .len()
+            })
         });
     }
     group.finish();

@@ -27,19 +27,25 @@ fn bench_count_vs_document(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("all_spans_quadratic_output", n),
             &plain,
-            |b, d| b.iter(|| wide_cache.count(all_spans.automaton(), d).unwrap()),
+            |b, d| {
+                b.iter(|| {
+                    wide_cache.count(all_spans.try_automaton().expect("eager engine"), d).unwrap()
+                })
+            },
         );
         let text = random_text(11, n, b"abcdefghij0123456789");
         group.bench_with_input(BenchmarkId::new("digit_runs", n), &text, |b, d| {
-            b.iter(|| cache.count(digits.automaton(), d).unwrap())
+            b.iter(|| cache.count(digits.try_automaton().expect("eager engine"), d).unwrap())
         });
         let dir = contact_doc(n);
         group.bench_with_input(BenchmarkId::new("contact_directory", n), &dir, |b, d| {
-            b.iter(|| cache.count(contacts.automaton(), d).unwrap())
+            b.iter(|| cache.count(contacts.try_automaton().expect("eager engine"), d).unwrap())
         });
         // The one-shot wrapper for comparison: same engine, fresh buffers.
         group.bench_with_input(BenchmarkId::new("contact_directory_one_shot", n), &dir, |b, d| {
-            b.iter(|| count_mappings::<u64>(contacts.automaton(), d).unwrap())
+            b.iter(|| {
+                count_mappings::<u64>(contacts.try_automaton().expect("eager engine"), d).unwrap()
+            })
         });
     }
     group.finish();
@@ -56,11 +62,16 @@ fn bench_count_vs_automaton(c: &mut Criterion) {
     for depth in 1..=4usize {
         let pattern = spanners_workloads::nested_captures_pattern(depth);
         let spanner = compile(&pattern).unwrap();
-        let size = spanner.automaton().source_size();
+        let size = spanner.try_automaton().expect("eager engine").source_size();
         group.bench_with_input(
             BenchmarkId::new("nested_captures", format!("depth{depth}_size{size}")),
             &doc,
-            |b, d| b.iter(|| count_mappings::<f64>(spanner.automaton(), d).unwrap()),
+            |b, d| {
+                b.iter(|| {
+                    count_mappings::<f64>(spanner.try_automaton().expect("eager engine"), d)
+                        .unwrap()
+                })
+            },
         );
     }
     group.finish();
@@ -78,7 +89,7 @@ fn bench_count_vs_enumerate(c: &mut Criterion) {
     for &n in &[100usize, 400, 1600] {
         let doc = Document::new(vec![b'q'; n]);
         group.bench_with_input(BenchmarkId::new("count", n), &doc, |b, d| {
-            b.iter(|| cache.count(all_spans.automaton(), d).unwrap())
+            b.iter(|| cache.count(all_spans.try_automaton().expect("eager engine"), d).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("enumerate", n), &doc, |b, d| {
             b.iter(|| {

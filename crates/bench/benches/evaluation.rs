@@ -42,16 +42,25 @@ fn bench_preprocessing(c: &mut Criterion) {
         group.throughput(Throughput::Bytes(n as u64));
         let ab_doc = random_text(1, n, b"ab");
         group.bench_with_input(BenchmarkId::new("figure3_automaton", n), &ab_doc, |b, doc| {
-            b.iter(|| EnumerationDag::build(figure3.automaton(), doc).num_nodes())
+            b.iter(|| {
+                EnumerationDag::build(figure3.try_automaton().expect("eager engine"), doc)
+                    .num_nodes()
+            })
         });
         let text_doc = random_text(2, n, b"abc0123456789 ");
         group.bench_with_input(BenchmarkId::new("digit_runs_regex", n), &text_doc, |b, doc| {
-            b.iter(|| EnumerationDag::build(digits.automaton(), doc).num_nodes())
+            b.iter(|| {
+                EnumerationDag::build(digits.try_automaton().expect("eager engine"), doc)
+                    .num_nodes()
+            })
         });
         let dir = contact_doc(n);
         group.throughput(Throughput::Bytes(dir.len() as u64));
         group.bench_with_input(BenchmarkId::new("contact_directory", n), &dir, |b, doc| {
-            b.iter(|| EnumerationDag::build(contacts.automaton(), doc).num_nodes())
+            b.iter(|| {
+                EnumerationDag::build(contacts.try_automaton().expect("eager engine"), doc)
+                    .num_nodes()
+            })
         });
     }
     group.finish();
@@ -71,11 +80,13 @@ fn bench_preprocessing_reuse(c: &mut Criterion) {
         group.throughput(Throughput::Bytes(n as u64));
         let doc = random_text(2, n, b"abc0123456789 ");
         // Warm the arenas, then record the capacity the steady state must keep.
-        drain(evaluator.eval(digits.automaton(), &doc).iter());
+        drain(evaluator.eval(digits.try_automaton().expect("eager engine"), &doc).iter());
         let warm =
             (evaluator.node_capacity(), evaluator.cell_capacity(), evaluator.class_buf_capacity());
         group.bench_with_input(BenchmarkId::new("digit_runs_reused", n), &doc, |b, doc| {
-            b.iter(|| evaluator.eval(digits.automaton(), doc).num_nodes())
+            b.iter(|| {
+                evaluator.eval(digits.try_automaton().expect("eager engine"), doc).num_nodes()
+            })
         });
         assert_eq!(
             (evaluator.node_capacity(), evaluator.cell_capacity(), evaluator.class_buf_capacity()),
@@ -180,10 +191,10 @@ fn bench_run_skipping_density(c: &mut Criterion) {
         let doc = random_text(9, n, alphabet);
         group.throughput(Throughput::Bytes(n as u64));
         group.bench_with_input(BenchmarkId::new("class_runs", label), &doc, |b, doc| {
-            b.iter(|| skipping.eval(digits.automaton(), doc).num_nodes())
+            b.iter(|| skipping.eval(digits.try_automaton().expect("eager engine"), doc).num_nodes())
         });
         group.bench_with_input(BenchmarkId::new("per_byte", label), &doc, |b, doc| {
-            b.iter(|| per_byte.eval(digits.automaton(), doc).num_nodes())
+            b.iter(|| per_byte.eval(digits.try_automaton().expect("eager engine"), doc).num_nodes())
         });
     }
     group.finish();
@@ -254,6 +265,20 @@ fn bench_lazy_warm_density(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("lazy_warm_count", label), &doc, |b, d| {
             b.iter(|| lazy_counts.count_lazy(&lazy, d).unwrap())
         });
+    }
+    // Cache-waste diagnostics (the eviction-tuning metric from the ROADMAP):
+    // states interned more than once over the run, plus the buffer-capacity
+    // signature the allocation-retention assertions pin.
+    if let Some(cache) = lazy_eval.lazy_cache() {
+        println!(
+            "e10b lazy cache: {} live states, {} interned, {} wasted to eviction, \
+             {} clears, capacities [{}]",
+            cache.num_states(),
+            cache.states_interned(),
+            cache.wasted_states(),
+            cache.clear_count(),
+            cache.capacity_signature()
+        );
     }
     group.finish();
 }

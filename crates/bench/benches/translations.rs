@@ -94,7 +94,8 @@ fn bench_algebra_strategies(c: &mut Criterion) {
             b.iter(|| {
                 e.compile(CompileOptions::default(), CompileStrategy::DeterminizeLate)
                     .unwrap()
-                    .automaton()
+                    .try_automaton()
+                    .expect("eager engine")
                     .num_states()
             })
         });
@@ -102,7 +103,8 @@ fn bench_algebra_strategies(c: &mut Criterion) {
             b.iter(|| {
                 e.compile(CompileOptions::default(), CompileStrategy::DeterminizeEarly)
                     .unwrap()
-                    .automaton()
+                    .try_automaton()
+                    .expect("eager engine")
                     .num_states()
             })
         });

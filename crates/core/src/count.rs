@@ -21,7 +21,7 @@ use crate::det::{DetSeva, Stepper};
 use crate::document::Document;
 use crate::enumerate::EngineMode;
 use crate::error::SpannerError;
-use crate::lazy::{LazyCache, LazyDetSeva, LazyStepper};
+use crate::lazy::{FrozenCache, FrozenDelta, FrozenStepper, LazyCache, LazyDetSeva, LazyStepper};
 use crate::sparse::SparseSet;
 
 /// Numeric types usable as mapping counters.
@@ -174,6 +174,10 @@ pub struct CountCache<C: Counter> {
     /// [`CountCache::count_lazy`], tagged with the automaton's identity
     /// (mirrors [`crate::Evaluator`]'s embedded cache).
     lazy: Option<(u64, LazyCache)>,
+    /// The per-worker overflow delta of the [`FrozenCache`] last counted
+    /// with [`CountCache::count_frozen`], tagged with the snapshot's
+    /// identity (mirrors [`crate::Evaluator`]'s embedded delta).
+    frozen: Option<(u64, FrozenDelta)>,
     /// Which inner loop drives Algorithm 3.
     mode: EngineMode,
 }
@@ -189,6 +193,7 @@ impl<C: Counter> Default for CountCache<C> {
             maint_ids: Vec::new(),
             maint_counts: Vec::new(),
             lazy: None,
+            frozen: None,
             mode: EngineMode::default(),
         }
     }
@@ -254,6 +259,42 @@ impl<C: Counter> CountCache<C> {
     /// counted (diagnostics; mirrors [`crate::Evaluator::lazy_cache`]).
     pub fn lazy_cache(&self) -> Option<&LazyCache> {
         self.lazy.as_ref().map(|(_, c)| c)
+    }
+
+    /// Like [`CountCache::count_lazy`] but stepping through a **shared
+    /// frozen snapshot** with this cache's private, per-document
+    /// [`FrozenDelta`] — the Algorithm 3 mirror of
+    /// [`crate::Evaluator::eval_frozen`]. The count is a pure function of
+    /// `(frozen, doc)`, identical across workers and thread counts.
+    pub fn count_frozen(
+        &mut self,
+        aut: &LazyDetSeva,
+        frozen: &FrozenCache,
+        doc: &Document,
+    ) -> Result<C, SpannerError> {
+        let mut delta = self.take_frozen_delta(frozen);
+        let result = {
+            let mut stepper = FrozenStepper::new(aut, frozen, &mut delta);
+            self.count_run(&mut stepper, doc)
+        };
+        self.frozen = Some((frozen.id(), delta));
+        result
+    }
+
+    /// Takes the embedded delta out for a count against `frozen`, replacing
+    /// it with a fresh one if it belonged to a different snapshot (mirrors
+    /// `Evaluator::take_frozen_delta`).
+    fn take_frozen_delta(&mut self, frozen: &FrozenCache) -> FrozenDelta {
+        match self.frozen.take() {
+            Some((id, delta)) if id == frozen.id() => delta,
+            _ => FrozenDelta::new(),
+        }
+    }
+
+    /// The embedded frozen-overflow delta, if a frozen snapshot has been
+    /// counted (diagnostics; mirrors [`crate::Evaluator::frozen_delta`]).
+    pub fn frozen_delta(&self) -> Option<&FrozenDelta> {
+        self.frozen.as_ref().map(|(_, d)| d)
     }
 
     /// The Algorithm 3 loop, generic over the eager/lazy [`Stepper`] seam.

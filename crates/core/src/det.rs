@@ -292,8 +292,12 @@ impl DetSeva {
 }
 
 /// The transition interface the evaluation engines (Algorithms 1 and 3) are
-/// generic over — the seam between the *eager* [`DetSeva`] and the *lazy*
-/// hybrid determinization cache ([`crate::lazy::LazyDetSeva`]).
+/// generic over — the seam between the *eager* [`DetSeva`], the *lazy*
+/// hybrid determinization cache ([`crate::lazy::LazyDetSeva`] +
+/// [`crate::lazy::LazyCache`]), and the *frozen/delta* split of the parallel
+/// batch runtime ([`crate::lazy::FrozenCache`] shared read-only across
+/// workers, each stepping a private [`crate::lazy::FrozenDelta`] through a
+/// [`crate::lazy::FrozenStepper`]).
 ///
 /// All stepping methods take `&mut self` because a lazy implementation fills
 /// transition-table rows (and interns freshly discovered subset states) the
@@ -310,7 +314,10 @@ impl DetSeva {
 ///   [`Stepper::maintain`] with its live state ids; the implementation may
 ///   then clear the cache, re-intern exactly those states, and rewrite each
 ///   id in place (order preserved). The engine remaps its own per-state
-///   structures afterwards. Between maintenance points ids are stable.
+///   structures afterwards. Between maintenance points ids are stable. An
+///   implementation may also rewrite only a *suffix* of the id space — the
+///   frozen/delta split evicts delta-local ids while the shared frozen ids
+///   below them stay fixed; the engines' remap protocol handles both.
 pub trait Stepper {
     /// Current upper bound on state ids (may grow during evaluation for a
     /// lazy implementation; fixed for an eager one).

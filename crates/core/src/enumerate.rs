@@ -46,7 +46,7 @@
 use crate::byteclass::ClassRuns;
 use crate::det::{DetSeva, Stepper};
 use crate::document::Document;
-use crate::lazy::{LazyCache, LazyDetSeva, LazyStepper};
+use crate::lazy::{FrozenCache, FrozenDelta, FrozenStepper, LazyCache, LazyDetSeva, LazyStepper};
 use crate::mapping::Mapping;
 use crate::markerset::MarkerSet;
 use crate::span::Span;
@@ -262,6 +262,10 @@ pub struct Evaluator {
     /// because the cache is exactly the same kind of per-worker mutable,
     /// warm-capacity state as the DAG arenas.
     lazy: Option<(u64, LazyCache)>,
+    /// The per-worker overflow delta of the [`FrozenCache`] last evaluated
+    /// with [`Evaluator::eval_frozen`], tagged with the *snapshot's* identity
+    /// (delta state ids are relative to one specific freeze).
+    frozen: Option<(u64, FrozenDelta)>,
     /// Which inner loop drives Algorithm 1.
     mode: EngineMode,
 }
@@ -361,12 +365,68 @@ impl Evaluator {
         self.lazy.as_ref().map(|(_, c)| c)
     }
 
+    /// Runs Algorithm 1 against a **shared frozen snapshot** of a lazy
+    /// determinization cache (see [`LazyCache::freeze`]): every subset state
+    /// and row the snapshot holds is a flat shared-table read, and anything
+    /// discovered beyond it lives in this evaluator's private, per-document
+    /// [`FrozenDelta`] — the parallel-serving counterpart of
+    /// [`Evaluator::eval_lazy`]. Because the delta resets (capacity retained)
+    /// at the start of every call, the result — mappings, counts **and
+    /// enumeration order** — is a pure function of `(frozen, doc)`, identical
+    /// across workers and thread counts.
+    pub fn eval_frozen<'a>(
+        &'a mut self,
+        aut: &'a LazyDetSeva,
+        frozen: &FrozenCache,
+        doc: &Document,
+    ) -> DagView<'a> {
+        let mut delta = self.take_frozen_delta(frozen);
+        let mut stepper = FrozenStepper::new(aut, frozen, &mut delta);
+        self.run(&mut stepper, doc, None);
+        self.frozen = Some((frozen.id(), delta));
+        DagView { store: &self.store, registry: aut.registry(), doc_len: doc.len() }
+    }
+
+    /// Whether the automaton accepts `doc`, stepping through the shared
+    /// frozen snapshot with this evaluator's private delta — the frozen
+    /// counterpart of [`Evaluator::accepts_lazy`].
+    pub fn accepts_frozen(
+        &mut self,
+        aut: &LazyDetSeva,
+        frozen: &FrozenCache,
+        doc: &Document,
+    ) -> bool {
+        let mut delta = self.take_frozen_delta(frozen);
+        let accepted = {
+            let mut stepper = FrozenStepper::new(aut, frozen, &mut delta);
+            crate::det::accepts_generic(&mut stepper, doc)
+        };
+        self.frozen = Some((frozen.id(), delta));
+        accepted
+    }
+
+    /// The embedded frozen-overflow delta, if a frozen snapshot has been
+    /// evaluated (diagnostics: overflow-state count, eviction count, capacity
+    /// signature).
+    pub fn frozen_delta(&self) -> Option<&FrozenDelta> {
+        self.frozen.as_ref().map(|(_, d)| d)
+    }
+
     /// Takes the embedded cache out for an evaluation of `aut`, replacing it
     /// with a fresh one if it belonged to a different lazy automaton.
     fn take_lazy_cache(&mut self, aut: &LazyDetSeva) -> LazyCache {
         match self.lazy.take() {
             Some((id, cache)) if id == aut.id() => cache,
             _ => aut.create_cache(),
+        }
+    }
+
+    /// Takes the embedded delta out for an evaluation against `frozen`,
+    /// replacing it with a fresh one if it belonged to a different snapshot.
+    fn take_frozen_delta(&mut self, frozen: &FrozenCache) -> FrozenDelta {
+        match self.frozen.take() {
+            Some((id, delta)) if id == frozen.id() => delta,
+            _ => FrozenDelta::new(),
         }
     }
 

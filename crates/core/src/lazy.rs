@@ -30,6 +30,35 @@
 //! determinized automaton — determinization (lazy or not) preserves the
 //! semantics, and subset states make Algorithm 1 duplicate-free even though
 //! the source automaton is nondeterministic.
+//!
+//! # Sharing a warm cache across threads: the frozen/delta split
+//!
+//! A [`LazyCache`] is inherently single-threaded — every step may mutate it.
+//! For batch/serving workloads where N workers evaluate the *same* spanner
+//! over many documents, that would mean N caches each re-determinizing the
+//! same subsets: exactly the waste the lazy engine exists to avoid. The
+//! frozen/delta split amortizes the work instead:
+//!
+//! * [`LazyCache::freeze`] snapshots a warm cache into a [`FrozenCache`] — an
+//!   immutable CSR table of every subset state, transition row and skip entry
+//!   discovered so far. A `FrozenCache` is `Send + Sync` (it has no interior
+//!   mutability) and is meant to be shared by reference or `Arc` across
+//!   worker threads;
+//! * each worker owns a small mutable [`FrozenDelta`] holding the *overflow*:
+//!   states and rows first stepped after the freeze. Deltas are scratch — they
+//!   reset (retaining capacity) at the start of each document, so every
+//!   evaluation result is a pure function of `(frozen cache, document)`,
+//!   independent of which worker ran it or what it processed before. This is
+//!   what makes parallel batch output deterministic and byte-for-byte equal
+//!   to a single-threaded run over the same frozen snapshot;
+//! * a [`FrozenStepper`] pairs the shared frozen half with one worker's delta
+//!   behind the same [`crate::det::Stepper`] seam the other engines use, so
+//!   frozen evaluation reuses the per-byte and class-run loops unchanged.
+//!
+//! A well-chosen freeze point (after warming on representative documents)
+//! leaves the delta empty in steady state: stepping is then pure shared-table
+//! reads, the per-worker memory cost is a few retained-capacity buffers, and
+//! the zero-allocation contract of the warm engines is preserved.
 
 use crate::byteclass::AlphabetPartition;
 use crate::det::{accepts_generic, Stepper};
@@ -40,6 +69,7 @@ use crate::markerset::MarkerSet;
 use crate::sparse::SparseSet;
 use crate::variable::VarRegistry;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Sentinel for "no transition" in a lazy letter-table row.
@@ -55,7 +85,29 @@ const SKIP_NO: u8 = 2;
 
 /// Monotone source of identities tying a [`LazyCache`] to the [`LazyDetSeva`]
 /// whose subset ids it holds (ids from different automata must never mix).
+/// [`FrozenCache`] snapshots draw from the same counter: a [`FrozenDelta`]
+/// holds state ids relative to one specific freeze, so snapshots need
+/// identities of their own.
 static NEXT_SEVA_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Capacity snapshot of a [`LazyCache`]'s (or [`FrozenDelta`]'s) internal
+/// buffers, used by allocation-retention assertions: in steady state — warm
+/// cache, no evictions — repeated evaluation must leave the signature
+/// unchanged. The `Display` form labels each buffer for bench/diagnostic
+/// output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacitySignature(pub [usize; 7]);
+
+impl fmt::Display for CapacitySignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [keys, offsets, finals, letters, skips, vars, index] = self.0;
+        write!(
+            f,
+            "keys={keys} offsets={offsets} finals={finals} letters={letters} \
+             skips={skips} vars={vars} index={index}"
+        )
+    }
+}
 
 /// Configuration of the lazy determinization cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -387,8 +439,8 @@ impl LazyCache {
     /// assertions (the lazy analogue of the E1b arena-capacity checks): in
     /// steady state — warm cache, no evictions — repeated evaluation must
     /// leave this signature unchanged.
-    pub fn capacity_signature(&self) -> [usize; 7] {
-        [
+    pub fn capacity_signature(&self) -> CapacitySignature {
+        CapacitySignature([
             self.keys.capacity(),
             self.key_offsets.capacity(),
             self.finals.capacity(),
@@ -396,7 +448,67 @@ impl LazyCache {
             self.skip_rows.capacity(),
             self.var_pairs.capacity(),
             self.index.capacity(),
-        ]
+        ])
+    }
+
+    /// Determinization work wasted to clear-and-restart eviction:
+    /// `states_interned() - num_states()`, i.e. how many subset states were
+    /// built more than once over the cache's lifetime. Zero on a cache whose
+    /// budget covers its working set; large values mean the budget is below
+    /// the working-set size and eviction tuning is warranted.
+    #[inline]
+    pub fn wasted_states(&self) -> u64 {
+        self.states_interned - self.num_states() as u64
+    }
+
+    /// Snapshots this cache into an immutable, shareable [`FrozenCache`].
+    ///
+    /// The snapshot captures every subset state, every filled transition row
+    /// (entries not yet stepped stay "unknown" and are computed by each
+    /// worker's [`FrozenDelta`] on demand), the skip metadata, and the
+    /// interning index. `seva` must be the automaton this cache is bound to;
+    /// an unbound (never used) cache freezes into an empty snapshot, which is
+    /// valid — every state then lives in the deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is bound to a *different* automaton.
+    pub fn freeze(&self, seva: &LazyDetSeva) -> FrozenCache {
+        assert!(
+            self.seva_id == seva.id || self.seva_id == 0,
+            "LazyCache::freeze: cache is bound to a different automaton"
+        );
+        let ncls = seva.ncls;
+        if self.seva_id == 0 {
+            return FrozenCache {
+                id: NEXT_SEVA_ID.fetch_add(1, Ordering::Relaxed),
+                seva_id: seva.id,
+                ncls,
+                key_offsets: vec![0],
+                keys: Vec::new(),
+                finals: Vec::new(),
+                var_starts: Vec::new(),
+                var_lens: Vec::new(),
+                letter_rows: Vec::new(),
+                skip_rows: Vec::new(),
+                var_pairs: Vec::new(),
+                index: HashMap::new(),
+            };
+        }
+        FrozenCache {
+            id: NEXT_SEVA_ID.fetch_add(1, Ordering::Relaxed),
+            seva_id: self.seva_id,
+            ncls: self.ncls,
+            key_offsets: self.key_offsets.clone(),
+            keys: self.keys.clone(),
+            finals: self.finals.clone(),
+            var_starts: self.var_starts.clone(),
+            var_lens: self.var_lens.clone(),
+            letter_rows: self.letter_rows.clone(),
+            skip_rows: self.skip_rows.clone(),
+            var_pairs: self.var_pairs.clone(),
+            index: self.index.clone(),
+        }
     }
 
     /// Binds the cache to `seva`, resetting it if it was bound to a
@@ -701,6 +813,634 @@ impl Stepper for LazyStepper<'_> {
     }
 }
 
+/// Approximate bytes of one hash-map override entry in a [`FrozenDelta`]
+/// (key + value + bucket overhead) — the frozen analogue of the index-entry
+/// share of [`LazyCache::state_cost`].
+const OVERRIDE_COST: usize = 24;
+
+/// An immutable snapshot of a warm [`LazyCache`]: every subset state,
+/// transition row and skip entry discovered up to the freeze point, in the
+/// same CSR layout, with the interning index retained for key lookups.
+///
+/// A `FrozenCache` has no interior mutability, so it is `Send + Sync` and can
+/// be shared by plain reference (e.g. across [`std::thread::scope`] workers)
+/// or `std::sync::Arc`. Rows the warm cache had not yet filled stay *unknown*
+/// in the snapshot; each worker computes those — and any subset state first
+/// discovered after the freeze — inside its own private [`FrozenDelta`].
+/// Create snapshots with [`LazyCache::freeze`]; drive them through
+/// [`FrozenStepper`].
+#[derive(Debug, Clone)]
+pub struct FrozenCache {
+    /// Identity of this snapshot (deltas bind to it: state ids above the
+    /// frozen range are meaningful only relative to one specific freeze).
+    id: u64,
+    /// Identity of the [`LazyDetSeva`] the snapshotted cache was bound to.
+    seva_id: u64,
+    ncls: usize,
+    key_offsets: Vec<u32>,
+    keys: Vec<u32>,
+    finals: Vec<bool>,
+    var_starts: Vec<u32>,
+    var_lens: Vec<u32>,
+    letter_rows: Vec<u32>,
+    skip_rows: Vec<u8>,
+    var_pairs: Vec<(MarkerSet, StateId)>,
+    index: HashMap<Box<[u32]>, u32>,
+}
+
+impl FrozenCache {
+    /// A unique identity for delta-binding checks.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Identity of the [`LazyDetSeva`] this snapshot belongs to.
+    #[inline]
+    pub fn seva_id(&self) -> u64 {
+        self.seva_id
+    }
+
+    /// Number of frozen subset states. Worker deltas hand out ids starting
+    /// here.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.finals.len()
+    }
+
+    /// Approximate bytes held by the snapshot (states, rows, index).
+    pub fn memory_bytes(&self) -> usize {
+        self.keys.len() * 8
+            + self.key_offsets.len() * 4
+            + self.finals.len()
+            + self.letter_rows.len() * 4
+            + self.skip_rows.len()
+            + self.var_starts.len() * 8
+            + self.var_pairs.len() * std::mem::size_of::<(MarkerSet, StateId)>()
+            + self.index.len() * 48
+    }
+
+    /// A fresh per-worker overflow delta bound to this snapshot.
+    pub fn create_delta(&self, seva: &LazyDetSeva) -> FrozenDelta {
+        let mut delta = FrozenDelta::default();
+        delta.bind(self, seva);
+        delta
+    }
+}
+
+/// The per-worker mutable half of the frozen/delta split: subset states and
+/// transition rows first needed *after* the freeze.
+///
+/// A delta owns three kinds of overflow, all retained-capacity buffers:
+///
+/// * **local states** — subsets absent from the frozen snapshot, with ids
+///   `frozen.num_states()..` and the same lazily filled row layout as a
+///   [`LazyCache`];
+/// * **row overrides** — letter/skip/marker entries of *frozen* states whose
+///   slot was still unknown at freeze time (small hash maps keyed by slot);
+/// * **scratch** — the reusable buffers of the subset construction.
+///
+/// Deltas are scratch state: [`FrozenStepper::new`] resets the contents
+/// (keeping capacity) at the start of every document, so an evaluation's
+/// result — including enumeration order — is a pure function of the frozen
+/// snapshot and the document, independent of worker scheduling. A byte budget
+/// (inherited from the automaton's [`LazyConfig`]) bounds the delta exactly
+/// like a [`LazyCache`]: on overflow the local states are cleared and the
+/// engine's live states re-interned, frozen ids staying untouched.
+///
+/// The subset-construction methods below deliberately mirror [`LazyCache`]'s
+/// (they differ in how a state id resolves to its key/row — frozen-then-local
+/// with override maps vs. a single arena). **Algorithmic fixes to one must be
+/// mirrored in the other**; `tests/batch_runtime.rs` pins the two paths
+/// against each other byte for byte.
+#[derive(Debug, Clone)]
+pub struct FrozenDelta {
+    frozen_id: u64,
+    base: u32,
+    ncls: usize,
+    budget: usize,
+    // Local states (absolute id = base + local index), LazyCache layout.
+    key_offsets: Vec<u32>,
+    keys: Vec<u32>,
+    finals: Vec<bool>,
+    var_starts: Vec<u32>,
+    var_lens: Vec<u32>,
+    letter_rows: Vec<u32>,
+    skip_rows: Vec<u8>,
+    var_pairs: Vec<(MarkerSet, StateId)>,
+    index: HashMap<Box<[u32]>, u32>,
+    // Overrides for frozen states' unknown slots.
+    letter_overrides: HashMap<u32, u32>,
+    skip_overrides: HashMap<u32, bool>,
+    var_overrides: HashMap<u32, (u32, u32)>,
+    bytes: usize,
+    clears: u64,
+    states_interned: u64,
+    // Reusable scratch (retained like everything else).
+    set_scratch: SparseSet,
+    key_scratch: Vec<u32>,
+    group_scratch: Vec<(MarkerSet, u32)>,
+    row_scratch: Vec<(MarkerSet, StateId)>,
+    target_scratch: Vec<u32>,
+    evict_keys: Vec<u32>,
+    evict_offsets: Vec<u32>,
+}
+
+impl Default for FrozenDelta {
+    fn default() -> Self {
+        FrozenDelta {
+            frozen_id: 0,
+            base: 0,
+            ncls: 0,
+            budget: usize::MAX,
+            key_offsets: vec![0],
+            keys: Vec::new(),
+            finals: Vec::new(),
+            var_starts: Vec::new(),
+            var_lens: Vec::new(),
+            letter_rows: Vec::new(),
+            skip_rows: Vec::new(),
+            var_pairs: Vec::new(),
+            index: HashMap::new(),
+            letter_overrides: HashMap::new(),
+            skip_overrides: HashMap::new(),
+            var_overrides: HashMap::new(),
+            bytes: 0,
+            clears: 0,
+            states_interned: 0,
+            set_scratch: SparseSet::new(0),
+            key_scratch: Vec::new(),
+            group_scratch: Vec::new(),
+            row_scratch: Vec::new(),
+            target_scratch: Vec::new(),
+            evict_keys: Vec::new(),
+            evict_offsets: Vec::new(),
+        }
+    }
+}
+
+impl FrozenDelta {
+    /// An unbound delta; it binds to the first frozen snapshot it is used
+    /// with (see [`FrozenStepper::new`]).
+    pub fn new() -> FrozenDelta {
+        FrozenDelta::default()
+    }
+
+    /// Number of *overflow* states currently held (subsets the frozen
+    /// snapshot does not cover). Zero in the steady state of a well-warmed
+    /// snapshot.
+    #[inline]
+    pub fn num_overflow_states(&self) -> usize {
+        self.finals.len()
+    }
+
+    /// Overflow states interned over the delta's lifetime, including states
+    /// re-created after per-document resets and evictions — the measure of
+    /// determinization work the freeze failed to amortize.
+    #[inline]
+    pub fn states_interned(&self) -> u64 {
+        self.states_interned
+    }
+
+    /// How many budget-driven clear-and-restart evictions have happened
+    /// (per-document resets are not counted).
+    #[inline]
+    pub fn clear_count(&self) -> u64 {
+        self.clears
+    }
+
+    /// Approximate bytes currently held by overflow states and overrides.
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Capacity snapshot of the delta's buffers, for allocation-retention
+    /// assertions (mirrors [`LazyCache::capacity_signature`]).
+    pub fn capacity_signature(&self) -> CapacitySignature {
+        CapacitySignature([
+            self.keys.capacity(),
+            self.key_offsets.capacity(),
+            self.finals.capacity(),
+            self.letter_rows.capacity(),
+            self.skip_rows.capacity(),
+            self.var_pairs.capacity(),
+            self.index.capacity(),
+        ])
+    }
+
+    /// Binds the delta to `frozen`, resetting it if it was bound to a
+    /// different snapshot.
+    fn bind(&mut self, frozen: &FrozenCache, seva: &LazyDetSeva) {
+        assert_eq!(
+            frozen.seva_id, seva.id,
+            "FrozenStepper: snapshot belongs to a different automaton"
+        );
+        if self.frozen_id == frozen.id {
+            return;
+        }
+        self.frozen_id = frozen.id;
+        self.base = frozen.num_states() as u32;
+        self.ncls = frozen.ncls;
+        self.budget = seva.config.memory_budget;
+        self.clears = 0;
+        self.states_interned = 0;
+        self.set_scratch.reset(seva.num_nfa_states);
+        self.clear_local();
+    }
+
+    /// Drops every overflow state and override, keeping allocated capacity.
+    fn clear_local(&mut self) {
+        self.key_offsets.clear();
+        self.key_offsets.push(0);
+        self.keys.clear();
+        self.finals.clear();
+        self.var_starts.clear();
+        self.var_lens.clear();
+        self.letter_rows.clear();
+        self.skip_rows.clear();
+        self.var_pairs.clear();
+        self.index.clear();
+        self.letter_overrides.clear();
+        self.skip_overrides.clear();
+        self.var_overrides.clear();
+        self.bytes = 0;
+    }
+
+    /// Key extent of state `q`: `(lives_in_frozen, start, end)` into the
+    /// owning arena's `keys`.
+    #[inline]
+    fn key_extent(&self, frozen: &FrozenCache, q: usize) -> (bool, usize, usize) {
+        let base = self.base as usize;
+        if q < base {
+            (true, frozen.key_offsets[q] as usize, frozen.key_offsets[q + 1] as usize)
+        } else {
+            let lq = q - base;
+            (false, self.key_offsets[lq] as usize, self.key_offsets[lq + 1] as usize)
+        }
+    }
+
+    /// Looks up or creates the state for the (sorted) subset `key`: frozen
+    /// states are found in the shared index, overflow states in the delta's.
+    fn intern(&mut self, key: &[u32], frozen: &FrozenCache, seva: &LazyDetSeva) -> u32 {
+        if let Some(&id) = frozen.index.get(key) {
+            return id;
+        }
+        if let Some(&id) = self.index.get(key) {
+            return id;
+        }
+        let id = self.base as usize + self.finals.len();
+        assert!(
+            id < (UNKNOWN as usize) - 1,
+            "frozen-delta determinizer exhausted the u32 id space"
+        );
+        self.keys.extend_from_slice(key);
+        self.key_offsets.push(self.keys.len() as u32);
+        self.finals.push(key.iter().any(|&q| seva.nfa_finals[q as usize]));
+        self.var_starts.push(VARS_UNMATERIALIZED);
+        self.var_lens.push(0);
+        self.letter_rows.resize(self.letter_rows.len() + self.ncls, UNKNOWN);
+        self.skip_rows.resize(self.skip_rows.len() + self.ncls, SKIP_UNKNOWN);
+        self.index.insert(key.into(), id as u32);
+        self.bytes += key.len() * 8 + self.ncls * 5 + 64;
+        self.states_interned += 1;
+        id as u32
+    }
+
+    /// Lazy `δ(q, cls)` over the frozen/delta split: frozen rows are flat
+    /// loads; unknown frozen slots memoize into the override map; overflow
+    /// states use delta-local rows.
+    fn step_class(
+        &mut self,
+        frozen: &FrozenCache,
+        seva: &LazyDetSeva,
+        q: StateId,
+        cls: usize,
+    ) -> Option<StateId> {
+        let base = self.base as usize;
+        let cached = if q < base {
+            frozen.letter_rows[q * self.ncls + cls]
+        } else {
+            self.letter_rows[(q - base) * self.ncls + cls]
+        };
+        match cached {
+            NO_TARGET => return None,
+            t if t != UNKNOWN => return Some(t as StateId),
+            _ => {}
+        }
+        if q < base {
+            if let Some(&t) = self.letter_overrides.get(&((q * self.ncls + cls) as u32)) {
+                return if t == NO_TARGET { None } else { Some(t as StateId) };
+            }
+        }
+        // First step of this (state, class) since the freeze: union the NFA
+        // targets of every subset member, intern, memoize.
+        self.set_scratch.clear();
+        let (in_frozen, a, b) = self.key_extent(frozen, q);
+        for i in a..b {
+            let nq = (if in_frozen { frozen.keys[i] } else { self.keys[i] }) as usize;
+            for &t in seva.letter_targets(nq, cls) {
+                self.set_scratch.insert(t as usize);
+            }
+        }
+        let target = if self.set_scratch.is_empty() {
+            NO_TARGET
+        } else {
+            let mut ks = std::mem::take(&mut self.key_scratch);
+            ks.clear();
+            ks.extend_from_slice(self.set_scratch.as_slice());
+            ks.sort_unstable();
+            let id = self.intern(&ks, frozen, seva);
+            self.key_scratch = ks;
+            id
+        };
+        if q < base {
+            self.letter_overrides.insert((q * self.ncls + cls) as u32, target);
+            self.bytes += OVERRIDE_COST;
+        } else {
+            self.letter_rows[(q - base) * self.ncls + cls] = target;
+        }
+        if target == NO_TARGET {
+            None
+        } else {
+            Some(target as StateId)
+        }
+    }
+
+    /// Materializes the marker row of `q` into the delta arena (frozen states
+    /// with a frozen row never reach here — see [`FrozenDelta::markers_row`]),
+    /// returning its `(start, len)` extent.
+    fn materialize_vars(
+        &mut self,
+        frozen: &FrozenCache,
+        seva: &LazyDetSeva,
+        q: StateId,
+    ) -> (u32, u32) {
+        let base = self.base as usize;
+        if q < base {
+            if let Some(&ext) = self.var_overrides.get(&(q as u32)) {
+                return ext;
+            }
+            debug_assert_eq!(frozen.var_starts[q], VARS_UNMATERIALIZED);
+        } else {
+            let lq = q - base;
+            if self.var_starts[lq] != VARS_UNMATERIALIZED {
+                return (self.var_starts[lq], self.var_lens[lq]);
+            }
+        }
+        let mut groups = std::mem::take(&mut self.group_scratch);
+        groups.clear();
+        let (in_frozen, a, b) = self.key_extent(frozen, q);
+        for i in a..b {
+            let nq = (if in_frozen { frozen.keys[i] } else { self.keys[i] }) as usize;
+            groups.extend_from_slice(seva.var_pairs_of(nq));
+        }
+        groups.sort_unstable();
+        groups.dedup();
+        let mut row = std::mem::take(&mut self.row_scratch);
+        let mut ks = std::mem::take(&mut self.key_scratch);
+        row.clear();
+        let mut i = 0;
+        while i < groups.len() {
+            let markers = groups[i].0;
+            ks.clear();
+            while i < groups.len() && groups[i].0 == markers {
+                ks.push(groups[i].1);
+                i += 1;
+            }
+            let id = self.intern(&ks, frozen, seva);
+            row.push((markers, id as StateId));
+        }
+        let start = self.var_pairs.len() as u32;
+        let len = row.len() as u32;
+        self.var_pairs.extend_from_slice(&row);
+        if q < base {
+            self.var_overrides.insert(q as u32, (start, len));
+            self.bytes += OVERRIDE_COST;
+        } else {
+            let lq = q - base;
+            self.var_starts[lq] = start;
+            self.var_lens[lq] = len;
+        }
+        self.bytes += row.len() * std::mem::size_of::<(MarkerSet, StateId)>();
+        self.group_scratch = groups;
+        self.row_scratch = row;
+        self.key_scratch = ks;
+        (start, len)
+    }
+
+    /// `Markers_δ(q)` with targets, reading the frozen row when it exists and
+    /// the delta row (materializing it first) otherwise.
+    fn markers_row<'s>(
+        &'s mut self,
+        frozen: &'s FrozenCache,
+        seva: &LazyDetSeva,
+        q: StateId,
+    ) -> &'s [(MarkerSet, StateId)] {
+        let base = self.base as usize;
+        if q < base && frozen.var_starts[q] != VARS_UNMATERIALIZED {
+            let start = frozen.var_starts[q] as usize;
+            return &frozen.var_pairs[start..start + frozen.var_lens[q] as usize];
+        }
+        let (start, len) = self.materialize_vars(frozen, seva, q);
+        &self.var_pairs[start as usize..(start + len) as usize]
+    }
+
+    /// Lazy `has_markers(q)` over the split.
+    fn has_markers(&mut self, frozen: &FrozenCache, seva: &LazyDetSeva, q: StateId) -> bool {
+        let base = self.base as usize;
+        if q < base && frozen.var_starts[q] != VARS_UNMATERIALIZED {
+            return frozen.var_lens[q] != 0;
+        }
+        self.materialize_vars(frozen, seva, q).1 != 0
+    }
+
+    /// Lazy `run_skippable(q, cls)` over the split (frozen skip entries are
+    /// flat loads; unknown ones memoize into the override map).
+    fn run_skippable(
+        &mut self,
+        frozen: &FrozenCache,
+        seva: &LazyDetSeva,
+        q: StateId,
+        cls: usize,
+    ) -> bool {
+        let base = self.base as usize;
+        let local = if q < base {
+            match frozen.skip_rows[q * self.ncls + cls] {
+                SKIP_YES => return true,
+                SKIP_NO => return false,
+                _ => {}
+            }
+            if let Some(&s) = self.skip_overrides.get(&((q * self.ncls + cls) as u32)) {
+                return s;
+            }
+            None
+        } else {
+            match self.skip_rows[(q - base) * self.ncls + cls] {
+                SKIP_YES => return true,
+                SKIP_NO => return false,
+                _ => {}
+            }
+            Some(q - base)
+        };
+        let skip = self.compute_skippable(frozen, seva, q, cls);
+        match local {
+            None => {
+                self.skip_overrides.insert((q * self.ncls + cls) as u32, skip);
+                self.bytes += OVERRIDE_COST;
+            }
+            Some(lq) => {
+                // `compute_skippable` may intern states, growing `skip_rows`
+                // at the end — the slot index for `lq` is unaffected.
+                self.skip_rows[lq * self.ncls + cls] = if skip { SKIP_YES } else { SKIP_NO };
+            }
+        }
+        skip
+    }
+
+    fn compute_skippable(
+        &mut self,
+        frozen: &FrozenCache,
+        seva: &LazyDetSeva,
+        q: StateId,
+        cls: usize,
+    ) -> bool {
+        if self.step_class(frozen, seva, q, cls) != Some(q) {
+            return false;
+        }
+        let mut targets = std::mem::take(&mut self.target_scratch);
+        targets.clear();
+        targets.extend(self.markers_row(frozen, seva, q).iter().map(|&(_, p)| p as u32));
+        let mut skip = true;
+        for &p in &targets {
+            if self.step_class(frozen, seva, p as StateId, cls).is_some() {
+                skip = false;
+                break;
+            }
+        }
+        self.target_scratch = targets;
+        skip
+    }
+
+    /// Clear-and-restart eviction of the *delta only*: overflow states and
+    /// overrides are forgotten, live overflow states re-interned (their ids
+    /// rewritten in place); frozen ids — immutable by construction — are left
+    /// untouched, so the shared snapshot never churns.
+    fn evict(&mut self, frozen: &FrozenCache, seva: &LazyDetSeva, live: &mut [u32]) -> bool {
+        let base = self.base;
+        let mut ek = std::mem::take(&mut self.evict_keys);
+        let mut eo = std::mem::take(&mut self.evict_offsets);
+        ek.clear();
+        eo.clear();
+        eo.push(0);
+        for &q in live.iter() {
+            if q >= base {
+                let lq = (q - base) as usize;
+                let (a, b) = (self.key_offsets[lq] as usize, self.key_offsets[lq + 1] as usize);
+                ek.extend_from_slice(&self.keys[a..b]);
+            }
+            eo.push(ek.len() as u32);
+        }
+        self.clear_local();
+        for (k, q) in live.iter_mut().enumerate() {
+            if *q >= base {
+                let key = &ek[eo[k] as usize..eo[k + 1] as usize];
+                *q = self.intern(key, frozen, seva);
+            }
+        }
+        self.clears += 1;
+        self.evict_keys = ek;
+        self.evict_offsets = eo;
+        true
+    }
+}
+
+/// The pairing of a shared [`FrozenCache`] with one worker's private
+/// [`FrozenDelta`] (plus the immutable [`LazyDetSeva`]) that implements
+/// [`Stepper`] — the parallel-serving counterpart of [`LazyStepper`].
+///
+/// Constructing one binds the delta to the snapshot (resetting it if it was
+/// bound elsewhere) and then **resets the delta's contents** — capacity
+/// retained — so the evaluation about to run depends only on the snapshot
+/// and the document, never on what this worker processed before.
+#[derive(Debug)]
+pub struct FrozenStepper<'a> {
+    seva: &'a LazyDetSeva,
+    frozen: &'a FrozenCache,
+    delta: &'a mut FrozenDelta,
+}
+
+impl<'a> FrozenStepper<'a> {
+    /// Pairs the three halves, binding and resetting the delta first.
+    pub fn new(seva: &'a LazyDetSeva, frozen: &'a FrozenCache, delta: &'a mut FrozenDelta) -> Self {
+        delta.bind(frozen, seva);
+        delta.clear_local();
+        FrozenStepper { seva, frozen, delta }
+    }
+}
+
+impl Stepper for FrozenStepper<'_> {
+    #[inline]
+    fn state_bound(&self) -> usize {
+        self.frozen.num_states() + self.delta.num_overflow_states()
+    }
+
+    #[inline]
+    fn start_state(&mut self) -> StateId {
+        self.delta.intern(&[self.seva.initial], self.frozen, self.seva) as StateId
+    }
+
+    #[inline]
+    fn is_final(&self, q: StateId) -> bool {
+        let base = self.delta.base as usize;
+        if q < base {
+            self.frozen.finals[q]
+        } else {
+            self.delta.finals[q - base]
+        }
+    }
+
+    #[inline]
+    fn byte_class(&self, byte: u8) -> usize {
+        self.seva.partition.class_of(byte)
+    }
+
+    #[inline]
+    fn classify_document(&self, doc: &Document, out: &mut Vec<u8>) {
+        self.seva.partition.classify_into(doc.bytes(), out);
+    }
+
+    #[inline]
+    fn step_class(&mut self, q: StateId, cls: usize) -> Option<StateId> {
+        self.delta.step_class(self.frozen, self.seva, q, cls)
+    }
+
+    #[inline]
+    fn has_markers(&mut self, q: StateId) -> bool {
+        self.delta.has_markers(self.frozen, self.seva, q)
+    }
+
+    #[inline]
+    fn markers_from(&mut self, q: StateId) -> &[(MarkerSet, StateId)] {
+        self.delta.markers_row(self.frozen, self.seva, q)
+    }
+
+    #[inline]
+    fn run_skippable(&mut self, q: StateId, cls: usize) -> bool {
+        self.delta.run_skippable(self.frozen, self.seva, q, cls)
+    }
+
+    #[inline]
+    fn wants_maintenance(&self) -> bool {
+        self.delta.bytes > self.delta.budget
+    }
+
+    #[inline]
+    fn maintain(&mut self, live: &mut [u32]) -> bool {
+        self.delta.evict(self.frozen, self.seva, live)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -804,6 +1544,102 @@ mod tests {
         // Binding to `b` resets; binding back to `a` resets again.
         let _ = b.accepts(&mut cache, &Document::from("az"));
         assert!(a.accepts(&mut cache, &Document::from("az")));
+    }
+
+    #[test]
+    fn frozen_snapshot_matches_live_cache_on_acceptance() {
+        let eva = nondet_eva();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig::default()).unwrap();
+        let mut cache = lazy.create_cache();
+        // Warm on a couple of documents, then freeze.
+        for text in ["az", "gz"] {
+            let _ = lazy.accepts(&mut cache, &Document::from(text));
+        }
+        let frozen = cache.freeze(&lazy);
+        assert_eq!(frozen.seva_id(), lazy.id());
+        assert_eq!(frozen.num_states(), cache.num_states());
+        assert!(frozen.memory_bytes() > 0);
+        let mut delta = frozen.create_delta(&lazy);
+        for text in ["", "a", "g", "z", "ag", "gz", "abcxyz", "A", "a!b", "zzzagq"] {
+            let doc = Document::from(text);
+            let mut stepper = FrozenStepper::new(&lazy, &frozen, &mut delta);
+            assert_eq!(
+                accepts_generic(&mut stepper, &doc),
+                !eva.eval_naive(&doc).is_empty(),
+                "frozen acceptance mismatch on {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_freeze_evaluates_entirely_in_the_delta() {
+        let eva = nondet_eva();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig::default()).unwrap();
+        let frozen = lazy.create_cache().freeze(&lazy);
+        assert_eq!(frozen.num_states(), 0);
+        let mut delta = FrozenDelta::new();
+        let doc = Document::from("agz");
+        let mut stepper = FrozenStepper::new(&lazy, &frozen, &mut delta);
+        assert!(accepts_generic(&mut stepper, &doc));
+        assert!(delta.num_overflow_states() > 0, "all states must live in the delta");
+    }
+
+    #[test]
+    fn delta_resets_per_document_and_keeps_capacity() {
+        let eva = nondet_eva();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig::default()).unwrap();
+        let frozen = lazy.create_cache().freeze(&lazy);
+        let mut delta = FrozenDelta::new();
+        let doc = Document::from("agzagz");
+        for round in 0..3 {
+            let mut stepper = FrozenStepper::new(&lazy, &frozen, &mut delta);
+            assert!(accepts_generic(&mut stepper, &doc), "round {round}");
+        }
+        // Three identical documents: the per-document reset makes the third
+        // run intern exactly what the first did, with warm capacity.
+        let sig = delta.capacity_signature();
+        let per_doc = delta.states_interned() / 3;
+        assert_eq!(delta.states_interned(), per_doc * 3, "interning is not per-document stable");
+        let mut stepper = FrozenStepper::new(&lazy, &frozen, &mut delta);
+        assert!(accepts_generic(&mut stepper, &doc));
+        assert_eq!(delta.capacity_signature(), sig, "warm delta reallocated");
+    }
+
+    #[test]
+    fn delta_eviction_under_tiny_budget_stays_correct() {
+        let eva = nondet_eva();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig { memory_budget: 1 }).unwrap();
+        let frozen = lazy.create_cache().freeze(&lazy);
+        let mut delta = FrozenDelta::new();
+        let doc = Document::from("agzagzagz");
+        let mut stepper = FrozenStepper::new(&lazy, &frozen, &mut delta);
+        assert!(accepts_generic(&mut stepper, &doc));
+        assert!(delta.clear_count() > 0, "a 1-byte budget must force delta evictions");
+        let mut stepper = FrozenStepper::new(&lazy, &frozen, &mut delta);
+        assert!(!accepts_generic(&mut stepper, &Document::from("!!!")));
+    }
+
+    #[test]
+    fn frozen_cache_is_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<FrozenCache>();
+        check::<LazyDetSeva>();
+        check::<FrozenDelta>();
+        check::<LazyCache>();
+    }
+
+    #[test]
+    fn wasted_states_and_signature_display() {
+        let eva = nondet_eva();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig { memory_budget: 1 }).unwrap();
+        let mut cache = lazy.create_cache();
+        let doc = Document::from("agzagzagz");
+        assert!(lazy.accepts(&mut cache, &doc));
+        assert!(cache.clear_count() > 0);
+        assert_eq!(cache.wasted_states(), cache.states_interned() - cache.num_states() as u64);
+        assert!(cache.wasted_states() > 0, "thrashing must waste interned states");
+        let rendered = cache.capacity_signature().to_string();
+        assert!(rendered.contains("keys=") && rendered.contains("index="), "{rendered}");
     }
 
     #[test]

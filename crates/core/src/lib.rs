@@ -55,7 +55,10 @@ pub use document::Document;
 pub use enumerate::{DagView, EngineMode, EnumerationDag, Evaluator, MappingIter};
 pub use error::{ParseError, Result, SpannerError};
 pub use eva::{Eva, EvaBuilder, EvaRun, StateId};
-pub use lazy::{LazyCache, LazyConfig, LazyDetSeva, LazyStepper};
+pub use lazy::{
+    CapacitySignature, FrozenCache, FrozenDelta, FrozenStepper, LazyCache, LazyConfig, LazyDetSeva,
+    LazyStepper,
+};
 pub use mapping::{
     dedup_mappings, join_mapping_sets, project_mapping_set, union_mapping_sets, Mapping,
 };
@@ -65,3 +68,26 @@ pub use span::{all_spans, Span};
 pub use spanner::{CompiledSpanner, EnginePolicy};
 pub use sparse::SparseSet;
 pub use variable::{Marker, VarId, VarRegistry, MAX_VARIABLES};
+
+/// Compile-time thread-safety audit of the batch/serving runtime's sharing
+/// model: the compiled automata and frozen snapshots are shared *read-only*
+/// across worker threads (`Send + Sync`), while every mutable engine — the
+/// evaluators, count caches, lazy caches and frozen-overflow deltas — is
+/// per-worker state that only needs to move between threads (`Send`).
+/// A field that silently introduced interior mutability or a thread-bound
+/// type would fail this function's bounds and break the build.
+#[allow(dead_code)]
+fn assert_runtime_thread_safety() {
+    fn shared<T: Send + Sync>() {}
+    fn per_worker<T: Send>() {}
+    shared::<DetSeva>();
+    shared::<LazyDetSeva>();
+    shared::<FrozenCache>();
+    shared::<AlphabetPartition>();
+    shared::<CompiledSpanner>();
+    shared::<Document>();
+    per_worker::<Evaluator>();
+    per_worker::<CountCache<u64>>();
+    per_worker::<LazyCache>();
+    per_worker::<FrozenDelta>();
+}

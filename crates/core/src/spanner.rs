@@ -6,7 +6,7 @@ use crate::document::Document;
 use crate::enumerate::{DagView, EnumerationDag, Evaluator, MappingIter};
 use crate::error::SpannerError;
 use crate::eva::Eva;
-use crate::lazy::{LazyConfig, LazyDetSeva};
+use crate::lazy::{FrozenCache, LazyConfig, LazyDetSeva};
 use crate::mapping::Mapping;
 use crate::variable::VarRegistry;
 
@@ -149,19 +149,34 @@ impl CompiledSpanner {
         }
     }
 
+    /// The underlying eagerly compiled automaton, or `None` for lazy-backed
+    /// spanners — the non-panicking replacement for the deprecated
+    /// [`CompiledSpanner::automaton`]. Currently an alias of
+    /// [`CompiledSpanner::eager_automaton`], kept as the canonical name.
+    #[inline]
+    pub fn try_automaton(&self) -> Option<&DetSeva> {
+        self.eager_automaton()
+    }
+
     /// The underlying deterministic sequential eVA.
     ///
     /// # Panics
     ///
     /// Panics if the spanner uses the lazy engine (there is no eagerly
-    /// compiled automaton to return) — check [`CompiledSpanner::is_lazy`] or
-    /// use [`CompiledSpanner::eager_automaton`] when the engine is not known
-    /// statically. Spanners produced by the regex/algebra pipelines are
-    /// always eager, so their callers can use this accessor freely.
+    /// compiled automaton to return). This panic path is why the accessor is
+    /// deprecated: since `EnginePolicy::Auto` routes nondeterministic or
+    /// oversized input to the lazy engine, no caller can assume an eager
+    /// automaton exists unless it chose the engine itself. Use
+    /// [`CompiledSpanner::try_automaton`] and handle `None` instead.
+    #[deprecated(
+        since = "0.2.0",
+        note = "panics on lazy-backed spanners; use try_automaton() (or eager_automaton()) \
+                and handle None"
+    )]
     pub fn automaton(&self) -> &DetSeva {
         self.eager_automaton().expect(
             "CompiledSpanner::automaton called on a lazy spanner; \
-             use eager_automaton()/lazy_automaton()",
+             use try_automaton()/lazy_automaton()",
         )
     }
 
@@ -264,6 +279,76 @@ impl CompiledSpanner {
     pub fn iter_mappings<'a>(&self, dag: &'a EnumerationDag) -> MappingIter<'a> {
         dag.iter()
     }
+
+    /// Warms a private determinization cache on `warm_docs` and freezes it
+    /// into a shareable [`FrozenCache`] snapshot — the preparation step of
+    /// the parallel batch/serving runtime. Returns `None` for eager spanners,
+    /// whose dense tables are already immutable and shared by reference.
+    ///
+    /// The snapshot captures every subset state and transition row the warm
+    /// documents exercised; worker threads then step through it read-only,
+    /// each computing the (rare, for a representative warm set) leftovers in
+    /// a private [`crate::FrozenDelta`]. An empty `warm_docs` yields a valid
+    /// but cold snapshot: every state is then rediscovered per document.
+    pub fn freeze_warm(&self, warm_docs: &[Document]) -> Option<FrozenCache> {
+        let lazy = self.lazy_automaton()?;
+        let mut evaluator = Evaluator::new();
+        for doc in warm_docs {
+            let _ = evaluator.eval_lazy(lazy, doc).num_nodes();
+        }
+        Some(match evaluator.lazy_cache() {
+            Some(cache) => cache.freeze(lazy),
+            None => lazy.create_cache().freeze(lazy),
+        })
+    }
+
+    /// Like [`CompiledSpanner::evaluate_with`], but stepping a lazy spanner
+    /// through the shared `frozen` snapshot (with the evaluator's private
+    /// overflow delta) instead of the evaluator's embedded mutable cache —
+    /// the per-worker entry point of the batch runtime. Eager spanners ignore
+    /// `frozen` (their tables are already shared and immutable), so callers
+    /// can hold an `Option<FrozenCache>` and dispatch uniformly.
+    pub fn evaluate_frozen_with<'a>(
+        &'a self,
+        evaluator: &'a mut Evaluator,
+        frozen: &FrozenCache,
+        doc: &Document,
+    ) -> DagView<'a> {
+        match &self.engine {
+            Engine::Eager(det) => evaluator.eval(det, doc),
+            Engine::Lazy(lazy) => evaluator.eval_frozen(lazy, frozen, doc),
+        }
+    }
+
+    /// Like [`CompiledSpanner::count_with`], but stepping a lazy spanner
+    /// through the shared `frozen` snapshot (see
+    /// [`CompiledSpanner::evaluate_frozen_with`]).
+    pub fn count_frozen_with<C: Counter>(
+        &self,
+        cache: &mut CountCache<C>,
+        frozen: &FrozenCache,
+        doc: &Document,
+    ) -> Result<C, SpannerError> {
+        match &self.engine {
+            Engine::Eager(det) => cache.count(det, doc),
+            Engine::Lazy(lazy) => cache.count_frozen(lazy, frozen, doc),
+        }
+    }
+
+    /// Like [`CompiledSpanner::is_match_with`], but stepping a lazy spanner
+    /// through the shared `frozen` snapshot (see
+    /// [`CompiledSpanner::evaluate_frozen_with`]).
+    pub fn is_match_frozen_with(
+        &self,
+        evaluator: &mut Evaluator,
+        frozen: &FrozenCache,
+        doc: &Document,
+    ) -> bool {
+        match &self.engine {
+            Engine::Eager(det) => det.accepts(doc),
+            Engine::Lazy(lazy) => evaluator.accepts_frozen(lazy, frozen, doc),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -355,8 +440,60 @@ mod tests {
         assert!(!sp.is_lazy());
         assert!(sp.eager_automaton().is_some());
         assert!(sp.lazy_automaton().is_none());
-        // automaton() works (and does not panic) on the eager engine.
-        assert_eq!(sp.automaton().num_states(), 3);
+        assert_eq!(sp.try_automaton().expect("eager engine").num_states(), 3);
+        // The deprecated accessor keeps working (and not panicking) on the
+        // eager engine until it is removed.
+        #[allow(deprecated)]
+        let det = sp.automaton();
+        assert_eq!(det.num_states(), 3);
+    }
+
+    #[test]
+    fn try_automaton_is_none_on_lazy_spanners() {
+        let lazy = CompiledSpanner::from_eva_with(&a_block_eva(), EnginePolicy::Lazy).unwrap();
+        assert!(lazy.try_automaton().is_none());
+        let eager = a_block_spanner();
+        assert!(eager.try_automaton().is_some());
+    }
+
+    #[test]
+    fn frozen_entry_points_match_live_engines() {
+        // Lazy spanner: freeze after warming on one document, then the frozen
+        // entry points must agree with the embedded-cache ones on every doc.
+        let eva = a_block_eva();
+        let lazy = CompiledSpanner::from_eva_with(&eva, EnginePolicy::Lazy).unwrap();
+        let frozen = lazy.freeze_warm(&[Document::from("baab")]).expect("lazy spanners freeze");
+        let mut live = Evaluator::new();
+        let mut frosty = Evaluator::new();
+        let mut live_counts = CountCache::<u64>::new();
+        let mut frozen_counts = CountCache::<u64>::new();
+        for text in ["", "a", "baab", "aaaa", "bbbb", "abab"] {
+            let doc = Document::from(text);
+            let mut expected = lazy.evaluate_with(&mut live, &doc).collect_mappings();
+            let mut got = lazy.evaluate_frozen_with(&mut frosty, &frozen, &doc).collect_mappings();
+            expected.sort();
+            got.sort();
+            assert_eq!(got, expected, "frozen evaluation diverged on {text:?}");
+            assert_eq!(
+                lazy.count_frozen_with(&mut frozen_counts, &frozen, &doc).unwrap(),
+                lazy.count_with(&mut live_counts, &doc).unwrap(),
+                "frozen count diverged on {text:?}"
+            );
+            assert_eq!(
+                lazy.is_match_frozen_with(&mut frosty, &frozen, &doc),
+                lazy.is_match(&doc),
+                "frozen is_match diverged on {text:?}"
+            );
+        }
+        // Eager spanners have no snapshot to freeze; the frozen entry points
+        // fall back to the plain engine so callers can dispatch uniformly.
+        let eager = a_block_spanner();
+        assert!(eager.freeze_warm(&[]).is_none());
+        let doc = Document::from("baab");
+        assert_eq!(
+            eager.evaluate_frozen_with(&mut frosty, &frozen, &doc).count_paths(),
+            eager.evaluate_with(&mut live, &doc).count_paths()
+        );
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! One-shot parallel batch evaluation over a slice of documents.
+//!
+//! [`BatchSpanner`] extends [`CompiledSpanner`] with
+//! `evaluate_batch`/`count_batch`/`is_match_batch`: fan a document slice out
+//! over [`std::thread::scope`] workers (plain `std`, no external
+//! dependencies), each holding one warm pooled engine, and return the
+//! per-document results **in document order** regardless of scheduling. For
+//! lazy-backed spanners the batch first warms and freezes a shared
+//! determinization snapshot from the leading documents, so the N workers
+//! read one table instead of re-determinizing N times.
+//!
+//! One thread (or one document) short-circuits to a plain sequential loop —
+//! no threads are spawned, no atomics touched — and, because worker deltas
+//! reset per document, the parallel output is byte-for-byte the sequential
+//! output at every thread count. Long-lived services should prefer
+//! [`crate::SpannerServer`], which keeps the pools and the frozen snapshot
+//! warm across batches instead of rebuilding them per call.
+
+use crate::pool::{CountCachePool, EvaluatorPool};
+use spanners_core::{CompiledSpanner, Counter, DagView, Document, FrozenCache, SpannerError};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many leading documents a one-shot batch samples to warm the frozen
+/// determinization snapshot of a lazy spanner before fanning out.
+pub(crate) const WARM_SAMPLE_DOCS: usize = 4;
+
+/// Configuration of a batch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchOptions {
+    /// Worker threads to fan out over; `0` (the default) means "ask the OS"
+    /// ([`std::thread::available_parallelism`]). The effective count is
+    /// additionally capped by the number of documents, and `1` selects the
+    /// sequential fallback (no threads spawned).
+    pub threads: usize,
+}
+
+impl BatchOptions {
+    /// Options running exactly `threads` workers.
+    pub fn threads(threads: usize) -> BatchOptions {
+        BatchOptions { threads }
+    }
+
+    /// The worker count a batch of `jobs` documents actually uses.
+    pub fn effective_threads(&self, jobs: usize) -> usize {
+        let requested = match self.threads {
+            0 => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+            n => n,
+        };
+        requested.min(jobs).max(1)
+    }
+}
+
+/// Runs `jobs` independent jobs on `threads` scoped workers and returns the
+/// results **in job order**. Each worker builds its state once (`init`),
+/// then pulls job indices from a shared counter — dynamic scheduling, so an
+/// expensive document does not stall a whole stripe. `threads <= 1` runs a
+/// plain sequential loop with a single state and no synchronisation.
+pub(crate) fn run_ordered<S, R, I, F>(jobs: usize, threads: usize, init: I, step: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    if threads <= 1 || jobs <= 1 {
+        let mut state = init();
+        return (0..jobs).map(|i| step(&mut state, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        out.push((i, step(&mut state, i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "job {i} ran twice");
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|r| r.expect("every job ran exactly once")).collect()
+}
+
+/// Warms and freezes a shared determinization snapshot for a lazy spanner
+/// from the leading documents of the batch (`None` for eager spanners, whose
+/// tables are immutable and shared as-is). Batches of fewer than two
+/// documents skip the freeze: there is nothing to amortize across, and the
+/// plain warm lazy path avoids evaluating the lone document twice.
+pub(crate) fn freeze_for_batch(
+    spanner: &CompiledSpanner,
+    docs: &[Document],
+) -> Option<FrozenCache> {
+    if docs.len() < 2 {
+        return None;
+    }
+    spanner.freeze_warm(&docs[..docs.len().min(WARM_SAMPLE_DOCS)])
+}
+
+/// The shared per-batch evaluation plan: spanner + optional frozen snapshot
+/// + engine pools, borrowed by every worker.
+pub(crate) struct BatchPlan<'a> {
+    pub spanner: &'a CompiledSpanner,
+    pub frozen: Option<&'a FrozenCache>,
+}
+
+impl BatchPlan<'_> {
+    pub(crate) fn evaluate<R, F>(
+        &self,
+        pool: &EvaluatorPool,
+        docs: &[Document],
+        threads: usize,
+        f: &F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, DagView<'_>) -> R + Sync,
+    {
+        run_ordered(
+            docs.len(),
+            threads,
+            || pool.checkout(),
+            |evaluator, i| {
+                let view = match self.frozen {
+                    Some(frozen) => self.spanner.evaluate_frozen_with(evaluator, frozen, &docs[i]),
+                    None => self.spanner.evaluate_with(evaluator, &docs[i]),
+                };
+                f(i, view)
+            },
+        )
+    }
+
+    pub(crate) fn count<C>(
+        &self,
+        pool: &CountCachePool<C>,
+        docs: &[Document],
+        threads: usize,
+    ) -> Result<Vec<C>, SpannerError>
+    where
+        C: Counter + Send,
+    {
+        run_ordered(
+            docs.len(),
+            threads,
+            || pool.checkout(),
+            |cache, i| match self.frozen {
+                Some(frozen) => self.spanner.count_frozen_with(cache, frozen, &docs[i]),
+                None => self.spanner.count_with(cache, &docs[i]),
+            },
+        )
+        // Document order is preserved, so on failure the error reported is
+        // the lowest-index failing document — deterministic across runs.
+        .into_iter()
+        .collect()
+    }
+
+    pub(crate) fn is_match(
+        &self,
+        pool: &EvaluatorPool,
+        docs: &[Document],
+        threads: usize,
+    ) -> Vec<bool> {
+        run_ordered(
+            docs.len(),
+            threads,
+            || pool.checkout(),
+            |evaluator, i| match self.frozen {
+                Some(frozen) => self.spanner.is_match_frozen_with(evaluator, frozen, &docs[i]),
+                None => self.spanner.is_match_with(evaluator, &docs[i]),
+            },
+        )
+    }
+}
+
+/// Batch evaluation entry points on [`CompiledSpanner`] — import this trait
+/// to call `spanner.evaluate_batch(...)` / `spanner.count_batch(...)`.
+///
+/// These are the one-shot forms: each call builds transient engine pools and
+/// (for lazy spanners) a transient frozen snapshot warmed on the leading
+/// [`WARM_SAMPLE_DOCS`] documents. A long-lived service should hold a
+/// [`crate::SpannerServer`] instead, which amortizes both across calls.
+pub trait BatchSpanner {
+    /// Evaluates every document, mapping each resulting DAG view through `f`
+    /// (e.g. `|_, dag| dag.collect_mappings()` or `|_, dag| dag.count_paths()`)
+    /// on the worker that produced it, and returns the outputs in document
+    /// order. `f` receives the document index alongside the view.
+    fn evaluate_batch<R, F>(&self, docs: &[Document], opts: &BatchOptions, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, DagView<'_>) -> R + Sync;
+
+    /// Counts `|⟦A⟧(d)|` for every document (Algorithm 3), in document
+    /// order. Fails with the error of the lowest-index failing document if
+    /// any counter overflows.
+    fn count_batch<C>(
+        &self,
+        docs: &[Document],
+        opts: &BatchOptions,
+    ) -> Result<Vec<C>, SpannerError>
+    where
+        C: Counter + Send;
+
+    /// Whether each document has at least one output mapping, in document
+    /// order.
+    fn is_match_batch(&self, docs: &[Document], opts: &BatchOptions) -> Vec<bool>;
+}
+
+impl BatchSpanner for CompiledSpanner {
+    fn evaluate_batch<R, F>(&self, docs: &[Document], opts: &BatchOptions, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, DagView<'_>) -> R + Sync,
+    {
+        let frozen = freeze_for_batch(self, docs);
+        let pool = EvaluatorPool::new();
+        let plan = BatchPlan { spanner: self, frozen: frozen.as_ref() };
+        plan.evaluate(&pool, docs, opts.effective_threads(docs.len()), &f)
+    }
+
+    fn count_batch<C>(&self, docs: &[Document], opts: &BatchOptions) -> Result<Vec<C>, SpannerError>
+    where
+        C: Counter + Send,
+    {
+        let frozen = freeze_for_batch(self, docs);
+        let pool: CountCachePool<C> = CountCachePool::new();
+        let plan = BatchPlan { spanner: self, frozen: frozen.as_ref() };
+        plan.count(&pool, docs, opts.effective_threads(docs.len()))
+    }
+
+    fn is_match_batch(&self, docs: &[Document], opts: &BatchOptions) -> Vec<bool> {
+        let frozen = freeze_for_batch(self, docs);
+        let pool = EvaluatorPool::new();
+        let plan = BatchPlan { spanner: self, frozen: frozen.as_ref() };
+        plan.is_match(&pool, docs, opts.effective_threads(docs.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ordered_is_in_job_order_at_any_thread_count() {
+        for threads in [1usize, 2, 3, 8] {
+            let out = run_ordered(23, threads, || (), |_, i| i * 10);
+            assert_eq!(out, (0..23).map(|i| i * 10).collect::<Vec<_>>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn run_ordered_empty_and_single() {
+        let out: Vec<usize> = run_ordered(0, 8, || (), |_, i| i);
+        assert!(out.is_empty());
+        let out = run_ordered(1, 8, || (), |_, i| i + 1);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn effective_threads_caps_by_jobs() {
+        assert_eq!(BatchOptions::threads(8).effective_threads(3), 3);
+        assert_eq!(BatchOptions::threads(2).effective_threads(100), 2);
+        assert_eq!(BatchOptions::threads(1).effective_threads(100), 1);
+        assert!(BatchOptions::default().effective_threads(100) >= 1);
+    }
+}

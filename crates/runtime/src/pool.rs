@@ -1,0 +1,242 @@
+//! Checkout/checkin pools of warm per-worker evaluation engines.
+//!
+//! A pool is the serving-side answer to "one warm [`Evaluator`] per worker":
+//! workers check an engine out for a document (or a run of documents), and
+//! the drop of the guard checks it back in with **all retained capacity** —
+//! DAG arenas, per-state buffers, class buffers, lazy caches and frozen
+//! deltas included. In steady state a pool stops allocating entirely: the
+//! same engines cycle between workers, and a batch of N threads creates at
+//! most N engines over the pool's lifetime no matter how many documents it
+//! serves.
+
+use spanners_core::{CountCache, Counter, EngineMode, Evaluator};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a pool mutex, recovering from poisoning: the pooled engines are
+/// plain data whose invariants cannot be broken mid-operation, so a panic in
+/// some other worker never invalidates the freelist itself.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A pool of warm [`Evaluator`]s (Algorithm 1 engines).
+///
+/// ```
+/// use spanners_runtime::EvaluatorPool;
+/// let pool = EvaluatorPool::new();
+/// {
+///     let mut evaluator = pool.checkout(); // fresh engine: the pool was empty
+///     let _ = &mut *evaluator;             // …use it…
+/// } // drop checks it back in, capacity retained
+/// assert_eq!(pool.idle(), 1);
+/// assert_eq!(pool.engines_created(), 1);
+/// let _again = pool.checkout(); // the same warm engine, not a new one
+/// assert_eq!(pool.engines_created(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct EvaluatorPool {
+    idle: Mutex<Vec<Evaluator>>,
+    mode: EngineMode,
+    created: AtomicUsize,
+}
+
+impl EvaluatorPool {
+    /// An empty pool handing out engines in the default
+    /// [`EngineMode::ClassRuns`].
+    pub fn new() -> EvaluatorPool {
+        EvaluatorPool::default()
+    }
+
+    /// An empty pool whose engines run the given mode.
+    pub fn with_mode(mode: EngineMode) -> EvaluatorPool {
+        EvaluatorPool { mode, ..EvaluatorPool::default() }
+    }
+
+    /// Checks an engine out: a warm one when available, a fresh one
+    /// otherwise. The returned guard checks it back in on drop.
+    pub fn checkout(&self) -> PooledEvaluator<'_> {
+        let engine = lock(&self.idle).pop().unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            Evaluator::with_mode(self.mode)
+        });
+        PooledEvaluator { pool: self, engine: Some(engine) }
+    }
+
+    /// Number of engines currently checked in.
+    pub fn idle(&self) -> usize {
+        lock(&self.idle).len()
+    }
+
+    /// Total engines ever created — the warm-reuse diagnostic: a pool serving
+    /// from warm engines stops incrementing this.
+    pub fn engines_created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+}
+
+/// Checkout guard of an [`EvaluatorPool`]; derefs to the [`Evaluator`] and
+/// returns it (capacity retained) on drop.
+#[derive(Debug)]
+pub struct PooledEvaluator<'p> {
+    pool: &'p EvaluatorPool,
+    engine: Option<Evaluator>,
+}
+
+impl Deref for PooledEvaluator<'_> {
+    type Target = Evaluator;
+    fn deref(&self) -> &Evaluator {
+        self.engine.as_ref().expect("engine present until drop")
+    }
+}
+
+impl DerefMut for PooledEvaluator<'_> {
+    fn deref_mut(&mut self) -> &mut Evaluator {
+        self.engine.as_mut().expect("engine present until drop")
+    }
+}
+
+impl Drop for PooledEvaluator<'_> {
+    fn drop(&mut self) {
+        if let Some(engine) = self.engine.take() {
+            lock(&self.pool.idle).push(engine);
+        }
+    }
+}
+
+/// A pool of warm [`CountCache`]s (Algorithm 3 engines) — the counting
+/// mirror of [`EvaluatorPool`].
+#[derive(Debug)]
+pub struct CountCachePool<C: Counter> {
+    idle: Mutex<Vec<CountCache<C>>>,
+    mode: EngineMode,
+    created: AtomicUsize,
+}
+
+impl<C: Counter> Default for CountCachePool<C> {
+    fn default() -> Self {
+        CountCachePool {
+            idle: Mutex::new(Vec::new()),
+            mode: EngineMode::default(),
+            created: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<C: Counter> CountCachePool<C> {
+    /// An empty pool handing out caches in the default
+    /// [`EngineMode::ClassRuns`].
+    pub fn new() -> CountCachePool<C> {
+        CountCachePool::default()
+    }
+
+    /// An empty pool whose caches run the given mode.
+    pub fn with_mode(mode: EngineMode) -> CountCachePool<C> {
+        CountCachePool { mode, ..CountCachePool::default() }
+    }
+
+    /// Checks a cache out: a warm one when available, a fresh one otherwise.
+    /// The returned guard checks it back in on drop.
+    pub fn checkout(&self) -> PooledCountCache<'_, C> {
+        let engine = lock(&self.idle).pop().unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            CountCache::with_mode(self.mode)
+        });
+        PooledCountCache { pool: self, engine: Some(engine) }
+    }
+
+    /// Number of caches currently checked in.
+    pub fn idle(&self) -> usize {
+        lock(&self.idle).len()
+    }
+
+    /// Total caches ever created (see [`EvaluatorPool::engines_created`]).
+    pub fn engines_created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+}
+
+/// Checkout guard of a [`CountCachePool`]; derefs to the [`CountCache`] and
+/// returns it (capacity retained) on drop.
+#[derive(Debug)]
+pub struct PooledCountCache<'p, C: Counter> {
+    pool: &'p CountCachePool<C>,
+    engine: Option<CountCache<C>>,
+}
+
+impl<C: Counter> Deref for PooledCountCache<'_, C> {
+    type Target = CountCache<C>;
+    fn deref(&self) -> &CountCache<C> {
+        self.engine.as_ref().expect("engine present until drop")
+    }
+}
+
+impl<C: Counter> DerefMut for PooledCountCache<'_, C> {
+    fn deref_mut(&mut self) -> &mut CountCache<C> {
+        self.engine.as_mut().expect("engine present until drop")
+    }
+}
+
+impl<C: Counter> Drop for PooledCountCache<'_, C> {
+    fn drop(&mut self) {
+        if let Some(engine) = self.engine.take() {
+            lock(&self.pool.idle).push(engine);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_warm_engines() {
+        let pool = EvaluatorPool::new();
+        assert_eq!(pool.idle(), 0);
+        {
+            let _a = pool.checkout();
+            let _b = pool.checkout();
+            assert_eq!(pool.engines_created(), 2);
+            assert_eq!(pool.idle(), 0);
+        }
+        assert_eq!(pool.idle(), 2);
+        let _c = pool.checkout();
+        assert_eq!(pool.engines_created(), 2, "warm engine must be reused");
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn count_pool_mirrors_evaluator_pool() {
+        let pool: CountCachePool<u64> = CountCachePool::new();
+        {
+            let _a = pool.checkout();
+        }
+        assert_eq!(pool.idle(), 1);
+        let _b = pool.checkout();
+        assert_eq!(pool.engines_created(), 1);
+    }
+
+    #[test]
+    fn pools_are_shareable_across_threads() {
+        fn shared<T: Send + Sync>() {}
+        shared::<EvaluatorPool>();
+        shared::<CountCachePool<u64>>();
+        let pool = EvaluatorPool::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let _engine = pool.checkout();
+                    }
+                });
+            }
+        });
+        // Contention bound: never more engines than peak concurrent checkouts.
+        assert!(pool.engines_created() <= 4, "created {}", pool.engines_created());
+        assert_eq!(pool.idle(), pool.engines_created());
+    }
+}

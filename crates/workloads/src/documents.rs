@@ -110,6 +110,55 @@ pub fn figure1_document() -> Document {
     Document::from("John xj@g.bey, Jane x555-12y")
 }
 
+/// Derives the per-document seed of document `i` in a corpus — a fixed
+/// splitmix-style mix so corpora are reproducible and documents mutually
+/// independent.
+fn corpus_seed(seed: u64, i: usize) -> u64 {
+    seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+}
+
+/// A corpus of small contact-directory documents (the batch-serving
+/// workload: many independent Figure 1-style directories). Returns the
+/// documents together with the total number of entries across the corpus,
+/// which equals the total mapping count of the Example 2.1 spanner over it.
+pub fn contact_corpus(seed: u64, docs: usize, entries_per_doc: usize) -> (Vec<Document>, usize) {
+    let corpus: Vec<Document> =
+        (0..docs).map(|i| contact_directory(corpus_seed(seed, i), entries_per_doc).0).collect();
+    (corpus, docs * entries_per_doc)
+}
+
+/// A corpus of small log-file documents (`lines_per_doc` Apache-style lines
+/// each).
+pub fn log_corpus(seed: u64, docs: usize, lines_per_doc: usize) -> Vec<Document> {
+    (0..docs).map(|i| log_lines(corpus_seed(seed, i), lines_per_doc)).collect()
+}
+
+/// A corpus of uniformly random text documents over `alphabet`, with
+/// per-document lengths varying in `min_len..=max_len` (seeded, so corpora
+/// are reproducible byte for byte).
+pub fn text_corpus(
+    seed: u64,
+    docs: usize,
+    min_len: usize,
+    max_len: usize,
+    alphabet: &[u8],
+) -> Vec<Document> {
+    assert!(min_len <= max_len, "min_len must not exceed max_len");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..docs)
+        .map(|i| {
+            let len = min_len + rng.gen_range(0..max_len - min_len + 1);
+            random_text(corpus_seed(seed, i), len, alphabet)
+        })
+        .collect()
+}
+
+/// Total bytes of a corpus — the throughput denominator of the batch
+/// benchmarks (E11).
+pub fn corpus_bytes(corpus: &[Document]) -> usize {
+    corpus.iter().map(|d| d.len()).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +206,32 @@ mod tests {
         let doc = dna(11, 500);
         assert_eq!(doc.len(), 500);
         assert!(doc.bytes().iter().all(|b| b"ACGT".contains(b)));
+    }
+
+    #[test]
+    fn corpora_are_deterministic_and_sized() {
+        let (a, total) = contact_corpus(5, 8, 3);
+        let (b, _) = contact_corpus(5, 8, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert_eq!(total, 24);
+        // Documents differ from each other (independent per-document seeds).
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+        assert_eq!(corpus_bytes(&a), a.iter().map(|d| d.len()).sum::<usize>());
+
+        let logs = log_corpus(7, 5, 4);
+        assert_eq!(logs.len(), 5);
+        for doc in &logs {
+            let text = String::from_utf8(doc.bytes().to_vec()).unwrap();
+            assert_eq!(text.lines().count(), 4);
+        }
+
+        let texts = text_corpus(9, 20, 10, 50, b"ab");
+        assert_eq!(texts.len(), 20);
+        assert!(texts.iter().all(|d| (10..=50).contains(&d.len())));
+        assert_eq!(texts, text_corpus(9, 20, 10, 50, b"ab"));
+        let fixed = text_corpus(9, 3, 16, 16, b"ab");
+        assert!(fixed.iter().all(|d| d.len() == 16));
     }
 
     #[test]

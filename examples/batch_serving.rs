@@ -1,0 +1,77 @@
+//! Multi-document serving: one warm [`SpannerServer`] answering batches of
+//! small documents — the heavy-traffic configuration the batch runtime
+//! exists for.
+//!
+//! Run with: `cargo run --release --example batch_serving [docs] [threads]`
+//!
+//! Two spanners are served: the eager contact extractor of Example 2.1 over
+//! a corpus of small directories, and a lazy-backed spanner (the
+//! `.*a.{n}`-style exponential family, which cannot be determinized eagerly)
+//! whose warm determinization cache is frozen once and shared read-only by
+//! every worker.
+
+use std::time::Instant;
+
+use spanners::regex::compile;
+use spanners::runtime::{BatchOptions, SpannerServer};
+use spanners::workloads::{
+    contact_corpus, contact_pattern, corpus_bytes, exp_blowup_eva, text_corpus,
+};
+use spanners::{CompiledSpanner, LazyConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let docs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let opts = BatchOptions { threads };
+
+    // --- Eager spanner: contact extraction over a corpus of directories. ---
+    let (corpus, total_entries) = contact_corpus(0xBA7C4, docs, 8);
+    let bytes = corpus_bytes(&corpus);
+    println!(
+        "contact corpus: {docs} documents, {bytes} bytes, {total_entries} entries; \
+         {} worker(s)",
+        opts.effective_threads(docs)
+    );
+    let server = SpannerServer::with_options(compile(contact_pattern())?, opts);
+
+    let t = Instant::now();
+    let counts = server.count_batch(&corpus)?;
+    let count_time = t.elapsed();
+    let counted: u64 = counts.iter().sum();
+    assert_eq!(counted, total_entries as u64);
+    let t = Instant::now();
+    let mappings: usize =
+        server.evaluate_batch(&corpus, |_, dag| dag.collect_mappings().len()).iter().sum();
+    let eval_time = t.elapsed();
+    assert_eq!(mappings, total_entries);
+    let (eval_engines, count_engines) = server.engines_created();
+    println!(
+        "  count_batch:    {counted} mappings in {count_time:?} ({:.1} MB/s aggregate)",
+        bytes as f64 / count_time.as_secs_f64() / 1e6
+    );
+    println!(
+        "  evaluate_batch: {mappings} mappings in {eval_time:?} ({:.1} MB/s aggregate)",
+        bytes as f64 / eval_time.as_secs_f64() / 1e6
+    );
+    println!("  engines created: {eval_engines} evaluators, {count_engines} count caches");
+
+    // --- Lazy spanner: shared frozen determinization cache. ---
+    let lazy = CompiledSpanner::from_eva_lazy(&exp_blowup_eva(12), LazyConfig::default())?;
+    let corpus = text_corpus(0xF40, docs.min(500), 100, 400, b"abcd");
+    let bytes = corpus_bytes(&corpus);
+    let server = SpannerServer::with_options(lazy, opts);
+    server.warm(&corpus[..corpus.len().min(8)]);
+    let t = Instant::now();
+    let matches = server.is_match_batch(&corpus).iter().filter(|&&m| m).count();
+    let match_time = t.elapsed();
+    println!(
+        "lazy spanner: frozen snapshot of {} subset states shared across workers",
+        server.frozen_states().expect("lazy spanner freezes")
+    );
+    println!(
+        "  is_match_batch: {matches}/{} documents match in {match_time:?} ({:.1} MB/s aggregate)",
+        corpus.len(),
+        bytes as f64 / match_time.as_secs_f64() / 1e6
+    );
+    Ok(())
+}

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spanner = compile(contact_pattern())?;
     println!(
         "compiled pattern into a deterministic sequential eVA with {} states in {:?}",
-        spanner.automaton().num_states(),
+        spanner.try_automaton().expect("eager engine").num_states(),
         compile_start.elapsed()
     );
 

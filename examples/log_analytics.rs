@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "compiled algebra expression ({} atoms+operators) into {} states in {:?}",
         expr.size(),
-        spanner.automaton().num_states(),
+        spanner.try_automaton().expect("eager engine").num_states(),
         compile_start.elapsed()
     );
 

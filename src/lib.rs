@@ -10,6 +10,9 @@
 //! * [`regex`](spanners_regex) — regex formulas with capture variables;
 //! * [`algebra`](spanners_algebra) — the spanner algebra `{π, ∪, ⋈}`;
 //! * [`baselines`](spanners_baselines) — comparison evaluation algorithms;
+//! * [`runtime`](spanners_runtime) — the parallel batch/serving runtime
+//!   (engine pools, shared frozen determinization caches, multi-document
+//!   batch APIs);
 //! * [`workloads`](spanners_workloads) — synthetic documents and spanner families.
 
 pub use spanners_algebra as algebra;
@@ -17,10 +20,12 @@ pub use spanners_automata as automata;
 pub use spanners_baselines as baselines;
 pub use spanners_core as core;
 pub use spanners_regex as regex;
+pub use spanners_runtime as runtime;
 pub use spanners_workloads as workloads;
 
 pub use spanners_core::{
     count_mappings, CompiledSpanner, CountCache, Document, EngineMode, EnginePolicy,
-    EnumerationDag, Eva, EvaBuilder, Evaluator, LazyCache, LazyConfig, LazyDetSeva, Mapping,
-    MarkerSet, Span, SpannerError, VarId, VarRegistry,
+    EnumerationDag, Eva, EvaBuilder, Evaluator, FrozenCache, FrozenDelta, LazyCache, LazyConfig,
+    LazyDetSeva, Mapping, MarkerSet, Span, SpannerError, VarId, VarRegistry,
 };
+pub use spanners_runtime::{BatchOptions, BatchSpanner, SpannerServer};

@@ -25,17 +25,20 @@ fn every_counting_path_agrees_on_workloads() {
         (compile(".*!k{[a-z]+}=!v{[0-9]+}.*").unwrap(), Document::from("a=1 bb=22 ccc=333")),
     ];
     for (i, (spanner, doc)) in cases.iter().enumerate() {
-        let algorithm3: u64 = count_mappings(spanner.automaton(), doc).unwrap();
+        let algorithm3: u64 =
+            count_mappings(spanner.try_automaton().expect("eager engine"), doc).unwrap();
         let dag = spanner.evaluate(doc);
         assert_eq!(dag.count_paths(), algorithm3 as u128, "case {i}: DAG path count");
         assert_eq!(dag.iter().count() as u64, algorithm3, "case {i}: enumeration");
         assert_eq!(
-            materialize_enumerate(spanner.automaton(), doc).len() as u64,
+            materialize_enumerate(spanner.try_automaton().expect("eager engine"), doc).len() as u64,
             algorithm3,
             "case {i}: materializing baseline"
         );
         assert_eq!(
-            PolyDelayEnumerator::new(spanner.automaton(), doc).collect().len() as u64,
+            PolyDelayEnumerator::new(spanner.try_automaton().expect("eager engine"), doc)
+                .collect()
+                .len() as u64,
             algorithm3,
             "case {i}: polynomial-delay baseline"
         );

@@ -93,12 +93,14 @@ fn baselines_agree_with_constant_delay() {
             let spanner = compile(pattern).unwrap();
             let expected = enumerate_sorted(&spanner, &doc);
 
-            let mut materialized = materialize_enumerate(spanner.automaton(), &doc);
+            let mut materialized =
+                materialize_enumerate(spanner.try_automaton().expect("eager engine"), &doc);
             dedup_mappings(&mut materialized);
             assert_eq!(materialized, expected, "materialize, seed {seed} pattern {pattern}");
 
             let mut poly: Vec<Mapping> =
-                PolyDelayEnumerator::new(spanner.automaton(), &doc).collect();
+                PolyDelayEnumerator::new(spanner.try_automaton().expect("eager engine"), &doc)
+                    .collect();
             dedup_mappings(&mut poly);
             assert_eq!(poly, expected, "polydelay, seed {seed} pattern {pattern}");
         }

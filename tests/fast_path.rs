@@ -90,9 +90,11 @@ fn class_run_engine_matches_per_byte_engine() {
         let spanner = compile(&pattern).expect("workload pattern compiles");
         for doc in &docs {
             // Enumeration order must match exactly, not just as sets.
-            let fast_mappings = fast.eval(spanner.automaton(), doc).collect_mappings();
-            let fast_paths = fast.eval(spanner.automaton(), doc).count_paths();
-            let slow_view = slow.eval(spanner.automaton(), doc);
+            let fast_mappings =
+                fast.eval(spanner.try_automaton().expect("eager engine"), doc).collect_mappings();
+            let fast_paths =
+                fast.eval(spanner.try_automaton().expect("eager engine"), doc).count_paths();
+            let slow_view = slow.eval(spanner.try_automaton().expect("eager engine"), doc);
             assert_eq!(
                 fast_mappings,
                 slow_view.collect_mappings(),
@@ -101,8 +103,10 @@ fn class_run_engine_matches_per_byte_engine() {
             );
             assert_eq!(fast_paths, slow_view.count_paths(), "paths, pattern {pattern}");
             // Counting engines agree with each other and with the DAG.
-            let nf = fast_counts.count(spanner.automaton(), doc).unwrap();
-            let ns = slow_counts.count(spanner.automaton(), doc).unwrap();
+            let nf =
+                fast_counts.count(spanner.try_automaton().expect("eager engine"), doc).unwrap();
+            let ns =
+                slow_counts.count(spanner.try_automaton().expect("eager engine"), doc).unwrap();
             assert_eq!(nf, ns, "counts diverged, pattern {pattern}, |d| = {}", doc.len());
             assert_eq!(nf, fast_paths, "count vs paths, pattern {pattern}");
             assert_eq!(nf as usize, fast_mappings.len(), "count vs enumeration, {pattern}");
@@ -121,8 +125,11 @@ fn class_run_engine_matches_independent_baselines() {
             if doc.len() > 2_000 {
                 continue; // the quadratic baselines cannot take the long runs
             }
-            let got = sorted(fast.eval(spanner.automaton(), doc).collect_mappings());
-            let materialized = sorted(materialize_enumerate(spanner.automaton(), doc));
+            let got = sorted(
+                fast.eval(spanner.try_automaton().expect("eager engine"), doc).collect_mappings(),
+            );
+            let materialized =
+                sorted(materialize_enumerate(spanner.try_automaton().expect("eager engine"), doc));
             assert_eq!(got, materialized, "materialize baseline, pattern {pattern}");
         }
     }
@@ -130,7 +137,9 @@ fn class_run_engine_matches_independent_baselines() {
         let spanner = CompiledSpanner::from_eva(&eva).expect("workload eVA compiles");
         for text in ["", "a", "ab", "abab", "bbaa", "aabbab", "aaaaaaaaaaaaaaaaaaaaaaab"] {
             let doc = Document::from(text);
-            let got = sorted(fast.eval(spanner.automaton(), &doc).collect_mappings());
+            let got = sorted(
+                fast.eval(spanner.try_automaton().expect("eager engine"), &doc).collect_mappings(),
+            );
             assert_eq!(got, eva.eval_naive(&doc), "eval_naive on {text:?}");
             let (naive, _) = naive_enumerate(&eva, &doc);
             assert_eq!(got, sorted(naive), "naive_enumerate on {text:?}");
@@ -146,8 +155,9 @@ fn count_cache_matches_one_shot_and_facade() {
     let mut cache = CountCache::<u64>::new();
     for entries in [1usize, 7, 40] {
         let (doc, expected) = w::contact_directory(0x5EED ^ entries as u64, entries);
-        let reused = cache.count(spanner.automaton(), &doc).unwrap();
-        let one_shot: u64 = count_mappings(spanner.automaton(), &doc).unwrap();
+        let reused = cache.count(spanner.try_automaton().expect("eager engine"), &doc).unwrap();
+        let one_shot: u64 =
+            count_mappings(spanner.try_automaton().expect("eager engine"), &doc).unwrap();
         let facade = spanner.count_with(&mut cache, &doc).unwrap();
         assert_eq!(reused, one_shot);
         assert_eq!(reused, facade);
@@ -166,12 +176,13 @@ fn count_cache_reuse_is_allocation_free_when_warm() {
         .map(|s| w::random_text(200 + s, 300 + 200 * s as usize, b"no1se 2text3"))
         .rev() // largest first
         .collect();
-    let _ = cache.count(spanner.automaton(), &docs[0]).unwrap();
+    let _ = cache.count(spanner.try_automaton().expect("eager engine"), &docs[0]).unwrap();
     let warm = (cache.counts_capacity(), cache.class_buf_capacity());
     assert!(warm.0 > 0 && warm.1 > 0);
     for doc in &docs {
-        let reused = cache.count(spanner.automaton(), doc).unwrap();
-        let fresh: u64 = count_mappings(spanner.automaton(), doc).unwrap();
+        let reused = cache.count(spanner.try_automaton().expect("eager engine"), doc).unwrap();
+        let fresh: u64 =
+            count_mappings(spanner.try_automaton().expect("eager engine"), doc).unwrap();
         assert_eq!(reused, fresh, "warm cache diverged from one-shot count");
         assert_eq!(
             (cache.counts_capacity(), cache.class_buf_capacity()),
@@ -189,13 +200,13 @@ fn evaluator_class_buffer_retains_capacity() {
     let spanner = compile(w::digit_runs_pattern()).unwrap();
     let mut evaluator = Evaluator::new();
     let big = w::random_text(7, 4096, b"ab012 ");
-    let _ = evaluator.eval(spanner.automaton(), &big);
+    let _ = evaluator.eval(spanner.try_automaton().expect("eager engine"), &big);
     let warm =
         (evaluator.node_capacity(), evaluator.cell_capacity(), evaluator.class_buf_capacity());
     assert!(warm.2 >= 4096);
     for n in [1usize, 100, 4096] {
         let doc = w::random_text(8, n, b"ab012 ");
-        let _ = evaluator.eval(spanner.automaton(), &doc);
+        let _ = evaluator.eval(spanner.try_automaton().expect("eager engine"), &doc);
         assert_eq!(
             (evaluator.node_capacity(), evaluator.cell_capacity(), evaluator.class_buf_capacity(),),
             warm,
@@ -211,11 +222,14 @@ fn mode_switching_is_safe() {
     let spanner = compile(w::digit_runs_pattern()).unwrap();
     let mut evaluator = Evaluator::new();
     let doc = w::random_text(21, 700, b"abc123 ");
-    let fast = evaluator.eval(spanner.automaton(), &doc).collect_mappings();
+    let fast =
+        evaluator.eval(spanner.try_automaton().expect("eager engine"), &doc).collect_mappings();
     evaluator.set_mode(EngineMode::PerByte);
-    let slow = evaluator.eval(spanner.automaton(), &doc).collect_mappings();
+    let slow =
+        evaluator.eval(spanner.try_automaton().expect("eager engine"), &doc).collect_mappings();
     evaluator.set_mode(EngineMode::ClassRuns);
-    let fast_again = evaluator.eval(spanner.automaton(), &doc).collect_mappings();
+    let fast_again =
+        evaluator.eval(spanner.try_automaton().expect("eager engine"), &doc).collect_mappings();
     assert_eq!(fast, slow);
     assert_eq!(fast, fast_again);
 }
@@ -242,7 +256,8 @@ fn lazy_class_run_engine_matches_per_byte_and_eager() {
     let mut eager_eval = Evaluator::new();
     let mut cold_counts = CountCache::<u128>::new();
     for doc in adversarial_docs() {
-        let expected_paths = eager_eval.eval(eager.automaton(), &doc).count_paths();
+        let expected_paths =
+            eager_eval.eval(eager.try_automaton().expect("eager engine"), &doc).count_paths();
         // Fresh evaluators per document: the skip metadata for every class
         // run is populated lazily *during* this very evaluation.
         let cold = Evaluator::new().eval_lazy_owned(&lazy, &doc);
@@ -264,7 +279,11 @@ fn lazy_class_run_engine_matches_per_byte_and_eager() {
         // compare the full output only where it is reasonably sized (the
         // path-count equality above already pins the DAG for the rest).
         if expected_paths < 200_000 {
-            let expected = sorted(eager_eval.eval(eager.automaton(), &doc).collect_mappings());
+            let expected = sorted(
+                eager_eval
+                    .eval(eager.try_automaton().expect("eager engine"), &doc)
+                    .collect_mappings(),
+            );
             assert_eq!(
                 sorted(cold.collect_mappings()),
                 expected,
@@ -320,7 +339,7 @@ fn lazy_run_skipping_survives_mid_run_eviction() {
     let mut eager_eval = Evaluator::new();
     let mut thrash = Evaluator::new();
     for doc in adversarial_docs() {
-        let eager_view = eager_eval.eval(eager.automaton(), &doc);
+        let eager_view = eager_eval.eval(eager.try_automaton().expect("eager engine"), &doc);
         let paths = eager_view.count_paths();
         let expected =
             if paths < 200_000 { sorted(eager_view.collect_mappings()) } else { Vec::new() };

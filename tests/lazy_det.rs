@@ -119,8 +119,13 @@ fn lazy_matches_eager_across_workload_families() {
         let lazy =
             LazyDetSeva::new(&eva, LazyConfig::default()).expect("workload eVA is lazy-compilable");
         for doc in &docs {
-            let expected = sorted(eager_eval.eval(eager.automaton(), doc).collect_mappings());
-            let expected_count = eager_eval.eval(eager.automaton(), doc).count_paths();
+            let expected = sorted(
+                eager_eval
+                    .eval(eager.try_automaton().expect("eager engine"), doc)
+                    .collect_mappings(),
+            );
+            let expected_count =
+                eager_eval.eval(eager.try_automaton().expect("eager engine"), doc).count_paths();
 
             let fast = lazy_runs.eval_lazy(&lazy, doc).collect_mappings();
             assert_no_duplicates(&fast, &format!("{pattern} class-runs |d|={}", doc.len()));
@@ -156,7 +161,11 @@ fn lazy_matches_eager_on_deterministic_automata() {
             let _ = warm.eval_lazy(&lazy, doc).num_nodes();
         }
         for doc in &docs {
-            let expected = sorted(eager_eval.eval(eager.automaton(), doc).collect_mappings());
+            let expected = sorted(
+                eager_eval
+                    .eval(eager.try_automaton().expect("eager engine"), doc)
+                    .collect_mappings(),
+            );
             let first = warm.eval_lazy(&lazy, doc).collect_mappings();
             assert_eq!(sorted(first.clone()), expected, "{name}, |d| = {}", doc.len());
             // …then rerun in both modes: byte-for-byte identical output
@@ -223,8 +232,13 @@ fn tiny_budget_forces_mid_document_eviction_without_divergence() {
         let mut thrash_counts = CountCache::<u128>::new();
         let mut eager_eval = Evaluator::new();
         for doc in &docs {
-            let expected = sorted(eager_eval.eval(eager.automaton(), doc).collect_mappings());
-            let expected_count = eager_eval.eval(eager.automaton(), doc).count_paths();
+            let expected = sorted(
+                eager_eval
+                    .eval(eager.try_automaton().expect("eager engine"), doc)
+                    .collect_mappings(),
+            );
+            let expected_count =
+                eager_eval.eval(eager.try_automaton().expect("eager engine"), doc).count_paths();
 
             let got = thrash.eval_lazy(&lazy, doc).collect_mappings();
             assert_no_duplicates(&got, &format!("thrash {pattern} |d|={}", doc.len()));

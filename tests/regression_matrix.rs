@@ -85,10 +85,13 @@ fn every_pattern_on_every_document_is_internally_consistent() {
             assert_eq!(sorted.len(), enumerated.len(), "{pname} on {dname}: duplicates");
 
             // Baselines agree.
-            let mut materialized = materialize_enumerate(spanner.automaton(), &doc);
+            let mut materialized =
+                materialize_enumerate(spanner.try_automaton().expect("eager engine"), &doc);
             dedup_mappings(&mut materialized);
             assert_eq!(materialized, sorted, "{pname} on {dname}: materialize baseline");
-            let mut poly = PolyDelayEnumerator::new(spanner.automaton(), &doc).collect();
+            let mut poly =
+                PolyDelayEnumerator::new(spanner.try_automaton().expect("eager engine"), &doc)
+                    .collect();
             dedup_mappings(&mut poly);
             assert_eq!(poly, sorted, "{pname} on {dname}: poly-delay baseline");
 

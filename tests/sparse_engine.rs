@@ -45,11 +45,11 @@ fn sparse_engine_matches_baselines_on_workload_families() {
     for (pattern, docs) in regex_cases() {
         let spanner = compile(&pattern).expect("workload pattern compiles");
         for doc in &docs {
-            let reused = evaluator.eval(spanner.automaton(), doc);
+            let reused = evaluator.eval(spanner.try_automaton().expect("eager engine"), doc);
             let reused_mappings = reused.collect_mappings();
             let reused_paths = reused.count_paths();
 
-            let fresh = EnumerationDag::build(spanner.automaton(), doc);
+            let fresh = EnumerationDag::build(spanner.try_automaton().expect("eager engine"), doc);
             assert_eq!(
                 reused_mappings,
                 fresh.collect_mappings(),
@@ -57,7 +57,8 @@ fn sparse_engine_matches_baselines_on_workload_families() {
             );
             assert_eq!(reused_paths, fresh.count_paths(), "pattern {pattern}");
 
-            let materialized = sorted(materialize_enumerate(spanner.automaton(), doc));
+            let materialized =
+                sorted(materialize_enumerate(spanner.try_automaton().expect("eager engine"), doc));
             assert_eq!(
                 sorted(reused_mappings.clone()),
                 materialized,
@@ -65,7 +66,8 @@ fn sparse_engine_matches_baselines_on_workload_families() {
             );
 
             // Algorithm 3 (sparse counting) agrees with both.
-            let counted: u128 = count_mappings(spanner.automaton(), doc).unwrap();
+            let counted: u128 =
+                count_mappings(spanner.try_automaton().expect("eager engine"), doc).unwrap();
             assert_eq!(counted, reused_paths, "count vs paths, pattern {pattern}");
             assert_eq!(counted as usize, reused_mappings.len(), "pattern {pattern}");
         }
@@ -81,7 +83,11 @@ fn sparse_engine_matches_naive_on_eva_families() {
         let spanner = CompiledSpanner::from_eva(&eva).expect("workload eVA compiles");
         for text in ["", "a", "ab", "abab", "bbaa", "aabbab"] {
             let doc = Document::from(text);
-            let got = sorted(evaluator.eval(spanner.automaton(), &doc).collect_mappings());
+            let got = sorted(
+                evaluator
+                    .eval(spanner.try_automaton().expect("eager engine"), &doc)
+                    .collect_mappings(),
+            );
             let expected = eva.eval_naive(&doc);
             assert_eq!(got, expected, "on {text:?}");
             let (naive, _) = naive_enumerate(&eva, &doc);
@@ -103,16 +109,17 @@ fn evaluator_reuse_is_exact_and_allocation_free_when_warm() {
         .map(|s| w::random_text(100 + s, 200 + 150 * s as usize, b"xy0189 "))
         .rev() // largest first
         .collect();
-    let _ = evaluator.eval(spanner.automaton(), &docs[0]);
+    let _ = evaluator.eval(spanner.try_automaton().expect("eager engine"), &docs[0]);
     let warm = (evaluator.node_capacity(), evaluator.cell_capacity());
     assert!(warm.0 > 0 && warm.1 > 0);
 
     for doc in &docs {
-        let view = evaluator.eval(spanner.automaton(), doc);
+        let view = evaluator.eval(spanner.try_automaton().expect("eager engine"), doc);
         let got = view.collect_mappings();
         assert_eq!(
             got,
-            EnumerationDag::build(spanner.automaton(), doc).collect_mappings(),
+            EnumerationDag::build(spanner.try_automaton().expect("eager engine"), doc)
+                .collect_mappings(),
             "reused evaluator diverged from fresh build"
         );
         assert_eq!(
