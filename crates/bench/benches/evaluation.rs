@@ -18,6 +18,13 @@
 //!   lazy evaluation against the eagerly determinized automaton across match
 //!   densities: the eager columns pay `Θ(2ⁿ)` subset construction up front,
 //!   the lazy columns only ever materialize the subsets the document visits.
+//! * **E12 — skip-mask scanning vs. match density.** The skip-scanning
+//!   engine (`EngineMode::SkipScan`, the default) against the class-run and
+//!   per-byte engines on long sparse-match documents as the density of
+//!   marker-active bytes sweeps 0% → 100%, for both the eager tables and a
+//!   warm lazy cache: at low density the scanner touches only the
+//!   interesting bytes (one chunked LUT scan per skippable stretch, no
+//!   `ClassRuns` materialization), at 100% it degrades to class-run speed.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spanners_automata::determinize;
@@ -26,7 +33,9 @@ use spanners_core::{
     CompiledSpanner, CountCache, DetSeva, Document, EngineMode, EnumerationDag, Evaluator,
     LazyConfig, LazyDetSeva,
 };
-use spanners_workloads::{all_spans_eva, exp_blowup_eva, figure3_eva, random_text};
+use spanners_workloads::{
+    all_spans_eva, exp_blowup_eva, figure3_eva, random_text, sparse_match_text,
+};
 use std::time::Duration;
 
 /// E1: preprocessing time as a function of |d| (bytes/second reported).
@@ -185,7 +194,7 @@ fn bench_run_skipping_density(c: &mut Criterion) {
         ("density_075", b"012a"),
         ("density_100", b"0123"),
     ];
-    let mut skipping = Evaluator::new();
+    let mut skipping = Evaluator::with_mode(EngineMode::ClassRuns);
     let mut per_byte = Evaluator::with_mode(EngineMode::PerByte);
     for &(label, alphabet) in sweeps {
         let doc = random_text(9, n, alphabet);
@@ -283,6 +292,63 @@ fn bench_lazy_warm_density(c: &mut Criterion) {
     group.finish();
 }
 
+/// E12: skip-mask scanning vs. the class-run and per-byte engines, on long
+/// (512 kB) sparse-match documents whose digit density sweeps 0% → 100%.
+/// Both automaton flavours are measured: the eager dense tables (exact
+/// compile-time masks) and a warm lazy cache (masks memoized on first use).
+/// The interesting regime is ≤ 1% density, where the class-run engine still
+/// pays a scalar run-length walk over every byte while the scanner jumps
+/// between interesting bytes with a chunked LUT loop; at 100% density all
+/// engines execute every position and should sit within noise of each other.
+fn bench_skip_scan_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_skip_scan_vs_density");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let digits = digit_spanner();
+    let eager = digits.try_automaton().expect("eager engine");
+    // The same workload through the undeterminized pipeline for the lazy rows.
+    let ast = spanners_regex::parse(spanners_workloads::digit_runs_pattern()).expect("parses");
+    let va = spanners_regex::regex_to_va(&ast).expect("builds");
+    let eva = spanners_automata::va_to_eva(&va).expect("translates");
+    let lazy = LazyDetSeva::new(&eva, LazyConfig::default()).expect("sequential");
+    let n = 512 * 1024usize;
+    let sweeps: &[(&str, usize)] = &[
+        ("density_0000", 0),
+        ("density_0001", 10),  // 0.1%
+        ("density_0010", 100), // 1%
+        ("density_0100", 1_000),
+        ("density_1000", 10_000),
+    ];
+    let mut scan = Evaluator::with_mode(EngineMode::SkipScan);
+    let mut runs = Evaluator::with_mode(EngineMode::ClassRuns);
+    let mut bytes = Evaluator::with_mode(EngineMode::PerByte);
+    let mut lazy_scan = Evaluator::with_mode(EngineMode::SkipScan);
+    let mut lazy_runs = Evaluator::with_mode(EngineMode::ClassRuns);
+    for &(label, per_10k) in sweeps {
+        let doc = sparse_match_text(12, n, per_10k);
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::new("skip_scan", label), &doc, |b, d| {
+            b.iter(|| scan.eval(eager, d).num_nodes())
+        });
+        group.bench_with_input(BenchmarkId::new("class_runs", label), &doc, |b, d| {
+            b.iter(|| runs.eval(eager, d).num_nodes())
+        });
+        group.bench_with_input(BenchmarkId::new("per_byte", label), &doc, |b, d| {
+            b.iter(|| bytes.eval(eager, d).num_nodes())
+        });
+        // Warm-lazy rows: the first iteration of each bench warms the
+        // embedded cache; steady state is what the sampling measures.
+        group.bench_with_input(BenchmarkId::new("lazy_warm_skip_scan", label), &doc, |b, d| {
+            b.iter(|| lazy_scan.eval_lazy(&lazy, d).num_nodes())
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_warm_class_runs", label), &doc, |b, d| {
+            b.iter(|| lazy_runs.eval_lazy(&lazy, d).num_nodes())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_preprocessing,
@@ -292,6 +358,7 @@ criterion_group!(
     bench_end_to_end,
     bench_run_skipping_density,
     bench_lazy_vs_eager_compile_eval,
-    bench_lazy_warm_density
+    bench_lazy_warm_density,
+    bench_skip_scan_density
 );
 criterion_main!(benches);

@@ -213,6 +213,172 @@ impl fmt::Display for ByteClass {
     }
 }
 
+/// A set of alphabet equivalence-class indices, as a 256-bit bitmap.
+///
+/// Class indices never exceed 255 (an [`AlphabetPartition`] maps bytes
+/// through a `u8` table), so four `u64` words cover every possible partition.
+/// The evaluation engines use one `ClassMask` per automaton state to record
+/// which classes are *skippable* for that state, and intersect the masks of
+/// the live states into the active set's skippable-class set — one AND per
+/// surviving state instead of a per-run predicate test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassMask {
+    words: [u64; 4],
+}
+
+impl ClassMask {
+    /// The empty mask (no class skippable).
+    #[inline]
+    pub const fn empty() -> Self {
+        ClassMask { words: [0; 4] }
+    }
+
+    /// The full mask (every possible class index). Intersecting it with the
+    /// per-state masks of the live states is how the engines seed the
+    /// active-set mask — an empty active set vacuously skips everything.
+    #[inline]
+    pub const fn all() -> Self {
+        ClassMask { words: [u64::MAX; 4] }
+    }
+
+    /// Inserts class index `cls`.
+    #[inline]
+    pub fn insert(&mut self, cls: usize) {
+        debug_assert!(cls < 256, "class indices are at most 255");
+        self.words[(cls >> 6) & 3] |= 1u64 << (cls & 63);
+    }
+
+    /// Removes class index `cls`.
+    #[inline]
+    pub fn remove(&mut self, cls: usize) {
+        debug_assert!(cls < 256, "class indices are at most 255");
+        self.words[(cls >> 6) & 3] &= !(1u64 << (cls & 63));
+    }
+
+    /// Whether the mask contains class index `cls`.
+    #[inline]
+    pub fn contains(&self, cls: usize) -> bool {
+        debug_assert!(cls < 256, "class indices are at most 255");
+        self.words[(cls >> 6) & 3] & (1u64 << (cls & 63)) != 0
+    }
+
+    /// Intersects this mask with `other` in place (the per-state AND of the
+    /// active-set mask maintenance).
+    #[inline]
+    pub fn intersect_with(&mut self, other: &ClassMask) {
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w &= o;
+        }
+    }
+
+    /// Whether no class is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of classes in the mask.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// The byte-level *interest* table derived from a skippable-class
+/// [`ClassMask`]: byte `b` is **interesting** when its equivalence class is
+/// not wholly skippable for the current active set, i.e. the evaluation loop
+/// cannot jump over it and must execute a `(Capturing; Reading)` step there.
+///
+/// Stored as a flat 256-entry 0/1 table so [`find_next_interesting`] can OR
+/// sixteen lookups per iteration — the same chunked-LUT shape as
+/// [`AlphabetPartition::classify_into`], autovectorizable with no unsafe
+/// code. Build one with [`AlphabetPartition::interest_mask_into`].
+#[derive(Debug, Clone)]
+pub struct InterestMask {
+    lut: [u8; 256],
+}
+
+impl Default for InterestMask {
+    /// Defaults to *every* byte interesting — the conservative direction: a
+    /// mask used before being derived from a real [`ClassMask`] makes the
+    /// scanner stop at once instead of skipping work it must not skip.
+    fn default() -> Self {
+        InterestMask { lut: [1; 256] }
+    }
+}
+
+impl InterestMask {
+    /// Whether byte `b` is interesting under this mask.
+    #[inline]
+    pub fn is_interesting(&self, b: u8) -> bool {
+        self.lut[b as usize] != 0
+    }
+
+    /// Number of interesting bytes (diagnostics).
+    pub fn count_interesting(&self) -> usize {
+        self.lut.iter().filter(|&&v| v != 0).count()
+    }
+}
+
+/// Finds the next *interesting* document position at or after `from`: the
+/// first `i >= from` with `interest.is_interesting(doc[i])`, or `None` when
+/// the rest of the document is wholly skippable.
+///
+/// This is the scanning core of the skip-mask fast path
+/// ([`crate::EngineMode::SkipScan`]): instead of materializing class runs and
+/// testing each one, the engine jumps straight from one interesting byte to
+/// the next. The loop mirrors [`AlphabetPartition::classify_into`] — 16-byte
+/// chunks over a flat 256-entry table, ORed into a single "any interesting?"
+/// accumulator, so LLVM unrolls and vectorises the common all-skippable
+/// chunks into a handful of vector ops (memchr-style throughput without
+/// unsafe code or explicit SIMD).
+pub fn find_next_interesting(doc: &[u8], from: usize, interest: &InterestMask) -> Option<usize> {
+    // A 64-byte outer stride of four independent 16-byte accumulators: the
+    // four OR chains have no dependencies between them, so the loop keeps
+    // multiple loads in flight per cycle (and vectorises where the target
+    // supports it). 16 stays the LUT-chunk granularity of the position scan.
+    const CHUNK: usize = 16;
+    const STRIDE: usize = 4 * CHUNK;
+    let start = from.min(doc.len());
+    let lut = &interest.lut;
+    let mut offset = start;
+    let mut strides = doc[start..].chunks_exact(STRIDE);
+    for s in &mut strides {
+        let mut any = [0u8; 4];
+        for lane in 0..4 {
+            let c = &s[lane * CHUNK..(lane + 1) * CHUNK];
+            for &b in c {
+                any[lane] |= lut[b as usize];
+            }
+        }
+        if any.iter().any(|&a| a != 0) {
+            let j = s
+                .iter()
+                .position(|&b| lut[b as usize] != 0)
+                .expect("an accumulator saw an interesting byte in this stride");
+            return Some(offset + j);
+        }
+        offset += STRIDE;
+    }
+    // Tail: one 16-byte-chunked pass over the last < 64 bytes.
+    let mut chunks = strides.remainder().chunks_exact(CHUNK);
+    for c in &mut chunks {
+        let mut any = 0u8;
+        for &b in c {
+            any |= lut[b as usize];
+        }
+        if any != 0 {
+            let j = c
+                .iter()
+                .position(|&b| lut[b as usize] != 0)
+                .expect("the accumulator saw an interesting byte in this chunk");
+            return Some(offset + j);
+        }
+        offset += CHUNK;
+    }
+    chunks.remainder().iter().position(|&b| lut[b as usize] != 0).map(|j| offset + j)
+}
+
 /// A partition of the 256-byte alphabet into equivalence classes.
 ///
 /// Two bytes are equivalent when no byte class of the automaton distinguishes
@@ -226,12 +392,21 @@ pub struct AlphabetPartition {
     num_classes: usize,
     /// A representative byte for each class.
     representatives: Vec<u8>,
+    /// The byte membership of each class (one 256-bit set per class) — the
+    /// table [`AlphabetPartition::interest_mask_into`] unions to turn a
+    /// skippable-class mask into a byte-level interest table.
+    class_bytes: Vec<ByteClass>,
 }
 
 impl AlphabetPartition {
     /// The trivial partition with a single class containing every byte.
     pub fn trivial() -> Self {
-        AlphabetPartition { class_of: [0; 256], num_classes: 1, representatives: vec![0] }
+        AlphabetPartition {
+            class_of: [0; 256],
+            num_classes: 1,
+            representatives: vec![0],
+            class_bytes: vec![ByteClass::any()],
+        }
     }
 
     /// Computes the coarsest partition refining all the given byte classes.
@@ -269,7 +444,11 @@ impl AlphabetPartition {
                 }
             }
         }
-        AlphabetPartition { class_of, num_classes: seen.len(), representatives }
+        let mut class_bytes = vec![ByteClass::empty(); seen.len()];
+        for b in 0..256usize {
+            class_bytes[class_of[b] as usize].insert(b as u8);
+        }
+        AlphabetPartition { class_of, num_classes: seen.len(), representatives, class_bytes }
     }
 
     /// The equivalence-class index of byte `b`.
@@ -315,6 +494,33 @@ impl AlphabetPartition {
     /// A representative byte for equivalence class `idx`.
     pub fn representative(&self, idx: usize) -> u8 {
         self.representatives[idx]
+    }
+
+    /// The full byte membership of equivalence class `idx` (a 256-bit set).
+    #[inline]
+    pub fn class_members(&self, idx: usize) -> &ByteClass {
+        &self.class_bytes[idx]
+    }
+
+    /// Derives the byte-level interest table of a skippable-class mask: byte
+    /// `b` becomes *interesting* exactly when its equivalence class is **not**
+    /// in `skippable`. Writes into the caller-provided `out` so the hot loop
+    /// performs no allocation (an `InterestMask` is a flat inline table).
+    ///
+    /// The scanning engines rebuild this only when the active set's
+    /// intersected [`ClassMask`] changes — dense regions that churn the
+    /// active set every byte never pay for it, because the rebuild is
+    /// deferred until a skippable position is actually reached.
+    pub fn interest_mask_into(&self, skippable: &ClassMask, out: &mut InterestMask) {
+        let mut interesting = ByteClass::empty();
+        for cls in 0..self.num_classes {
+            if !skippable.contains(cls) {
+                interesting = interesting.union(&self.class_bytes[cls]);
+            }
+        }
+        for (b, slot) in out.lut.iter_mut().enumerate() {
+            *slot = interesting.contains(b as u8) as u8;
+        }
     }
 
     /// All equivalence-class indices that intersect the given byte class.
@@ -600,6 +806,109 @@ mod tests {
         assert_eq!(ClassRuns::new(&[]).count(), 0);
         let single: Vec<ClassRun> = ClassRuns::new(&[7]).collect();
         assert_eq!(single, vec![ClassRun { class: 7, start: 0, len: 1 }]);
+    }
+
+    #[test]
+    fn class_mask_set_operations() {
+        let mut m = ClassMask::empty();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        m.insert(0);
+        m.insert(63);
+        m.insert(64);
+        m.insert(255);
+        assert_eq!(m.len(), 4);
+        assert!(m.contains(0) && m.contains(63) && m.contains(64) && m.contains(255));
+        assert!(!m.contains(1));
+        m.remove(64);
+        assert!(!m.contains(64));
+        assert_eq!(m.len(), 3);
+        let full = ClassMask::all();
+        assert_eq!(full.len(), 256);
+        let mut and = full;
+        and.intersect_with(&m);
+        assert_eq!(and, m);
+        let mut none = m;
+        none.intersect_with(&ClassMask::empty());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn class_members_partition_the_alphabet() {
+        let digits = ByteClass::ascii_digits();
+        let alpha = ByteClass::ascii_alpha();
+        let p = AlphabetPartition::from_classes([&digits, &alpha]);
+        let mut total = 0;
+        for cls in 0..p.num_classes() {
+            let members = p.class_members(cls);
+            total += members.len();
+            for b in members.iter() {
+                assert_eq!(p.class_of(b), cls, "byte {b} in wrong class set");
+            }
+        }
+        assert_eq!(total, 256, "class byte sets must partition the alphabet");
+    }
+
+    #[test]
+    fn interest_mask_complements_skippable_classes() {
+        let digits = ByteClass::ascii_digits();
+        let p = AlphabetPartition::from_classes([&digits]);
+        let digit_cls = p.class_of(b'5');
+        let mut skippable = ClassMask::empty();
+        skippable.insert(1 - digit_cls); // the non-digit class
+        let mut interest = InterestMask::default();
+        p.interest_mask_into(&skippable, &mut interest);
+        for b in 0..=255u8 {
+            assert_eq!(interest.is_interesting(b), b.is_ascii_digit(), "byte {b}");
+        }
+        assert_eq!(interest.count_interesting(), 10);
+        // All classes skippable: nothing is interesting; none skippable: all.
+        let mut all = ClassMask::empty();
+        all.insert(0);
+        all.insert(1);
+        p.interest_mask_into(&all, &mut interest);
+        assert_eq!(interest.count_interesting(), 0);
+        p.interest_mask_into(&ClassMask::empty(), &mut interest);
+        assert_eq!(interest.count_interesting(), 256);
+    }
+
+    #[test]
+    fn find_next_interesting_matches_scalar_scan() {
+        let digits = ByteClass::ascii_digits();
+        let p = AlphabetPartition::from_classes([&digits]);
+        let digit_cls = p.class_of(b'0');
+        let mut skippable = ClassMask::empty();
+        skippable.insert(1 - digit_cls);
+        let mut interest = InterestMask::default();
+        p.interest_mask_into(&skippable, &mut interest);
+        // Single interesting byte planted at every position of documents whose
+        // lengths straddle the 16-byte chunk width.
+        for len in [1usize, 15, 16, 17, 31, 32, 33, 64, 100] {
+            for pos in 0..len {
+                let mut doc = vec![b'q'; len];
+                doc[pos] = b'7';
+                for from in [0usize, pos.saturating_sub(1), pos, pos + 1, len] {
+                    let expected = (from..len).find(|&i| interest.is_interesting(doc[i]));
+                    assert_eq!(
+                        find_next_interesting(&doc, from, &interest),
+                        expected,
+                        "len {len}, pos {pos}, from {from}"
+                    );
+                }
+            }
+        }
+        // Empty documents and all-skippable tails.
+        assert_eq!(find_next_interesting(&[], 0, &interest), None);
+        assert_eq!(find_next_interesting(&[b'z'; 100], 0, &interest), None);
+        // `from` past the end is tolerated.
+        assert_eq!(find_next_interesting(b"77", 5, &interest), None);
+    }
+
+    #[test]
+    fn default_interest_mask_is_conservative() {
+        let interest = InterestMask::default();
+        assert_eq!(interest.count_interesting(), 256);
+        assert_eq!(find_next_interesting(b"abc", 0, &interest), Some(0));
     }
 
     #[test]

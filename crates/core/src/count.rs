@@ -9,15 +9,15 @@
 //! the run counts equal the mapping counts.
 //!
 //! Like the enumeration engine, counting comes in two forms: the reusable
-//! [`CountCache`] (zero steady-state allocation, class-run fast path — the
-//! serving configuration) and the one-shot [`count_mappings`] convenience
-//! wrapper. Run skipping leaves counts unchanged for the same reason it
+//! [`CountCache`] (zero steady-state allocation, skip-mask scanning fast
+//! path — the serving configuration) and the one-shot [`count_mappings`]
+//! convenience wrapper. Run skipping leaves counts unchanged for the same reason it
 //! leaves the enumeration lists unchanged: on a skippable class every live
 //! state's count moves onto itself and every capture attempt is zeroed by the
 //! following `Reading` phase before it can reach a final state.
 
 use crate::byteclass::ClassRuns;
-use crate::det::{DetSeva, Stepper};
+use crate::det::{DetSeva, SkipScanner, Stepper};
 use crate::document::Document;
 use crate::enumerate::EngineMode;
 use crate::error::SpannerError;
@@ -165,6 +165,9 @@ pub struct CountCache<C: Counter> {
     next_active: SparseSet,
     /// Reusable byte → alphabet-class buffer of the class-run fast path.
     class_buf: Vec<u8>,
+    /// The cached mask state of the scanning engine (mirrors
+    /// `Evaluator::scanner`; the protocol lives in `SkipScanner`).
+    scanner: SkipScanner,
     /// Live-id scratch of the clear-and-restart eviction protocol (lazy
     /// automata only; see [`Stepper::maintain`]).
     maint_ids: Vec<u32>,
@@ -190,6 +193,7 @@ impl<C: Counter> Default for CountCache<C> {
             active: SparseSet::new(0),
             next_active: SparseSet::new(0),
             class_buf: Vec::new(),
+            scanner: SkipScanner::default(),
             maint_ids: Vec::new(),
             maint_counts: Vec::new(),
             lazy: None,
@@ -200,7 +204,7 @@ impl<C: Counter> Default for CountCache<C> {
 }
 
 impl<C: Counter> CountCache<C> {
-    /// A fresh cache using the default [`EngineMode::ClassRuns`] loop.
+    /// A fresh cache using the default [`EngineMode::SkipScan`] loop.
     /// Buffers grow on first use and are retained across calls.
     pub fn new() -> Self {
         CountCache::default()
@@ -315,40 +319,82 @@ impl<C: Counter> CountCache<C> {
 
         // Invariant: `active` ⊇ the states with a non-zero count, and
         // counts[q] is zero for every state outside `active`.
-        if self.mode == EngineMode::PerByte {
-            let bytes = doc.bytes();
-            for i in 0..=bytes.len() {
+        match self.mode {
+            EngineMode::PerByte => {
+                let bytes = doc.bytes();
+                for i in 0..=bytes.len() {
+                    self.maintenance_point(aut);
+                    self.capture_phase(aut)?;
+                    if i == bytes.len() {
+                        break;
+                    }
+                    let cls = aut.byte_class(bytes[i]);
+                    self.read_phase(aut, cls)?;
+                }
+            }
+            EngineMode::ClassRuns => {
+                // Run-skipping loop: identical counts by the argument in the
+                // module docs — a skippable class moves every live count onto
+                // itself and zeroes every capture attempt at the next Reading.
+                let mut class_buf = std::mem::take(&mut self.class_buf);
+                aut.classify_document(doc, &mut class_buf);
+                for run in ClassRuns::new(&class_buf) {
+                    let cls = run.class as usize;
+                    let end = run.start + run.len;
+                    let mut i = run.start;
+                    while i < end {
+                        self.maintenance_point(aut);
+                        if self
+                            .active
+                            .as_slice()
+                            .iter()
+                            .all(|&q| aut.run_skippable(q as usize, cls))
+                        {
+                            break;
+                        }
+                        self.capture_phase(aut)?;
+                        self.read_phase(aut, cls)?;
+                        i += 1;
+                    }
+                }
+                self.class_buf = class_buf;
                 self.maintenance_point(aut);
                 self.capture_phase(aut)?;
-                if i == bytes.len() {
-                    break;
-                }
-                let cls = aut.byte_class(bytes[i]);
-                self.read_phase(aut, cls)?;
             }
-        } else {
-            // Run-skipping loop: identical counts by the argument in the
-            // module docs — a skippable class moves every live count onto
-            // itself and zeroes every capture attempt at the next Reading.
-            let mut class_buf = std::mem::take(&mut self.class_buf);
-            aut.classify_document(doc, &mut class_buf);
-            for run in ClassRuns::new(&class_buf) {
-                let cls = run.class as usize;
-                let end = run.start + run.len;
-                let mut i = run.start;
-                while i < end {
-                    self.maintenance_point(aut);
-                    if self.active.as_slice().iter().all(|&q| aut.run_skippable(q as usize, cls)) {
-                        break;
+            EngineMode::SkipScan => {
+                // Skip-mask scanning (the counting mirror of
+                // `Evaluator::run_skip_scan`; the mask/interest caching and
+                // invalidation protocol is shared via `SkipScanner`): jump
+                // straight to the next interesting byte — same skip
+                // decisions as the class-run loop, per-interesting-byte cost
+                // model.
+                let bytes = doc.bytes();
+                self.scanner.reset();
+                let mut i = 0usize;
+                while i < bytes.len() {
+                    if aut.wants_maintenance() {
+                        self.maintenance_point(aut);
+                        self.scanner.reset();
+                    }
+                    let cls = aut.byte_class(bytes[i]);
+                    if self.scanner.should_skip(aut, self.active.as_slice(), cls) {
+                        match self.scanner.next_interesting(aut.partition(), bytes, i + 1) {
+                            Some(j) => i = j,
+                            None => break,
+                        }
+                        continue;
                     }
                     self.capture_phase(aut)?;
                     self.read_phase(aut, cls)?;
+                    self.scanner.executed();
                     i += 1;
+                    if self.active.is_empty() {
+                        break;
+                    }
                 }
+                self.maintenance_point(aut);
+                self.capture_phase(aut)?;
             }
-            self.class_buf = class_buf;
-            self.maintenance_point(aut);
-            self.capture_phase(aut)?;
         }
 
         let mut total = C::zero();

@@ -10,7 +10,7 @@
 //! * `Capturing(i)` needs `Markers_δ(q)` together with the target of each
 //!   marker set — provided as a per-state slice of `(MarkerSet, target)` pairs.
 
-use crate::byteclass::AlphabetPartition;
+use crate::byteclass::{find_next_interesting, AlphabetPartition, ClassMask, InterestMask};
 use crate::document::Document;
 use crate::error::SpannerError;
 use crate::eva::{Eva, StateId};
@@ -55,6 +55,11 @@ pub struct DetSeva {
     /// `cls` and every extended variable transition of `q` targets a state
     /// with no letter transition on `cls`. See [`DetSeva::run_skippable`].
     skip_table: Vec<bool>,
+    /// The same skip metadata as a per-state class bitset: bit `cls` of
+    /// `skip_masks[q]` equals `skip_table[row_base[q] + cls]`. The scanning
+    /// fast path intersects these across the live states, collapsing the
+    /// per-run all-skippable test to one AND per surviving state.
+    skip_masks: Vec<ClassMask>,
     /// Number of variables of the underlying registry.
     num_vars: usize,
     /// Size measure `|A|` of the source automaton (states + transitions).
@@ -130,11 +135,16 @@ impl DetSeva {
         // target can never be another live self-looping state: it has no
         // `cls` transition while every live state loops on `cls`.)
         let mut skip_table = vec![false; n * ncls];
+        let mut skip_masks = vec![ClassMask::empty(); n];
         for q in 0..n {
             let pairs = &var_pairs[var_offsets[q] as usize..var_offsets[q + 1] as usize];
             for cls in 0..ncls {
-                skip_table[q * ncls + cls] = letter_table[q * ncls + cls] == q as u32
+                let skip = letter_table[q * ncls + cls] == q as u32
                     && pairs.iter().all(|&(_, p)| letter_table[p * ncls + cls] == NO_STATE);
+                skip_table[q * ncls + cls] = skip;
+                if skip {
+                    skip_masks[q].insert(cls);
+                }
             }
         }
         Ok(DetSeva {
@@ -149,6 +159,7 @@ impl DetSeva {
             var_pairs,
             has_markers,
             skip_table,
+            skip_masks,
             num_vars: eva.registry().len(),
             source_size: eva.size(),
         })
@@ -251,6 +262,15 @@ impl DetSeva {
         self.skip_table[self.row_base[q] as usize + cls]
     }
 
+    /// All classes on which a `(Capturing; Reading)` step is a no-op for a
+    /// run living in `q`, as one precomputed bitset — the per-state input of
+    /// the skip-mask scanning engine (bit `cls` ⇔
+    /// [`DetSeva::run_skippable`]`(q, cls)`).
+    #[inline]
+    pub fn skip_mask(&self, q: StateId) -> ClassMask {
+        self.skip_masks[q]
+    }
+
     /// The extended variable transitions `Markers_δ(q)` (with their targets),
     /// as one contiguous slice of the flat CSR arena.
     #[inline]
@@ -332,6 +352,13 @@ pub trait Stepper {
     /// Maps a byte to its alphabet equivalence class.
     fn byte_class(&self, byte: u8) -> usize;
 
+    /// The alphabet equivalence-class partition backing
+    /// [`Stepper::byte_class`] / [`Stepper::classify_document`]. The scanning
+    /// fast path uses it to turn the active set's skippable-class mask into a
+    /// byte-level interest table
+    /// (see [`crate::byteclass::AlphabetPartition::interest_mask_into`]).
+    fn partition(&self) -> &AlphabetPartition;
+
     /// Bulk-classifies a document into the reusable buffer `out`.
     fn classify_document(&self, doc: &Document, out: &mut Vec<u8>);
 
@@ -347,6 +374,18 @@ pub trait Stepper {
     /// Whether a `(Capturing; Reading)` step on class `cls` is a no-op for a
     /// run living in `q` (see [`DetSeva::run_skippable`]).
     fn run_skippable(&mut self, q: StateId, cls: usize) -> bool;
+
+    /// The classes **known** to be skippable for runs living in `q`, as one
+    /// bitset. The contract is conservative: a set bit must mean
+    /// [`Stepper::run_skippable`]`(q, cls)` is `true`, but an implementation
+    /// may under-approximate — a clear bit means "not skippable *or* not yet
+    /// computed", and the engines fall back to the per-class predicate for
+    /// those. The eager implementation returns the exact compile-time mask; a
+    /// lazy one returns exactly its memoized-yes entries, which keeps the
+    /// subset-interning sequence (and therefore state ids) identical to the
+    /// class-run engine's. This is a pure read: it must never fill rows or
+    /// intern states.
+    fn skip_mask(&mut self, q: StateId) -> ClassMask;
 
     /// Whether the implementation wants a [`Stepper::maintain`] call at the
     /// next safe point (i.e. its cache exceeded the configured budget).
@@ -393,6 +432,11 @@ impl Stepper for &DetSeva {
     }
 
     #[inline]
+    fn partition(&self) -> &AlphabetPartition {
+        DetSeva::partition(self)
+    }
+
+    #[inline]
     fn classify_document(&self, doc: &Document, out: &mut Vec<u8>) {
         DetSeva::classify_document(self, doc, out)
     }
@@ -415,6 +459,118 @@ impl Stepper for &DetSeva {
     #[inline]
     fn run_skippable(&mut self, q: StateId, cls: usize) -> bool {
         DetSeva::run_skippable(self, q, cls)
+    }
+
+    #[inline]
+    fn skip_mask(&mut self, q: StateId) -> ClassMask {
+        DetSeva::skip_mask(self, q)
+    }
+}
+
+/// The cached mask state of one skip-scanning evaluation
+/// ([`crate::EngineMode::SkipScan`]), shared by the enumeration and counting
+/// engines so the invalidation protocol lives in exactly one place.
+///
+/// It maintains three caches with distinct lifetimes:
+///
+/// * the **intersected skippable-class mask** of the live states, valid until
+///   the active set changes ([`SkipScanner::executed`]) or state ids move
+///   ([`SkipScanner::reset`]);
+/// * the **live snapshot** the mask was built for — when the active set
+///   cycles back to the same states (the common shape between isolated
+///   matches), one slice compare revalidates the mask instead of a rebuild;
+///   sound because every bit is a memoized fact about those states that
+///   survives until eviction, and eviction resets everything;
+/// * the **byte-level interest table**, rebuilt only when the mask actually
+///   changed since it was last expanded.
+///
+/// The skip decision is deliberately byte-for-byte the class-run engine's:
+/// a byte is skipped either because its class is already in the mask (which,
+/// by the [`Stepper::skip_mask`] contract, means every live state has a
+/// memoized skippable entry for it) or because the same all-live-states
+/// [`Stepper::run_skippable`] test just succeeded — so lazily determinized
+/// automata intern subset states in the same order under both engines.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SkipScanner {
+    mask: ClassMask,
+    mask_valid: bool,
+    /// The live-state snapshot `mask` was computed for. Retained capacity
+    /// across documents, like every other engine buffer.
+    live: Vec<u32>,
+    interest: InterestMask,
+    /// The mask `interest` was expanded from (`None` = never expanded).
+    interest_src: Option<ClassMask>,
+}
+
+impl SkipScanner {
+    /// Drops every cached view. Call at the start of a document and after
+    /// any maintenance that may rewrite state ids or forget skip memos.
+    pub(crate) fn reset(&mut self) {
+        self.mask_valid = false;
+        self.interest_src = None;
+        self.live.clear();
+    }
+
+    /// Invalidates the mask after an executed `(Capturing; Reading)` step:
+    /// the active set has (potentially) changed. The interest table stays —
+    /// it is keyed on the mask contents, not on validity.
+    #[inline]
+    pub(crate) fn executed(&mut self) {
+        self.mask_valid = false;
+    }
+
+    /// Whether the byte class `cls` can be skipped for the given active set:
+    /// either the (re)validated mask already contains it, or every live
+    /// state passes [`Stepper::run_skippable`] — in which case the newly
+    /// learned class is folded into the mask.
+    #[inline]
+    pub(crate) fn should_skip<S: Stepper>(
+        &mut self,
+        aut: &mut S,
+        active: &[u32],
+        cls: usize,
+    ) -> bool {
+        if self.mask_valid && self.mask.contains(cls) {
+            return true;
+        }
+        if !active.iter().all(|&q| aut.run_skippable(q as usize, cls)) {
+            return false;
+        }
+        // All live states skip this class (vacuously so once the active set
+        // is empty). Revalidate the mask: if the active set cycled back to
+        // exactly the states the mask was built for, one slice compare
+        // replaces the rebuild.
+        if !self.mask_valid {
+            if self.live.as_slice() != active {
+                self.mask = ClassMask::all();
+                for &q in active {
+                    self.mask.intersect_with(&aut.skip_mask(q as usize));
+                }
+                self.live.clear();
+                self.live.extend_from_slice(active);
+            }
+            self.mask_valid = true;
+        }
+        self.mask.insert(cls);
+        true
+    }
+
+    /// Bulk-scans to the next byte the current mask cannot skip, rebuilding
+    /// the byte-level interest table first if the mask changed since its
+    /// last expansion. Call only after [`SkipScanner::should_skip`] returned
+    /// `true` at the current position.
+    #[inline]
+    pub(crate) fn next_interesting(
+        &mut self,
+        partition: &AlphabetPartition,
+        bytes: &[u8],
+        from: usize,
+    ) -> Option<usize> {
+        if self.interest_src != Some(self.mask) {
+            partition.interest_mask_into(&self.mask, &mut self.interest);
+            self.interest_src = Some(self.mask);
+        }
+        find_next_interesting(bytes, from, &self.interest)
     }
 }
 
@@ -613,6 +769,23 @@ mod tests {
         assert!(!det.run_skippable(0, ca));
         // q1 steps a → q4 (not a self-loop): not skippable.
         assert!(!det.run_skippable(1, ca));
+    }
+
+    #[test]
+    fn skip_masks_mirror_the_skip_table() {
+        let det = DetSeva::compile(&figure3()).unwrap();
+        for q in 0..det.num_states() {
+            let mask = det.skip_mask(q);
+            for cls in 0..det.num_alphabet_classes() {
+                assert_eq!(mask.contains(cls), det.run_skippable(q, cls), "state {q}, class {cls}");
+            }
+        }
+        // q3 skips on the a/b classes only.
+        let mask = det.skip_mask(3);
+        assert!(mask.contains(det.byte_class(b'a')));
+        assert!(mask.contains(det.byte_class(b'b')));
+        assert!(!mask.contains(det.byte_class(b'z')));
+        assert!(det.skip_mask(0).is_empty());
     }
 
     #[test]

@@ -18,17 +18,23 @@
 //! the same organisation production regex engines use for NFA simulation and
 //! is what makes the `O(|A| × |d|)` preprocessing bound tight in practice.
 //!
-//! On top of the sparse loop sits a **class-run fast path**
-//! ([`EngineMode::ClassRuns`], the default): the document is first mapped to
-//! alphabet equivalence classes in one vectorised pass
-//! ([`crate::byteclass::AlphabetPartition::classify_into`]) and the main loop
-//! walks maximal same-class runs. A run on whose class every live state is
-//! [`DetSeva::run_skippable`] — it self-loops and all its capture targets die
-//! on that class — is consumed in `O(live states)` total, because the
-//! per-byte walk would provably change nothing over those positions. Long
-//! stretches of "noise" between matches (the common case in Example 2.1-style
-//! extraction) then cost almost nothing; the byte-at-a-time loop remains
-//! available as [`EngineMode::PerByte`] and for traced runs.
+//! On top of the sparse loop sit two **run-skipping fast paths**. The default
+//! is **skip-mask scanning** ([`EngineMode::SkipScan`]): every automaton
+//! state carries a bitset of the alphabet classes on which a `(Capturing;
+//! Reading)` step is provably a no-op for it ([`DetSeva::skip_mask`]), the
+//! active set's bitsets are intersected into one [`ClassMask`] (recomputed
+//! only when the active set changes), and the loop jumps from one
+//! *interesting* byte to the next with a chunked, memchr-style scanner
+//! ([`find_next_interesting`]) — skippable stretches cost a vectorisable LUT
+//! scan no matter how many class runs they span. The older **class-run**
+//! path ([`EngineMode::ClassRuns`]) bulk-classifies the document
+//! ([`crate::byteclass::AlphabetPartition::classify_into`]), walks maximal
+//! same-class runs and consumes any run on whose class every live state is
+//! [`DetSeva::run_skippable`] in `O(live states)`; it remains as the
+//! fallback and differential baseline. Long stretches of "noise" between
+//! matches (the common case in Example 2.1-style extraction) then cost
+//! almost nothing; the byte-at-a-time loop remains available as
+//! [`EngineMode::PerByte`] and for traced runs.
 //!
 //! The evaluation state (node/cell arenas, list vectors, active sets) lives in
 //! a reusable [`Evaluator`], so a long-running service evaluating one compiled
@@ -44,7 +50,7 @@
 //! on the document.
 
 use crate::byteclass::ClassRuns;
-use crate::det::{DetSeva, Stepper};
+use crate::det::{DetSeva, SkipScanner, Stepper};
 use crate::document::Document;
 use crate::lazy::{FrozenCache, FrozenDelta, FrozenStepper, LazyCache, LazyDetSeva, LazyStepper};
 use crate::mapping::Mapping;
@@ -177,25 +183,41 @@ impl DagStore {
 /// Which inner loop an [`Evaluator`] (or a `CountCache`) drives Algorithm 1 /
 /// Algorithm 3 with.
 ///
-/// Both modes produce **identical outputs**: the same mappings in the same
-/// enumeration order, the same counts, the same root lists. The class-run mode
-/// may allocate *fewer* DAG nodes/cells, because the per-byte walk also
-/// materializes capture attempts that the very next `Reading` phase provably
-/// kills (they are unreachable from every root); the run-skipping loop elides
-/// those positions wholesale. Diagnostic arena sizes (`num_nodes`,
-/// `num_cells`) are therefore comparable only within one mode.
+/// All modes produce **identical outputs**: the same mappings, the same
+/// counts, the same root lists (and, for a fixed automaton state space, the
+/// same enumeration order — see `tests/skip_scan.rs` for the one caveat
+/// around mid-document eviction of lazily determinized automata). The
+/// run-skipping modes may allocate *fewer* DAG nodes/cells, because the
+/// per-byte walk also materializes capture attempts that the very next
+/// `Reading` phase provably kills (they are unreachable from every root);
+/// the skipping loops elide those positions wholesale. Diagnostic arena
+/// sizes (`num_nodes`, `num_cells`) are therefore comparable only within
+/// one mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineMode {
+    /// Skip-mask scanning — the default. The active set's skippable classes
+    /// are maintained as one intersected [`crate::ClassMask`] (one AND per
+    /// surviving state, recomputed only when the active set changes), the
+    /// mask is expanded into a byte-level [`crate::InterestMask`], and the
+    /// loop jumps straight to the next *interesting* byte with the chunked
+    /// [`crate::find_next_interesting`] scanner — no `ClassRuns`
+    /// materialization, no per-run predicate test, no per-byte work on
+    /// skippable stretches.
+    /// Skip decisions are byte-for-byte the class-run engine's (the mask
+    /// under-approximates with exactly the memoized skip entries), so
+    /// outputs are identical; only the scanning cost model changes from
+    /// "per run" to "per interesting byte".
+    #[default]
+    SkipScan,
     /// Iterate the document as run-length-encoded alphabet-class runs
     /// (vectorised bulk classification + `O(live states)` consumption of
-    /// runs on which every live state is [`DetSeva::run_skippable`]). The
-    /// default: never slower than per-byte beyond the one classification
-    /// pass, and far faster on sparse-match documents.
-    #[default]
+    /// runs on which every live state is [`DetSeva::run_skippable`]).
+    /// Retained as the first fallback and as the differential baseline for
+    /// [`EngineMode::SkipScan`].
     ClassRuns,
     /// The classic byte-at-a-time sparse loop. Used automatically for traced
     /// runs (a [`StageTrace`] needs per-position granularity) and kept
-    /// selectable so differential tests can pin the two engines against each
+    /// selectable so differential tests can pin the engines against each
     /// other byte for byte.
     PerByte,
 }
@@ -251,6 +273,11 @@ pub struct Evaluator {
     /// classification pass of the class-run engine). Retained across `eval`
     /// calls like the arenas, so steady-state allocation stays zero.
     class_buf: Vec<u8>,
+    /// The cached mask state of the scanning engine (see
+    /// [`EngineMode::SkipScan`] and `SkipScanner`): the active set's
+    /// intersected skippable-class mask, the live snapshot it was built for,
+    /// and the derived byte-interest table. Retained like the arenas.
+    scanner: SkipScanner,
     /// Scratch for the clear-and-restart eviction protocol of a lazy
     /// automaton: the live state ids handed to [`Stepper::maintain`]…
     maint_ids: Vec<u32>,
@@ -272,7 +299,7 @@ pub struct Evaluator {
 
 impl Evaluator {
     /// A fresh evaluator with empty arenas, using the default
-    /// [`EngineMode::ClassRuns`] loop. Arenas grow on first use and are
+    /// [`EngineMode::SkipScan`] loop. Arenas grow on first use and are
     /// retained across [`Evaluator::eval`] calls.
     pub fn new() -> Evaluator {
         Evaluator::default()
@@ -484,8 +511,10 @@ impl Evaluator {
 
         if self.mode == EngineMode::PerByte || trace.is_some() {
             self.run_per_byte(aut, doc, trace);
-        } else {
+        } else if self.mode == EngineMode::ClassRuns {
             self.run_class_runs(aut, doc);
+        } else {
+            self.run_skip_scan(aut, doc);
         }
 
         // Roots: the (non-empty) lists of the final states, in state order so
@@ -562,6 +591,62 @@ impl Evaluator {
         self.maintenance_point(aut);
         self.capture_phase(aut, doc.len());
         self.class_buf = class_buf;
+    }
+
+    /// The skip-mask scanning loop ([`EngineMode::SkipScan`]): instead of
+    /// materializing class runs and testing each one, maintain the active
+    /// set's skippable classes as one intersected [`ClassMask`] and jump
+    /// straight to the next *interesting* byte.
+    ///
+    /// Per executed position this costs what the class-run loop costs (one
+    /// predicate test per live state, then the `Capturing`/`Reading`
+    /// phases); per *skippable* stretch it costs a chunked LUT scan —
+    /// `find_next_interesting` — regardless of how many class runs the
+    /// stretch spans. The mask is rebuilt only when the active set changes,
+    /// and the byte-level interest table only when a skip actually happens,
+    /// so dense regions never pay for either.
+    ///
+    /// Skip decisions are identical to the class-run engine's: a byte is
+    /// skipped either because its class is in the mask — which, by the
+    /// [`Stepper::skip_mask`] contract, means every live state has a
+    /// *memoized* skippable entry for it — or because the same
+    /// all-live-states [`Stepper::run_skippable`] test the class-run loop
+    /// performs just succeeded. Lazily determinized automata therefore
+    /// intern subset states in exactly the same order under both engines.
+    fn run_skip_scan<S: Stepper>(&mut self, aut: &mut S, doc: &Document) {
+        let bytes = doc.bytes();
+        self.scanner.reset();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            if aut.wants_maintenance() {
+                // Eviction rewrites state ids and forgets memoized skip
+                // entries: every cached view is stale. (The re-interned live
+                // states are the same subsets under new ids, so a stale mask
+                // would still under-approximate — but dropping it keeps the
+                // reasoning local.)
+                self.maintenance_point(aut);
+                self.scanner.reset();
+            }
+            let cls = aut.byte_class(bytes[i]);
+            if self.scanner.should_skip(aut, self.active.as_slice(), cls) {
+                match self.scanner.next_interesting(aut.partition(), bytes, i + 1) {
+                    Some(j) => i = j,
+                    None => break,
+                }
+                continue;
+            }
+            self.capture_phase(aut, i);
+            self.read_phase(aut, cls);
+            self.scanner.executed();
+            i += 1;
+            if self.active.is_empty() {
+                // No live runs, no future output: the rest of the document
+                // is vacuously skippable.
+                break;
+            }
+        }
+        self.maintenance_point(aut);
+        self.capture_phase(aut, doc.len());
     }
 
     /// Grows the per-state storage (lists, snapshots, active sets) to cover

@@ -60,7 +60,7 @@
 //! reads, the per-worker memory cost is a few retained-capacity buffers, and
 //! the zero-allocation contract of the warm engines is preserved.
 
-use crate::byteclass::AlphabetPartition;
+use crate::byteclass::{AlphabetPartition, ClassMask};
 use crate::det::{accepts_generic, Stepper};
 use crate::document::Document;
 use crate::error::SpannerError;
@@ -96,15 +96,15 @@ static NEXT_SEVA_ID: AtomicU64 = AtomicU64::new(1);
 /// unchanged. The `Display` form labels each buffer for bench/diagnostic
 /// output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CapacitySignature(pub [usize; 7]);
+pub struct CapacitySignature(pub [usize; 8]);
 
 impl fmt::Display for CapacitySignature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let [keys, offsets, finals, letters, skips, vars, index] = self.0;
+        let [keys, offsets, finals, letters, skips, masks, vars, index] = self.0;
         write!(
             f,
             "keys={keys} offsets={offsets} finals={finals} letters={letters} \
-             skips={skips} vars={vars} index={index}"
+             skips={skips} masks={masks} vars={vars} index={index}"
         )
     }
 }
@@ -348,6 +348,13 @@ pub struct LazyCache {
     letter_rows: Vec<u32>,
     /// `skip_rows[q*ncls+cls]`: `SKIP_UNKNOWN` / `SKIP_YES` / `SKIP_NO`.
     skip_rows: Vec<u8>,
+    /// Per-state skippable-class bitsets mirroring the memoized `SKIP_YES`
+    /// entries of `skip_rows` (a clear bit means *unknown or not skippable*).
+    /// The scanning engine intersects these across the live states; keeping
+    /// only memoized-yes bits means the mask never triggers a computation the
+    /// class-run engine would not also perform, so subset interning order is
+    /// identical across engine modes. Cleared with their states on eviction.
+    skip_masks: Vec<ClassMask>,
     /// Flat arena of materialized det marker rows, sorted by marker set
     /// within each row (deterministic capture order).
     var_pairs: Vec<(MarkerSet, StateId)>,
@@ -380,6 +387,7 @@ impl Default for LazyCache {
             var_lens: Vec::new(),
             letter_rows: Vec::new(),
             skip_rows: Vec::new(),
+            skip_masks: Vec::new(),
             var_pairs: Vec::new(),
             index: HashMap::new(),
             bytes: 0,
@@ -446,6 +454,7 @@ impl LazyCache {
             self.finals.capacity(),
             self.letter_rows.capacity(),
             self.skip_rows.capacity(),
+            self.skip_masks.capacity(),
             self.var_pairs.capacity(),
             self.index.capacity(),
         ])
@@ -491,6 +500,7 @@ impl LazyCache {
                 var_lens: Vec::new(),
                 letter_rows: Vec::new(),
                 skip_rows: Vec::new(),
+                skip_masks: Vec::new(),
                 var_pairs: Vec::new(),
                 index: HashMap::new(),
             };
@@ -506,6 +516,7 @@ impl LazyCache {
             var_lens: self.var_lens.clone(),
             letter_rows: self.letter_rows.clone(),
             skip_rows: self.skip_rows.clone(),
+            skip_masks: self.skip_masks.clone(),
             var_pairs: self.var_pairs.clone(),
             index: self.index.clone(),
         }
@@ -536,18 +547,19 @@ impl LazyCache {
         self.var_lens.clear();
         self.letter_rows.clear();
         self.skip_rows.clear();
+        self.skip_masks.clear();
         self.var_pairs.clear();
         self.index.clear();
         self.bytes = 0;
     }
 
     /// Approximate bytes a fresh state with a `key_len`-element subset key
-    /// costs: the key is stored twice (arena + index), the letter and skip
-    /// rows are allocated eagerly per state (so cache hits never allocate),
-    /// and the index entry carries hash-map overhead.
+    /// costs: the key is stored twice (arena + index), the letter/skip rows
+    /// and the skippable-class mask are allocated eagerly per state (so cache
+    /// hits never allocate), and the index entry carries hash-map overhead.
     #[inline]
     fn state_cost(&self, key_len: usize) -> usize {
-        key_len * 8 + self.ncls * 5 + 64
+        key_len * 8 + self.ncls * 5 + std::mem::size_of::<ClassMask>() + 64
     }
 
     #[inline]
@@ -569,6 +581,7 @@ impl LazyCache {
         self.var_lens.push(0);
         self.letter_rows.resize(self.letter_rows.len() + self.ncls, UNKNOWN);
         self.skip_rows.resize(self.skip_rows.len() + self.ncls, SKIP_UNKNOWN);
+        self.skip_masks.push(ClassMask::empty());
         self.index.insert(key.into(), id as u32);
         self.bytes += self.state_cost(key.len());
         self.states_interned += 1;
@@ -578,6 +591,13 @@ impl LazyCache {
     /// The det state of the subset `{initial}` (interning it on first use).
     fn start_state(&mut self, seva: &LazyDetSeva) -> StateId {
         self.intern(&[seva.initial], seva) as StateId
+    }
+
+    /// The memoized skippable-class bitset of `q`: exactly the `SKIP_YES`
+    /// entries computed so far (a pure read — see [`Stepper::skip_mask`]).
+    #[inline]
+    fn skip_mask(&self, q: StateId) -> ClassMask {
+        self.skip_masks[q]
     }
 
     /// Lazy `δ(q, cls)`: fills the letter-row entry on first use.
@@ -685,6 +705,11 @@ impl LazyCache {
         // Note: `compute_skippable` may intern states, growing `skip_rows`
         // at the end — the slot index for `q` is unaffected.
         self.skip_rows[q * self.ncls + cls] = if skip { SKIP_YES } else { SKIP_NO };
+        if skip {
+            // Keep the per-state mask in lockstep with the SKIP_YES memo so
+            // the scanning engine sees every learned entry.
+            self.skip_masks[q].insert(cls);
+        }
         skip
     }
 
@@ -778,6 +803,11 @@ impl Stepper for LazyStepper<'_> {
     }
 
     #[inline]
+    fn partition(&self) -> &AlphabetPartition {
+        &self.seva.partition
+    }
+
+    #[inline]
     fn classify_document(&self, doc: &Document, out: &mut Vec<u8>) {
         self.seva.partition.classify_into(doc.bytes(), out);
     }
@@ -800,6 +830,11 @@ impl Stepper for LazyStepper<'_> {
     #[inline]
     fn run_skippable(&mut self, q: StateId, cls: usize) -> bool {
         self.cache.run_skippable(self.seva, q, cls)
+    }
+
+    #[inline]
+    fn skip_mask(&mut self, q: StateId) -> ClassMask {
+        self.cache.skip_mask(q)
     }
 
     #[inline]
@@ -844,6 +879,10 @@ pub struct FrozenCache {
     var_lens: Vec<u32>,
     letter_rows: Vec<u32>,
     skip_rows: Vec<u8>,
+    /// Immutable per-state skippable-class masks (the memoized `SKIP_YES`
+    /// bits at freeze time), shared read-only by every worker exactly like
+    /// the rows — `Send + Sync` because nothing here mutates.
+    skip_masks: Vec<ClassMask>,
     var_pairs: Vec<(MarkerSet, StateId)>,
     index: HashMap<Box<[u32]>, u32>,
 }
@@ -875,6 +914,7 @@ impl FrozenCache {
             + self.finals.len()
             + self.letter_rows.len() * 4
             + self.skip_rows.len()
+            + self.skip_masks.len() * std::mem::size_of::<ClassMask>()
             + self.var_starts.len() * 8
             + self.var_pairs.len() * std::mem::size_of::<(MarkerSet, StateId)>()
             + self.index.len() * 48
@@ -927,12 +967,20 @@ pub struct FrozenDelta {
     var_lens: Vec<u32>,
     letter_rows: Vec<u32>,
     skip_rows: Vec<u8>,
+    /// Per-local-state skippable-class masks, mirroring `skip_rows` exactly
+    /// like [`LazyCache::skip_masks`] — rebuilt on eviction with their states.
+    skip_masks: Vec<ClassMask>,
     var_pairs: Vec<(MarkerSet, StateId)>,
     index: HashMap<Box<[u32]>, u32>,
     // Overrides for frozen states' unknown slots.
     letter_overrides: HashMap<u32, u32>,
     skip_overrides: HashMap<u32, bool>,
     var_overrides: HashMap<u32, (u32, u32)>,
+    /// Frozen states whose skippable-class mask grew after the freeze: the
+    /// frozen masks themselves are immutable and shared, so newly memoized
+    /// `SKIP_YES` entries land here (keyed by frozen state id, seeded from
+    /// the frozen mask). Cleared with the other overrides.
+    mask_overrides: HashMap<u32, ClassMask>,
     bytes: usize,
     clears: u64,
     states_interned: u64,
@@ -960,11 +1008,13 @@ impl Default for FrozenDelta {
             var_lens: Vec::new(),
             letter_rows: Vec::new(),
             skip_rows: Vec::new(),
+            skip_masks: Vec::new(),
             var_pairs: Vec::new(),
             index: HashMap::new(),
             letter_overrides: HashMap::new(),
             skip_overrides: HashMap::new(),
             var_overrides: HashMap::new(),
+            mask_overrides: HashMap::new(),
             bytes: 0,
             clears: 0,
             states_interned: 0,
@@ -1024,6 +1074,7 @@ impl FrozenDelta {
             self.finals.capacity(),
             self.letter_rows.capacity(),
             self.skip_rows.capacity(),
+            self.skip_masks.capacity(),
             self.var_pairs.capacity(),
             self.index.capacity(),
         ])
@@ -1059,11 +1110,13 @@ impl FrozenDelta {
         self.var_lens.clear();
         self.letter_rows.clear();
         self.skip_rows.clear();
+        self.skip_masks.clear();
         self.var_pairs.clear();
         self.index.clear();
         self.letter_overrides.clear();
         self.skip_overrides.clear();
         self.var_overrides.clear();
+        self.mask_overrides.clear();
         self.bytes = 0;
     }
 
@@ -1101,10 +1154,28 @@ impl FrozenDelta {
         self.var_lens.push(0);
         self.letter_rows.resize(self.letter_rows.len() + self.ncls, UNKNOWN);
         self.skip_rows.resize(self.skip_rows.len() + self.ncls, SKIP_UNKNOWN);
+        self.skip_masks.push(ClassMask::empty());
         self.index.insert(key.into(), id as u32);
-        self.bytes += key.len() * 8 + self.ncls * 5 + 64;
+        self.bytes += key.len() * 8 + self.ncls * 5 + std::mem::size_of::<ClassMask>() + 64;
         self.states_interned += 1;
         id as u32
+    }
+
+    /// The skippable-class bitset of `q` over the frozen/delta split: the
+    /// shared frozen mask (plus any delta-local override) for frozen states,
+    /// the delta-local mask for overflow states. A pure read, like
+    /// [`LazyCache::skip_mask`].
+    #[inline]
+    fn skip_mask(&self, frozen: &FrozenCache, q: StateId) -> ClassMask {
+        let base = self.base as usize;
+        if q < base {
+            match self.mask_overrides.get(&(q as u32)) {
+                Some(&m) => m,
+                None => frozen.skip_masks[q],
+            }
+        } else {
+            self.skip_masks[q - base]
+        }
     }
 
     /// Lazy `δ(q, cls)` over the frozen/delta split: frozen rows are flat
@@ -1288,11 +1359,27 @@ impl FrozenDelta {
             None => {
                 self.skip_overrides.insert((q * self.ncls + cls) as u32, skip);
                 self.bytes += OVERRIDE_COST;
+                if skip {
+                    // The frozen per-state mask is immutable; record the newly
+                    // learned bit in a delta-local override seeded from it.
+                    let mut mask = self
+                        .mask_overrides
+                        .get(&(q as u32))
+                        .copied()
+                        .unwrap_or(frozen.skip_masks[q]);
+                    mask.insert(cls);
+                    if self.mask_overrides.insert(q as u32, mask).is_none() {
+                        self.bytes += OVERRIDE_COST + std::mem::size_of::<ClassMask>();
+                    }
+                }
             }
             Some(lq) => {
                 // `compute_skippable` may intern states, growing `skip_rows`
                 // at the end — the slot index for `lq` is unaffected.
                 self.skip_rows[lq * self.ncls + cls] = if skip { SKIP_YES } else { SKIP_NO };
+                if skip {
+                    self.skip_masks[lq].insert(cls);
+                }
             }
         }
         skip
@@ -1406,6 +1493,11 @@ impl Stepper for FrozenStepper<'_> {
     }
 
     #[inline]
+    fn partition(&self) -> &AlphabetPartition {
+        &self.seva.partition
+    }
+
+    #[inline]
     fn classify_document(&self, doc: &Document, out: &mut Vec<u8>) {
         self.seva.partition.classify_into(doc.bytes(), out);
     }
@@ -1428,6 +1520,11 @@ impl Stepper for FrozenStepper<'_> {
     #[inline]
     fn run_skippable(&mut self, q: StateId, cls: usize) -> bool {
         self.delta.run_skippable(self.frozen, self.seva, q, cls)
+    }
+
+    #[inline]
+    fn skip_mask(&mut self, q: StateId) -> ClassMask {
+        self.delta.skip_mask(self.frozen, q)
     }
 
     #[inline]
@@ -1640,6 +1737,41 @@ mod tests {
         assert!(cache.wasted_states() > 0, "thrashing must waste interned states");
         let rendered = cache.capacity_signature().to_string();
         assert!(rendered.contains("keys=") && rendered.contains("index="), "{rendered}");
+    }
+
+    #[test]
+    fn skip_masks_mirror_memoized_entries_and_survive_freezing() {
+        let eva = nondet_eva();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig::default()).unwrap();
+        // Drive the scanning engine so `run_skippable` memoizes entries: the
+        // `!` tail leaves only the final `Σ`-looping subset live, which is
+        // skippable on the non-letter class once its capture row is empty.
+        let mut evaluator = crate::Evaluator::new();
+        for text in ["agz!!!!!!", "zzzzzagq!!!!"] {
+            let _ = evaluator.eval_lazy(&lazy, &Document::from(text)).num_nodes();
+        }
+        let cache = evaluator.lazy_cache().expect("lazy evaluation populated the cache");
+        let ncls = lazy.num_alphabet_classes();
+        let mut memoized_yes = 0;
+        for q in 0..cache.num_states() {
+            let mask = cache.skip_mask(q);
+            for cls in 0..ncls {
+                let memo = cache.skip_rows[q * ncls + cls];
+                assert_eq!(
+                    mask.contains(cls),
+                    memo == SKIP_YES,
+                    "mask out of lockstep with memo, state {q}, class {cls}"
+                );
+                memoized_yes += (memo == SKIP_YES) as usize;
+            }
+        }
+        assert!(memoized_yes > 0, "the documents above must memoize at least one skip entry");
+        // Freezing carries the masks verbatim into the shared snapshot.
+        let frozen = cache.freeze(&lazy);
+        assert_eq!(frozen.skip_masks, cache.skip_masks);
+        // A delta-local state's mask starts empty and fills with its memos.
+        let delta = frozen.create_delta(&lazy);
+        assert_eq!(delta.skip_mask(&frozen, 0), frozen.skip_masks[0]);
     }
 
     #[test]

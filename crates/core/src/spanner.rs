@@ -66,6 +66,11 @@ enum Engine {
 /// [`CompiledSpanner::count_with`] are the hot-path entry points and work
 /// with both engines (the lazy determinization cache lives inside the
 /// caller's [`Evaluator`] / [`CountCache`] and stays warm across documents).
+/// Every entry point drives the engines in their default
+/// [`crate::EngineMode::SkipScan`] inner loop — skip-mask scanning over the
+/// raw document bytes; pass an explicitly-moded [`Evaluator`] /
+/// [`CountCache`] to the `*_with` methods to select the class-run or
+/// per-byte fallbacks.
 #[derive(Debug, Clone)]
 pub struct CompiledSpanner {
     engine: Engine,
@@ -150,34 +155,14 @@ impl CompiledSpanner {
     }
 
     /// The underlying eagerly compiled automaton, or `None` for lazy-backed
-    /// spanners — the non-panicking replacement for the deprecated
-    /// [`CompiledSpanner::automaton`]. Currently an alias of
-    /// [`CompiledSpanner::eager_automaton`], kept as the canonical name.
+    /// spanners. An alias of [`CompiledSpanner::eager_automaton`], kept as
+    /// the canonical name (it replaced a panicking `automaton()` accessor:
+    /// since `EnginePolicy::Auto` routes nondeterministic or oversized input
+    /// to the lazy engine, no caller may assume an eager automaton exists
+    /// unless it chose the engine itself).
     #[inline]
     pub fn try_automaton(&self) -> Option<&DetSeva> {
         self.eager_automaton()
-    }
-
-    /// The underlying deterministic sequential eVA.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the spanner uses the lazy engine (there is no eagerly
-    /// compiled automaton to return). This panic path is why the accessor is
-    /// deprecated: since `EnginePolicy::Auto` routes nondeterministic or
-    /// oversized input to the lazy engine, no caller can assume an eager
-    /// automaton exists unless it chose the engine itself. Use
-    /// [`CompiledSpanner::try_automaton`] and handle `None` instead.
-    #[deprecated(
-        since = "0.2.0",
-        note = "panics on lazy-backed spanners; use try_automaton() (or eager_automaton()) \
-                and handle None"
-    )]
-    pub fn automaton(&self) -> &DetSeva {
-        self.eager_automaton().expect(
-            "CompiledSpanner::automaton called on a lazy spanner; \
-             use try_automaton()/lazy_automaton()",
-        )
     }
 
     /// The registry naming the spanner's capture variables.
@@ -441,11 +426,6 @@ mod tests {
         assert!(sp.eager_automaton().is_some());
         assert!(sp.lazy_automaton().is_none());
         assert_eq!(sp.try_automaton().expect("eager engine").num_states(), 3);
-        // The deprecated accessor keeps working (and not panicking) on the
-        // eager engine until it is removed.
-        #[allow(deprecated)]
-        let det = sp.automaton();
-        assert_eq!(det.num_states(), 3);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   `FrozenCache` (`Send + Sync`, shared via [`std::sync::Arc`]); workers
 //!   step through it read-only, each with a private overflow delta, so N
 //!   threads no longer re-determinize the same user-supplied spanner N
-//!   times;
+//!   times. The snapshot includes the per-state **skippable-class masks** of
+//!   the skip-mask scanning engine (`EngineMode::SkipScan`, the pools'
+//!   default), so every worker skips straight to the next interesting byte
+//!   off the same shared tables;
 //! * **batch entry points** — [`BatchSpanner`] adds
 //!   `evaluate_batch`/`count_batch`/`is_match_batch` to
 //!   [`CompiledSpanner`] (one-shot, transient pools), and [`SpannerServer`]

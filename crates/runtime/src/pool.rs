@@ -47,7 +47,7 @@ pub struct EvaluatorPool {
 
 impl EvaluatorPool {
     /// An empty pool handing out engines in the default
-    /// [`EngineMode::ClassRuns`].
+    /// [`EngineMode::SkipScan`].
     pub fn new() -> EvaluatorPool {
         EvaluatorPool::default()
     }
@@ -129,7 +129,7 @@ impl<C: Counter> Default for CountCachePool<C> {
 
 impl<C: Counter> CountCachePool<C> {
     /// An empty pool handing out caches in the default
-    /// [`EngineMode::ClassRuns`].
+    /// [`EngineMode::SkipScan`].
     pub fn new() -> CountCachePool<C> {
         CountCachePool::default()
     }

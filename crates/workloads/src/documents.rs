@@ -105,6 +105,35 @@ pub fn dna(seed: u64, len: usize) -> Document {
     random_text(seed, len, b"ACGT")
 }
 
+/// Density-parameterized sparse-match text — the long-document workload of
+/// the skip-scanning experiments (E12): `len` bytes of lowercase noise
+/// letters with isolated decimal digits scattered at a density of
+/// `match_per_10k` per ten thousand positions (`0` = pure noise, `10_000` =
+/// all digits). Digit positions are drawn independently per byte, so skip
+/// distances are irregular — no periodic structure a scanner could
+/// accidentally exploit. Seeded and deterministic.
+///
+/// Against the digit-runs spanner (`Σ* !num{[0-9]+} Σ*`) the noise bytes are
+/// exactly the skippable positions, so `match_per_10k` directly controls the
+/// fraction of the document the run-skipping engines must execute.
+pub fn sparse_match_text(seed: u64, len: usize, match_per_10k: usize) -> Document {
+    assert!(match_per_10k <= 10_000, "density is per ten thousand positions");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bytes: Vec<u8> = (0..len)
+        .map(|_| {
+            // Draw the density die first so the byte stream stays aligned
+            // across densities compiled from the same seed.
+            let is_match = rng.gen_range(0..10_000) < match_per_10k;
+            if is_match {
+                b'0' + rng.gen_range(0..10) as u8
+            } else {
+                b'a' + rng.gen_range(0..26) as u8
+            }
+        })
+        .collect();
+    Document::new(bytes)
+}
+
 /// The exact document of Figure 1 in the paper.
 pub fn figure1_document() -> Document {
     Document::from("John xj@g.bey, Jane x555-12y")
@@ -206,6 +235,21 @@ mod tests {
         let doc = dna(11, 500);
         assert_eq!(doc.len(), 500);
         assert!(doc.bytes().iter().all(|b| b"ACGT".contains(b)));
+    }
+
+    #[test]
+    fn sparse_match_text_tracks_density() {
+        // Deterministic, sized, and over the expected alphabet.
+        let a = sparse_match_text(3, 5_000, 100);
+        assert_eq!(a, sparse_match_text(3, 5_000, 100));
+        assert_eq!(a.len(), 5_000);
+        assert!(a.bytes().iter().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+        // Density endpoints are exact; the middle tracks within sampling noise.
+        assert!(sparse_match_text(4, 2_000, 0).bytes().iter().all(|b| b.is_ascii_lowercase()));
+        assert!(sparse_match_text(5, 2_000, 10_000).bytes().iter().all(|b| b.is_ascii_digit()));
+        let digits = a.bytes().iter().filter(|b| b.is_ascii_digit()).count();
+        // 1% of 5000 = 50 expected matches; allow generous sampling slack.
+        assert!((10..=120).contains(&digits), "digit count {digits} far from 1% density");
     }
 
     #[test]

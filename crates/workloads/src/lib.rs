@@ -17,7 +17,7 @@ pub mod rng;
 
 pub use documents::{
     contact_corpus, contact_directory, corpus_bytes, dna, figure1_document, log_corpus, log_lines,
-    random_text, random_words, text_corpus,
+    random_text, random_words, sparse_match_text, text_corpus,
 };
 pub use families::{
     all_spans_eva, contact_pattern, digit_runs_pattern, exp_blowup_eva, exp_blowup_expected,

@@ -80,11 +80,11 @@ fn sorted(mut ms: Vec<Mapping>) -> Vec<Mapping> {
 /// workload family and adversarial document.
 #[test]
 fn class_run_engine_matches_per_byte_engine() {
-    let mut fast = Evaluator::new();
+    let mut fast = Evaluator::with_mode(EngineMode::ClassRuns);
     let mut slow = Evaluator::with_mode(EngineMode::PerByte);
     assert_eq!(fast.mode(), EngineMode::ClassRuns);
     assert_eq!(slow.mode(), EngineMode::PerByte);
-    let mut fast_counts = CountCache::<u128>::new();
+    let mut fast_counts = CountCache::<u128>::with_mode(EngineMode::ClassRuns);
     let mut slow_counts = CountCache::<u128>::with_mode(EngineMode::PerByte);
     for (pattern, docs) in regex_cases() {
         let spanner = compile(&pattern).expect("workload pattern compiles");
@@ -118,7 +118,7 @@ fn class_run_engine_matches_per_byte_engine() {
 /// Algorithm 1 (naive run enumeration, full materialization).
 #[test]
 fn class_run_engine_matches_independent_baselines() {
-    let mut fast = Evaluator::new();
+    let mut fast = Evaluator::with_mode(EngineMode::ClassRuns);
     for (pattern, docs) in regex_cases() {
         let spanner = compile(&pattern).expect("workload pattern compiles");
         for doc in &docs {
@@ -171,7 +171,9 @@ fn count_cache_matches_one_shot_and_facade() {
 #[test]
 fn count_cache_reuse_is_allocation_free_when_warm() {
     let spanner = compile(w::digit_runs_pattern()).unwrap();
-    let mut cache = CountCache::<u64>::new();
+    // The class-run engine is what exercises the class buffer; the default
+    // skip-scanning engine works on raw bytes and never touches it.
+    let mut cache = CountCache::<u64>::with_mode(EngineMode::ClassRuns);
     let docs: Vec<Document> = (0..8)
         .map(|s| w::random_text(200 + s, 300 + 200 * s as usize, b"no1se 2text3"))
         .rev() // largest first
@@ -198,7 +200,8 @@ fn count_cache_reuse_is_allocation_free_when_warm() {
 #[test]
 fn evaluator_class_buffer_retains_capacity() {
     let spanner = compile(w::digit_runs_pattern()).unwrap();
-    let mut evaluator = Evaluator::new();
+    // As above: only EngineMode::ClassRuns populates the class buffer.
+    let mut evaluator = Evaluator::with_mode(EngineMode::ClassRuns);
     let big = w::random_text(7, 4096, b"ab012 ");
     let _ = evaluator.eval(spanner.try_automaton().expect("eager engine"), &big);
     let warm =
@@ -260,7 +263,7 @@ fn lazy_class_run_engine_matches_per_byte_and_eager() {
             eager_eval.eval(eager.try_automaton().expect("eager engine"), &doc).count_paths();
         // Fresh evaluators per document: the skip metadata for every class
         // run is populated lazily *during* this very evaluation.
-        let cold = Evaluator::new().eval_lazy_owned(&lazy, &doc);
+        let cold = Evaluator::with_mode(EngineMode::ClassRuns).eval_lazy_owned(&lazy, &doc);
         let cold_bytes = Evaluator::with_mode(EngineMode::PerByte).eval_lazy_owned(&lazy, &doc);
         assert_eq!(cold.count_paths(), expected_paths, "cold class-runs paths, |d|={}", doc.len());
         assert_eq!(
@@ -307,7 +310,7 @@ fn lazy_class_run_engine_matches_per_byte_and_eager() {
 #[test]
 fn lazy_run_skipping_is_stable_once_warm() {
     let lazy = digit_runs_lazy(None);
-    let mut evaluator = Evaluator::new();
+    let mut evaluator = Evaluator::with_mode(EngineMode::ClassRuns);
     let docs = adversarial_docs();
     let first: Vec<(usize, usize, u128, Vec<Mapping>)> = docs
         .iter()
@@ -337,7 +340,7 @@ fn lazy_run_skipping_survives_mid_run_eviction() {
     let eager = compile(w::digit_runs_pattern()).unwrap();
     let strict = digit_runs_lazy(Some(256));
     let mut eager_eval = Evaluator::new();
-    let mut thrash = Evaluator::new();
+    let mut thrash = Evaluator::with_mode(EngineMode::ClassRuns);
     for doc in adversarial_docs() {
         let eager_view = eager_eval.eval(eager.try_automaton().expect("eager engine"), &doc);
         let paths = eager_view.count_paths();
