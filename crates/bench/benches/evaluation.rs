@@ -30,8 +30,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use spanners_automata::determinize;
 use spanners_bench::{contact_doc, contact_spanner, digit_spanner, drain, DOC_SIZES};
 use spanners_core::{
-    CompiledSpanner, CountCache, DetSeva, Document, EngineMode, EnumerationDag, Evaluator,
-    LazyConfig, LazyDetSeva,
+    CompiledSpanner, CountCache, DetSeva, Document, EngineMode, EnumerationDag, EvalLimits,
+    Evaluator, LazyConfig, LazyDetSeva,
 };
 use spanners_workloads::{
     all_spans_eva, exp_blowup_eva, figure3_eva, random_text, sparse_match_text,
@@ -349,6 +349,50 @@ fn bench_skip_scan_density(c: &mut Criterion) {
     group.finish();
 }
 
+/// E13: overhead of the per-document limit checker on the skip-scan floor.
+///
+/// The amortized `LimitChecker` (fused step/clock checks on executed
+/// positions, a single clock probe per skip-jump landing) must not tax the
+/// sparse regime the scanner exists for: with generous limits armed, the
+/// 0%-density throughput should stay within ~5% of the limits-off floor,
+/// and the 1%-density mixed regime within noise of it.
+fn bench_limits_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_limits_overhead");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let digits = digit_spanner();
+    let eager = digits.try_automaton().expect("eager engine");
+    let n = 512 * 1024usize;
+    // Generous enough that nothing ever trips — the bench measures pure
+    // bookkeeping, not degradation.
+    let fuel = EvalLimits::none().with_max_steps(u64::MAX / 2);
+    let full = EvalLimits::none()
+        .with_max_steps(u64::MAX / 2)
+        .with_deadline(Duration::from_secs(600))
+        .with_soft_deadline(Duration::from_secs(300))
+        .with_max_cache_clears(u64::MAX / 2);
+    let mut ev = Evaluator::with_mode(EngineMode::SkipScan);
+    for &(label, per_10k) in &[("density_0000", 0usize), ("density_0010", 100)] {
+        let doc = sparse_match_text(13, n, per_10k);
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::new("limits_off", label), &doc, |b, d| {
+            ev.set_limits(EvalLimits::none());
+            b.iter(|| ev.try_eval(eager, d).unwrap().num_nodes())
+        });
+        group.bench_with_input(BenchmarkId::new("step_budget_on", label), &doc, |b, d| {
+            ev.set_limits(fuel);
+            b.iter(|| ev.try_eval(eager, d).unwrap().num_nodes())
+        });
+        group.bench_with_input(BenchmarkId::new("all_limits_on", label), &doc, |b, d| {
+            ev.set_limits(full);
+            b.iter(|| ev.try_eval(eager, d).unwrap().num_nodes())
+        });
+    }
+    ev.set_limits(EvalLimits::none());
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_preprocessing,
@@ -359,6 +403,7 @@ criterion_group!(
     bench_run_skipping_density,
     bench_lazy_vs_eager_compile_eval,
     bench_lazy_warm_density,
-    bench_skip_scan_density
+    bench_skip_scan_density,
+    bench_limits_overhead
 );
 criterion_main!(benches);

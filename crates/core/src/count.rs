@@ -22,6 +22,7 @@ use crate::document::Document;
 use crate::enumerate::EngineMode;
 use crate::error::SpannerError;
 use crate::lazy::{FrozenCache, FrozenDelta, FrozenStepper, LazyCache, LazyDetSeva, LazyStepper};
+use crate::limits::{EvalLimits, LimitChecker};
 use crate::sparse::SparseSet;
 
 /// Numeric types usable as mapping counters.
@@ -183,6 +184,13 @@ pub struct CountCache<C: Counter> {
     frozen: Option<(u64, FrozenDelta)>,
     /// Which inner loop drives Algorithm 3.
     mode: EngineMode,
+    /// Per-document resource limits applied by every count (default: none).
+    limits: EvalLimits,
+    /// The per-run limit enforcement state, restarted by every count.
+    checker: LimitChecker,
+    /// One-off lazy-cache/delta byte-budget override (mirrors
+    /// [`crate::Evaluator::set_cache_budget_override`]).
+    budget_override: Option<usize>,
 }
 
 impl<C: Counter> Default for CountCache<C> {
@@ -199,6 +207,9 @@ impl<C: Counter> Default for CountCache<C> {
             lazy: None,
             frozen: None,
             mode: EngineMode::default(),
+            limits: EvalLimits::none(),
+            checker: LimitChecker::unlimited(),
+            budget_override: None,
         }
     }
 }
@@ -223,6 +234,30 @@ impl<C: Counter> CountCache<C> {
     /// Switches the engine mode for subsequent [`CountCache::count`] calls.
     pub fn set_mode(&mut self, mode: EngineMode) {
         self.mode = mode;
+    }
+
+    /// The per-document resource limits applied by every count.
+    pub fn limits(&self) -> EvalLimits {
+        self.limits
+    }
+
+    /// Sets per-document resource limits for subsequent counts. Counting
+    /// entry points already return `Result`, so tripped limits surface as
+    /// ordinary errors ([`SpannerError::StepBudgetExceeded`],
+    /// [`SpannerError::DeadlineExceeded`], [`SpannerError::BudgetExceeded`]).
+    pub fn set_limits(&mut self, limits: EvalLimits) {
+        self.limits = limits;
+    }
+
+    /// Overrides the lazy-cache/frozen-delta byte budget for subsequent
+    /// counts (mirrors [`crate::Evaluator::set_cache_budget_override`]).
+    pub fn set_cache_budget_override(&mut self, budget: Option<usize>) {
+        self.budget_override = budget;
+    }
+
+    /// The active lazy-cache/frozen-delta byte-budget override, if any.
+    pub fn cache_budget_override(&self) -> Option<usize> {
+        self.budget_override
     }
 
     /// Current capacity of the per-state count vector (diagnostics: a warm
@@ -253,6 +288,8 @@ impl<C: Counter> CountCache<C> {
             Some((id, cache)) if id == aut.id() => cache,
             _ => aut.create_cache(),
         };
+        cache.bind(aut);
+        cache.set_budget(self.budget_override.unwrap_or(aut.config().memory_budget));
         let mut stepper = LazyStepper::new(aut, &mut cache);
         let result = self.count_run(&mut stepper, doc);
         self.lazy = Some((aut.id(), cache));
@@ -277,6 +314,8 @@ impl<C: Counter> CountCache<C> {
         doc: &Document,
     ) -> Result<C, SpannerError> {
         let mut delta = self.take_frozen_delta(frozen);
+        delta.bind(frozen, aut);
+        delta.set_budget(self.budget_override.unwrap_or(aut.config().memory_budget));
         let result = {
             let mut stepper = FrozenStepper::new(aut, frozen, &mut delta);
             self.count_run(&mut stepper, doc)
@@ -303,6 +342,7 @@ impl<C: Counter> CountCache<C> {
 
     /// The Algorithm 3 loop, generic over the eager/lazy [`Stepper`] seam.
     fn count_run<S: Stepper>(&mut self, aut: &mut S, doc: &Document) -> Result<C, SpannerError> {
+        self.checker = LimitChecker::start(&self.limits);
         let n_states = aut.state_bound();
         // Reset retained storage without releasing capacity; `ensure_state`
         // grows it when a lazy stepper discovers states mid-document.
@@ -323,7 +363,8 @@ impl<C: Counter> CountCache<C> {
             EngineMode::PerByte => {
                 let bytes = doc.bytes();
                 for i in 0..=bytes.len() {
-                    self.maintenance_point(aut);
+                    self.checker.tick()?;
+                    self.maintenance_point(aut)?;
                     self.capture_phase(aut)?;
                     if i == bytes.len() {
                         break;
@@ -338,28 +379,9 @@ impl<C: Counter> CountCache<C> {
                 // itself and zeroes every capture attempt at the next Reading.
                 let mut class_buf = std::mem::take(&mut self.class_buf);
                 aut.classify_document(doc, &mut class_buf);
-                for run in ClassRuns::new(&class_buf) {
-                    let cls = run.class as usize;
-                    let end = run.start + run.len;
-                    let mut i = run.start;
-                    while i < end {
-                        self.maintenance_point(aut);
-                        if self
-                            .active
-                            .as_slice()
-                            .iter()
-                            .all(|&q| aut.run_skippable(q as usize, cls))
-                        {
-                            break;
-                        }
-                        self.capture_phase(aut)?;
-                        self.read_phase(aut, cls)?;
-                        i += 1;
-                    }
-                }
+                let result = self.count_class_runs(aut, &class_buf);
                 self.class_buf = class_buf;
-                self.maintenance_point(aut);
-                self.capture_phase(aut)?;
+                result?;
             }
             EngineMode::SkipScan => {
                 // Skip-mask scanning (the counting mirror of
@@ -373,17 +395,19 @@ impl<C: Counter> CountCache<C> {
                 let mut i = 0usize;
                 while i < bytes.len() {
                     if aut.wants_maintenance() {
-                        self.maintenance_point(aut);
+                        self.maintenance_point(aut)?;
                         self.scanner.reset();
                     }
                     let cls = aut.byte_class(bytes[i]);
                     if self.scanner.should_skip(aut, self.active.as_slice(), cls) {
+                        self.checker.tick_jump()?;
                         match self.scanner.next_interesting(aut.partition(), bytes, i + 1) {
                             Some(j) => i = j,
                             None => break,
                         }
                         continue;
                     }
+                    self.checker.tick()?;
                     self.capture_phase(aut)?;
                     self.read_phase(aut, cls)?;
                     self.scanner.executed();
@@ -392,7 +416,7 @@ impl<C: Counter> CountCache<C> {
                         break;
                     }
                 }
-                self.maintenance_point(aut);
+                self.maintenance_point(aut)?;
                 self.capture_phase(aut)?;
             }
         }
@@ -405,6 +429,34 @@ impl<C: Counter> CountCache<C> {
             }
         }
         Ok(total)
+    }
+
+    /// The class-run counting loop, split out so `count_run` can restore the
+    /// classification buffer even when a limit error aborts the document.
+    fn count_class_runs<S: Stepper>(
+        &mut self,
+        aut: &mut S,
+        class_buf: &[u8],
+    ) -> Result<(), SpannerError> {
+        for run in ClassRuns::new(class_buf) {
+            let cls = run.class as usize;
+            let end = run.start + run.len;
+            let mut i = run.start;
+            while i < end {
+                self.maintenance_point(aut)?;
+                if self.active.as_slice().iter().all(|&q| aut.run_skippable(q as usize, cls)) {
+                    self.checker.tick_jump()?;
+                    break;
+                }
+                self.checker.tick()?;
+                self.capture_phase(aut)?;
+                self.read_phase(aut, cls)?;
+                i += 1;
+            }
+        }
+        self.maintenance_point(aut)?;
+        self.capture_phase(aut)?;
+        Ok(())
     }
 
     /// Grows the per-state storage to cover state id `q` (no-op for eager
@@ -424,9 +476,9 @@ impl<C: Counter> CountCache<C> {
     /// [`crate::Evaluator`]'s maintenance point (counts are saved across the
     /// eviction's id remap instead of lists).
     #[inline]
-    fn maintenance_point<S: Stepper>(&mut self, aut: &mut S) {
+    fn maintenance_point<S: Stepper>(&mut self, aut: &mut S) -> Result<(), SpannerError> {
         if !aut.wants_maintenance() {
-            return;
+            return Ok(());
         }
         let mut ids = std::mem::take(&mut self.maint_ids);
         let mut saved = std::mem::take(&mut self.maint_counts);
@@ -437,7 +489,11 @@ impl<C: Counter> CountCache<C> {
             saved.push(self.counts[q as usize].clone());
             self.counts[q as usize] = C::zero();
         }
+        // The remap completes even when the thrash guard trips, so the
+        // engine stays internally consistent after an error return.
+        let mut verdict = Ok(());
         if aut.maintain(&mut ids) {
+            verdict = self.checker.note_clear();
             self.active.clear();
             for (k, &q) in ids.iter().enumerate() {
                 let q = q as usize;
@@ -452,6 +508,7 @@ impl<C: Counter> CountCache<C> {
         }
         self.maint_ids = ids;
         self.maint_counts = saved;
+        verdict
     }
 
     /// `Capturing(i)`: extend runs with extended variable transitions.

@@ -580,6 +580,19 @@ impl SkipScanner {
 /// [`crate::lazy::LazyDetSeva::accepts`]; honours the maintenance hooks, so a
 /// lazy implementation stays within its memory budget here too.
 pub(crate) fn accepts_generic<S: Stepper>(aut: &mut S, doc: &Document) -> bool {
+    try_accepts_generic(aut, doc, &crate::limits::EvalLimits::none())
+        .expect("unlimited acceptance run cannot trip a limit")
+}
+
+/// [`accepts_generic`] under per-document [`EvalLimits`](crate::EvalLimits):
+/// every position ticks the amortized limit checker, and evictions feed the
+/// thrash guard.
+pub(crate) fn try_accepts_generic<S: Stepper>(
+    aut: &mut S,
+    doc: &Document,
+    limits: &crate::limits::EvalLimits,
+) -> Result<bool, SpannerError> {
+    let mut checker = crate::limits::LimitChecker::start(limits);
     let mut live = SparseSet::new(aut.state_bound());
     let mut next = SparseSet::new(aut.state_bound());
     let mut maint: Vec<u32> = Vec::new();
@@ -588,7 +601,8 @@ pub(crate) fn accepts_generic<S: Stepper>(aut: &mut S, doc: &Document) -> bool {
     next.grow(init + 1);
     live.insert(init);
     for &b in doc.bytes() {
-        maintain_set(aut, &mut live, &mut maint);
+        checker.tick()?;
+        maintain_set(aut, &mut live, &mut maint, &mut checker)?;
         // Capturing: add the one-step marker successors of the states live at
         // phase start (marker steps do not chain within one position).
         let snapshot = live.len();
@@ -610,11 +624,11 @@ pub(crate) fn accepts_generic<S: Stepper>(aut: &mut S, doc: &Document) -> bool {
         }
         std::mem::swap(&mut live, &mut next);
         if live.is_empty() {
-            return false;
+            return Ok(false);
         }
     }
     // Final capturing step, then the final check.
-    maintain_set(aut, &mut live, &mut maint);
+    maintain_set(aut, &mut live, &mut maint, &mut checker)?;
     let snapshot = live.len();
     for idx in 0..snapshot {
         let q = live.get(idx);
@@ -624,14 +638,20 @@ pub(crate) fn accepts_generic<S: Stepper>(aut: &mut S, doc: &Document) -> bool {
         }
     }
     let accepted = live.iter().any(|q| aut.is_final(q));
-    accepted
+    Ok(accepted)
 }
 
 /// Maintenance helper for [`accepts_generic`]: runs the clear-and-restart
-/// eviction protocol on a bare live set (no per-state payload to remap).
-fn maintain_set<S: Stepper>(aut: &mut S, live: &mut SparseSet, scratch: &mut Vec<u32>) {
+/// eviction protocol on a bare live set (no per-state payload to remap),
+/// feeding each eviction to the thrash guard.
+fn maintain_set<S: Stepper>(
+    aut: &mut S,
+    live: &mut SparseSet,
+    scratch: &mut Vec<u32>,
+    checker: &mut crate::limits::LimitChecker,
+) -> Result<(), SpannerError> {
     if !aut.wants_maintenance() {
-        return;
+        return Ok(());
     }
     scratch.clear();
     scratch.extend_from_slice(live.as_slice());
@@ -641,7 +661,9 @@ fn maintain_set<S: Stepper>(aut: &mut S, live: &mut SparseSet, scratch: &mut Vec
             live.grow(q as usize + 1);
             live.insert(q as usize);
         }
+        checker.note_clear()?;
     }
+    Ok(())
 }
 
 #[cfg(test)]

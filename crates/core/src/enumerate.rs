@@ -52,7 +52,9 @@
 use crate::byteclass::ClassRuns;
 use crate::det::{DetSeva, SkipScanner, Stepper};
 use crate::document::Document;
+use crate::error::SpannerError;
 use crate::lazy::{FrozenCache, FrozenDelta, FrozenStepper, LazyCache, LazyDetSeva, LazyStepper};
+use crate::limits::{EvalLimits, LimitChecker};
 use crate::mapping::Mapping;
 use crate::markerset::MarkerSet;
 use crate::span::Span;
@@ -295,6 +297,14 @@ pub struct Evaluator {
     frozen: Option<(u64, FrozenDelta)>,
     /// Which inner loop drives Algorithm 1.
     mode: EngineMode,
+    /// Per-document resource limits applied by every run (default: none).
+    limits: EvalLimits,
+    /// The per-run limit enforcement state, restarted by every run.
+    checker: LimitChecker,
+    /// One-off lazy-cache/delta byte-budget override for the next runs
+    /// (graceful-degradation retries, fault injection); `None` uses the
+    /// automaton's configured budget.
+    budget_override: Option<usize>,
 }
 
 impl Evaluator {
@@ -320,6 +330,32 @@ impl Evaluator {
         self.mode = mode;
     }
 
+    /// The per-document resource limits applied by every run.
+    pub fn limits(&self) -> EvalLimits {
+        self.limits
+    }
+
+    /// Sets per-document resource limits for subsequent runs. With limits
+    /// configured, use the fallible entry points ([`Evaluator::try_eval`],
+    /// [`Evaluator::try_eval_lazy`], [`Evaluator::try_eval_frozen`]); the
+    /// infallible ones panic if a limit trips.
+    pub fn set_limits(&mut self, limits: EvalLimits) {
+        self.limits = limits;
+    }
+
+    /// Overrides the lazy-cache/frozen-delta byte budget for subsequent runs
+    /// (`None` restores the automaton's configured budget). This is the
+    /// degradation-ladder hook: a document that thrashed the cache can be
+    /// retried once under an enlarged budget without recompiling anything.
+    pub fn set_cache_budget_override(&mut self, budget: Option<usize>) {
+        self.budget_override = budget;
+    }
+
+    /// The active lazy-cache/frozen-delta byte-budget override, if any.
+    pub fn cache_budget_override(&self) -> Option<usize> {
+        self.budget_override
+    }
+
     /// Runs Algorithm 1 (`Evaluate`) over the document and returns a view of
     /// the resulting DAG, reusing all previously allocated arena capacity.
     ///
@@ -330,6 +366,27 @@ impl Evaluator {
         let mut stepper: &DetSeva = aut;
         self.run(&mut stepper, doc, None);
         DagView { store: &self.store, registry: aut.registry(), doc_len: doc.len() }
+    }
+
+    /// [`Evaluator::eval`] under the configured [`EvalLimits`]: a tripped
+    /// step budget or deadline surfaces as an `Err` instead of a panic, and
+    /// the evaluator stays reusable (the next run resets all state).
+    pub fn try_eval<'a>(
+        &'a mut self,
+        aut: &'a DetSeva,
+        doc: &Document,
+    ) -> Result<DagView<'a>, SpannerError> {
+        let mut stepper: &DetSeva = aut;
+        self.try_run(&mut stepper, doc, None)?;
+        Ok(DagView { store: &self.store, registry: aut.registry(), doc_len: doc.len() })
+    }
+
+    /// Whether the eager automaton accepts `doc`, under the configured
+    /// [`EvalLimits`] — the fallible counterpart of [`DetSeva::accepts`],
+    /// placed on the evaluator so limits live in one place for all engines.
+    pub fn try_accepts(&mut self, aut: &DetSeva, doc: &Document) -> Result<bool, SpannerError> {
+        let mut stepper: &DetSeva = aut;
+        crate::det::try_accepts_generic(&mut stepper, doc, &self.limits)
     }
 
     /// Like [`Evaluator::eval`] but moves the finished DAG out as an owned
@@ -353,17 +410,33 @@ impl Evaluator {
     /// same engine modes, same zero-steady-state-allocation contract once
     /// both the arenas and the cache are warm.
     pub fn eval_lazy<'a>(&'a mut self, aut: &'a LazyDetSeva, doc: &Document) -> DagView<'a> {
-        let mut cache = self.take_lazy_cache(aut);
+        let mut cache = self.prepare_lazy_cache(aut);
         let mut stepper = LazyStepper::new(aut, &mut cache);
         self.run(&mut stepper, doc, None);
         self.lazy = Some((aut.id(), cache));
         DagView { store: &self.store, registry: aut.registry(), doc_len: doc.len() }
     }
 
+    /// [`Evaluator::eval_lazy`] under the configured [`EvalLimits`] (see
+    /// [`Evaluator::try_eval`]). The embedded cache survives a tripped limit
+    /// — already-interned subset states stay warm for the retry.
+    pub fn try_eval_lazy<'a>(
+        &'a mut self,
+        aut: &'a LazyDetSeva,
+        doc: &Document,
+    ) -> Result<DagView<'a>, SpannerError> {
+        let mut cache = self.prepare_lazy_cache(aut);
+        let mut stepper = LazyStepper::new(aut, &mut cache);
+        let run = self.try_run(&mut stepper, doc, None);
+        self.lazy = Some((aut.id(), cache));
+        run?;
+        Ok(DagView { store: &self.store, registry: aut.registry(), doc_len: doc.len() })
+    }
+
     /// Like [`Evaluator::eval_lazy`] but moving the finished DAG out as an
     /// owned [`EnumerationDag`] (see [`Evaluator::eval_owned`]).
     pub fn eval_lazy_owned(&mut self, aut: &LazyDetSeva, doc: &Document) -> EnumerationDag {
-        let mut cache = self.take_lazy_cache(aut);
+        let mut cache = self.prepare_lazy_cache(aut);
         let mut stepper = LazyStepper::new(aut, &mut cache);
         self.run(&mut stepper, doc, None);
         self.lazy = Some((aut.id(), cache));
@@ -379,8 +452,24 @@ impl Evaluator {
     /// check: unlike a one-shot `accepts` with a fresh cache, repeated calls
     /// reuse all previously discovered subset states and transition rows.
     pub fn accepts_lazy(&mut self, aut: &LazyDetSeva, doc: &Document) -> bool {
-        let mut cache = self.take_lazy_cache(aut);
+        let mut cache = self.prepare_lazy_cache(aut);
         let accepted = aut.accepts(&mut cache, doc);
+        self.lazy = Some((aut.id(), cache));
+        accepted
+    }
+
+    /// [`Evaluator::accepts_lazy`] under the configured [`EvalLimits`]: the
+    /// match check honours step budgets and deadlines like a full run.
+    pub fn try_accepts_lazy(
+        &mut self,
+        aut: &LazyDetSeva,
+        doc: &Document,
+    ) -> Result<bool, SpannerError> {
+        let mut cache = self.prepare_lazy_cache(aut);
+        let accepted = {
+            let mut stepper = LazyStepper::new(aut, &mut cache);
+            crate::det::try_accepts_generic(&mut stepper, doc, &self.limits)
+        };
         self.lazy = Some((aut.id(), cache));
         accepted
     }
@@ -407,11 +496,28 @@ impl Evaluator {
         frozen: &FrozenCache,
         doc: &Document,
     ) -> DagView<'a> {
-        let mut delta = self.take_frozen_delta(frozen);
+        let mut delta = self.prepare_frozen_delta(aut, frozen);
         let mut stepper = FrozenStepper::new(aut, frozen, &mut delta);
         self.run(&mut stepper, doc, None);
         self.frozen = Some((frozen.id(), delta));
         DagView { store: &self.store, registry: aut.registry(), doc_len: doc.len() }
+    }
+
+    /// [`Evaluator::eval_frozen`] under the configured [`EvalLimits`] (see
+    /// [`Evaluator::try_eval`]). The per-worker delta survives a tripped
+    /// limit; the next frozen run resets it per the determinism contract.
+    pub fn try_eval_frozen<'a>(
+        &'a mut self,
+        aut: &'a LazyDetSeva,
+        frozen: &FrozenCache,
+        doc: &Document,
+    ) -> Result<DagView<'a>, SpannerError> {
+        let mut delta = self.prepare_frozen_delta(aut, frozen);
+        let mut stepper = FrozenStepper::new(aut, frozen, &mut delta);
+        let run = self.try_run(&mut stepper, doc, None);
+        self.frozen = Some((frozen.id(), delta));
+        run?;
+        Ok(DagView { store: &self.store, registry: aut.registry(), doc_len: doc.len() })
     }
 
     /// Whether the automaton accepts `doc`, stepping through the shared
@@ -423,10 +529,26 @@ impl Evaluator {
         frozen: &FrozenCache,
         doc: &Document,
     ) -> bool {
-        let mut delta = self.take_frozen_delta(frozen);
+        let mut delta = self.prepare_frozen_delta(aut, frozen);
         let accepted = {
             let mut stepper = FrozenStepper::new(aut, frozen, &mut delta);
             crate::det::accepts_generic(&mut stepper, doc)
+        };
+        self.frozen = Some((frozen.id(), delta));
+        accepted
+    }
+
+    /// [`Evaluator::accepts_frozen`] under the configured [`EvalLimits`].
+    pub fn try_accepts_frozen(
+        &mut self,
+        aut: &LazyDetSeva,
+        frozen: &FrozenCache,
+        doc: &Document,
+    ) -> Result<bool, SpannerError> {
+        let mut delta = self.prepare_frozen_delta(aut, frozen);
+        let accepted = {
+            let mut stepper = FrozenStepper::new(aut, frozen, &mut delta);
+            crate::det::try_accepts_generic(&mut stepper, doc, &self.limits)
         };
         self.frozen = Some((frozen.id(), delta));
         accepted
@@ -457,6 +579,26 @@ impl Evaluator {
         }
     }
 
+    /// Takes the embedded cache out, bound to `aut` with the effective byte
+    /// budget (the automaton's configured budget, or the evaluator's one-off
+    /// override). Binding first makes the budget deterministic per run: a
+    /// previous run's override never leaks into an un-overridden run.
+    fn prepare_lazy_cache(&mut self, aut: &LazyDetSeva) -> LazyCache {
+        let mut cache = self.take_lazy_cache(aut);
+        cache.bind(aut);
+        cache.set_budget(self.budget_override.unwrap_or(aut.config().memory_budget));
+        cache
+    }
+
+    /// Takes the embedded delta out, bound to `frozen` with the effective
+    /// byte budget (see [`Evaluator::prepare_lazy_cache`]).
+    fn prepare_frozen_delta(&mut self, aut: &LazyDetSeva, frozen: &FrozenCache) -> FrozenDelta {
+        let mut delta = self.take_frozen_delta(frozen);
+        delta.bind(frozen, aut);
+        delta.set_budget(self.budget_override.unwrap_or(aut.config().memory_budget));
+        delta
+    }
+
     /// Current capacity of the node arena (diagnostics: a warmed-up evaluator
     /// keeps its capacity across documents instead of reallocating).
     pub fn node_capacity(&self) -> usize {
@@ -474,18 +616,38 @@ impl Evaluator {
         self.class_buf.capacity()
     }
 
-    /// The core of Algorithm 1, shared by every public entry point and
-    /// generic over the eager/lazy [`Stepper`] seam.
-    ///
-    /// Traced runs always use the per-byte loop: a [`StageTrace`] records the
-    /// list state after *every* `Capturing`/`Reading` phase, which requires
-    /// per-position granularity the run-skipping loop deliberately elides.
+    /// Infallible shim over [`Evaluator::try_run`] for the legacy entry
+    /// points: with no [`EvalLimits`] configured (the default) nothing can
+    /// trip; with limits configured, a tripped limit panics here — callers
+    /// that set limits must use the `try_*` entry points.
     fn run<S: Stepper>(
         &mut self,
         aut: &mut S,
         doc: &Document,
         trace: Option<&mut Vec<StageTrace>>,
     ) {
+        if let Err(e) = self.try_run(aut, doc, trace) {
+            panic!("evaluation limit tripped on an infallible entry point (use try_eval*): {e}");
+        }
+    }
+
+    /// The core of Algorithm 1, shared by every public entry point and
+    /// generic over the eager/lazy [`Stepper`] seam.
+    ///
+    /// Traced runs always use the per-byte loop: a [`StageTrace`] records the
+    /// list state after *every* `Capturing`/`Reading` phase, which requires
+    /// per-position granularity the run-skipping loop deliberately elides.
+    ///
+    /// Fails only when a configured [`EvalLimits`] trips; on failure the
+    /// partially built DAG is abandoned (the next run resets all state, so
+    /// the evaluator remains reusable).
+    fn try_run<S: Stepper>(
+        &mut self,
+        aut: &mut S,
+        doc: &Document,
+        trace: Option<&mut Vec<StageTrace>>,
+    ) -> Result<(), SpannerError> {
+        self.checker = LimitChecker::start(&self.limits);
         let n_states = aut.state_bound();
         // Reset retained storage without releasing capacity. A lazy stepper
         // may discover states past `n_states` mid-document; `ensure_state`
@@ -510,11 +672,11 @@ impl Evaluator {
         self.active.insert(init);
 
         if self.mode == EngineMode::PerByte || trace.is_some() {
-            self.run_per_byte(aut, doc, trace);
+            self.run_per_byte(aut, doc, trace)?;
         } else if self.mode == EngineMode::ClassRuns {
-            self.run_class_runs(aut, doc);
+            self.run_class_runs(aut, doc)?;
         } else {
-            self.run_skip_scan(aut, doc);
+            self.run_skip_scan(aut, doc)?;
         }
 
         // Roots: the (non-empty) lists of the final states, in state order so
@@ -528,6 +690,7 @@ impl Evaluator {
         }
         self.root_scratch.sort_unstable_by_key(|&(q, _)| q);
         self.store.roots.extend(self.root_scratch.iter().map(|&(_, l)| l));
+        Ok(())
     }
 
     /// The classic byte-at-a-time sparse loop (kept verbatim as the reference
@@ -540,10 +703,11 @@ impl Evaluator {
         aut: &mut S,
         doc: &Document,
         mut trace: Option<&mut Vec<StageTrace>>,
-    ) {
+    ) -> Result<(), SpannerError> {
         let bytes = doc.bytes();
         for i in 0..=bytes.len() {
-            self.maintenance_point(aut);
+            self.checker.tick()?;
+            self.maintenance_point(aut)?;
             self.capture_phase(aut, i);
             if let Some(t) = trace.as_deref_mut() {
                 t.push(StageTrace::capture(i, &self.lists));
@@ -557,6 +721,7 @@ impl Evaluator {
                 t.push(StageTrace::read(i, &self.lists));
             }
         }
+        Ok(())
     }
 
     /// The run-skipping loop: classify the whole document into alphabet
@@ -569,28 +734,49 @@ impl Evaluator {
     /// fail the test fall back to the per-byte phases, one byte at a time,
     /// re-testing after each byte (capture transitions mid-run can both
     /// create and destroy skippability).
-    fn run_class_runs<S: Stepper>(&mut self, aut: &mut S, doc: &Document) {
+    fn run_class_runs<S: Stepper>(
+        &mut self,
+        aut: &mut S,
+        doc: &Document,
+    ) -> Result<(), SpannerError> {
         let mut class_buf = std::mem::take(&mut self.class_buf);
         aut.classify_document(doc, &mut class_buf);
-        for run in ClassRuns::new(&class_buf) {
+        let result = self.run_class_runs_inner(aut, doc, &class_buf);
+        self.class_buf = class_buf;
+        result
+    }
+
+    /// Body of [`Evaluator::run_class_runs`], split out so the class buffer
+    /// is restored on the error path too.
+    fn run_class_runs_inner<S: Stepper>(
+        &mut self,
+        aut: &mut S,
+        doc: &Document,
+        class_buf: &[u8],
+    ) -> Result<(), SpannerError> {
+        for run in ClassRuns::new(class_buf) {
             let cls = run.class as usize;
             let end = run.start + run.len;
             let mut i = run.start;
             while i < end {
-                self.maintenance_point(aut);
+                self.maintenance_point(aut)?;
                 if self.active.as_slice().iter().all(|&q| aut.run_skippable(q as usize, cls)) {
                     // The rest of the run is a no-op for every live state
-                    // (vacuously so once the active set is empty).
+                    // (vacuously so once the active set is empty). Skipped
+                    // positions cost no step fuel; one clock check covers
+                    // the whole consumed run.
+                    self.checker.tick_jump()?;
                     break;
                 }
+                self.checker.tick()?;
                 self.capture_phase(aut, i);
                 self.read_phase(aut, cls);
                 i += 1;
             }
         }
-        self.maintenance_point(aut);
+        self.maintenance_point(aut)?;
         self.capture_phase(aut, doc.len());
-        self.class_buf = class_buf;
+        Ok(())
     }
 
     /// The skip-mask scanning loop ([`EngineMode::SkipScan`]): instead of
@@ -613,7 +799,11 @@ impl Evaluator {
     /// all-live-states [`Stepper::run_skippable`] test the class-run loop
     /// performs just succeeded. Lazily determinized automata therefore
     /// intern subset states in exactly the same order under both engines.
-    fn run_skip_scan<S: Stepper>(&mut self, aut: &mut S, doc: &Document) {
+    fn run_skip_scan<S: Stepper>(
+        &mut self,
+        aut: &mut S,
+        doc: &Document,
+    ) -> Result<(), SpannerError> {
         let bytes = doc.bytes();
         self.scanner.reset();
         let mut i = 0usize;
@@ -624,17 +814,21 @@ impl Evaluator {
                 // states are the same subsets under new ids, so a stale mask
                 // would still under-approximate — but dropping it keeps the
                 // reasoning local.)
-                self.maintenance_point(aut);
+                self.maintenance_point(aut)?;
                 self.scanner.reset();
             }
             let cls = aut.byte_class(bytes[i]);
             if self.scanner.should_skip(aut, self.active.as_slice(), cls) {
+                // Skipped stretches cost no step fuel; the scan that finds
+                // the next interesting byte amortizes one clock check.
+                self.checker.tick_jump()?;
                 match self.scanner.next_interesting(aut.partition(), bytes, i + 1) {
                     Some(j) => i = j,
                     None => break,
                 }
                 continue;
             }
+            self.checker.tick()?;
             self.capture_phase(aut, i);
             self.read_phase(aut, cls);
             self.scanner.executed();
@@ -645,8 +839,9 @@ impl Evaluator {
                 break;
             }
         }
-        self.maintenance_point(aut);
+        self.maintenance_point(aut)?;
         self.capture_phase(aut, doc.len());
+        Ok(())
     }
 
     /// Grows the per-state storage (lists, snapshots, active sets) to cover
@@ -667,10 +862,13 @@ impl Evaluator {
     /// over budget, hand it the live state ids, let it clear-and-restart, and
     /// remap the evaluator's per-state structures onto the rewritten ids.
     /// Free for eager automata (`wants_maintenance` is a constant `false`).
+    /// Each performed eviction feeds the thrash guard, whose verdict is
+    /// returned only after the remap completes — the evaluator's invariants
+    /// hold even on the error path.
     #[inline]
-    fn maintenance_point<S: Stepper>(&mut self, aut: &mut S) {
+    fn maintenance_point<S: Stepper>(&mut self, aut: &mut S) -> Result<(), SpannerError> {
         if !aut.wants_maintenance() {
-            return;
+            return Ok(());
         }
         // Save the live lists in active order and clear the old slots before
         // any new id is written (old and new id ranges overlap).
@@ -683,7 +881,9 @@ impl Evaluator {
             saved.push(self.lists[q as usize]);
             self.lists[q as usize] = ListRef::EMPTY;
         }
+        let mut verdict = Ok(());
         if aut.maintain(&mut ids) {
+            verdict = self.checker.note_clear();
             self.active.clear();
             for (k, &q) in ids.iter().enumerate() {
                 let q = q as usize;
@@ -699,6 +899,7 @@ impl Evaluator {
         }
         self.maint_ids = ids;
         self.maint_lists = saved;
+        verdict
     }
 
     /// `Capturing(i)`: the extended variable transitions taken immediately

@@ -3,7 +3,12 @@
 use std::fmt;
 
 /// Errors produced while constructing or evaluating document spanners.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm, so future fault categories (this crate grows them as the serving
+/// runtime hardens) are not semver breaks.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SpannerError {
     /// An automaton (or regex formula) declared more variables than the
     /// bit-packed [`MarkerSet`](crate::MarkerSet) representation supports.
@@ -62,6 +67,38 @@ pub enum SpannerError {
         /// The configured limit.
         limit: usize,
     },
+    /// A batch worker panicked while evaluating one document. The panic was
+    /// contained (the batch keeps running), the engine involved was
+    /// quarantined (dropped, never checked back into its pool), and the
+    /// failure is reported against this document alone.
+    WorkerPanicked {
+        /// Index of the document whose evaluation panicked.
+        doc_index: usize,
+        /// The panic payload, stringified when possible.
+        message: String,
+    },
+    /// A per-document wall-clock deadline from
+    /// [`EvalLimits`](crate::EvalLimits) expired mid-evaluation.
+    DeadlineExceeded {
+        /// `true` when the *soft* deadline expired (the document is a
+        /// candidate for graceful degradation and retry); `false` for the
+        /// hard deadline (the document is abandoned).
+        soft: bool,
+        /// The configured budget, in milliseconds.
+        limit_ms: u64,
+    },
+    /// A per-document step budget ([`EvalLimits::max_steps`](crate::EvalLimits))
+    /// was exhausted mid-evaluation.
+    StepBudgetExceeded {
+        /// The configured maximum number of executed evaluation steps.
+        limit: u64,
+    },
+    /// A configuration value was rejected up front (e.g. a zero thread count
+    /// or an absurd retry limit in batch options).
+    InvalidConfig {
+        /// What was wrong with the configuration.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SpannerError {
@@ -100,6 +137,19 @@ impl fmt::Display for SpannerError {
             SpannerError::Parse(e) => write!(f, "regex formula parse error: {e}"),
             SpannerError::BudgetExceeded { what, limit } => {
                 write!(f, "{what} exceeded the configured budget of {limit}")
+            }
+            SpannerError::WorkerPanicked { doc_index, message } => {
+                write!(f, "worker panicked on document {doc_index}: {message}")
+            }
+            SpannerError::DeadlineExceeded { soft, limit_ms } => {
+                let kind = if *soft { "soft deadline" } else { "deadline" };
+                write!(f, "document evaluation exceeded its {kind} of {limit_ms} ms")
+            }
+            SpannerError::StepBudgetExceeded { limit } => {
+                write!(f, "document evaluation exhausted its step budget of {limit} steps")
+            }
+            SpannerError::InvalidConfig { what } => {
+                write!(f, "invalid configuration: {what}")
             }
         }
     }
@@ -176,6 +226,32 @@ mod tests {
         fn takes_err<E: std::error::Error>(_e: E) {}
         takes_err(SpannerError::CountOverflow);
         takes_err(ParseError::new(0, "x"));
+    }
+
+    #[test]
+    fn display_worker_panicked() {
+        let e = SpannerError::WorkerPanicked { doc_index: 17, message: "index oob".into() };
+        assert_eq!(e.to_string(), "worker panicked on document 17: index oob");
+    }
+
+    #[test]
+    fn display_deadline_exceeded_soft_and_hard() {
+        let hard = SpannerError::DeadlineExceeded { soft: false, limit_ms: 250 };
+        assert_eq!(hard.to_string(), "document evaluation exceeded its deadline of 250 ms");
+        let soft = SpannerError::DeadlineExceeded { soft: true, limit_ms: 50 };
+        assert_eq!(soft.to_string(), "document evaluation exceeded its soft deadline of 50 ms");
+    }
+
+    #[test]
+    fn display_step_budget_exceeded() {
+        let e = SpannerError::StepBudgetExceeded { limit: 1_000 };
+        assert_eq!(e.to_string(), "document evaluation exhausted its step budget of 1000 steps");
+    }
+
+    #[test]
+    fn display_invalid_config() {
+        let e = SpannerError::InvalidConfig { what: "batch thread count must be nonzero" };
+        assert_eq!(e.to_string(), "invalid configuration: batch thread count must be nonzero");
     }
 
     #[test]

@@ -537,6 +537,17 @@ impl LazyCache {
         self.clear_states();
     }
 
+    /// Overrides the byte budget for subsequent maintenance checks (one-off
+    /// degradation retries and deterministic fault injection). [`bind`] to a
+    /// *different* automaton resets the budget back to that automaton's
+    /// [`LazyConfig`]; rebinding the same automaton keeps the override, so
+    /// callers that want it one-off must restore it themselves.
+    ///
+    /// [`bind`]: LazyCache::bind
+    pub(crate) fn set_budget(&mut self, budget: usize) {
+        self.budget = budget;
+    }
+
     /// Drops every interned state and row, keeping allocated capacity.
     fn clear_states(&mut self) {
         self.key_offsets.clear();
@@ -1080,9 +1091,15 @@ impl FrozenDelta {
         ])
     }
 
+    /// Overrides the byte budget for subsequent maintenance checks (see
+    /// [`LazyCache::set_budget`]).
+    pub(crate) fn set_budget(&mut self, budget: usize) {
+        self.budget = budget;
+    }
+
     /// Binds the delta to `frozen`, resetting it if it was bound to a
     /// different snapshot.
-    fn bind(&mut self, frozen: &FrozenCache, seva: &LazyDetSeva) {
+    pub(crate) fn bind(&mut self, frozen: &FrozenCache, seva: &LazyDetSeva) {
         assert_eq!(
             frozen.seva_id, seva.id,
             "FrozenStepper: snapshot belongs to a different automaton"

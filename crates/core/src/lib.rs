@@ -40,6 +40,7 @@ pub mod enumerate;
 pub mod error;
 pub mod eva;
 pub mod lazy;
+pub mod limits;
 pub mod mapping;
 pub mod markerset;
 pub mod product;
@@ -62,6 +63,7 @@ pub use lazy::{
     CapacitySignature, FrozenCache, FrozenDelta, FrozenStepper, LazyCache, LazyConfig, LazyDetSeva,
     LazyStepper,
 };
+pub use limits::EvalLimits;
 pub use mapping::{
     dedup_mappings, join_mapping_sets, project_mapping_set, union_mapping_sets, Mapping,
 };

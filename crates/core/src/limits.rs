@@ -1,0 +1,375 @@
+//! Per-document evaluation resource limits: step fuel, wall-clock deadlines,
+//! and an eviction-thrash guard.
+//!
+//! [`EvalLimits`] is carried by an [`Evaluator`](crate::Evaluator) or
+//! [`CountCache`](crate::CountCache) and applies to **each document run
+//! independently** — the step counter, the clock, and the eviction counter
+//! all restart at the beginning of every document. Limits default to
+//! unlimited; with no limits configured, the amortized check compiles down
+//! to one counter increment and one never-taken compare per executed
+//! position, so the skip-scan fast path is untouched (skipped positions are
+//! never ticked at all — skip-jump landings pay the same increment-and-
+//! compare, with actual clock reads amortized over many landings).
+//!
+//! Exceeded limits surface as
+//! [`SpannerError::StepBudgetExceeded`](crate::SpannerError),
+//! [`SpannerError::DeadlineExceeded`](crate::SpannerError) (with a
+//! soft/hard flag), or — for the eviction-thrash guard —
+//! [`SpannerError::BudgetExceeded`](crate::SpannerError), through the
+//! fallible `try_*` entry points of the engines.
+
+use crate::error::SpannerError;
+use std::time::{Duration, Instant};
+
+/// How many executed positions pass between wall-clock reads once a deadline
+/// is configured. The very first executed position always checks the clock,
+/// so an already-expired deadline fails deterministically at step one.
+const TIME_CHECK_INTERVAL: u64 = 256;
+
+/// How many skip-jump landings pass between wall-clock reads once a deadline
+/// is configured. The very first landing always checks the clock, so an
+/// already-expired deadline fails deterministically even on a document the
+/// scanner never executes a position of.
+const JUMP_CHECK_INTERVAL: u64 = 32;
+
+/// Per-document resource limits for one evaluation/counting run.
+///
+/// All fields default to `None` (unlimited). The wall-clock budgets are
+/// durations measured from the start of each document run.
+///
+/// ```
+/// use spanners_core::EvalLimits;
+/// use std::time::Duration;
+/// let limits = EvalLimits::none()
+///     .with_max_steps(1_000_000)
+///     .with_deadline(Duration::from_millis(250));
+/// assert!(!limits.is_unlimited());
+/// assert!(EvalLimits::default().is_unlimited());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalLimits {
+    /// Maximum number of *executed* evaluation steps (positions where the
+    /// engine performed capture/read work; skipped positions are free).
+    /// Exceeding it yields [`SpannerError::StepBudgetExceeded`].
+    pub max_steps: Option<u64>,
+    /// Hard wall-clock budget for one document. Exceeding it yields
+    /// [`SpannerError::DeadlineExceeded`] with `soft: false` — the document
+    /// is abandoned, no retry.
+    pub deadline: Option<Duration>,
+    /// Soft wall-clock budget for one document. Exceeding it yields
+    /// [`SpannerError::DeadlineExceeded`] with `soft: true` — a degradation
+    /// policy may retry the document on a cheaper path.
+    pub soft_deadline: Option<Duration>,
+    /// Maximum number of lazy-cache clear-and-restart evictions within one
+    /// document — the thrash guard. Exceeding it yields
+    /// [`SpannerError::BudgetExceeded`], the signal a degradation policy
+    /// treats as "enlarge the budget and retry".
+    pub max_cache_clears: Option<u64>,
+}
+
+impl EvalLimits {
+    /// No limits at all (the default).
+    pub fn none() -> EvalLimits {
+        EvalLimits::default()
+    }
+
+    /// Whether every limit is unset.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_steps.is_none()
+            && self.deadline.is_none()
+            && self.soft_deadline.is_none()
+            && self.max_cache_clears.is_none()
+    }
+
+    /// Returns these limits with a step budget.
+    pub fn with_max_steps(mut self, max_steps: u64) -> EvalLimits {
+        self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Returns these limits with a hard per-document deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> EvalLimits {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns these limits with a soft per-document deadline.
+    pub fn with_soft_deadline(mut self, soft_deadline: Duration) -> EvalLimits {
+        self.soft_deadline = Some(soft_deadline);
+        self
+    }
+
+    /// Returns these limits with an eviction-thrash guard.
+    pub fn with_max_cache_clears(mut self, max_cache_clears: u64) -> EvalLimits {
+        self.max_cache_clears = Some(max_cache_clears);
+        self
+    }
+}
+
+fn duration_ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+/// The per-run enforcement state behind [`EvalLimits`]: a step counter with
+/// a single fused threshold (`check_at`) covering both the step budget and
+/// the amortized clock reads, so the per-position cost with or without
+/// limits is one increment and one predictable compare.
+#[derive(Debug, Clone)]
+pub(crate) struct LimitChecker {
+    /// Executed positions so far in this run.
+    steps: u64,
+    /// Next step count at which the slow path runs (clock read and/or step
+    /// budget verdict). `u64::MAX` when nothing can ever trip.
+    check_at: u64,
+    /// Step budget (`u64::MAX` when unlimited).
+    max_steps: u64,
+    /// Skip-jump landings so far in this run.
+    jumps: u64,
+    /// Next landing count at which [`LimitChecker::tick_jump`] reads the
+    /// clock. `u64::MAX` when no deadline is configured.
+    jump_check_at: u64,
+    /// Evictions so far in this run.
+    clears: u64,
+    /// Eviction budget (`u64::MAX` when unlimited).
+    max_clears: u64,
+    /// Absolute expiry instants, captured at run start.
+    deadline: Option<Instant>,
+    soft_deadline: Option<Instant>,
+    /// The originating limits, kept for error diagnostics.
+    limits: EvalLimits,
+}
+
+impl Default for LimitChecker {
+    fn default() -> LimitChecker {
+        LimitChecker::unlimited()
+    }
+}
+
+impl LimitChecker {
+    /// A checker that never trips — the state engines start with.
+    pub(crate) fn unlimited() -> LimitChecker {
+        LimitChecker {
+            steps: 0,
+            check_at: u64::MAX,
+            max_steps: u64::MAX,
+            jumps: 0,
+            jump_check_at: u64::MAX,
+            clears: 0,
+            max_clears: u64::MAX,
+            deadline: None,
+            soft_deadline: None,
+            limits: EvalLimits::none(),
+        }
+    }
+
+    /// Starts enforcement for one document run. Reads the clock only when a
+    /// deadline is actually configured.
+    pub(crate) fn start(limits: &EvalLimits) -> LimitChecker {
+        let timed = limits.deadline.is_some() || limits.soft_deadline.is_some();
+        let now = if timed { Some(Instant::now()) } else { None };
+        let max_steps = limits.max_steps.unwrap_or(u64::MAX);
+        // First slow-path visit: step 1 when timed (so pre-expired deadlines
+        // trip deterministically), otherwise right past the step budget.
+        let check_at = if timed { 1 } else { max_steps.saturating_add(1) };
+        LimitChecker {
+            steps: 0,
+            check_at,
+            max_steps,
+            jumps: 0,
+            jump_check_at: if timed { 1 } else { u64::MAX },
+            clears: 0,
+            max_clears: limits.max_cache_clears.unwrap_or(u64::MAX),
+            deadline: now.and_then(|t| limits.deadline.map(|d| t + d)),
+            soft_deadline: now.and_then(|t| limits.soft_deadline.map(|d| t + d)),
+            limits: *limits,
+        }
+    }
+
+    /// Records one executed position. The hot path is an increment plus one
+    /// compare; budget verdicts and clock reads happen on the cold path.
+    #[inline(always)]
+    pub(crate) fn tick(&mut self) -> Result<(), SpannerError> {
+        self.steps += 1;
+        if self.steps >= self.check_at {
+            self.slow_tick()?;
+        }
+        Ok(())
+    }
+
+    #[cold]
+    fn slow_tick(&mut self) -> Result<(), SpannerError> {
+        if self.steps > self.max_steps {
+            return Err(SpannerError::StepBudgetExceeded { limit: self.max_steps });
+        }
+        self.check_clock()?;
+        let next_timed = self.steps.saturating_add(TIME_CHECK_INTERVAL);
+        self.check_at = if self.deadline.is_some() || self.soft_deadline.is_some() {
+            next_timed.min(self.max_steps.saturating_add(1))
+        } else {
+            self.max_steps.saturating_add(1)
+        };
+        Ok(())
+    }
+
+    /// Clock check at a skip-jump landing (or class-run skip). Skipped
+    /// positions never consume step fuel; landings pay one increment and one
+    /// predictable compare, with the actual `Instant` read amortized over
+    /// [`JUMP_CHECK_INTERVAL`] landings (the first landing always reads, so
+    /// a pre-expired deadline trips deterministically even on documents the
+    /// scanner executes no position of).
+    #[inline]
+    pub(crate) fn tick_jump(&mut self) -> Result<(), SpannerError> {
+        self.jumps += 1;
+        if self.jumps >= self.jump_check_at {
+            self.jump_check_at = self.jumps.saturating_add(JUMP_CHECK_INTERVAL);
+            self.check_clock()?;
+        }
+        Ok(())
+    }
+
+    #[cold]
+    fn check_clock(&self) -> Result<(), SpannerError> {
+        let (Some(hard), Some(soft)) = (self.deadline, self.soft_deadline) else {
+            return self.check_clock_single();
+        };
+        let now = Instant::now();
+        if now >= hard {
+            return Err(SpannerError::DeadlineExceeded {
+                soft: false,
+                limit_ms: duration_ms(self.limits.deadline.unwrap_or_default()),
+            });
+        }
+        if now >= soft {
+            return Err(SpannerError::DeadlineExceeded {
+                soft: true,
+                limit_ms: duration_ms(self.limits.soft_deadline.unwrap_or_default()),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_clock_single(&self) -> Result<(), SpannerError> {
+        if let Some(hard) = self.deadline {
+            if Instant::now() >= hard {
+                return Err(SpannerError::DeadlineExceeded {
+                    soft: false,
+                    limit_ms: duration_ms(self.limits.deadline.unwrap_or_default()),
+                });
+            }
+        }
+        if let Some(soft) = self.soft_deadline {
+            if Instant::now() >= soft {
+                return Err(SpannerError::DeadlineExceeded {
+                    soft: true,
+                    limit_ms: duration_ms(self.limits.soft_deadline.unwrap_or_default()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Records one lazy-cache clear-and-restart eviction; trips the thrash
+    /// guard once the per-document eviction budget is exhausted.
+    #[inline]
+    pub(crate) fn note_clear(&mut self) -> Result<(), SpannerError> {
+        self.clears += 1;
+        if self.clears > self.max_clears {
+            return Err(SpannerError::BudgetExceeded {
+                what: "lazy-cache evictions in one document (thrash guard)",
+                limit: usize::try_from(self.max_clears).unwrap_or(usize::MAX),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_checker_never_trips() {
+        let mut c = LimitChecker::unlimited();
+        for _ in 0..100_000 {
+            c.tick().unwrap();
+        }
+        c.tick_jump().unwrap();
+        for _ in 0..1_000 {
+            c.note_clear().unwrap();
+        }
+    }
+
+    #[test]
+    fn step_budget_trips_exactly_past_the_limit() {
+        let mut c = LimitChecker::start(&EvalLimits::none().with_max_steps(10));
+        for _ in 0..10 {
+            c.tick().unwrap();
+        }
+        let err = c.tick().unwrap_err();
+        assert_eq!(err, SpannerError::StepBudgetExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn zero_deadline_trips_at_the_first_executed_step() {
+        let mut c = LimitChecker::start(&EvalLimits::none().with_deadline(Duration::ZERO));
+        let err = c.tick().unwrap_err();
+        assert_eq!(err, SpannerError::DeadlineExceeded { soft: false, limit_ms: 0 });
+    }
+
+    #[test]
+    fn zero_deadline_trips_at_a_skip_jump() {
+        let mut c = LimitChecker::start(&EvalLimits::none().with_deadline(Duration::ZERO));
+        let err = c.tick_jump().unwrap_err();
+        assert!(matches!(err, SpannerError::DeadlineExceeded { soft: false, .. }));
+    }
+
+    #[test]
+    fn soft_deadline_trips_soft_and_hard_wins_over_soft() {
+        let mut c = LimitChecker::start(&EvalLimits::none().with_soft_deadline(Duration::ZERO));
+        assert_eq!(
+            c.tick().unwrap_err(),
+            SpannerError::DeadlineExceeded { soft: true, limit_ms: 0 }
+        );
+        let mut c = LimitChecker::start(
+            &EvalLimits::none().with_deadline(Duration::ZERO).with_soft_deadline(Duration::ZERO),
+        );
+        assert!(matches!(
+            c.tick().unwrap_err(),
+            SpannerError::DeadlineExceeded { soft: false, .. }
+        ));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let mut c = LimitChecker::start(
+            &EvalLimits::none().with_deadline(Duration::from_secs(3600)).with_max_steps(1 << 20),
+        );
+        for _ in 0..10_000 {
+            c.tick().unwrap();
+        }
+        c.tick_jump().unwrap();
+    }
+
+    #[test]
+    fn clear_budget_trips_as_budget_exceeded() {
+        let mut c = LimitChecker::start(&EvalLimits::none().with_max_cache_clears(2));
+        c.note_clear().unwrap();
+        c.note_clear().unwrap();
+        assert!(matches!(
+            c.note_clear().unwrap_err(),
+            SpannerError::BudgetExceeded { what, limit: 2 } if what.contains("evictions")
+        ));
+    }
+
+    #[test]
+    fn limits_builder_and_unlimited_flag() {
+        let l = EvalLimits::none()
+            .with_max_steps(5)
+            .with_deadline(Duration::from_millis(1))
+            .with_soft_deadline(Duration::from_micros(500))
+            .with_max_cache_clears(3);
+        assert_eq!(l.max_steps, Some(5));
+        assert!(!l.is_unlimited());
+        assert!(EvalLimits::none().is_unlimited());
+    }
+}

@@ -198,6 +198,21 @@ impl CompiledSpanner {
         }
     }
 
+    /// [`CompiledSpanner::evaluate_with`] under the evaluator's configured
+    /// [`crate::EvalLimits`]: a tripped step budget, deadline, or eviction
+    /// thrash guard surfaces as an `Err` for this document instead of a
+    /// panic, and the evaluator stays reusable for the next document.
+    pub fn try_evaluate_with<'a>(
+        &'a self,
+        evaluator: &'a mut Evaluator,
+        doc: &Document,
+    ) -> Result<DagView<'a>, SpannerError> {
+        match &self.engine {
+            Engine::Eager(det) => evaluator.try_eval(det, doc),
+            Engine::Lazy(lazy) => evaluator.try_eval_lazy(lazy, doc),
+        }
+    }
+
     /// Evaluates and materializes all output mappings.
     ///
     /// Equivalent to `self.evaluate(doc).collect_mappings()`; prefer
@@ -259,6 +274,19 @@ impl CompiledSpanner {
         }
     }
 
+    /// [`CompiledSpanner::is_match_with`] under the evaluator's configured
+    /// [`crate::EvalLimits`] (see [`CompiledSpanner::try_evaluate_with`]).
+    pub fn try_is_match_with(
+        &self,
+        evaluator: &mut Evaluator,
+        doc: &Document,
+    ) -> Result<bool, SpannerError> {
+        match &self.engine {
+            Engine::Eager(det) => evaluator.try_accepts(det, doc),
+            Engine::Lazy(lazy) => evaluator.try_accepts_lazy(lazy, doc),
+        }
+    }
+
     /// Convenience wrapper: evaluate and iterate in one call, holding the DAG
     /// alive for the duration of the borrow.
     pub fn iter_mappings<'a>(&self, dag: &'a EnumerationDag) -> MappingIter<'a> {
@@ -305,6 +333,21 @@ impl CompiledSpanner {
         }
     }
 
+    /// [`CompiledSpanner::evaluate_frozen_with`] under the evaluator's
+    /// configured [`crate::EvalLimits`] (see
+    /// [`CompiledSpanner::try_evaluate_with`]).
+    pub fn try_evaluate_frozen_with<'a>(
+        &'a self,
+        evaluator: &'a mut Evaluator,
+        frozen: &FrozenCache,
+        doc: &Document,
+    ) -> Result<DagView<'a>, SpannerError> {
+        match &self.engine {
+            Engine::Eager(det) => evaluator.try_eval(det, doc),
+            Engine::Lazy(lazy) => evaluator.try_eval_frozen(lazy, frozen, doc),
+        }
+    }
+
     /// Like [`CompiledSpanner::count_with`], but stepping a lazy spanner
     /// through the shared `frozen` snapshot (see
     /// [`CompiledSpanner::evaluate_frozen_with`]).
@@ -332,6 +375,21 @@ impl CompiledSpanner {
         match &self.engine {
             Engine::Eager(det) => det.accepts(doc),
             Engine::Lazy(lazy) => evaluator.accepts_frozen(lazy, frozen, doc),
+        }
+    }
+
+    /// [`CompiledSpanner::is_match_frozen_with`] under the evaluator's
+    /// configured [`crate::EvalLimits`] (see
+    /// [`CompiledSpanner::try_evaluate_with`]).
+    pub fn try_is_match_frozen_with(
+        &self,
+        evaluator: &mut Evaluator,
+        frozen: &FrozenCache,
+        doc: &Document,
+    ) -> Result<bool, SpannerError> {
+        match &self.engine {
+            Engine::Eager(det) => evaluator.try_accepts(det, doc),
+            Engine::Lazy(lazy) => evaluator.try_accepts_frozen(lazy, frozen, doc),
         }
     }
 }

@@ -10,35 +10,88 @@
 //! read one table instead of re-determinizing N times.
 //!
 //! One thread (or one document) short-circuits to a plain sequential loop —
-//! no threads are spawned, no atomics touched — and, because worker deltas
-//! reset per document, the parallel output is byte-for-byte the sequential
-//! output at every thread count. Long-lived services should prefer
-//! [`crate::SpannerServer`], which keeps the pools and the frozen snapshot
-//! warm across batches instead of rebuilding them per call.
+//! no threads are spawned — and, because worker deltas reset per document,
+//! the parallel output is byte-for-byte the sequential output at every
+//! thread count. Long-lived services should prefer [`crate::SpannerServer`],
+//! which keeps the pools and the frozen snapshot warm across batches instead
+//! of rebuilding them per call.
+//!
+//! # Fault tolerance
+//!
+//! Every per-document unit of work is contained: a panic inside one
+//! document's evaluation is caught, converted into
+//! [`SpannerError::WorkerPanicked`], and the engine involved is
+//! **quarantined** (dropped, never checked back into its pool) while the
+//! worker keeps pulling documents. Per-document resource limits
+//! ([`EvalLimits`] in [`BatchOptions::limits`]) bound steps, wall-clock time
+//! and cache-eviction thrash; documents that trip a *recoverable* limit are
+//! retried through the bounded [`DegradePolicy`] escalation ladder. The
+//! report-returning entry points
+//! ([`BatchSpanner::evaluate_batch_report`],
+//! [`BatchSpanner::count_batch_report`]) surface all of this per document in
+//! a [`BatchReport`]; the legacy entry points are thin wrappers that abort
+//! on the lowest-index failure, exactly as before.
 
-use crate::pool::{CountCachePool, EvaluatorPool};
-use spanners_core::{CompiledSpanner, Counter, DagView, Document, FrozenCache, SpannerError};
+use crate::faults;
+use crate::pool::{CountCachePool, EvaluatorPool, PooledCountCache, PooledEvaluator};
+use crate::report::{BatchReport, DegradePolicy};
+use spanners_core::{
+    CompiledSpanner, Counter, DagView, Document, EngineMode, EvalLimits, FrozenCache, SpannerError,
+};
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// How many leading documents a one-shot batch samples to warm the frozen
 /// determinization snapshot of a lazy spanner before fanning out.
 pub(crate) const WARM_SAMPLE_DOCS: usize = 4;
 
 /// Configuration of a batch run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchOptions {
-    /// Worker threads to fan out over; `0` (the default) means "ask the OS"
-    /// ([`std::thread::available_parallelism`]). The effective count is
-    /// additionally capped by the number of documents, and `1` selects the
-    /// sequential fallback (no threads spawned).
+    /// Worker threads to fan out over. The default resolves
+    /// [`std::thread::available_parallelism`] at construction; `0` is kept
+    /// as a legacy alias for "ask the OS" on the non-validating entry
+    /// points, but [`BatchOptions::validate`] (and thus every
+    /// report-returning API) rejects it. The effective count is additionally
+    /// capped by the number of documents, and `1` selects the sequential
+    /// fallback (no threads spawned).
     pub threads: usize,
+    /// Per-document resource limits (step budget, deadlines, eviction-thrash
+    /// guard). Default: unlimited.
+    pub limits: EvalLimits,
+    /// Bounded-retry escalation for documents that trip a recoverable limit.
+    /// Default: up to 2 degraded retries with a 4× cache-budget boost.
+    pub degrade: DegradePolicy,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            threads: std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+            limits: EvalLimits::none(),
+            degrade: DegradePolicy::default(),
+        }
+    }
 }
 
 impl BatchOptions {
     /// Options running exactly `threads` workers.
     pub fn threads(threads: usize) -> BatchOptions {
-        BatchOptions { threads }
+        BatchOptions { threads, ..BatchOptions::default() }
+    }
+
+    /// Returns the options with the given per-document limits.
+    pub fn with_limits(mut self, limits: EvalLimits) -> BatchOptions {
+        self.limits = limits;
+        self
+    }
+
+    /// Returns the options with the given degradation policy.
+    pub fn with_degrade(mut self, degrade: DegradePolicy) -> BatchOptions {
+        self.degrade = degrade;
+        self
     }
 
     /// The worker count a batch of `jobs` documents actually uses.
@@ -49,49 +102,126 @@ impl BatchOptions {
         };
         requested.min(jobs).max(1)
     }
+
+    /// Rejects nonsensical configurations up front with
+    /// [`SpannerError::InvalidConfig`] instead of silently falling through
+    /// to the sequential path or retrying forever. Called by every
+    /// report-returning batch entry point.
+    pub fn validate(&self) -> Result<(), SpannerError> {
+        if self.threads == 0 {
+            return Err(SpannerError::InvalidConfig {
+                what: "BatchOptions.threads must be at least 1 \
+                       (BatchOptions::default() resolves the available parallelism)",
+            });
+        }
+        if self.degrade.max_attempts == 0 {
+            return Err(SpannerError::InvalidConfig {
+                what: "DegradePolicy.max_attempts must be at least 1 (1 disables retries)",
+            });
+        }
+        if self.degrade.max_attempts > 16 {
+            return Err(SpannerError::InvalidConfig {
+                what: "DegradePolicy.max_attempts is absurdly large (the ladder has 4 rungs; \
+                       cap is 16)",
+            });
+        }
+        if self.degrade.budget_boost == 0 {
+            return Err(SpannerError::InvalidConfig {
+                what: "DegradePolicy.budget_boost must be at least 1",
+            });
+        }
+        Ok(())
+    }
 }
 
-/// Runs `jobs` independent jobs on `threads` scoped workers and returns the
-/// results **in job order**. Each worker builds its state once (`init`),
-/// then pulls job indices from a shared counter — dynamic scheduling, so an
-/// expensive document does not stall a whole stripe. `threads <= 1` runs a
-/// plain sequential loop with a single state and no synchronisation.
-pub(crate) fn run_ordered<S, R, I, F>(jobs: usize, threads: usize, init: I, step: F) -> Vec<R>
+/// Stringifies a caught panic payload for [`SpannerError::WorkerPanicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `jobs` independent jobs on `threads` scoped workers with **panic
+/// containment**, returning the results **in job order**. Each worker builds
+/// its state via `init`, then pulls job indices from a shared counter —
+/// dynamic scheduling, so an expensive document does not stall a whole
+/// stripe. `threads <= 1` runs the same containment loop sequentially with
+/// no threads spawned.
+///
+/// A panic inside `step` is caught: the worker's state is handed to
+/// `quarantine` (never reused), the job's result is produced by
+/// `on_panic(job, message)`, a fresh state is built for the next job, and
+/// the worker keeps pulling. A panic inside `init` is retried once per job
+/// (transient checkout faults are one-shot); if it persists, the affected
+/// jobs are reported through `on_panic` — nothing aborts the batch.
+pub(crate) fn run_contained<S, R, I, F, P, Q>(
+    jobs: usize,
+    threads: usize,
+    init: I,
+    step: F,
+    on_panic: P,
+    quarantine: Q,
+) -> Vec<R>
 where
     R: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> R + Sync,
+    P: Fn(usize, String) -> R + Sync,
+    Q: Fn(S) + Sync,
 {
-    if threads <= 1 || jobs <= 1 {
-        let mut state = init();
-        return (0..jobs).map(|i| step(&mut state, i)).collect();
-    }
     let next = AtomicUsize::new(0);
-    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut state = init();
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs {
-                            break;
+    let worker = || {
+        let mut out = Vec::new();
+        let mut state: Option<S> = None;
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= jobs {
+                break;
+            }
+            if state.is_none() {
+                state = catch_unwind(AssertUnwindSafe(&init))
+                    .or_else(|_| catch_unwind(AssertUnwindSafe(&init)))
+                    .ok();
+            }
+            let record = match state.as_mut() {
+                None => on_panic(i, "worker state initialization panicked".to_string()),
+                Some(s) => match catch_unwind(AssertUnwindSafe(|| step(s, i))) {
+                    Ok(r) => r,
+                    Err(payload) => {
+                        let message = panic_message(payload);
+                        if let Some(poisoned) = state.take() {
+                            quarantine(poisoned);
                         }
-                        out.push((i, step(&mut state, i)));
+                        on_panic(i, message)
                     }
-                    out
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
-    });
+                },
+            };
+            out.push((i, record));
+        }
+        out
+    };
+    let buckets: Vec<Vec<(usize, R)>> = if threads <= 1 || jobs <= 1 {
+        vec![worker()]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            handles.into_iter().map(|h| h.join().unwrap_or_default()).collect()
+        })
+    };
     let mut slots: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
     for (i, r) in buckets.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "job {i} ran twice");
         slots[i] = Some(r);
     }
-    slots.into_iter().map(|r| r.expect("every job ran exactly once")).collect()
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| on_panic(i, "batch worker terminated early".to_string())))
+        .collect()
 }
 
 /// Warms and freezes a shared determinization snapshot for a lazy spanner
@@ -109,78 +239,275 @@ pub(crate) fn freeze_for_batch(
     spanner.freeze_warm(&docs[..docs.len().min(WARM_SAMPLE_DOCS)])
 }
 
-/// The shared per-batch evaluation plan: spanner + optional frozen snapshot
-/// + engine pools, borrowed by every worker.
+/// One rung of the [`DegradePolicy`] escalation ladder (see
+/// [`crate::report`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rung {
+    /// The plain first attempt: pool engine mode, configured cache budget.
+    Normal,
+    /// One-off enlarged determinization-cache budget (lazy spanners).
+    BoostBudget,
+    /// The simplest engine loop, keeping any budget boost.
+    PerByte,
+    /// The eager automaton — no cache at all (when the spanner has one).
+    Eager,
+}
+
+/// The per-document attempt loop shared by all three batch shapes: walk the
+/// rung ladder until an attempt succeeds or fails unrecoverably. Returns
+/// `(outcome, retries_spent, succeeded_degraded)`.
+fn run_attempts<R>(
+    rungs: &[Rung],
+    base_limits: EvalLimits,
+    force_eviction: bool,
+    mut attempt: impl FnMut(Rung, EvalLimits, bool) -> Result<R, SpannerError>,
+) -> (Result<R, SpannerError>, u32, bool) {
+    debug_assert!(!rungs.is_empty());
+    let mut retries = 0u32;
+    let mut outcome = None;
+    for (k, &rung) in rungs.iter().enumerate() {
+        let mut limits = base_limits;
+        if k > 0 {
+            // The soft deadline already fired — the retry is the degradation
+            // it asked for. Hard deadline and step budget still apply.
+            limits.soft_deadline = None;
+        }
+        match attempt(rung, limits, k == 0 && force_eviction) {
+            Ok(v) => return (Ok(v), retries, k > 0),
+            Err(e) => {
+                let retryable = DegradePolicy::is_retryable(&e) && k + 1 < rungs.len();
+                outcome = Some(Err(e));
+                if !retryable {
+                    break;
+                }
+                retries += 1;
+            }
+        }
+    }
+    (outcome.expect("at least one attempt ran"), retries, false)
+}
+
+/// The shared per-batch evaluation plan: spanner + optional frozen snapshot,
+/// borrowed by every worker.
 pub(crate) struct BatchPlan<'a> {
     pub spanner: &'a CompiledSpanner,
     pub frozen: Option<&'a FrozenCache>,
 }
 
 impl BatchPlan<'_> {
-    pub(crate) fn evaluate<R, F>(
+    /// The applicable escalation ladder, truncated to the policy's attempt
+    /// budget. Rung order: normal → boosted cache budget (lazy only) →
+    /// per-byte engine → eager automaton (when one exists alongside the lazy
+    /// engine).
+    fn rungs(&self, policy: &DegradePolicy) -> Vec<Rung> {
+        let mut rungs = vec![Rung::Normal];
+        if self.spanner.lazy_automaton().is_some() {
+            rungs.push(Rung::BoostBudget);
+        }
+        rungs.push(Rung::PerByte);
+        if self.spanner.lazy_automaton().is_some() && self.spanner.eager_automaton().is_some() {
+            rungs.push(Rung::Eager);
+        }
+        rungs.truncate((policy.max_attempts.max(1)) as usize);
+        rungs
+    }
+
+    /// The enlarged cache budget of the [`Rung::BoostBudget`] rung.
+    fn boosted_budget(&self, policy: &DegradePolicy) -> Option<usize> {
+        let base = self.spanner.lazy_automaton()?.config().memory_budget;
+        Some(base.saturating_mul(policy.budget_boost as usize))
+    }
+
+    /// Resolves the injected faults and the effective base limits for one
+    /// document. Panics here (the injected ones) are contained by
+    /// [`run_contained`].
+    fn doc_setup(&self, i: usize, limits: EvalLimits) -> (EvalLimits, bool) {
+        let df = faults::doc_faults(i);
+        if df.panic {
+            panic!("injected fault: panic on document {i}");
+        }
+        let mut base = limits;
+        if df.expire_deadline {
+            base.deadline = Some(Duration::ZERO);
+        }
+        (base, df.force_eviction)
+    }
+
+    pub(crate) fn evaluate_report<R, F>(
         &self,
         pool: &EvaluatorPool,
         docs: &[Document],
-        threads: usize,
+        opts: &BatchOptions,
         f: &F,
-    ) -> Vec<R>
+    ) -> BatchReport<R>
     where
         R: Send,
         F: Fn(usize, DagView<'_>) -> R + Sync,
     {
-        run_ordered(
+        let threads = opts.effective_threads(docs.len());
+        let rungs = self.rungs(&opts.degrade);
+        let boosted = self.boosted_budget(&opts.degrade);
+        let quarantined = AtomicUsize::new(0);
+        let records = run_contained(
             docs.len(),
             threads,
             || pool.checkout(),
-            |evaluator, i| {
-                let view = match self.frozen {
-                    Some(frozen) => self.spanner.evaluate_frozen_with(evaluator, frozen, &docs[i]),
-                    None => self.spanner.evaluate_with(evaluator, &docs[i]),
-                };
-                f(i, view)
+            |engine: &mut PooledEvaluator<'_>, i| {
+                let (base_limits, force_eviction) = self.doc_setup(i, opts.limits);
+                let doc = &docs[i];
+                let ev = &mut **engine;
+                let original_mode = ev.mode();
+                let record =
+                    run_attempts(&rungs, base_limits, force_eviction, |rung, limits, evict| {
+                        ev.set_limits(limits);
+                        match rung {
+                            Rung::Normal => ev.set_cache_budget_override(None),
+                            Rung::BoostBudget => ev.set_cache_budget_override(boosted),
+                            Rung::PerByte => ev.set_mode(EngineMode::PerByte),
+                            Rung::Eager => {}
+                        }
+                        if evict {
+                            ev.set_cache_budget_override(Some(0));
+                        }
+                        if rung == Rung::Eager {
+                            if let Some(det) = self.spanner.eager_automaton() {
+                                return ev.try_eval(det, doc).map(|view| f(i, view));
+                            }
+                        }
+                        match self.frozen {
+                            Some(frozen) => self
+                                .spanner
+                                .try_evaluate_frozen_with(ev, frozen, doc)
+                                .map(|view| f(i, view)),
+                            None => self.spanner.try_evaluate_with(ev, doc).map(|view| f(i, view)),
+                        }
+                    });
+                // The engine goes back to the pool: shed per-document state.
+                ev.set_mode(original_mode);
+                ev.set_cache_budget_override(None);
+                ev.set_limits(EvalLimits::none());
+                record
             },
-        )
+            |i, message| (Err(SpannerError::WorkerPanicked { doc_index: i, message }), 0, false),
+            |engine: PooledEvaluator<'_>| {
+                engine.quarantine();
+                quarantined.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        BatchReport::from_records(records, quarantined.into_inner(), pool.engines_created())
     }
 
-    pub(crate) fn count<C>(
+    pub(crate) fn count_report<C>(
         &self,
         pool: &CountCachePool<C>,
         docs: &[Document],
-        threads: usize,
-    ) -> Result<Vec<C>, SpannerError>
+        opts: &BatchOptions,
+    ) -> BatchReport<C>
     where
         C: Counter + Send,
     {
-        run_ordered(
+        let threads = opts.effective_threads(docs.len());
+        let rungs = self.rungs(&opts.degrade);
+        let boosted = self.boosted_budget(&opts.degrade);
+        let quarantined = AtomicUsize::new(0);
+        let records = run_contained(
             docs.len(),
             threads,
             || pool.checkout(),
-            |cache, i| match self.frozen {
-                Some(frozen) => self.spanner.count_frozen_with(cache, frozen, &docs[i]),
-                None => self.spanner.count_with(cache, &docs[i]),
+            |engine: &mut PooledCountCache<'_, C>, i| {
+                let (base_limits, force_eviction) = self.doc_setup(i, opts.limits);
+                let doc = &docs[i];
+                let cache = &mut **engine;
+                let original_mode = cache.mode();
+                let record =
+                    run_attempts(&rungs, base_limits, force_eviction, |rung, limits, evict| {
+                        cache.set_limits(limits);
+                        match rung {
+                            Rung::Normal => cache.set_cache_budget_override(None),
+                            Rung::BoostBudget => cache.set_cache_budget_override(boosted),
+                            Rung::PerByte => cache.set_mode(EngineMode::PerByte),
+                            Rung::Eager => {}
+                        }
+                        if evict {
+                            cache.set_cache_budget_override(Some(0));
+                        }
+                        if rung == Rung::Eager {
+                            if let Some(det) = self.spanner.eager_automaton() {
+                                return cache.count(det, doc);
+                            }
+                        }
+                        match self.frozen {
+                            Some(frozen) => self.spanner.count_frozen_with(cache, frozen, doc),
+                            None => self.spanner.count_with(cache, doc),
+                        }
+                    });
+                cache.set_mode(original_mode);
+                cache.set_cache_budget_override(None);
+                cache.set_limits(EvalLimits::none());
+                record
             },
-        )
-        // Document order is preserved, so on failure the error reported is
-        // the lowest-index failing document — deterministic across runs.
-        .into_iter()
-        .collect()
+            |i, message| (Err(SpannerError::WorkerPanicked { doc_index: i, message }), 0, false),
+            |engine: PooledCountCache<'_, C>| {
+                engine.quarantine();
+                quarantined.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        BatchReport::from_records(records, quarantined.into_inner(), pool.engines_created())
     }
 
-    pub(crate) fn is_match(
+    pub(crate) fn is_match_report(
         &self,
         pool: &EvaluatorPool,
         docs: &[Document],
-        threads: usize,
-    ) -> Vec<bool> {
-        run_ordered(
+        opts: &BatchOptions,
+    ) -> BatchReport<bool> {
+        let threads = opts.effective_threads(docs.len());
+        let rungs = self.rungs(&opts.degrade);
+        let boosted = self.boosted_budget(&opts.degrade);
+        let quarantined = AtomicUsize::new(0);
+        let records = run_contained(
             docs.len(),
             threads,
             || pool.checkout(),
-            |evaluator, i| match self.frozen {
-                Some(frozen) => self.spanner.is_match_frozen_with(evaluator, frozen, &docs[i]),
-                None => self.spanner.is_match_with(evaluator, &docs[i]),
+            |engine: &mut PooledEvaluator<'_>, i| {
+                let (base_limits, force_eviction) = self.doc_setup(i, opts.limits);
+                let doc = &docs[i];
+                let ev = &mut **engine;
+                let original_mode = ev.mode();
+                let record =
+                    run_attempts(&rungs, base_limits, force_eviction, |rung, limits, evict| {
+                        ev.set_limits(limits);
+                        match rung {
+                            Rung::Normal => ev.set_cache_budget_override(None),
+                            Rung::BoostBudget => ev.set_cache_budget_override(boosted),
+                            Rung::PerByte => ev.set_mode(EngineMode::PerByte),
+                            Rung::Eager => {}
+                        }
+                        if evict {
+                            ev.set_cache_budget_override(Some(0));
+                        }
+                        if rung == Rung::Eager {
+                            if let Some(det) = self.spanner.eager_automaton() {
+                                return ev.try_accepts(det, doc);
+                            }
+                        }
+                        match self.frozen {
+                            Some(frozen) => self.spanner.try_is_match_frozen_with(ev, frozen, doc),
+                            None => self.spanner.try_is_match_with(ev, doc),
+                        }
+                    });
+                ev.set_mode(original_mode);
+                ev.set_cache_budget_override(None);
+                ev.set_limits(EvalLimits::none());
+                record
             },
-        )
+            |i, message| (Err(SpannerError::WorkerPanicked { doc_index: i, message }), 0, false),
+            |engine: PooledEvaluator<'_>| {
+                engine.quarantine();
+                quarantined.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        BatchReport::from_records(records, quarantined.into_inner(), pool.engines_created())
     }
 }
 
@@ -196,19 +523,49 @@ pub trait BatchSpanner {
     /// (e.g. `|_, dag| dag.collect_mappings()` or `|_, dag| dag.count_paths()`)
     /// on the worker that produced it, and returns the outputs in document
     /// order. `f` receives the document index alongside the view.
+    ///
+    /// Abort-on-failure semantics: panics if any document fails (lowest index
+    /// reported) — with the default unlimited [`BatchOptions`] that requires
+    /// a panic inside evaluation. Prefer
+    /// [`BatchSpanner::evaluate_batch_report`] for per-document outcomes.
     fn evaluate_batch<R, F>(&self, docs: &[Document], opts: &BatchOptions, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, DagView<'_>) -> R + Sync;
+
+    /// Like [`BatchSpanner::evaluate_batch`], but fault-tolerant: every
+    /// document gets its own `Result` slot in the returned [`BatchReport`],
+    /// worker panics are contained and quarantine their engine, and
+    /// documents tripping a recoverable limit are retried per
+    /// [`BatchOptions::degrade`]. Fails only on invalid `opts`.
+    fn evaluate_batch_report<R, F>(
+        &self,
+        docs: &[Document],
+        opts: &BatchOptions,
+        f: F,
+    ) -> Result<BatchReport<R>, SpannerError>
     where
         R: Send,
         F: Fn(usize, DagView<'_>) -> R + Sync;
 
     /// Counts `|⟦A⟧(d)|` for every document (Algorithm 3), in document
     /// order. Fails with the error of the lowest-index failing document if
-    /// any counter overflows.
+    /// any counter overflows (or any configured limit trips).
     fn count_batch<C>(
         &self,
         docs: &[Document],
         opts: &BatchOptions,
     ) -> Result<Vec<C>, SpannerError>
+    where
+        C: Counter + Send;
+
+    /// Like [`BatchSpanner::count_batch`], but fault-tolerant (see
+    /// [`BatchSpanner::evaluate_batch_report`]).
+    fn count_batch_report<C>(
+        &self,
+        docs: &[Document],
+        opts: &BatchOptions,
+    ) -> Result<BatchReport<C>, SpannerError>
     where
         C: Counter + Send;
 
@@ -226,7 +583,37 @@ impl BatchSpanner for CompiledSpanner {
         let frozen = freeze_for_batch(self, docs);
         let pool = EvaluatorPool::new();
         let plan = BatchPlan { spanner: self, frozen: frozen.as_ref() };
-        plan.evaluate(&pool, docs, opts.effective_threads(docs.len()), &f)
+        let report = plan.evaluate_report(&pool, docs, opts, &f);
+        report
+            .results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|e| {
+                    panic!(
+                        "document {i} failed in evaluate_batch \
+                         (use evaluate_batch_report for per-document errors): {e}"
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn evaluate_batch_report<R, F>(
+        &self,
+        docs: &[Document],
+        opts: &BatchOptions,
+        f: F,
+    ) -> Result<BatchReport<R>, SpannerError>
+    where
+        R: Send,
+        F: Fn(usize, DagView<'_>) -> R + Sync,
+    {
+        opts.validate()?;
+        let frozen = freeze_for_batch(self, docs);
+        let pool = EvaluatorPool::new();
+        let plan = BatchPlan { spanner: self, frozen: frozen.as_ref() };
+        Ok(plan.evaluate_report(&pool, docs, opts, &f))
     }
 
     fn count_batch<C>(&self, docs: &[Document], opts: &BatchOptions) -> Result<Vec<C>, SpannerError>
@@ -236,14 +623,43 @@ impl BatchSpanner for CompiledSpanner {
         let frozen = freeze_for_batch(self, docs);
         let pool: CountCachePool<C> = CountCachePool::new();
         let plan = BatchPlan { spanner: self, frozen: frozen.as_ref() };
-        plan.count(&pool, docs, opts.effective_threads(docs.len()))
+        // Document order is preserved, so the error reported is the one of
+        // the lowest-index failing document — deterministic across runs.
+        plan.count_report(&pool, docs, opts).into_results().into_iter().collect()
+    }
+
+    fn count_batch_report<C>(
+        &self,
+        docs: &[Document],
+        opts: &BatchOptions,
+    ) -> Result<BatchReport<C>, SpannerError>
+    where
+        C: Counter + Send,
+    {
+        opts.validate()?;
+        let frozen = freeze_for_batch(self, docs);
+        let pool: CountCachePool<C> = CountCachePool::new();
+        let plan = BatchPlan { spanner: self, frozen: frozen.as_ref() };
+        Ok(plan.count_report(&pool, docs, opts))
     }
 
     fn is_match_batch(&self, docs: &[Document], opts: &BatchOptions) -> Vec<bool> {
         let frozen = freeze_for_batch(self, docs);
         let pool = EvaluatorPool::new();
         let plan = BatchPlan { spanner: self, frozen: frozen.as_ref() };
-        plan.is_match(&pool, docs, opts.effective_threads(docs.len()))
+        plan.is_match_report(&pool, docs, opts)
+            .into_results()
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|e| {
+                    panic!(
+                        "document {i} failed in is_match_batch \
+                         (configure limits via the report APIs): {e}"
+                    )
+                })
+            })
+            .collect()
     }
 }
 
@@ -251,20 +667,57 @@ impl BatchSpanner for CompiledSpanner {
 mod tests {
     use super::*;
 
+    fn no_panic(i: usize, message: String) -> usize {
+        panic!("unexpected containment of job {i}: {message}");
+    }
+
     #[test]
-    fn run_ordered_is_in_job_order_at_any_thread_count() {
+    fn run_contained_is_in_job_order_at_any_thread_count() {
         for threads in [1usize, 2, 3, 8] {
-            let out = run_ordered(23, threads, || (), |_, i| i * 10);
+            let out = run_contained(23, threads, || (), |_, i| i * 10, no_panic, |_| ());
             assert_eq!(out, (0..23).map(|i| i * 10).collect::<Vec<_>>(), "threads = {threads}");
         }
     }
 
     #[test]
-    fn run_ordered_empty_and_single() {
-        let out: Vec<usize> = run_ordered(0, 8, || (), |_, i| i);
+    fn run_contained_empty_and_single() {
+        let out: Vec<usize> = run_contained(0, 8, || (), |_, i| i, no_panic, |_| ());
         assert!(out.is_empty());
-        let out = run_ordered(1, 8, || (), |_, i| i + 1);
+        let out = run_contained(1, 8, || (), |_, i| i + 1, no_panic, |_| ());
         assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn run_contained_contains_step_panics_and_quarantines() {
+        for threads in [1usize, 2, 8] {
+            let quarantined = AtomicUsize::new(0);
+            let out: Vec<Result<usize, String>> = run_contained(
+                10,
+                threads,
+                || (),
+                |_, i| {
+                    if i == 3 || i == 7 {
+                        panic!("boom {i}");
+                    }
+                    Ok(i)
+                },
+                |i, message| Err(format!("{i}: {message}")),
+                |_| {
+                    quarantined.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            for (i, r) in out.iter().enumerate() {
+                if i == 3 || i == 7 {
+                    assert_eq!(
+                        r.as_ref().err().map(String::as_str),
+                        Some(format!("{i}: boom {i}").as_str())
+                    );
+                } else {
+                    assert_eq!(*r, Ok(i));
+                }
+            }
+            assert_eq!(quarantined.load(Ordering::Relaxed), 2, "threads = {threads}");
+        }
     }
 
     #[test]
@@ -273,5 +726,24 @@ mod tests {
         assert_eq!(BatchOptions::threads(2).effective_threads(100), 2);
         assert_eq!(BatchOptions::threads(1).effective_threads(100), 1);
         assert!(BatchOptions::default().effective_threads(100) >= 1);
+    }
+
+    #[test]
+    fn validate_rejects_nonsense_options() {
+        assert!(BatchOptions::default().validate().is_ok());
+        let err = |o: BatchOptions| match o.validate() {
+            Err(SpannerError::InvalidConfig { what }) => what,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        };
+        assert!(err(BatchOptions::threads(0)).contains("threads"));
+        let zero_retry = BatchOptions::default()
+            .with_degrade(DegradePolicy { max_attempts: 0, ..DegradePolicy::default() });
+        assert!(err(zero_retry).contains("max_attempts"));
+        let absurd_retry = BatchOptions::default()
+            .with_degrade(DegradePolicy { max_attempts: 17, ..DegradePolicy::default() });
+        assert!(err(absurd_retry).contains("absurd"));
+        let zero_boost = BatchOptions::default()
+            .with_degrade(DegradePolicy { budget_boost: 0, ..DegradePolicy::default() });
+        assert!(err(zero_boost).contains("budget_boost"));
     }
 }

@@ -1,0 +1,137 @@
+//! Deterministic fault injection for the batch runtime.
+//!
+//! Everything here is gated behind the **`fault-injection`** cargo feature;
+//! without it every hook compiles to an inline no-op and the production
+//! binary carries no injection machinery at all. With the feature on, a test
+//! installs a [`FaultPlan`] and the runtime's hooks consult it at two
+//! deterministic points:
+//!
+//! * **checkout** — the Nth engine checkout (a process-wide ordinal) panics,
+//!   exercising worker-initialization containment;
+//! * **per document** — a document index can be made to (a) panic
+//!   mid-evaluation, (b) run with a zero determinization-cache budget so
+//!   every maintenance point evicts (forced eviction thrash, tripping
+//!   [`spanners_core::EvalLimits::max_cache_clears`] when set), or (c) run
+//!   under an already-expired hard deadline.
+//!
+//! All triggers key on stable indices/ordinals — never on timing — so a
+//! torture run is reproducible at any thread count. The plan is installed
+//! process-globally (there is one batch runtime per process); tests that
+//! install plans serialize on their own mutex and rely on the returned
+//! [`FaultGuard`] to uninstall on drop, panics included.
+
+#![cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+
+/// The faults scheduled for one document index (resolved by
+/// [`doc_faults`]; all-`false` when no plan is installed or the feature is
+/// off).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DocFaults {
+    /// Panic mid-evaluation of this document.
+    pub panic: bool,
+    /// Evaluate this document with a zero cache budget (every maintenance
+    /// point evicts).
+    pub force_eviction: bool,
+    /// Evaluate this document under an already-expired hard deadline.
+    pub expire_deadline: bool,
+}
+
+#[cfg(feature = "fault-injection")]
+mod enabled {
+    use super::DocFaults;
+    use std::sync::Mutex;
+
+    /// A deterministic schedule of injected faults, keyed on document
+    /// indices and checkout ordinals.
+    #[derive(Debug, Default, Clone)]
+    pub struct FaultPlan {
+        /// Document indices whose evaluation panics.
+        pub panic_on_docs: Vec<usize>,
+        /// Process-wide checkout ordinals (0-based, counted from `install`)
+        /// that panic instead of handing out an engine.
+        pub fail_checkouts: Vec<usize>,
+        /// Document indices evaluated with a zero cache budget.
+        pub force_eviction_docs: Vec<usize>,
+        /// Document indices evaluated under an already-expired deadline.
+        pub expire_deadline_docs: Vec<usize>,
+    }
+
+    /// The installed plan plus the number of checkouts seen since install.
+    static PLAN: Mutex<Option<(FaultPlan, usize)>> = Mutex::new(None);
+
+    fn plan_lock() -> std::sync::MutexGuard<'static, Option<(FaultPlan, usize)>> {
+        match PLAN.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Installs `plan` process-globally, resetting the checkout ordinal.
+    /// The previous plan (if any) is replaced. Dropping the returned guard
+    /// uninstalls the plan — unwinding included, so a failed test never
+    /// leaks faults into the next one.
+    pub fn install(plan: FaultPlan) -> FaultGuard {
+        *plan_lock() = Some((plan, 0));
+        FaultGuard(())
+    }
+
+    /// Uninstalls the active [`FaultPlan`] on drop.
+    #[derive(Debug)]
+    pub struct FaultGuard(());
+
+    impl Drop for FaultGuard {
+        fn drop(&mut self) {
+            *plan_lock() = None;
+        }
+    }
+
+    /// The faults scheduled for document `doc_index` under the installed
+    /// plan.
+    pub(crate) fn doc_faults(doc_index: usize) -> DocFaults {
+        match plan_lock().as_ref() {
+            Some((plan, _)) => DocFaults {
+                panic: plan.panic_on_docs.contains(&doc_index),
+                force_eviction: plan.force_eviction_docs.contains(&doc_index),
+                expire_deadline: plan.expire_deadline_docs.contains(&doc_index),
+            },
+            None => DocFaults::default(),
+        }
+    }
+
+    /// Engine-checkout hook: counts the checkout and panics when its ordinal
+    /// is scheduled to fail. The plan lock is released before panicking.
+    pub(crate) fn checkout_fault() {
+        let fail = {
+            let mut guard = plan_lock();
+            match guard.as_mut() {
+                Some((plan, seen)) => {
+                    let ordinal = *seen;
+                    *seen += 1;
+                    plan.fail_checkouts.contains(&ordinal)
+                }
+                None => false,
+            }
+        };
+        if fail {
+            panic!("injected fault: engine checkout failed");
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use enabled::{install, FaultGuard, FaultPlan};
+
+#[cfg(feature = "fault-injection")]
+pub(crate) use enabled::{checkout_fault, doc_faults};
+
+/// No-op stub compiled without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn doc_faults(_doc_index: usize) -> DocFaults {
+    DocFaults::default()
+}
+
+/// No-op stub compiled without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn checkout_fault() {}

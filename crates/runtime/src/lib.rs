@@ -66,16 +66,22 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+pub mod faults;
 pub mod pool;
+pub mod report;
 pub mod server;
 
 pub use batch::{BatchOptions, BatchSpanner};
 pub use pool::{CountCachePool, EvaluatorPool, PooledCountCache, PooledEvaluator};
+pub use report::{BatchReport, DegradePolicy};
 pub use server::SpannerServer;
+
+#[cfg(feature = "fault-injection")]
+pub use faults::{install as install_faults, FaultGuard, FaultPlan};
 
 // Re-exported so runtime users do not need a direct spanners-core dependency
 // for the common types that appear in this crate's signatures.
 pub use spanners_core::{
-    CompiledSpanner, CountCache, Counter, DagView, Document, EngineMode, Evaluator, FrozenCache,
-    SpannerError,
+    CompiledSpanner, CountCache, Counter, DagView, Document, EngineMode, EvalLimits, Evaluator,
+    FrozenCache, SpannerError,
 };

@@ -17,7 +17,7 @@ use std::sync::{Mutex, MutexGuard};
 /// Locks a pool mutex, recovering from poisoning: the pooled engines are
 /// plain data whose invariants cannot be broken mid-operation, so a panic in
 /// some other worker never invalidates the freelist itself.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     match mutex.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
@@ -43,6 +43,7 @@ pub struct EvaluatorPool {
     idle: Mutex<Vec<Evaluator>>,
     mode: EngineMode,
     created: AtomicUsize,
+    quarantined: AtomicUsize,
 }
 
 impl EvaluatorPool {
@@ -60,6 +61,7 @@ impl EvaluatorPool {
     /// Checks an engine out: a warm one when available, a fresh one
     /// otherwise. The returned guard checks it back in on drop.
     pub fn checkout(&self) -> PooledEvaluator<'_> {
+        crate::faults::checkout_fault();
         let engine = lock(&self.idle).pop().unwrap_or_else(|| {
             self.created.fetch_add(1, Ordering::Relaxed);
             Evaluator::with_mode(self.mode)
@@ -76,6 +78,13 @@ impl EvaluatorPool {
     /// from warm engines stops incrementing this.
     pub fn engines_created(&self) -> usize {
         self.created.load(Ordering::Relaxed)
+    }
+
+    /// Total engines quarantined (see [`PooledEvaluator::quarantine`]) — each
+    /// was dropped instead of checked back in, and a later checkout
+    /// replenished the pool with a fresh engine.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined.load(Ordering::Relaxed)
     }
 }
 
@@ -100,6 +109,20 @@ impl DerefMut for PooledEvaluator<'_> {
     }
 }
 
+impl PooledEvaluator<'_> {
+    /// Consumes the guard **without** checking the engine back in: the
+    /// engine is dropped and the pool's quarantine counter bumped. Used by
+    /// panic containment — an engine whose evaluation unwound mid-document
+    /// may hold arbitrarily corrupted arena state, so it must never serve
+    /// another document. The pool replenishes lazily: the next uncovered
+    /// checkout creates a fresh engine.
+    pub fn quarantine(mut self) {
+        if self.engine.take().is_some() {
+            self.pool.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 impl Drop for PooledEvaluator<'_> {
     fn drop(&mut self) {
         if let Some(engine) = self.engine.take() {
@@ -115,6 +138,7 @@ pub struct CountCachePool<C: Counter> {
     idle: Mutex<Vec<CountCache<C>>>,
     mode: EngineMode,
     created: AtomicUsize,
+    quarantined: AtomicUsize,
 }
 
 impl<C: Counter> Default for CountCachePool<C> {
@@ -123,6 +147,7 @@ impl<C: Counter> Default for CountCachePool<C> {
             idle: Mutex::new(Vec::new()),
             mode: EngineMode::default(),
             created: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
         }
     }
 }
@@ -142,6 +167,7 @@ impl<C: Counter> CountCachePool<C> {
     /// Checks a cache out: a warm one when available, a fresh one otherwise.
     /// The returned guard checks it back in on drop.
     pub fn checkout(&self) -> PooledCountCache<'_, C> {
+        crate::faults::checkout_fault();
         let engine = lock(&self.idle).pop().unwrap_or_else(|| {
             self.created.fetch_add(1, Ordering::Relaxed);
             CountCache::with_mode(self.mode)
@@ -157,6 +183,11 @@ impl<C: Counter> CountCachePool<C> {
     /// Total caches ever created (see [`EvaluatorPool::engines_created`]).
     pub fn engines_created(&self) -> usize {
         self.created.load(Ordering::Relaxed)
+    }
+
+    /// Total caches quarantined (see [`EvaluatorPool::quarantined`]).
+    pub fn quarantined(&self) -> usize {
+        self.quarantined.load(Ordering::Relaxed)
     }
 }
 
@@ -178,6 +209,16 @@ impl<C: Counter> Deref for PooledCountCache<'_, C> {
 impl<C: Counter> DerefMut for PooledCountCache<'_, C> {
     fn deref_mut(&mut self) -> &mut CountCache<C> {
         self.engine.as_mut().expect("engine present until drop")
+    }
+}
+
+impl<C: Counter> PooledCountCache<'_, C> {
+    /// Consumes the guard **without** checking the cache back in (see
+    /// [`PooledEvaluator::quarantine`]).
+    pub fn quarantine(mut self) {
+        if self.engine.take().is_some() {
+            self.pool.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -218,6 +259,66 @@ mod tests {
         assert_eq!(pool.idle(), 1);
         let _b = pool.checkout();
         assert_eq!(pool.engines_created(), 1);
+    }
+
+    #[test]
+    fn pool_recovers_from_lock_poisoning() {
+        let pool = EvaluatorPool::new();
+        // Poison the freelist mutex: panic on another thread while holding it.
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _guard = lock(&pool.idle);
+                panic!("poison the pool lock");
+            });
+            assert!(handle.join().is_err());
+        });
+        assert!(pool.idle.is_poisoned());
+        // The pool recovers: checkout/checkin still work on the poisoned lock.
+        {
+            let _engine = pool.checkout();
+        }
+        assert_eq!(pool.idle(), 1);
+        assert_eq!(pool.engines_created(), 1);
+        let _again = pool.checkout();
+        assert_eq!(pool.engines_created(), 1, "warm engine reused across poisoning");
+    }
+
+    #[test]
+    fn panic_while_holding_guard_leaves_pool_usable() {
+        let pool = EvaluatorPool::new();
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _engine = pool.checkout();
+                panic!("worker died holding a checkout guard");
+            });
+            assert!(handle.join().is_err());
+        });
+        // The guard's Drop ran during unwinding: the engine was checked back
+        // in, and the pool serves the next caller.
+        assert_eq!(pool.idle(), 1);
+        let _engine = pool.checkout();
+        assert_eq!(pool.engines_created(), 1);
+    }
+
+    #[test]
+    fn quarantined_engines_are_not_reissued() {
+        let pool = EvaluatorPool::new();
+        {
+            let engine = pool.checkout();
+            engine.quarantine();
+        }
+        assert_eq!(pool.idle(), 0, "quarantined engine must not be checked back in");
+        assert_eq!(pool.quarantined(), 1);
+        // The pool replenishes lazily with a fresh engine.
+        let _fresh = pool.checkout();
+        assert_eq!(pool.engines_created(), 2);
+
+        let count_pool: CountCachePool<u64> = CountCachePool::new();
+        count_pool.checkout().quarantine();
+        assert_eq!(count_pool.idle(), 0);
+        assert_eq!(count_pool.quarantined(), 1);
+        let _fresh = count_pool.checkout();
+        assert_eq!(count_pool.engines_created(), 2);
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Per-document batch outcomes ([`BatchReport`]) and the graceful
+//! degradation policy ([`DegradePolicy`]).
+//!
+//! The report-returning batch entry points
+//! ([`crate::BatchSpanner::evaluate_batch_report`],
+//! [`crate::BatchSpanner::count_batch_report`] and their
+//! [`crate::SpannerServer`] counterparts) never abort on a failing document:
+//! each document yields its own `Result`, a panic inside a worker is
+//! contained to the document it was serving (the engine is quarantined, the
+//! worker keeps pulling), and documents that tripped a *recoverable* limit
+//! are retried through a bounded escalation ladder before being reported as
+//! failed.
+
+use spanners_core::SpannerError;
+
+/// Bounded-retry escalation for documents that tripped a **recoverable**
+/// limit: delta-eviction thrash ([`SpannerError::BudgetExceeded`], raised by
+/// [`spanners_core::EvalLimits::max_cache_clears`]) or a *soft* deadline
+/// ([`SpannerError::DeadlineExceeded`]`{ soft: true, .. }`).
+///
+/// Retries climb an escalation ladder, one rung per extra attempt, each rung
+/// kept cumulatively (the soft deadline — already spent — is dropped on
+/// retries; the hard deadline and step budget still apply):
+///
+/// 1. a one-off enlarged determinization-cache budget
+///    (`budget_boost ×` the automaton's configured budget; lazy spanners
+///    only — this is the rung that rescues eviction thrash);
+/// 2. [`spanners_core::EngineMode::PerByte`] — the simplest, most
+///    predictable engine loop;
+/// 3. the eager automaton, when the spanner has one — no cache to thrash at
+///    all.
+///
+/// Hard-deadline expiries, step-budget exhaustion, panics and counter
+/// overflows are **not** retried: re-running them buys nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Total attempts per document, the first (non-degraded) one included.
+    /// `1` disables retries entirely. Default: 3.
+    pub max_attempts: u32,
+    /// Multiplier applied to the lazy automaton's configured cache budget on
+    /// the first retry rung. Default: 4.
+    pub budget_boost: u32,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> DegradePolicy {
+        DegradePolicy { max_attempts: 3, budget_boost: 4 }
+    }
+}
+
+impl DegradePolicy {
+    /// A policy that never retries (`max_attempts == 1`): every limit error
+    /// is final.
+    pub fn none() -> DegradePolicy {
+        DegradePolicy { max_attempts: 1, ..DegradePolicy::default() }
+    }
+
+    /// Whether a failed attempt may be retried on the next ladder rung.
+    pub(crate) fn is_retryable(err: &SpannerError) -> bool {
+        matches!(
+            err,
+            SpannerError::BudgetExceeded { .. } | SpannerError::DeadlineExceeded { soft: true, .. }
+        )
+    }
+}
+
+/// The outcome of a report-returning batch call: one `Result` per document
+/// (in document order), plus batch-level counters and pool diagnostics.
+///
+/// `results.len()` always equals the number of documents submitted — a
+/// failing document occupies its slot with an `Err` instead of aborting its
+/// neighbours.
+#[derive(Debug)]
+pub struct BatchReport<T> {
+    /// Per-document outcomes, in document order.
+    pub results: Vec<Result<T, SpannerError>>,
+    /// Documents that succeeded (on any attempt).
+    pub ok: usize,
+    /// Documents whose final attempt failed.
+    pub failed: usize,
+    /// Documents that succeeded only after at least one degraded retry.
+    pub degraded: usize,
+    /// Total retry attempts spent across the batch (a document retried twice
+    /// contributes 2).
+    pub retried: usize,
+    /// Engines quarantined during this batch (one per contained panic that
+    /// was holding an engine): dropped, never checked back in.
+    pub quarantined: usize,
+    /// Engines the serving pool has created over its lifetime — the
+    /// capacity-signature diagnostic: in steady state this stops growing, so
+    /// growth across batches means quarantines (or higher concurrency) are
+    /// forcing cold engines.
+    pub engines_created: usize,
+}
+
+impl<T> BatchReport<T> {
+    /// Builds the report from per-document records, deriving the counters.
+    pub(crate) fn from_records(
+        records: Vec<(Result<T, SpannerError>, u32, bool)>,
+        quarantined: usize,
+        engines_created: usize,
+    ) -> BatchReport<T> {
+        let mut ok = 0;
+        let mut failed = 0;
+        let mut degraded = 0;
+        let mut retried = 0usize;
+        let mut results = Vec::with_capacity(records.len());
+        for (result, retries, was_degraded) in records {
+            match &result {
+                Ok(_) => {
+                    ok += 1;
+                    if was_degraded {
+                        degraded += 1;
+                    }
+                }
+                Err(_) => failed += 1,
+            }
+            retried += retries as usize;
+            results.push(result);
+        }
+        BatchReport { results, ok, failed, degraded, retried, quarantined, engines_created }
+    }
+
+    /// Whether every document succeeded.
+    pub fn is_fully_ok(&self) -> bool {
+        self.failed == 0
+    }
+
+    /// The lowest-index failing document and its error, if any — the error
+    /// the legacy abort-at-lowest-index APIs would have surfaced.
+    pub fn first_error(&self) -> Option<(usize, &SpannerError)> {
+        self.results.iter().enumerate().find_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
+    }
+
+    /// Consumes the report, yielding the per-document outcomes.
+    pub fn into_results(self) -> Vec<Result<T, SpannerError>> {
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_derive_from_records() {
+        let report: BatchReport<u32> = BatchReport::from_records(
+            vec![
+                (Ok(1), 0, false),
+                (Ok(2), 2, true),
+                (Err(SpannerError::StepBudgetExceeded { limit: 7 }), 1, false),
+            ],
+            1,
+            3,
+        );
+        assert_eq!(report.ok, 2);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.degraded, 1);
+        assert_eq!(report.retried, 3);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.engines_created, 3);
+        assert!(!report.is_fully_ok());
+        assert_eq!(report.first_error().map(|(i, _)| i), Some(2));
+    }
+
+    #[test]
+    fn retryable_errors_are_exactly_thrash_and_soft_deadline() {
+        assert!(DegradePolicy::is_retryable(&SpannerError::BudgetExceeded { what: "x", limit: 1 }));
+        assert!(DegradePolicy::is_retryable(&SpannerError::DeadlineExceeded {
+            soft: true,
+            limit_ms: 1,
+        }));
+        assert!(!DegradePolicy::is_retryable(&SpannerError::DeadlineExceeded {
+            soft: false,
+            limit_ms: 1,
+        }));
+        assert!(!DegradePolicy::is_retryable(&SpannerError::StepBudgetExceeded { limit: 1 }));
+        assert!(!DegradePolicy::is_retryable(&SpannerError::WorkerPanicked {
+            doc_index: 0,
+            message: "boom".into(),
+        }));
+    }
+}

@@ -19,6 +19,7 @@
 
 use crate::batch::{BatchOptions, BatchPlan, WARM_SAMPLE_DOCS};
 use crate::pool::{CountCachePool, EvaluatorPool};
+use crate::report::BatchReport;
 use spanners_core::{CompiledSpanner, Counter, DagView, Document, FrozenCache, SpannerError};
 use std::sync::{Arc, OnceLock};
 
@@ -130,13 +131,31 @@ impl SpannerServer {
         R: Send,
         F: Fn(usize, DagView<'_>) -> R + Sync,
     {
-        self.plan(docs).evaluate(&self.eval_pool, docs, self.opts.effective_threads(docs.len()), &f)
+        self.plan(docs)
+            .evaluate_report(&self.eval_pool, docs, &self.opts, &f)
+            .into_results()
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|e| {
+                    panic!(
+                        "document {i} failed in evaluate_batch \
+                         (use evaluate_batch_report for per-document errors): {e}"
+                    )
+                })
+            })
+            .collect()
     }
 
     /// Counts `|⟦A⟧(d)|` for every document of the batch (Algorithm 3), in
-    /// document order.
+    /// document order. Fails with the error of the lowest-index failing
+    /// document.
     pub fn count_batch(&self, docs: &[Document]) -> Result<Vec<u64>, SpannerError> {
-        self.plan(docs).count(&self.count_pool, docs, self.opts.effective_threads(docs.len()))
+        self.plan(docs)
+            .count_report(&self.count_pool, docs, &self.opts)
+            .into_results()
+            .into_iter()
+            .collect()
     }
 
     /// Like [`SpannerServer::count_batch`] with a caller-chosen counter type,
@@ -150,13 +169,58 @@ impl SpannerServer {
     where
         C: Counter + Send,
     {
-        self.plan(docs).count(pool, docs, self.opts.effective_threads(docs.len()))
+        self.plan(docs).count_report(pool, docs, &self.opts).into_results().into_iter().collect()
     }
 
     /// Whether each document of the batch has at least one output mapping,
     /// in document order.
     pub fn is_match_batch(&self, docs: &[Document]) -> Vec<bool> {
-        self.plan(docs).is_match(&self.eval_pool, docs, self.opts.effective_threads(docs.len()))
+        self.plan(docs)
+            .is_match_report(&self.eval_pool, docs, &self.opts)
+            .into_results()
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|e| {
+                    panic!(
+                        "document {i} failed in is_match_batch \
+                         (configure limits via the report APIs): {e}"
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// Fault-tolerant batch evaluation: one `Result` per document, worker
+    /// panics contained (engines quarantined, see
+    /// [`crate::EvaluatorPool::quarantined`]), recoverable limit trips
+    /// retried per the server's [`BatchOptions::degrade`] policy. Fails only
+    /// on invalid options. See
+    /// [`crate::BatchSpanner::evaluate_batch_report`].
+    pub fn evaluate_batch_report<R, F>(
+        &self,
+        docs: &[Document],
+        f: F,
+    ) -> Result<BatchReport<R>, SpannerError>
+    where
+        R: Send,
+        F: Fn(usize, DagView<'_>) -> R + Sync,
+    {
+        self.opts.validate()?;
+        Ok(self.plan(docs).evaluate_report(&self.eval_pool, docs, &self.opts, &f))
+    }
+
+    /// Fault-tolerant batch counting (see
+    /// [`SpannerServer::evaluate_batch_report`]).
+    pub fn count_batch_report(&self, docs: &[Document]) -> Result<BatchReport<u64>, SpannerError> {
+        self.opts.validate()?;
+        Ok(self.plan(docs).count_report(&self.count_pool, docs, &self.opts))
+    }
+
+    /// Engines quarantined so far across both pools (each contained worker
+    /// panic quarantines the engine it was holding).
+    pub fn engines_quarantined(&self) -> (usize, usize) {
+        (self.eval_pool.quarantined(), self.count_pool.quarantined())
     }
 }
 

@@ -22,7 +22,7 @@ use spanners::{CompiledSpanner, LazyConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let docs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
     let threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0);
-    let opts = BatchOptions { threads };
+    let opts = BatchOptions { threads, ..BatchOptions::default() };
 
     // --- Eager spanner: contact extraction over a corpus of directories. ---
     let (corpus, total_entries) = contact_corpus(0xBA7C4, docs, 8);

@@ -25,7 +25,7 @@ pub use spanners_workloads as workloads;
 
 pub use spanners_core::{
     count_mappings, CompiledSpanner, CountCache, Document, EngineMode, EnginePolicy,
-    EnumerationDag, Eva, EvaBuilder, Evaluator, FrozenCache, FrozenDelta, LazyCache, LazyConfig,
-    LazyDetSeva, Mapping, MarkerSet, Span, SpannerError, VarId, VarRegistry,
+    EnumerationDag, Eva, EvaBuilder, EvalLimits, Evaluator, FrozenCache, FrozenDelta, LazyCache,
+    LazyConfig, LazyDetSeva, Mapping, MarkerSet, Span, SpannerError, VarId, VarRegistry,
 };
-pub use spanners_runtime::{BatchOptions, BatchSpanner, SpannerServer};
+pub use spanners_runtime::{BatchOptions, BatchReport, BatchSpanner, DegradePolicy, SpannerServer};
