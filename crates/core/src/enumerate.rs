@@ -481,6 +481,18 @@ impl Evaluator {
         self.lazy.as_ref().map(|(_, c)| c)
     }
 
+    /// Installs `cache` as the embedded lazy cache for `aut`, replacing
+    /// whatever was there. Subsequent [`Evaluator::eval_lazy`] calls extend
+    /// it in place — the warm-up hook of the generational re-freeze path,
+    /// which thaws a frozen snapshot (delta evidence merged), replays sample
+    /// documents through it here, and freezes the result as the next
+    /// generation. A cache bound to a different automaton is reset by the
+    /// rebind, exactly as [`LazyCache::bind`] documents.
+    pub fn install_lazy_cache(&mut self, aut: &LazyDetSeva, mut cache: LazyCache) {
+        cache.bind(aut);
+        self.lazy = Some((aut.id(), cache));
+    }
+
     /// Runs Algorithm 1 against a **shared frozen snapshot** of a lazy
     /// determinization cache (see [`LazyCache::freeze`]): every subset state
     /// and row the snapshot holds is a flat shared-table read, and anything

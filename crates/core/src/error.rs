@@ -99,6 +99,17 @@ pub enum SpannerError {
         /// What was wrong with the configuration.
         what: &'static str,
     },
+    /// A streaming submission was shed by admission control: the bounded
+    /// ingress queue was full. The document was **not** accepted — retry
+    /// later or drop it; nothing server-side refers to it.
+    Overloaded {
+        /// The configured queue capacity (documents) that was full.
+        capacity: usize,
+    },
+    /// A submission (or still-queued ticket) was rejected because the
+    /// service had already begun draining or aborting. Accepted work is
+    /// unaffected: `drain()` completes every previously accepted ticket.
+    ShuttingDown,
 }
 
 impl fmt::Display for SpannerError {
@@ -150,6 +161,12 @@ impl fmt::Display for SpannerError {
             }
             SpannerError::InvalidConfig { what } => {
                 write!(f, "invalid configuration: {what}")
+            }
+            SpannerError::Overloaded { capacity } => {
+                write!(f, "service overloaded: ingress queue full ({capacity} documents)")
+            }
+            SpannerError::ShuttingDown => {
+                write!(f, "service is shutting down: submission rejected")
             }
         }
     }
@@ -252,6 +269,16 @@ mod tests {
     fn display_invalid_config() {
         let e = SpannerError::InvalidConfig { what: "batch thread count must be nonzero" };
         assert_eq!(e.to_string(), "invalid configuration: batch thread count must be nonzero");
+    }
+
+    #[test]
+    fn display_overloaded_and_shutting_down() {
+        let e = SpannerError::Overloaded { capacity: 64 };
+        assert_eq!(e.to_string(), "service overloaded: ingress queue full (64 documents)");
+        assert_eq!(
+            SpannerError::ShuttingDown.to_string(),
+            "service is shutting down: submission rejected"
+        );
     }
 
     #[test]

@@ -937,6 +937,129 @@ impl FrozenCache {
         delta.bind(self, seva);
         delta
     }
+
+    /// Thaws the snapshot back into a mutable [`LazyCache`] holding exactly
+    /// the frozen states and rows — the starting point of a re-freeze
+    /// generation when no delta evidence is available.
+    pub fn thaw(&self, seva: &LazyDetSeva) -> LazyCache {
+        self.thaw_with(None, seva)
+    }
+
+    /// Thaws the snapshot **merged with one worker's overflow delta** into a
+    /// mutable [`LazyCache`]: the generational re-freeze path. The merged
+    /// cache holds every frozen state plus every delta overflow state (ids
+    /// preserved — delta-local states already carry absolute ids), with the
+    /// delta's row/skip/marker overrides folded into the flat rows and the
+    /// delta's skippable-class mask overrides replacing the frozen masks, so
+    /// scan coverage learned since the freeze is carried forward into the
+    /// next generation instead of being rediscovered from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is bound to a different snapshot, or `seva` is not
+    /// the automaton this snapshot was frozen from.
+    pub fn thaw_merged(&self, delta: &FrozenDelta, seva: &LazyDetSeva) -> LazyCache {
+        assert_eq!(
+            delta.frozen_id, self.id,
+            "FrozenCache::thaw_merged: delta is bound to a different snapshot"
+        );
+        self.thaw_with(Some(delta), seva)
+    }
+
+    fn thaw_with(&self, delta: Option<&FrozenDelta>, seva: &LazyDetSeva) -> LazyCache {
+        assert_eq!(
+            self.seva_id, seva.id,
+            "FrozenCache::thaw: snapshot belongs to a different automaton"
+        );
+        let ncls = self.ncls;
+        let frozen_keys = self.keys.len() as u32;
+        let frozen_pairs = self.var_pairs.len() as u32;
+
+        let mut key_offsets = self.key_offsets.clone();
+        let mut keys = self.keys.clone();
+        let mut finals = self.finals.clone();
+        let mut var_starts = self.var_starts.clone();
+        let mut var_lens = self.var_lens.clone();
+        let mut letter_rows = self.letter_rows.clone();
+        let mut skip_rows = self.skip_rows.clone();
+        let mut skip_masks = self.skip_masks.clone();
+        let mut var_pairs = self.var_pairs.clone();
+        let mut index = self.index.clone();
+
+        if let Some(d) = delta {
+            // Overrides of frozen states' unknown slots fold into the rows.
+            for (&slot, &t) in &d.letter_overrides {
+                letter_rows[slot as usize] = t;
+            }
+            for (&slot, &s) in &d.skip_overrides {
+                skip_rows[slot as usize] = if s { SKIP_YES } else { SKIP_NO };
+            }
+            // Mask overrides were seeded from the frozen mask, so replacing
+            // (not or-ing) carries every memoized bit forward.
+            for (&q, &m) in &d.mask_overrides {
+                skip_masks[q as usize] = m;
+            }
+            for (&q, &(start, len)) in &d.var_overrides {
+                var_starts[q as usize] = start + frozen_pairs;
+                var_lens[q as usize] = len;
+            }
+            // Overflow states append verbatim: their ids are already absolute
+            // (base = frozen state count), so rows and index entries are
+            // valid in the merged numbering without rewriting.
+            key_offsets.extend(d.key_offsets.iter().skip(1).map(|&o| o + frozen_keys));
+            keys.extend_from_slice(&d.keys);
+            finals.extend_from_slice(&d.finals);
+            var_starts.extend(d.var_starts.iter().map(|&s| {
+                if s == VARS_UNMATERIALIZED {
+                    s
+                } else {
+                    s + frozen_pairs
+                }
+            }));
+            var_lens.extend_from_slice(&d.var_lens);
+            letter_rows.extend_from_slice(&d.letter_rows);
+            skip_rows.extend_from_slice(&d.skip_rows);
+            skip_masks.extend_from_slice(&d.skip_masks);
+            var_pairs.extend_from_slice(&d.var_pairs);
+            for (key, &id) in &d.index {
+                index.insert(key.clone(), id);
+            }
+        }
+
+        let mut cache = LazyCache {
+            seva_id: self.seva_id,
+            ncls,
+            budget: seva.config.memory_budget,
+            key_offsets,
+            keys,
+            finals,
+            var_starts,
+            var_lens,
+            letter_rows,
+            skip_rows,
+            skip_masks,
+            var_pairs,
+            index,
+            bytes: 0,
+            clears: 0,
+            states_interned: 0,
+            ..LazyCache::default()
+        };
+        cache.states_interned = cache.num_states() as u64;
+        cache.set_scratch.reset(seva.num_nfa_states);
+        // Rebuild the byte accounting the way interning + materialization
+        // would have: per-state cost plus the materialized marker rows.
+        let mut bytes = 0;
+        for q in 0..cache.num_states() {
+            let (a, b) = cache.key_range(q);
+            bytes += cache.state_cost(b - a);
+            if cache.var_starts[q] != VARS_UNMATERIALIZED {
+                bytes += cache.var_lens[q] as usize * std::mem::size_of::<(MarkerSet, StateId)>();
+            }
+        }
+        cache.bytes = bytes;
+        cache
+    }
 }
 
 /// The per-worker mutable half of the frozen/delta split: subset states and
@@ -1045,6 +1168,14 @@ impl FrozenDelta {
     /// with (see [`FrozenStepper::new`]).
     pub fn new() -> FrozenDelta {
         FrozenDelta::default()
+    }
+
+    /// Identity of the [`FrozenCache`] this delta is bound to (zero when
+    /// unbound) — the guard the re-freeze path checks before merging delta
+    /// evidence into a new generation.
+    #[inline]
+    pub fn snapshot_id(&self) -> u64 {
+        self.frozen_id
     }
 
     /// Number of *overflow* states currently held (subsets the frozen
@@ -1683,6 +1814,86 @@ mod tests {
                 "frozen acceptance mismatch on {text:?}"
             );
         }
+    }
+
+    #[test]
+    fn thaw_round_trips_the_frozen_states() {
+        let eva = nondet_eva();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig::default()).unwrap();
+        let mut cache = lazy.create_cache();
+        for text in ["az", "gz", "abcxyz"] {
+            let _ = lazy.accepts(&mut cache, &Document::from(text));
+        }
+        let frozen = cache.freeze(&lazy);
+        let mut thawed = frozen.thaw(&lazy);
+        assert_eq!(thawed.num_states(), frozen.num_states());
+        assert_eq!(thawed.states_interned(), frozen.num_states() as u64);
+        assert!(thawed.memory_bytes() > 0);
+        // The thawed cache keeps working as a live cache.
+        for text in ["", "az", "gz", "A", "a!b"] {
+            let doc = Document::from(text);
+            assert_eq!(
+                lazy.accepts(&mut thawed, &doc),
+                !eva.eval_naive(&doc).is_empty(),
+                "thawed acceptance mismatch on {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn thaw_merged_folds_delta_overflow_into_the_next_generation() {
+        let eva = nondet_eva();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig::default()).unwrap();
+        // Freeze early — off a single short document — so later documents
+        // force both overflow states and row overrides into the delta.
+        let mut cache = lazy.create_cache();
+        let _ = lazy.accepts(&mut cache, &Document::from("a"));
+        let frozen = cache.freeze(&lazy);
+        let mut delta = frozen.create_delta(&lazy);
+        let texts = ["az", "gz", "abcxyz", "zzzagq", "a!b"];
+        // Drive one document so the per-document reset of FrozenStepper::new
+        // does not wipe the evidence we are about to merge.
+        let mut stepper = FrozenStepper::new(&lazy, &frozen, &mut delta);
+        let _ = accepts_generic(&mut stepper, &Document::from("abcxyz"));
+        assert!(
+            delta.num_overflow_states() > 0 || !delta.letter_overrides.is_empty(),
+            "test premise: the delta must hold evidence to merge"
+        );
+        assert_eq!(delta.snapshot_id(), frozen.id());
+
+        let merged = frozen.thaw_merged(&delta, &lazy);
+        assert_eq!(merged.num_states(), frozen.num_states() + delta.num_overflow_states());
+        // Re-freeze the merged cache: the next generation answers everything
+        // the old snapshot could, plus what the delta learned.
+        let gen2 = merged.freeze(&lazy);
+        assert_ne!(gen2.id(), frozen.id());
+        assert_eq!(gen2.seva_id(), lazy.id());
+        let mut d2 = gen2.create_delta(&lazy);
+        for text in texts.iter().chain(["", "g", "A"].iter()) {
+            let doc = Document::from(*text);
+            let mut stepper = FrozenStepper::new(&lazy, &gen2, &mut d2);
+            assert_eq!(
+                accepts_generic(&mut stepper, &doc),
+                !eva.eval_naive(&doc).is_empty(),
+                "gen2 acceptance mismatch on {text:?}"
+            );
+        }
+        // The warmed snapshot covers the replayed document: re-running it
+        // creates no overflow states in a fresh delta.
+        let mut d3 = gen2.create_delta(&lazy);
+        let mut stepper = FrozenStepper::new(&lazy, &gen2, &mut d3);
+        let _ = accepts_generic(&mut stepper, &Document::from("abcxyz"));
+        assert_eq!(d3.num_overflow_states(), 0, "merged generation must absorb the delta");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound to a different snapshot")]
+    fn thaw_merged_rejects_a_foreign_delta() {
+        let lazy = LazyDetSeva::new(&nondet_eva(), LazyConfig::default()).unwrap();
+        let frozen_a = lazy.create_cache().freeze(&lazy);
+        let frozen_b = lazy.create_cache().freeze(&lazy);
+        let delta = frozen_a.create_delta(&lazy);
+        let _ = frozen_b.thaw_merged(&delta, &lazy);
     }
 
     #[test]

@@ -104,6 +104,18 @@ impl EvalLimits {
         self.max_cache_clears = Some(max_cache_clears);
         self
     }
+
+    /// Returns these limits with the hard deadline clamped to at most
+    /// `remaining` — the per-request deadline hook of the streaming runtime:
+    /// a request that has already spent part of its wall-clock budget in the
+    /// ingress queue evaluates under whatever time is left, never under the
+    /// full configured budget. A configured deadline shorter than
+    /// `remaining` is kept as-is; with no configured deadline, `remaining`
+    /// becomes the deadline.
+    pub fn clamp_deadline(mut self, remaining: Duration) -> EvalLimits {
+        self.deadline = Some(self.deadline.map_or(remaining, |d| d.min(remaining)));
+        self
+    }
 }
 
 fn duration_ms(d: Duration) -> u64 {
@@ -359,6 +371,23 @@ mod tests {
             c.note_clear().unwrap_err(),
             SpannerError::BudgetExceeded { what, limit: 2 } if what.contains("evictions")
         ));
+    }
+
+    #[test]
+    fn clamp_deadline_takes_the_minimum() {
+        let base = EvalLimits::none().with_deadline(Duration::from_millis(100));
+        assert_eq!(
+            base.clamp_deadline(Duration::from_millis(30)).deadline,
+            Some(Duration::from_millis(30))
+        );
+        assert_eq!(
+            base.clamp_deadline(Duration::from_millis(500)).deadline,
+            Some(Duration::from_millis(100))
+        );
+        assert_eq!(
+            EvalLimits::none().clamp_deadline(Duration::from_millis(7)).deadline,
+            Some(Duration::from_millis(7))
+        );
     }
 
     #[test]

@@ -40,7 +40,7 @@ use spanners_core::{
 };
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// How many leading documents a one-shot batch samples to warm the frozen
@@ -288,13 +288,43 @@ fn run_attempts<R>(
 }
 
 /// The shared per-batch evaluation plan: spanner + optional frozen snapshot,
-/// borrowed by every worker.
+/// borrowed by every worker. The streaming runtime additionally threads
+/// through stable document identities (fault keying + error reporting for
+/// micro-batches cut out of a longer stream), per-request remaining-time
+/// deadlines, and the serving-generation tag for pool checkouts.
 pub(crate) struct BatchPlan<'a> {
     pub spanner: &'a CompiledSpanner,
     pub frozen: Option<&'a FrozenCache>,
+    /// Stable per-document identities (stream sequence numbers). `None` for
+    /// one-shot batches, where the slice index is the identity.
+    pub doc_ids: Option<&'a [usize]>,
+    /// Remaining wall-clock budget per document (already reduced by queue
+    /// wait), clamped onto the configured hard deadline. `None` entries (and
+    /// a `None` slice) leave the configured limits untouched.
+    pub deadlines: Option<&'a [Option<Duration>]>,
+    /// Serving-generation tag for pool checkouts (`0` = untagged).
+    pub gen_tag: u64,
+}
+
+impl<'a> BatchPlan<'a> {
+    /// A plain one-shot plan: slice indices as identities, no per-request
+    /// deadlines, untagged checkouts.
+    pub(crate) fn new(
+        spanner: &'a CompiledSpanner,
+        frozen: Option<&'a FrozenCache>,
+    ) -> BatchPlan<'a> {
+        BatchPlan { spanner, frozen, doc_ids: None, deadlines: None, gen_tag: 0 }
+    }
 }
 
 impl BatchPlan<'_> {
+    /// The stable identity of job `i` (stream sequence number when set,
+    /// slice index otherwise) — the key fault injection and
+    /// [`SpannerError::WorkerPanicked`] report against.
+    #[inline]
+    fn doc_id(&self, i: usize) -> usize {
+        self.doc_ids.map_or(i, |ids| ids[i])
+    }
     /// The applicable escalation ladder, truncated to the policy's attempt
     /// budget. Rung order: normal → boosted cache budget (lazy only) →
     /// per-byte engine → eager automaton (when one exists alongside the lazy
@@ -318,15 +348,19 @@ impl BatchPlan<'_> {
         Some(base.saturating_mul(policy.budget_boost as usize))
     }
 
-    /// Resolves the injected faults and the effective base limits for one
-    /// document. Panics here (the injected ones) are contained by
-    /// [`run_contained`].
+    /// Resolves the injected faults, the per-request remaining-time clamp,
+    /// and the effective base limits for one document. Panics here (the
+    /// injected ones) are contained by [`run_contained`].
     fn doc_setup(&self, i: usize, limits: EvalLimits) -> (EvalLimits, bool) {
-        let df = faults::doc_faults(i);
+        let id = self.doc_id(i);
+        let df = faults::doc_faults(id);
         if df.panic {
-            panic!("injected fault: panic on document {i}");
+            panic!("injected fault: panic on document {id}");
         }
         let mut base = limits;
+        if let Some(Some(remaining)) = self.deadlines.map(|d| d[i]) {
+            base = base.clamp_deadline(remaining);
+        }
         if df.expire_deadline {
             base.deadline = Some(Duration::ZERO);
         }
@@ -348,15 +382,18 @@ impl BatchPlan<'_> {
         let rungs = self.rungs(&opts.degrade);
         let boosted = self.boosted_budget(&opts.degrade);
         let quarantined = AtomicUsize::new(0);
+        let delta_states = AtomicU64::new(0);
+        let delta_bytes = AtomicUsize::new(0);
         let records = run_contained(
             docs.len(),
             threads,
-            || pool.checkout(),
+            || pool.checkout_tagged(self.gen_tag),
             |engine: &mut PooledEvaluator<'_>, i| {
                 let (base_limits, force_eviction) = self.doc_setup(i, opts.limits);
                 let doc = &docs[i];
                 let ev = &mut **engine;
                 let original_mode = ev.mode();
+                let interned_before = ev.frozen_delta().map_or(0, |d| d.states_interned());
                 let record =
                     run_attempts(&rungs, base_limits, force_eviction, |rung, limits, evict| {
                         ev.set_limits(limits);
@@ -382,19 +419,35 @@ impl BatchPlan<'_> {
                             None => self.spanner.try_evaluate_with(ev, doc).map(|view| f(i, view)),
                         }
                     });
+                // Delta-pressure sample: overflow states this document forced
+                // past the frozen snapshot (a rebind to a new snapshot resets
+                // the counter, undercounting that one document — harmless).
+                if self.frozen.is_some() {
+                    if let Some(d) = ev.frozen_delta() {
+                        let grown = d.states_interned().saturating_sub(interned_before);
+                        delta_states.fetch_add(grown, Ordering::Relaxed);
+                        delta_bytes.fetch_max(d.memory_bytes(), Ordering::Relaxed);
+                    }
+                }
                 // The engine goes back to the pool: shed per-document state.
                 ev.set_mode(original_mode);
                 ev.set_cache_budget_override(None);
                 ev.set_limits(EvalLimits::none());
                 record
             },
-            |i, message| (Err(SpannerError::WorkerPanicked { doc_index: i, message }), 0, false),
+            |i, message| {
+                (Err(SpannerError::WorkerPanicked { doc_index: self.doc_id(i), message }), 0, false)
+            },
             |engine: PooledEvaluator<'_>| {
                 engine.quarantine();
                 quarantined.fetch_add(1, Ordering::Relaxed);
             },
         );
-        BatchReport::from_records(records, quarantined.into_inner(), pool.engines_created())
+        let mut report =
+            BatchReport::from_records(records, quarantined.into_inner(), pool.engines_created());
+        report.delta_states = delta_states.into_inner();
+        report.delta_bytes = delta_bytes.into_inner();
+        report
     }
 
     pub(crate) fn count_report<C>(
@@ -413,7 +466,7 @@ impl BatchPlan<'_> {
         let records = run_contained(
             docs.len(),
             threads,
-            || pool.checkout(),
+            || pool.checkout_tagged(self.gen_tag),
             |engine: &mut PooledCountCache<'_, C>, i| {
                 let (base_limits, force_eviction) = self.doc_setup(i, opts.limits);
                 let doc = &docs[i];
@@ -446,7 +499,9 @@ impl BatchPlan<'_> {
                 cache.set_limits(EvalLimits::none());
                 record
             },
-            |i, message| (Err(SpannerError::WorkerPanicked { doc_index: i, message }), 0, false),
+            |i, message| {
+                (Err(SpannerError::WorkerPanicked { doc_index: self.doc_id(i), message }), 0, false)
+            },
             |engine: PooledCountCache<'_, C>| {
                 engine.quarantine();
                 quarantined.fetch_add(1, Ordering::Relaxed);
@@ -468,7 +523,7 @@ impl BatchPlan<'_> {
         let records = run_contained(
             docs.len(),
             threads,
-            || pool.checkout(),
+            || pool.checkout_tagged(self.gen_tag),
             |engine: &mut PooledEvaluator<'_>, i| {
                 let (base_limits, force_eviction) = self.doc_setup(i, opts.limits);
                 let doc = &docs[i];
@@ -501,7 +556,9 @@ impl BatchPlan<'_> {
                 ev.set_limits(EvalLimits::none());
                 record
             },
-            |i, message| (Err(SpannerError::WorkerPanicked { doc_index: i, message }), 0, false),
+            |i, message| {
+                (Err(SpannerError::WorkerPanicked { doc_index: self.doc_id(i), message }), 0, false)
+            },
             |engine: PooledEvaluator<'_>| {
                 engine.quarantine();
                 quarantined.fetch_add(1, Ordering::Relaxed);
@@ -582,7 +639,7 @@ impl BatchSpanner for CompiledSpanner {
     {
         let frozen = freeze_for_batch(self, docs);
         let pool = EvaluatorPool::new();
-        let plan = BatchPlan { spanner: self, frozen: frozen.as_ref() };
+        let plan = BatchPlan::new(self, frozen.as_ref());
         let report = plan.evaluate_report(&pool, docs, opts, &f);
         report
             .results
@@ -612,7 +669,7 @@ impl BatchSpanner for CompiledSpanner {
         opts.validate()?;
         let frozen = freeze_for_batch(self, docs);
         let pool = EvaluatorPool::new();
-        let plan = BatchPlan { spanner: self, frozen: frozen.as_ref() };
+        let plan = BatchPlan::new(self, frozen.as_ref());
         Ok(plan.evaluate_report(&pool, docs, opts, &f))
     }
 
@@ -622,7 +679,7 @@ impl BatchSpanner for CompiledSpanner {
     {
         let frozen = freeze_for_batch(self, docs);
         let pool: CountCachePool<C> = CountCachePool::new();
-        let plan = BatchPlan { spanner: self, frozen: frozen.as_ref() };
+        let plan = BatchPlan::new(self, frozen.as_ref());
         // Document order is preserved, so the error reported is the one of
         // the lowest-index failing document — deterministic across runs.
         plan.count_report(&pool, docs, opts).into_results().into_iter().collect()
@@ -639,14 +696,14 @@ impl BatchSpanner for CompiledSpanner {
         opts.validate()?;
         let frozen = freeze_for_batch(self, docs);
         let pool: CountCachePool<C> = CountCachePool::new();
-        let plan = BatchPlan { spanner: self, frozen: frozen.as_ref() };
+        let plan = BatchPlan::new(self, frozen.as_ref());
         Ok(plan.count_report(&pool, docs, opts))
     }
 
     fn is_match_batch(&self, docs: &[Document], opts: &BatchOptions) -> Vec<bool> {
         let frozen = freeze_for_batch(self, docs);
         let pool = EvaluatorPool::new();
-        let plan = BatchPlan { spanner: self, frozen: frozen.as_ref() };
+        let plan = BatchPlan::new(self, frozen.as_ref());
         plan.is_match_report(&pool, docs, opts)
             .into_results()
             .into_iter()

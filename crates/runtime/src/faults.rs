@@ -12,7 +12,10 @@
 //!   mid-evaluation, (b) run with a zero determinization-cache budget so
 //!   every maintenance point evicts (forced eviction thrash, tripping
 //!   [`spanners_core::EvalLimits::max_cache_clears`] when set), or (c) run
-//!   under an already-expired hard deadline.
+//!   under an already-expired hard deadline;
+//! * **streaming** — the Nth re-freeze promotion panics mid-build, the Nth
+//!   generation swap is abandoned, or the Nth micro-batch dequeue stalls
+//!   past every per-request deadline it carries.
 //!
 //! All triggers key on stable indices/ordinals — never on timing — so a
 //! torture run is reproducible at any thread count. The plan is installed
@@ -42,7 +45,7 @@ mod enabled {
     use std::sync::Mutex;
 
     /// A deterministic schedule of injected faults, keyed on document
-    /// indices and checkout ordinals.
+    /// indices and per-trigger ordinals.
     #[derive(Debug, Default, Clone)]
     pub struct FaultPlan {
         /// Document indices whose evaluation panics.
@@ -54,24 +57,44 @@ mod enabled {
         pub force_eviction_docs: Vec<usize>,
         /// Document indices evaluated under an already-expired deadline.
         pub expire_deadline_docs: Vec<usize>,
+        /// Re-freeze promotion ordinals (0-based, counted from `install`)
+        /// that panic mid-promotion — the streaming server must contain the
+        /// panic and keep serving on the old generation.
+        pub panic_on_promotions: Vec<usize>,
+        /// Generation-swap ordinals whose swap is abandoned (the freshly
+        /// built snapshot is dropped; serving continues on the old one).
+        pub fail_swaps: Vec<usize>,
+        /// Streaming dequeue ordinals (0-based, one per formed micro-batch)
+        /// whose queue wait is treated as having outlived every per-request
+        /// deadline in the batch.
+        pub stall_dequeues: Vec<usize>,
     }
 
-    /// The installed plan plus the number of checkouts seen since install.
-    static PLAN: Mutex<Option<(FaultPlan, usize)>> = Mutex::new(None);
+    /// The installed plan plus the per-trigger ordinals seen since install.
+    #[derive(Debug)]
+    struct Installed {
+        plan: FaultPlan,
+        checkouts: usize,
+        promotions: usize,
+        swaps: usize,
+        dequeues: usize,
+    }
 
-    fn plan_lock() -> std::sync::MutexGuard<'static, Option<(FaultPlan, usize)>> {
+    static PLAN: Mutex<Option<Installed>> = Mutex::new(None);
+
+    fn plan_lock() -> std::sync::MutexGuard<'static, Option<Installed>> {
         match PLAN.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         }
     }
 
-    /// Installs `plan` process-globally, resetting the checkout ordinal.
+    /// Installs `plan` process-globally, resetting every trigger ordinal.
     /// The previous plan (if any) is replaced. Dropping the returned guard
     /// uninstalls the plan — unwinding included, so a failed test never
     /// leaks faults into the next one.
     pub fn install(plan: FaultPlan) -> FaultGuard {
-        *plan_lock() = Some((plan, 0));
+        *plan_lock() = Some(Installed { plan, checkouts: 0, promotions: 0, swaps: 0, dequeues: 0 });
         FaultGuard(())
     }
 
@@ -89,10 +112,10 @@ mod enabled {
     /// plan.
     pub(crate) fn doc_faults(doc_index: usize) -> DocFaults {
         match plan_lock().as_ref() {
-            Some((plan, _)) => DocFaults {
-                panic: plan.panic_on_docs.contains(&doc_index),
-                force_eviction: plan.force_eviction_docs.contains(&doc_index),
-                expire_deadline: plan.expire_deadline_docs.contains(&doc_index),
+            Some(inst) => DocFaults {
+                panic: inst.plan.panic_on_docs.contains(&doc_index),
+                force_eviction: inst.plan.force_eviction_docs.contains(&doc_index),
+                expire_deadline: inst.plan.expire_deadline_docs.contains(&doc_index),
             },
             None => DocFaults::default(),
         }
@@ -104,10 +127,10 @@ mod enabled {
         let fail = {
             let mut guard = plan_lock();
             match guard.as_mut() {
-                Some((plan, seen)) => {
-                    let ordinal = *seen;
-                    *seen += 1;
-                    plan.fail_checkouts.contains(&ordinal)
+                Some(inst) => {
+                    let ordinal = inst.checkouts;
+                    inst.checkouts += 1;
+                    inst.plan.fail_checkouts.contains(&ordinal)
                 }
                 None => false,
             }
@@ -116,13 +139,63 @@ mod enabled {
             panic!("injected fault: engine checkout failed");
         }
     }
+
+    /// Re-freeze promotion hook: counts the promotion attempt and panics
+    /// when its ordinal is scheduled to fail. The plan lock is released
+    /// before panicking — the streaming server wraps promotion in
+    /// `catch_unwind` and keeps serving the old generation.
+    pub(crate) fn promotion_fault() {
+        let fail = {
+            let mut guard = plan_lock();
+            match guard.as_mut() {
+                Some(inst) => {
+                    let ordinal = inst.promotions;
+                    inst.promotions += 1;
+                    inst.plan.panic_on_promotions.contains(&ordinal)
+                }
+                None => false,
+            }
+        };
+        if fail {
+            panic!("injected fault: re-freeze promotion panicked");
+        }
+    }
+
+    /// Generation-swap hook: counts the swap attempt; `true` means the swap
+    /// must be abandoned (the new snapshot dropped, the old one kept).
+    pub(crate) fn swap_fault() -> bool {
+        let mut guard = plan_lock();
+        match guard.as_mut() {
+            Some(inst) => {
+                let ordinal = inst.swaps;
+                inst.swaps += 1;
+                inst.plan.fail_swaps.contains(&ordinal)
+            }
+            None => false,
+        }
+    }
+
+    /// Streaming-dequeue hook: counts the formed micro-batch; `true` means
+    /// the dequeue is treated as having stalled past every per-request
+    /// deadline carried by the batch (deadline-less tickets are unaffected).
+    pub(crate) fn stall_fault() -> bool {
+        let mut guard = plan_lock();
+        match guard.as_mut() {
+            Some(inst) => {
+                let ordinal = inst.dequeues;
+                inst.dequeues += 1;
+                inst.plan.stall_dequeues.contains(&ordinal)
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(feature = "fault-injection")]
 pub use enabled::{install, FaultGuard, FaultPlan};
 
 #[cfg(feature = "fault-injection")]
-pub(crate) use enabled::{checkout_fault, doc_faults};
+pub(crate) use enabled::{checkout_fault, doc_faults, promotion_fault, stall_fault, swap_fault};
 
 /// No-op stub compiled without the `fault-injection` feature.
 #[cfg(not(feature = "fault-injection"))]
@@ -135,3 +208,22 @@ pub(crate) fn doc_faults(_doc_index: usize) -> DocFaults {
 #[cfg(not(feature = "fault-injection"))]
 #[inline(always)]
 pub(crate) fn checkout_fault() {}
+
+/// No-op stub compiled without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn promotion_fault() {}
+
+/// No-op stub compiled without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn swap_fault() -> bool {
+    false
+}
+
+/// No-op stub compiled without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn stall_fault() -> bool {
+    false
+}

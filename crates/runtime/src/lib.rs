@@ -70,11 +70,13 @@ pub mod faults;
 pub mod pool;
 pub mod report;
 pub mod server;
+pub mod streaming;
 
 pub use batch::{BatchOptions, BatchSpanner};
 pub use pool::{CountCachePool, EvaluatorPool, PooledCountCache, PooledEvaluator};
-pub use report::{BatchReport, DegradePolicy};
+pub use report::{BatchReport, BatchSummary, DegradePolicy};
 pub use server::SpannerServer;
+pub use streaming::{RefreezePolicy, StreamingOptions, StreamingServer, StreamingStats, Ticket};
 
 #[cfg(feature = "fault-injection")]
 pub use faults::{install as install_faults, FaultGuard, FaultPlan};

@@ -40,7 +40,11 @@ pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// ```
 #[derive(Debug, Default)]
 pub struct EvaluatorPool {
-    idle: Mutex<Vec<Evaluator>>,
+    /// Idle engines, each tagged with the serving generation it last ran
+    /// under (`0` for untagged batch work). Tag-aware checkouts prefer an
+    /// engine of their own generation — its [`spanners_core::FrozenDelta`]
+    /// is already bound to that generation's snapshot, so no rebind-reset.
+    idle: Mutex<Vec<(u64, Evaluator)>>,
     mode: EngineMode,
     created: AtomicUsize,
     quarantined: AtomicUsize,
@@ -61,12 +65,26 @@ impl EvaluatorPool {
     /// Checks an engine out: a warm one when available, a fresh one
     /// otherwise. The returned guard checks it back in on drop.
     pub fn checkout(&self) -> PooledEvaluator<'_> {
+        self.checkout_tagged(0)
+    }
+
+    /// Checks an engine out preferring one last used under generation `tag`
+    /// (falling back to any warm engine, then to a fresh one). The guard
+    /// remembers the tag and checks the engine back in under it.
+    pub fn checkout_tagged(&self, tag: u64) -> PooledEvaluator<'_> {
         crate::faults::checkout_fault();
-        let engine = lock(&self.idle).pop().unwrap_or_else(|| {
+        let engine = {
+            let mut idle = lock(&self.idle);
+            match idle.iter().rposition(|&(t, _)| t == tag) {
+                Some(i) => Some(idle.swap_remove(i).1),
+                None => idle.pop().map(|(_, e)| e),
+            }
+        };
+        let engine = engine.unwrap_or_else(|| {
             self.created.fetch_add(1, Ordering::Relaxed);
             Evaluator::with_mode(self.mode)
         });
-        PooledEvaluator { pool: self, engine: Some(engine) }
+        PooledEvaluator { pool: self, engine: Some(engine), tag }
     }
 
     /// Number of engines currently checked in.
@@ -81,8 +99,8 @@ impl EvaluatorPool {
     }
 
     /// Total engines quarantined (see [`PooledEvaluator::quarantine`]) — each
-    /// was dropped instead of checked back in, and a later checkout
-    /// replenished the pool with a fresh engine.
+    /// was dropped instead of checked back in, and a fresh replacement was
+    /// checked in pre-emptively in its place.
     pub fn quarantined(&self) -> usize {
         self.quarantined.load(Ordering::Relaxed)
     }
@@ -94,6 +112,7 @@ impl EvaluatorPool {
 pub struct PooledEvaluator<'p> {
     pool: &'p EvaluatorPool,
     engine: Option<Evaluator>,
+    tag: u64,
 }
 
 impl Deref for PooledEvaluator<'_> {
@@ -114,11 +133,15 @@ impl PooledEvaluator<'_> {
     /// engine is dropped and the pool's quarantine counter bumped. Used by
     /// panic containment — an engine whose evaluation unwound mid-document
     /// may hold arbitrarily corrupted arena state, so it must never serve
-    /// another document. The pool replenishes lazily: the next uncovered
-    /// checkout creates a fresh engine.
+    /// another document. Replenishment is **pre-emptive**: a fresh engine is
+    /// checked in immediately (counted in `engines_created`), so a pool
+    /// hammered by sustained panics never drains toward zero engines and
+    /// `engines_created` stays exactly `quarantined + peak concurrency`.
     pub fn quarantine(mut self) {
         if self.engine.take().is_some() {
             self.pool.quarantined.fetch_add(1, Ordering::Relaxed);
+            self.pool.created.fetch_add(1, Ordering::Relaxed);
+            lock(&self.pool.idle).push((self.tag, Evaluator::with_mode(self.pool.mode)));
         }
     }
 }
@@ -126,7 +149,7 @@ impl PooledEvaluator<'_> {
 impl Drop for PooledEvaluator<'_> {
     fn drop(&mut self) {
         if let Some(engine) = self.engine.take() {
-            lock(&self.pool.idle).push(engine);
+            lock(&self.pool.idle).push((self.tag, engine));
         }
     }
 }
@@ -135,7 +158,7 @@ impl Drop for PooledEvaluator<'_> {
 /// mirror of [`EvaluatorPool`].
 #[derive(Debug)]
 pub struct CountCachePool<C: Counter> {
-    idle: Mutex<Vec<CountCache<C>>>,
+    idle: Mutex<Vec<(u64, CountCache<C>)>>,
     mode: EngineMode,
     created: AtomicUsize,
     quarantined: AtomicUsize,
@@ -167,12 +190,25 @@ impl<C: Counter> CountCachePool<C> {
     /// Checks a cache out: a warm one when available, a fresh one otherwise.
     /// The returned guard checks it back in on drop.
     pub fn checkout(&self) -> PooledCountCache<'_, C> {
+        self.checkout_tagged(0)
+    }
+
+    /// Checks a cache out preferring one last used under generation `tag`
+    /// (see [`EvaluatorPool::checkout_tagged`]).
+    pub fn checkout_tagged(&self, tag: u64) -> PooledCountCache<'_, C> {
         crate::faults::checkout_fault();
-        let engine = lock(&self.idle).pop().unwrap_or_else(|| {
+        let engine = {
+            let mut idle = lock(&self.idle);
+            match idle.iter().rposition(|&(t, _)| t == tag) {
+                Some(i) => Some(idle.swap_remove(i).1),
+                None => idle.pop().map(|(_, e)| e),
+            }
+        };
+        let engine = engine.unwrap_or_else(|| {
             self.created.fetch_add(1, Ordering::Relaxed);
             CountCache::with_mode(self.mode)
         });
-        PooledCountCache { pool: self, engine: Some(engine) }
+        PooledCountCache { pool: self, engine: Some(engine), tag }
     }
 
     /// Number of caches currently checked in.
@@ -197,6 +233,7 @@ impl<C: Counter> CountCachePool<C> {
 pub struct PooledCountCache<'p, C: Counter> {
     pool: &'p CountCachePool<C>,
     engine: Option<CountCache<C>>,
+    tag: u64,
 }
 
 impl<C: Counter> Deref for PooledCountCache<'_, C> {
@@ -213,11 +250,14 @@ impl<C: Counter> DerefMut for PooledCountCache<'_, C> {
 }
 
 impl<C: Counter> PooledCountCache<'_, C> {
-    /// Consumes the guard **without** checking the cache back in (see
+    /// Consumes the guard **without** checking the cache back in, checking a
+    /// fresh replacement in pre-emptively (see
     /// [`PooledEvaluator::quarantine`]).
     pub fn quarantine(mut self) {
         if self.engine.take().is_some() {
             self.pool.quarantined.fetch_add(1, Ordering::Relaxed);
+            self.pool.created.fetch_add(1, Ordering::Relaxed);
+            lock(&self.pool.idle).push((self.tag, CountCache::with_mode(self.pool.mode)));
         }
     }
 }
@@ -225,7 +265,7 @@ impl<C: Counter> PooledCountCache<'_, C> {
 impl<C: Counter> Drop for PooledCountCache<'_, C> {
     fn drop(&mut self) {
         if let Some(engine) = self.engine.take() {
-            lock(&self.pool.idle).push(engine);
+            lock(&self.pool.idle).push((self.tag, engine));
         }
     }
 }
@@ -301,24 +341,74 @@ mod tests {
     }
 
     #[test]
-    fn quarantined_engines_are_not_reissued() {
+    fn quarantined_engines_are_replaced_preemptively() {
         let pool = EvaluatorPool::new();
         {
             let engine = pool.checkout();
             engine.quarantine();
         }
-        assert_eq!(pool.idle(), 0, "quarantined engine must not be checked back in");
+        // The poisoned engine is gone, but a fresh replacement is already
+        // checked in: the pool never drains toward zero under quarantines.
+        assert_eq!(pool.idle(), 1, "quarantine must check a fresh replacement in");
         assert_eq!(pool.quarantined(), 1);
-        // The pool replenishes lazily with a fresh engine.
+        assert_eq!(pool.engines_created(), 2);
+        // The next checkout reuses the replacement — no further creation.
         let _fresh = pool.checkout();
         assert_eq!(pool.engines_created(), 2);
 
         let count_pool: CountCachePool<u64> = CountCachePool::new();
         count_pool.checkout().quarantine();
-        assert_eq!(count_pool.idle(), 0);
+        assert_eq!(count_pool.idle(), 1);
         assert_eq!(count_pool.quarantined(), 1);
         let _fresh = count_pool.checkout();
         assert_eq!(count_pool.engines_created(), 2);
+    }
+
+    #[test]
+    fn sustained_quarantines_keep_the_pool_stocked_and_creation_bounded() {
+        // The replenishment invariant of the streaming runtime: a pool
+        // hammered by panics (every other document quarantining its engine)
+        // must never be found empty by the next checkout, and engines_created
+        // must stay exactly quarantined + peak concurrency.
+        let pool = EvaluatorPool::new();
+        for i in 0..100 {
+            let engine = pool.checkout();
+            // Live engines (created minus quarantined) never dip below the
+            // peak concurrency of 1: every checkout after the first found a
+            // warm engine waiting, so creation tracks quarantines exactly.
+            assert_eq!(
+                pool.engines_created() - pool.quarantined(),
+                1,
+                "pool drained or overcreated at iteration {i}"
+            );
+            if i % 2 == 1 {
+                engine.quarantine();
+            }
+        }
+        assert_eq!(pool.quarantined(), 50);
+        assert_eq!(pool.engines_created(), 51);
+        assert_eq!(pool.idle(), 1, "exactly one live engine remains at quiescence");
+    }
+
+    #[test]
+    fn tagged_checkout_prefers_matching_generation() {
+        let pool = EvaluatorPool::new();
+        // Seed two engines under generations 1 and 2.
+        {
+            let _g1 = pool.checkout_tagged(1);
+            let _g2 = pool.checkout_tagged(2);
+        }
+        assert_eq!(pool.idle(), 2);
+        // A generation-2 checkout takes the generation-2 engine, leaving the
+        // generation-1 engine idle.
+        {
+            let _e = pool.checkout_tagged(2);
+            assert_eq!(pool.engines_created(), 2, "matching engine must be reused");
+        }
+        // A checkout for an unseen generation falls back to any warm engine
+        // rather than creating a cold one.
+        let _e = pool.checkout_tagged(7);
+        assert_eq!(pool.engines_created(), 2, "fallback must reuse a warm engine");
     }
 
     #[test]

@@ -91,6 +91,15 @@ pub struct BatchReport<T> {
     /// growth across batches means quarantines (or higher concurrency) are
     /// forcing cold engines.
     pub engines_created: usize,
+    /// Overflow subset states the workers' frozen deltas interned during
+    /// this batch — the **delta-pressure** signal of the generational
+    /// re-freeze path: zero on a snapshot that covers the workload, and
+    /// persistently large on a drifting workload the snapshot has fallen
+    /// behind (frozen-path evaluation batches only; zero elsewhere).
+    pub delta_states: u64,
+    /// Peak bytes held by any worker's frozen delta during this batch (the
+    /// byte-sided half of the delta-pressure signal).
+    pub delta_bytes: usize,
 }
 
 impl<T> BatchReport<T> {
@@ -118,7 +127,44 @@ impl<T> BatchReport<T> {
             retried += retries as usize;
             results.push(result);
         }
-        BatchReport { results, ok, failed, degraded, retried, quarantined, engines_created }
+        BatchReport {
+            results,
+            ok,
+            failed,
+            degraded,
+            retried,
+            quarantined,
+            engines_created,
+            delta_states: 0,
+            delta_bytes: 0,
+        }
+    }
+
+    /// A one-line human-readable summary of the batch outcome — the line a
+    /// serving loop logs per batch.
+    ///
+    /// ```
+    /// # use spanners_runtime::BatchReport;
+    /// # let report: BatchReport<u32> = BatchReport::from_results(vec![Ok(1), Ok(2)]);
+    /// assert_eq!(report.summary().to_string(), "2 docs: 2 ok, 0 failed, 0 degraded, 0 retries, 0 quarantined");
+    /// ```
+    pub fn summary(&self) -> BatchSummary {
+        BatchSummary {
+            docs: self.results.len(),
+            ok: self.ok,
+            failed: self.failed,
+            degraded: self.degraded,
+            retried: self.retried,
+            quarantined: self.quarantined,
+        }
+    }
+
+    /// Builds a report from bare per-document results (no retries, no
+    /// quarantines) — the streaming runtime uses this to splice
+    /// queue-expired tickets into a worker batch, and doctests use it to
+    /// fabricate reports.
+    pub fn from_results(results: Vec<Result<T, SpannerError>>) -> BatchReport<T> {
+        BatchReport::from_records(results.into_iter().map(|r| (r, 0, false)).collect(), 0, 0)
     }
 
     /// Whether every document succeeded.
@@ -135,6 +181,28 @@ impl<T> BatchReport<T> {
     /// Consumes the report, yielding the per-document outcomes.
     pub fn into_results(self) -> Vec<Result<T, SpannerError>> {
         self.results
+    }
+}
+
+/// The one-line [`std::fmt::Display`] summary of a [`BatchReport`] (see
+/// [`BatchReport::summary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchSummary {
+    docs: usize,
+    ok: usize,
+    failed: usize,
+    degraded: usize,
+    retried: usize,
+    quarantined: usize,
+}
+
+impl std::fmt::Display for BatchSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} docs: {} ok, {} failed, {} degraded, {} retries, {} quarantined",
+            self.docs, self.ok, self.failed, self.degraded, self.retried, self.quarantined
+        )
     }
 }
 
@@ -161,6 +229,10 @@ mod tests {
         assert_eq!(report.engines_created, 3);
         assert!(!report.is_fully_ok());
         assert_eq!(report.first_error().map(|(i, _)| i), Some(2));
+        assert_eq!(
+            report.summary().to_string(),
+            "3 docs: 2 ok, 1 failed, 1 degraded, 3 retries, 1 quarantined"
+        );
     }
 
     #[test]

@@ -120,7 +120,7 @@ impl SpannerServer {
                 self.spanner.freeze_warm(&docs[..docs.len().min(WARM_SAMPLE_DOCS)]).map(Arc::new)
             })
             .as_deref();
-        BatchPlan { spanner: &self.spanner, frozen }
+        BatchPlan::new(&self.spanner, frozen)
     }
 
     /// Evaluates every document of the batch (Algorithm 1), mapping each DAG

@@ -182,6 +182,30 @@ pub fn text_corpus(
         .collect()
 }
 
+/// A corpus whose content distribution **drifts** across the stream — the
+/// generational re-freezing workload (E14). The stream is split into
+/// `phases` contiguous phases; documents of phase `p` draw their bytes from
+/// an 8-symbol window sliding through the 36-symbol ring
+/// `a..z0..9` (window start `3·p`, wrapping). A determinization snapshot
+/// frozen on early documents keeps missing the subset states that later
+/// phases visit, so delta pressure stays high until the snapshot is
+/// re-frozen — exactly the drift signal the streaming server's
+/// `RefreezePolicy` watches. Seeded and deterministic, like every generator
+/// here.
+pub fn drifting_corpus(seed: u64, docs: usize, len: usize, phases: usize) -> Vec<Document> {
+    assert!(phases >= 1, "need at least one phase");
+    const RING: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    const WINDOW: usize = 8;
+    (0..docs)
+        .map(|i| {
+            let phase = i * phases / docs.max(1);
+            let start = (3 * phase) % RING.len();
+            let alphabet: Vec<u8> = (0..WINDOW).map(|k| RING[(start + k) % RING.len()]).collect();
+            random_text(corpus_seed(seed, i), len, &alphabet)
+        })
+        .collect()
+}
+
 /// Total bytes of a corpus — the throughput denominator of the batch
 /// benchmarks (E11).
 pub fn corpus_bytes(corpus: &[Document]) -> usize {
@@ -276,6 +300,22 @@ mod tests {
         assert_eq!(texts, text_corpus(9, 20, 10, 50, b"ab"));
         let fixed = text_corpus(9, 3, 16, 16, b"ab");
         assert!(fixed.iter().all(|d| d.len() == 16));
+    }
+
+    #[test]
+    fn drifting_corpus_shifts_its_alphabet_across_phases() {
+        let corpus = drifting_corpus(11, 40, 200, 4);
+        assert_eq!(corpus.len(), 40);
+        assert_eq!(corpus, drifting_corpus(11, 40, 200, 4));
+        assert!(corpus.iter().all(|d| d.len() == 200));
+        // Phase 0 (docs 0..10) uses window a..h; the last phase (docs
+        // 30..40) uses window j..q — disjoint enough that late documents
+        // contain bytes early ones never do.
+        let early: std::collections::BTreeSet<u8> =
+            corpus[..10].iter().flat_map(|d| d.bytes().iter().copied()).collect();
+        let late: std::collections::BTreeSet<u8> =
+            corpus[30..].iter().flat_map(|d| d.bytes().iter().copied()).collect();
+        assert!(late.difference(&early).count() > 0, "no drift between phases");
     }
 
     #[test]

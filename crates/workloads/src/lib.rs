@@ -16,8 +16,8 @@ pub mod families;
 pub mod rng;
 
 pub use documents::{
-    contact_corpus, contact_directory, corpus_bytes, dna, figure1_document, log_corpus, log_lines,
-    random_text, random_words, sparse_match_text, text_corpus,
+    contact_corpus, contact_directory, corpus_bytes, dna, drifting_corpus, figure1_document,
+    log_corpus, log_lines, random_text, random_words, sparse_match_text, text_corpus,
 };
 pub use families::{
     all_spans_eva, contact_pattern, digit_runs_pattern, exp_blowup_eva, exp_blowup_expected,

@@ -22,7 +22,12 @@ use spanners::{CompiledSpanner, LazyConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let docs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
     let threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0);
-    let opts = BatchOptions { threads, ..BatchOptions::default() };
+    // 0 means "auto": BatchOptions::default() resolves the available
+    // parallelism (an explicit 0 is rejected by the report-returning APIs).
+    let opts = match threads {
+        0 => BatchOptions::default(),
+        n => BatchOptions::threads(n),
+    };
 
     // --- Eager spanner: contact extraction over a corpus of directories. ---
     let (corpus, total_entries) = contact_corpus(0xBA7C4, docs, 8);
@@ -40,10 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let counted: u64 = counts.iter().sum();
     assert_eq!(counted, total_entries as u64);
     let t = Instant::now();
-    let mappings: usize =
-        server.evaluate_batch(&corpus, |_, dag| dag.collect_mappings().len()).iter().sum();
+    let report = server.evaluate_batch_report(&corpus, |_, dag| dag.collect_mappings().len())?;
     let eval_time = t.elapsed();
+    let mappings: usize = report.results.iter().map(|r| *r.as_ref().unwrap_or(&0)).sum();
     assert_eq!(mappings, total_entries);
+    println!("  batch outcome:  {}", report.summary());
     let (eval_engines, count_engines) = server.engines_created();
     println!(
         "  count_batch:    {counted} mappings in {count_time:?} ({:.1} MB/s aggregate)",

@@ -12,7 +12,8 @@
 //! * [`baselines`](spanners_baselines) — comparison evaluation algorithms;
 //! * [`runtime`](spanners_runtime) — the parallel batch/serving runtime
 //!   (engine pools, shared frozen determinization caches, multi-document
-//!   batch APIs);
+//!   batch APIs, and the streaming service with generational snapshot
+//!   re-freezing);
 //! * [`workloads`](spanners_workloads) — synthetic documents and spanner families.
 
 pub use spanners_algebra as algebra;
@@ -28,4 +29,7 @@ pub use spanners_core::{
     EnumerationDag, Eva, EvaBuilder, EvalLimits, Evaluator, FrozenCache, FrozenDelta, LazyCache,
     LazyConfig, LazyDetSeva, Mapping, MarkerSet, Span, SpannerError, VarId, VarRegistry,
 };
-pub use spanners_runtime::{BatchOptions, BatchReport, BatchSpanner, DegradePolicy, SpannerServer};
+pub use spanners_runtime::{
+    BatchOptions, BatchReport, BatchSpanner, BatchSummary, DegradePolicy, RefreezePolicy,
+    SpannerServer, StreamingOptions, StreamingServer, StreamingStats, Ticket,
+};

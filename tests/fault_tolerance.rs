@@ -456,6 +456,7 @@ mod torture {
             fail_checkouts: vec![0],
             force_eviction_docs: eviction_docs.clone(),
             expire_deadline_docs: deadline_docs.clone(),
+            ..FaultPlan::default()
         };
         let opts_for = |threads| {
             BatchOptions::threads(threads)
