@@ -211,11 +211,11 @@ impl AlgebraExpr {
         match self {
             AlgebraExpr::Regex(ast) => {
                 let (mappings, atom_reg) = spanners_regex::eval_regex(ast, doc)?;
-                Ok(rename_mappings(&mappings, &atom_reg, registry))
+                rename_mappings(&mappings, &atom_reg, registry)
             }
             AlgebraExpr::Automaton(eva) => {
                 let mappings = eva.eval_naive(doc);
-                Ok(rename_mappings(&mappings, eva.registry(), registry))
+                rename_mappings(&mappings, eva.registry(), registry)
             }
             AlgebraExpr::Union(a, b) => Ok(union_mapping_sets(
                 &a.eval_set_inner(doc, registry)?,
@@ -234,14 +234,26 @@ impl AlgebraExpr {
 }
 
 /// Remaps a set of mappings from one registry into another (by variable name).
-fn rename_mappings(mappings: &[Mapping], from: &VarRegistry, to: &VarRegistry) -> Vec<Mapping> {
+///
+/// Fallible: a variable of `from` that is absent from `to` yields a typed
+/// [`SpannerError::UnknownVariable`] instead of panicking — `eval_set` runs
+/// inside serving workers, where an `expect` here would take down a whole
+/// batch worker over one malformed registry pair.
+pub fn rename_mappings(
+    mappings: &[Mapping],
+    from: &VarRegistry,
+    to: &VarRegistry,
+) -> Result<Vec<Mapping>, SpannerError> {
     mappings
         .iter()
         .map(|m| {
             m.iter()
                 .map(|(v, s)| {
                     let name = from.name(v);
-                    (to.get(name).expect("target registry contains all atom variables"), s)
+                    match to.get(name) {
+                        Some(target) => Ok((target, s)),
+                        None => Err(SpannerError::UnknownVariable { variable: name.to_string() }),
+                    }
                 })
                 .collect()
         })
@@ -394,6 +406,48 @@ mod tests {
         assert_eq!(expr.variables().into_iter().collect::<Vec<_>>(), vec!["num".to_string()]);
         let expr = digits().union(words());
         assert_eq!(expr.variables().len(), 2);
+    }
+
+    #[test]
+    fn rename_into_missing_variable_is_a_typed_error() {
+        // Regression: `rename_mappings` used to `.expect` the target registry
+        // to contain every atom variable, panicking a serving worker on a
+        // malformed registry pair. It must surface a typed error instead.
+        let mut from = VarRegistry::new();
+        let num = from.intern("num").unwrap();
+        let mut to = VarRegistry::new();
+        to.intern("word").unwrap();
+        let mappings = vec![Mapping::new().with(num, Span::new(0, 1).unwrap())];
+        let err = rename_mappings(&mappings, &from, &to).unwrap_err();
+        assert_eq!(err, SpannerError::UnknownVariable { variable: "num".into() });
+        // The happy path still renames by name.
+        let mut to_ok = VarRegistry::new();
+        to_ok.intern("other").unwrap();
+        let renamed_num = to_ok.intern("num").unwrap();
+        let renamed = rename_mappings(&mappings, &from, &to_ok).unwrap();
+        assert_eq!(renamed, vec![Mapping::new().with(renamed_num, Span::new(0, 1).unwrap())]);
+    }
+
+    #[test]
+    fn trimmed_intermediates_fit_tighter_budgets() {
+        // Regression: before the ops in `spanners-automata` trimmed their
+        // outputs, this triple join handed determinize an 88-state automaton
+        // (16 of them dead product states) and tripped `max_states = 80`
+        // with `BudgetExceeded`; trimmed, the same expression needs 72
+        // states and compiles.
+        let expr = digits().join(words()).join(AlgebraExpr::regex(".*!cap{[A-Z]+}.*").unwrap());
+        let spanner = expr
+            .compile(CompileOptions::with_max_states(80), CompileStrategy::DeterminizeLate)
+            .expect("fits the budget once intermediates are trimmed");
+        for text in ["Ab1", "aB2c", "zzz"] {
+            let doc = Document::from(text);
+            let (set, set_reg) = expr.eval_set(&doc).expect("set evaluation succeeds");
+            assert_eq!(
+                named_mappings(&spanner.mappings(&doc), spanner.registry()),
+                named_mappings(&set, &set_reg),
+                "on {text:?}"
+            );
+        }
     }
 
     #[test]

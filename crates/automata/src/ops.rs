@@ -6,6 +6,7 @@
 //! and 4.6 (compiling whole algebra expressions into a single deterministic
 //! sequential eVA); the expression-level driver lives in `spanners-algebra`.
 
+use crate::determinize::trim;
 use spanners_core::byteclass::ByteClass;
 use spanners_core::eva::StateId;
 use spanners_core::markerset::VarSet;
@@ -52,7 +53,9 @@ pub fn rebase_registry(eva: &Eva, registry: &mut VarRegistry) -> Result<Eva, Spa
 /// Variables are matched by name: variables present in both automata are
 /// *shared* and must be opened/closed at the same positions by both operands;
 /// other variables are private. The result is functional over the union of the
-/// variables and has at most `|Q1| × |Q2|` states.
+/// variables and has at most `|Q1| × |Q2|` states; it is trimmed before being
+/// returned so product states that cannot reach a joint final state never leak
+/// into downstream determinization budgets.
 pub fn join(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
     a1.check_functional()?;
     a2.check_functional()?;
@@ -130,7 +133,7 @@ pub fn join(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
             }
         }
     }
-    b.build()
+    trim(&b.build()?)
 }
 
 /// The union `A1 ∪ A2` of two eVA over merged variables (Proposition 4.4).
@@ -139,7 +142,8 @@ pub fn join(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
 /// initial state that duplicates the outgoing transitions of both original
 /// initial states (avoiding ε-transitions, which the eVA model does not have).
 /// Does **not** preserve determinism — see [`union_deterministic`] for the
-/// quadratic construction of Lemma B.2 that does.
+/// quadratic construction of Lemma B.2 that does. The result is trimmed
+/// before being returned.
 pub fn union(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
     let mut registry = a1.registry().clone();
     let map2 = registry.merge(a2.registry())?;
@@ -185,7 +189,7 @@ pub fn union(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
             b.add_var(start, remap_markers(t.markers, map), states[t.target])?;
         }
     }
-    b.build()
+    trim(&b.build()?)
 }
 
 /// The deterministic union of two deterministic eVA (Lemma B.2).
@@ -193,8 +197,9 @@ pub fn union(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
 /// Runs both automata in parallel and branches off into a single automaton the
 /// first time only one of them can execute the next transition. The result is
 /// deterministic whenever both inputs are, and has `O(|Q1| × |Q2| + |Q1| + |Q2|)`
-/// states. Both automata should use the same variable names for shared
-/// variables (they are merged by name).
+/// states before trimming (unreachable solo/paired states are removed; trimming
+/// cannot introduce nondeterminism). Both automata should use the same variable
+/// names for shared variables (they are merged by name).
 pub fn union_deterministic(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
     let mut registry = a1.registry().clone();
     let map2 = registry.merge(a2.registry())?;
@@ -300,7 +305,7 @@ pub fn union_deterministic(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
             }
         }
     }
-    b.build()
+    trim(&b.build()?)
 }
 
 /// The projection `π_Y(A)` of a **functional** eVA onto the variables `keep`
@@ -310,7 +315,8 @@ pub fn union_deterministic(a1: &Eva, a2: &Eva) -> Result<Eva, SpannerError> {
 /// Transitions whose label becomes empty act like ε-transitions; they are
 /// eliminated by composing them with the following letter transition (and with
 /// final-state membership), which is sound because variable transitions are
-/// never consecutive in a run of an eVA.
+/// never consecutive in a run of an eVA. The result is trimmed before being
+/// returned (ε-elimination routinely strands states).
 pub fn project(eva: &Eva, keep: &[&str]) -> Result<Eva, SpannerError> {
     eva.check_functional()?;
     // Build the projected registry (only the kept variables, in their original order).
@@ -365,7 +371,7 @@ pub fn project(eva: &Eva, keep: &[&str]) -> Result<Eva, SpannerError> {
             }
         }
     }
-    b.build()
+    trim(&b.build()?)
 }
 
 #[cfg(test)]

@@ -25,6 +25,15 @@ pub enum SpannerError {
         /// Number of states in the automaton.
         num_states: usize,
     },
+    /// A multi-tenant registration used an unusable tenant id (empty,
+    /// duplicated, or containing the `.` namespace separator that the shared
+    /// automaton reserves for `tenant.variable` prefixing).
+    InvalidTenantId {
+        /// The offending tenant id as supplied.
+        id: String,
+        /// Why the id was rejected.
+        reason: &'static str,
+    },
     /// A variable identifier was out of range for the registry it was used with.
     InvalidVariable {
         /// The offending variable index.
@@ -110,6 +119,13 @@ pub enum SpannerError {
     /// service had already begun draining or aborting. Accepted work is
     /// unaffected: `drain()` completes every previously accepted ticket.
     ShuttingDown,
+    /// A variable name was looked up in a registry that does not contain it
+    /// (e.g. remapping mappings between registries, or routing a tenant's
+    /// results through a shared multi-tenant registry).
+    UnknownVariable {
+        /// The variable name that failed to resolve.
+        variable: String,
+    },
 }
 
 impl fmt::Display for SpannerError {
@@ -121,6 +137,9 @@ impl fmt::Display for SpannerError {
             ),
             SpannerError::InvalidState { state, num_states } => {
                 write!(f, "state {state} is out of range (automaton has {num_states} states)")
+            }
+            SpannerError::InvalidTenantId { id, reason } => {
+                write!(f, "invalid tenant id `{id}`: {reason}")
             }
             SpannerError::InvalidVariable { var, num_vars } => {
                 write!(f, "variable {var} is out of range ({num_vars} variables registered)")
@@ -167,6 +186,9 @@ impl fmt::Display for SpannerError {
             }
             SpannerError::ShuttingDown => {
                 write!(f, "service is shutting down: submission rejected")
+            }
+            SpannerError::UnknownVariable { variable } => {
+                write!(f, "variable `{variable}` is not present in the target registry")
             }
         }
     }
@@ -279,6 +301,12 @@ mod tests {
             SpannerError::ShuttingDown.to_string(),
             "service is shutting down: submission rejected"
         );
+    }
+
+    #[test]
+    fn display_unknown_variable() {
+        let e = SpannerError::UnknownVariable { variable: "tenant3.x".into() };
+        assert_eq!(e.to_string(), "variable `tenant3.x` is not present in the target registry");
     }
 
     #[test]

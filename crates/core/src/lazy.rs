@@ -109,16 +109,53 @@ impl fmt::Display for CapacitySignature {
     }
 }
 
+/// How a [`LazyCache`] reclaims memory once it exceeds its byte budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Clear-and-restart: forget every interned state except the evaluation
+    /// engine's live set and rebuild from scratch. Simple and exact, but a
+    /// working set slightly above budget re-determinizes its hottest states
+    /// on every clear ([`LazyCache::wasted_states`] measures that waste).
+    #[default]
+    ClearRestart,
+    /// Segmented second-chance: states referenced since the previous eviction
+    /// carry a *hot* bit; an eviction keeps the live set plus hot states (in
+    /// id order) up to half the byte budget, compacts the survivors in place
+    /// (remapping ids and transition targets; rows pointing at evicted states
+    /// revert to *unknown*), and clears every hot bit so survivors must be
+    /// re-referenced to survive again. Skip metadata is a semantic property
+    /// of the surviving subset states, so it is carried over verbatim.
+    /// Multi-tenant shared caches want this: one tenant's cold blow-up no
+    /// longer wipes the hot states every other tenant is actively using.
+    Segmented,
+}
+
 /// Configuration of the lazy determinization cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LazyConfig {
     /// Approximate byte budget of one [`LazyCache`]. When the cached subset
     /// states, transition rows and interning index exceed this many bytes the
-    /// cache is cleared and restarted at the next document position. The
-    /// budget is soft: the working set of a single position is always
-    /// admitted, so evaluation makes progress even under absurdly small
-    /// budgets (it merely thrashes).
+    /// cache is evicted (per [`LazyConfig::eviction`]) at the next document
+    /// position. The budget is soft: the working set of a single position is
+    /// always admitted, so evaluation makes progress even under absurdly
+    /// small budgets (it merely thrashes).
     pub memory_budget: usize,
+    /// The eviction policy applied when the budget is exceeded.
+    pub eviction: EvictionPolicy,
+}
+
+impl LazyConfig {
+    /// A config with the given byte budget and the default
+    /// ([`EvictionPolicy::ClearRestart`]) eviction policy.
+    pub fn with_budget(memory_budget: usize) -> Self {
+        LazyConfig { memory_budget, ..LazyConfig::default() }
+    }
+
+    /// Builder-style override of the eviction policy.
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
 }
 
 impl Default for LazyConfig {
@@ -126,7 +163,7 @@ impl Default for LazyConfig {
         // Matches the regex-automata hybrid default order of magnitude: big
         // enough that realistic spanners never evict, small enough that a
         // pathological blow-up cannot take the process down.
-        LazyConfig { memory_budget: 8 * 1024 * 1024 }
+        LazyConfig { memory_budget: 8 * 1024 * 1024, eviction: EvictionPolicy::ClearRestart }
     }
 }
 
@@ -334,6 +371,7 @@ pub struct LazyCache {
     seva_id: u64,
     ncls: usize,
     budget: usize,
+    policy: EvictionPolicy,
     /// Subset key of det state `q`: `keys[key_offsets[q]..key_offsets[q+1]]`
     /// (sorted NFA state ids).
     key_offsets: Vec<u32>,
@@ -360,6 +398,10 @@ pub struct LazyCache {
     var_pairs: Vec<(MarkerSet, StateId)>,
     /// Subset key → det state id.
     index: HashMap<Box<[u32]>, u32>,
+    /// Second-chance reference bits: `hot[q]` is set when `q` is stepped and
+    /// cleared on eviction, so [`EvictionPolicy::Segmented`] keeps exactly
+    /// the states referenced since the previous eviction.
+    hot: Vec<bool>,
     /// Approximate bytes held by states, rows and index entries.
     bytes: usize,
     clears: u64,
@@ -372,6 +414,8 @@ pub struct LazyCache {
     target_scratch: Vec<u32>,
     evict_keys: Vec<u32>,
     evict_offsets: Vec<u32>,
+    evict_remap: Vec<u32>,
+    evict_rows: Vec<(MarkerSet, StateId)>,
 }
 
 impl Default for LazyCache {
@@ -380,6 +424,7 @@ impl Default for LazyCache {
             seva_id: 0,
             ncls: 0,
             budget: usize::MAX,
+            policy: EvictionPolicy::ClearRestart,
             key_offsets: Vec::new(),
             keys: Vec::new(),
             finals: Vec::new(),
@@ -390,6 +435,7 @@ impl Default for LazyCache {
             skip_masks: Vec::new(),
             var_pairs: Vec::new(),
             index: HashMap::new(),
+            hot: Vec::new(),
             bytes: 0,
             clears: 0,
             states_interned: 0,
@@ -400,6 +446,8 @@ impl Default for LazyCache {
             target_scratch: Vec::new(),
             evict_keys: Vec::new(),
             evict_offsets: Vec::new(),
+            evict_remap: Vec::new(),
+            evict_rows: Vec::new(),
         }
     }
 }
@@ -531,6 +579,7 @@ impl LazyCache {
         self.seva_id = seva.id;
         self.ncls = seva.ncls;
         self.budget = seva.config.memory_budget;
+        self.policy = seva.config.eviction;
         self.clears = 0;
         self.states_interned = 0;
         self.set_scratch.reset(seva.num_nfa_states);
@@ -561,6 +610,7 @@ impl LazyCache {
         self.skip_masks.clear();
         self.var_pairs.clear();
         self.index.clear();
+        self.hot.clear();
         self.bytes = 0;
     }
 
@@ -593,6 +643,7 @@ impl LazyCache {
         self.letter_rows.resize(self.letter_rows.len() + self.ncls, UNKNOWN);
         self.skip_rows.resize(self.skip_rows.len() + self.ncls, SKIP_UNKNOWN);
         self.skip_masks.push(ClassMask::empty());
+        self.hot.push(false);
         self.index.insert(key.into(), id as u32);
         self.bytes += self.state_cost(key.len());
         self.states_interned += 1;
@@ -601,7 +652,9 @@ impl LazyCache {
 
     /// The det state of the subset `{initial}` (interning it on first use).
     fn start_state(&mut self, seva: &LazyDetSeva) -> StateId {
-        self.intern(&[seva.initial], seva) as StateId
+        let id = self.intern(&[seva.initial], seva) as StateId;
+        self.hot[id] = true;
+        id
     }
 
     /// The memoized skippable-class bitset of `q`: exactly the `SKIP_YES`
@@ -613,6 +666,7 @@ impl LazyCache {
 
     /// Lazy `δ(q, cls)`: fills the letter-row entry on first use.
     fn step_class(&mut self, seva: &LazyDetSeva, q: StateId, cls: usize) -> Option<StateId> {
+        self.hot[q] = true;
         let slot = q * self.ncls + cls;
         let t = self.letter_rows[slot];
         if t == NO_TARGET {
@@ -745,11 +799,20 @@ impl LazyCache {
         skip
     }
 
+    /// Evicts per the configured [`EvictionPolicy`], rewriting the engine's
+    /// `live` ids in place. Always returns `true` (an eviction happened).
+    fn evict(&mut self, seva: &LazyDetSeva, live: &mut [u32]) -> bool {
+        match self.policy {
+            EvictionPolicy::ClearRestart => self.evict_clear_restart(seva, live),
+            EvictionPolicy::Segmented => self.evict_segmented(live),
+        }
+    }
+
     /// Clear-and-restart eviction: forget everything, re-intern exactly the
     /// `live` states (their subset keys survive the clear via a scratch
     /// snapshot) and rewrite each live id in place. Row contents — including
     /// skip metadata — are recomputed on demand after the restart.
-    fn evict(&mut self, seva: &LazyDetSeva, live: &mut [u32]) -> bool {
+    fn evict_clear_restart(&mut self, seva: &LazyDetSeva, live: &mut [u32]) -> bool {
         let mut ek = std::mem::take(&mut self.evict_keys);
         let mut eo = std::mem::take(&mut self.evict_offsets);
         ek.clear();
@@ -768,6 +831,147 @@ impl LazyCache {
         self.clears += 1;
         self.evict_keys = ek;
         self.evict_offsets = eo;
+        true
+    }
+
+    /// Segmented second-chance eviction: keep the engine's `live` states
+    /// (mandatory) plus hot states — those stepped since the previous
+    /// eviction — admitted in id order until the survivors cost half the
+    /// budget, then compact every per-state array **in place**. Surviving
+    /// states keep their subset keys, final flags, skip metadata and (when
+    /// every target also survives) their materialized marker rows, so a warm
+    /// working set shared across tenants is not rebuilt from scratch after
+    /// each eviction. Letter entries pointing at dropped states revert to
+    /// *unknown* and are recomputed on demand. Hot bits reset: a survivor
+    /// must be referenced again to survive the next eviction.
+    ///
+    /// The half-budget target leaves headroom so consecutive maintenance
+    /// calls always reclaim memory; like clear-and-restart, the live set is
+    /// admitted unconditionally, so budgets below one position's working set
+    /// merely thrash (the engines' clear guard still applies, via the same
+    /// `maintain → note_clear` path).
+    ///
+    /// [`FrozenDelta`] keeps plain clear-and-restart: its base states live in
+    /// the immutable snapshot, so per-worker overflow is cheap to rebuild.
+    fn evict_segmented(&mut self, live: &mut [u32]) -> bool {
+        // Remap-table sentinels; real ids are `< UNKNOWN - 1` (see `intern`).
+        const DROPPED: u32 = u32::MAX;
+        const KEEP: u32 = u32::MAX - 1;
+        let n = self.finals.len();
+        let pair = std::mem::size_of::<(MarkerSet, StateId)>();
+        let mut remap = std::mem::take(&mut self.evict_remap);
+        remap.clear();
+        remap.resize(n, DROPPED);
+        let mut retained = 0usize;
+        for &q in live.iter() {
+            let q = q as usize;
+            if remap[q] == DROPPED {
+                remap[q] = KEEP;
+                let (a, b) = self.key_range(q);
+                retained += self.state_cost(b - a);
+            }
+        }
+        let target = self.budget / 2;
+        for (q, slot) in remap.iter_mut().enumerate() {
+            if *slot != DROPPED || !self.hot[q] {
+                continue;
+            }
+            let (a, b) = self.key_range(q);
+            let cost = self.state_cost(b - a) + self.var_lens[q] as usize * pair;
+            if retained + cost > target {
+                continue;
+            }
+            *slot = KEEP;
+            retained += cost;
+        }
+        // Survivors get new ids in old-id order, so `new_id <= old_id` and
+        // the forward in-place compaction below never reads a slot it has
+        // already overwritten.
+        let mut kept = 0u32;
+        for slot in remap.iter_mut() {
+            if *slot != DROPPED {
+                *slot = kept;
+                kept += 1;
+            }
+        }
+        let kept = kept as usize;
+        let mut rows = std::mem::take(&mut self.evict_rows);
+        rows.clear();
+        let mut w_key = 0usize;
+        let mut bytes = 0usize;
+        for q in 0..n {
+            if remap[q] == DROPPED {
+                continue;
+            }
+            let nq = remap[q] as usize;
+            let (a, b) = self.key_range(q);
+            self.keys.copy_within(a..b, w_key);
+            w_key += b - a;
+            self.key_offsets[nq + 1] = w_key as u32;
+            self.finals[nq] = self.finals[q];
+            // Skip metadata is a property of the subset's *contents* (does it
+            // self-loop, do its marker targets die), independent of state
+            // ids, so memoized entries and the mirror mask carry over
+            // verbatim and stay in lockstep.
+            self.skip_masks[nq] = self.skip_masks[q];
+            self.hot[nq] = false;
+            for cls in 0..self.ncls {
+                let t = self.letter_rows[q * self.ncls + cls];
+                self.letter_rows[nq * self.ncls + cls] = if t == NO_TARGET {
+                    NO_TARGET
+                } else if t == UNKNOWN || remap[t as usize] == DROPPED {
+                    UNKNOWN
+                } else {
+                    remap[t as usize]
+                };
+                self.skip_rows[nq * self.ncls + cls] = self.skip_rows[q * self.ncls + cls];
+            }
+            let start = self.var_starts[q];
+            let len = self.var_lens[q] as usize;
+            if start != VARS_UNMATERIALIZED
+                && self.var_pairs[start as usize..start as usize + len]
+                    .iter()
+                    .all(|&(_, p)| remap[p] != DROPPED)
+            {
+                let rs = rows.len() as u32;
+                rows.extend(
+                    self.var_pairs[start as usize..start as usize + len]
+                        .iter()
+                        .map(|&(m, p)| (m, remap[p] as StateId)),
+                );
+                self.var_starts[nq] = rs;
+                self.var_lens[nq] = len as u32;
+                bytes += len * pair;
+            } else {
+                // Not yet materialized, or some target was dropped: the whole
+                // row is recomputed on demand (rows are all-or-nothing).
+                self.var_starts[nq] = VARS_UNMATERIALIZED;
+                self.var_lens[nq] = 0;
+            }
+            bytes += self.state_cost(b - a);
+        }
+        self.keys.truncate(w_key);
+        self.key_offsets.truncate(kept + 1);
+        self.finals.truncate(kept);
+        self.var_starts.truncate(kept);
+        self.var_lens.truncate(kept);
+        self.letter_rows.truncate(kept * self.ncls);
+        self.skip_rows.truncate(kept * self.ncls);
+        self.skip_masks.truncate(kept);
+        self.hot.truncate(kept);
+        std::mem::swap(&mut self.var_pairs, &mut rows);
+        // The old arena becomes the next eviction's scratch (capacity kept).
+        self.evict_rows = rows;
+        self.index.retain(|_, v| remap[*v as usize] != DROPPED);
+        for v in self.index.values_mut() {
+            *v = remap[*v as usize];
+        }
+        self.bytes = bytes;
+        self.clears += 1;
+        for q in live.iter_mut() {
+            *q = remap[*q as usize];
+        }
+        self.evict_remap = remap;
         true
     }
 }
@@ -1046,6 +1250,10 @@ impl FrozenCache {
             ..LazyCache::default()
         };
         cache.states_interned = cache.num_states() as u64;
+        cache.policy = seva.config.eviction;
+        // Thawed states start cold: they must be referenced to survive a
+        // segmented eviction, exactly like freshly interned states.
+        cache.hot.resize(cache.num_states(), false);
         cache.set_scratch.reset(seva.num_nfa_states);
         // Rebuild the byte accounting the way interning + materialization
         // would have: per-state cost plus the materialized marker rows.
@@ -1749,7 +1957,7 @@ mod tests {
     #[test]
     fn accepts_under_tiny_budget_evicts_but_stays_correct() {
         let eva = nondet_eva();
-        let lazy = LazyDetSeva::new(&eva, LazyConfig { memory_budget: 1 }).unwrap();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig::with_budget(1)).unwrap();
         let mut cache = lazy.create_cache();
         let doc = Document::from("agzagzagz");
         assert!(lazy.accepts(&mut cache, &doc));
@@ -1933,7 +2141,7 @@ mod tests {
     #[test]
     fn delta_eviction_under_tiny_budget_stays_correct() {
         let eva = nondet_eva();
-        let lazy = LazyDetSeva::new(&eva, LazyConfig { memory_budget: 1 }).unwrap();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig::with_budget(1)).unwrap();
         let frozen = lazy.create_cache().freeze(&lazy);
         let mut delta = FrozenDelta::new();
         let doc = Document::from("agzagzagz");
@@ -1956,7 +2164,7 @@ mod tests {
     #[test]
     fn wasted_states_and_signature_display() {
         let eva = nondet_eva();
-        let lazy = LazyDetSeva::new(&eva, LazyConfig { memory_budget: 1 }).unwrap();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig::with_budget(1)).unwrap();
         let mut cache = lazy.create_cache();
         let doc = Document::from("agzagzagz");
         assert!(lazy.accepts(&mut cache, &doc));
@@ -2012,5 +2220,85 @@ mod tests {
         let warm = cache.num_states();
         assert!(b.accepts(&mut cache, &Document::from("az")));
         assert_eq!(cache.num_states(), warm, "clone reused the warm cache without rebinding");
+    }
+
+    /// Sorted mapping sets of the given documents under one config — the
+    /// oracle shape for the segmented-eviction differential tests.
+    fn mapping_sets(config: LazyConfig, docs: &[&str]) -> Vec<Vec<crate::Mapping>> {
+        let eva = nondet_eva();
+        let lazy = LazyDetSeva::new(&eva, config).unwrap();
+        let mut evaluator = crate::Evaluator::new();
+        docs.iter()
+            .map(|text| {
+                let mut out: Vec<_> =
+                    evaluator.eval_lazy(&lazy, &Document::from(*text)).iter().collect();
+                out.sort_unstable();
+                out
+            })
+            .collect()
+    }
+
+    #[test]
+    fn segmented_eviction_preserves_mappings_byte_for_byte() {
+        let docs = ["agzagzagz", "abcxyz", "", "a!b", "zzzzzagqagqagq", "gggggggg"];
+        let oracle = mapping_sets(LazyConfig::default(), &docs);
+        for budget in [1, 200, 400, 800] {
+            let config = LazyConfig::with_budget(budget).with_eviction(EvictionPolicy::Segmented);
+            assert_eq!(
+                mapping_sets(config, &docs),
+                oracle,
+                "segmented eviction changed outputs at budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn segmented_eviction_spares_hot_states() {
+        // A budget just below the warm working set: both policies evict on
+        // every document cycle, but segmented carries the hot core across
+        // evictions instead of re-interning it each time.
+        let eva = nondet_eva();
+        let doc = Document::from("agzagzagzagzagzagz");
+        let waste_of = |policy: EvictionPolicy| {
+            let config = LazyConfig::with_budget(500).with_eviction(policy);
+            let lazy = LazyDetSeva::new(&eva, config).unwrap();
+            let mut cache = lazy.create_cache();
+            for _ in 0..8 {
+                assert!(lazy.accepts(&mut cache, &doc));
+            }
+            assert!(cache.clear_count() > 0, "budget must force evictions under {policy:?}");
+            cache.wasted_states()
+        };
+        let clear_restart = waste_of(EvictionPolicy::ClearRestart);
+        let segmented = waste_of(EvictionPolicy::Segmented);
+        assert!(
+            segmented < clear_restart,
+            "segmented ({segmented} wasted) must beat clear-restart ({clear_restart} wasted)"
+        );
+    }
+
+    #[test]
+    fn freeze_after_segmented_eviction_stays_correct() {
+        let eva = nondet_eva();
+        let config = LazyConfig::with_budget(500).with_eviction(EvictionPolicy::Segmented);
+        let lazy = LazyDetSeva::new(&eva, config).unwrap();
+        let mut cache = lazy.create_cache();
+        for text in ["agzagzagzagzagzagz", "abcxyz", "zzzzzagq"] {
+            let _ = lazy.accepts(&mut cache, &Document::from(text));
+        }
+        assert!(cache.clear_count() > 0, "test premise: the snapshot saw an eviction");
+        // The compacted survivor table freezes into a consistent snapshot:
+        // every document still evaluates to the naive-oracle answer.
+        let frozen = cache.freeze(&lazy);
+        let mut delta = frozen.create_delta(&lazy);
+        for text in ["", "a", "g", "z", "ag", "gz", "abcxyz", "A", "a!b", "agzagzagz"] {
+            let doc = Document::from(text);
+            let mut stepper = FrozenStepper::new(&lazy, &frozen, &mut delta);
+            assert_eq!(
+                accepts_generic(&mut stepper, &doc),
+                !eva.eval_naive(&doc).is_empty(),
+                "post-eviction frozen acceptance mismatch on {text:?}"
+            );
+        }
     }
 }

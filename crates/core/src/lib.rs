@@ -60,8 +60,8 @@ pub use enumerate::{DagView, EngineMode, EnumerationDag, Evaluator, MappingIter}
 pub use error::{ParseError, Result, SpannerError};
 pub use eva::{Eva, EvaBuilder, EvaRun, StateId};
 pub use lazy::{
-    CapacitySignature, FrozenCache, FrozenDelta, FrozenStepper, LazyCache, LazyConfig, LazyDetSeva,
-    LazyStepper,
+    CapacitySignature, EvictionPolicy, FrozenCache, FrozenDelta, FrozenStepper, LazyCache,
+    LazyConfig, LazyDetSeva, LazyStepper,
 };
 pub use limits::EvalLimits;
 pub use mapping::{

@@ -9,7 +9,7 @@ use crate::error::SpannerError;
 use crate::markerset::VarSet;
 use crate::span::Span;
 use crate::variable::{VarId, VarRegistry};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// A mapping `µ`: a partial function from variables to spans.
@@ -246,17 +246,51 @@ impl fmt::Display for MappingDisplay<'_> {
 
 /// The natural join `M1 ⋈ M2` of two sets of mappings:
 /// `{µ1 ∪ µ2 | µ1 ∈ M1, µ2 ∈ M2, µ1 ∼ µ2}`.
+///
+/// Hash-partitioned: the *certain* shared variables — those assigned in every
+/// mapping on both sides — form an exact partitioning key (compatible pairs
+/// agree on them, mappings with different key assignments are incompatible),
+/// so the right side is bucketed by its key projection and each left mapping
+/// probes a single bucket. Falls back to the pairwise scan only when no
+/// variable is certain on both sides. The output — sorted and deduplicated by
+/// [`dedup_mappings`] — is byte-identical to the naive O(|M1|·|M2|) scan.
 pub fn join_mapping_sets(left: &[Mapping], right: &[Mapping]) -> Vec<Mapping> {
     let mut out = Vec::new();
-    for m1 in left {
+    let key_vars = certain_domain(left).intersection(&certain_domain(right));
+    if key_vars.is_empty() || left.is_empty() || right.is_empty() {
+        for m1 in left {
+            for m2 in right {
+                if m1.compatible(m2) {
+                    out.push(m1.union(m2).expect("compatible mappings union"));
+                }
+            }
+        }
+    } else {
+        let mut buckets: HashMap<Mapping, Vec<&Mapping>> = HashMap::new();
         for m2 in right {
-            if m1.compatible(m2) {
-                out.push(m1.union(m2).expect("compatible mappings union"));
+            buckets.entry(m2.project(&key_vars)).or_default().push(m2);
+        }
+        for m1 in left {
+            if let Some(bucket) = buckets.get(&m1.project(&key_vars)) {
+                for m2 in bucket {
+                    if m1.compatible(m2) {
+                        out.push(m1.union(m2).expect("compatible mappings union"));
+                    }
+                }
             }
         }
     }
     dedup_mappings(&mut out);
     out
+}
+
+/// The variables assigned in *every* mapping of `set` (the full variable
+/// universe for an empty set, so intersection with the other side is neutral;
+/// an empty join side short-circuits in [`join_mapping_sets`] anyway).
+fn certain_domain(set: &[Mapping]) -> VarSet {
+    set.iter().fold(VarSet::first_n(crate::variable::MAX_VARIABLES), |acc, m| {
+        acc.intersection(&m.domain())
+    })
 }
 
 /// The union `M1 ∪ M2` of two sets of mappings, deduplicated.
@@ -444,6 +478,80 @@ mod tests {
         // Joining with the set containing only the empty mapping acts as identity.
         let id = vec![Mapping::new()];
         assert_eq!(join_mapping_sets(&left, &id), left);
+    }
+
+    /// The pre-hash-partitioning pairwise implementation, kept as the oracle
+    /// the production join is pinned byte-identical against.
+    fn join_mapping_sets_naive(left: &[Mapping], right: &[Mapping]) -> Vec<Mapping> {
+        let mut out = Vec::new();
+        for m1 in left {
+            for m2 in right {
+                if m1.compatible(m2) {
+                    out.push(m1.union(m2).expect("compatible mappings union"));
+                }
+            }
+        }
+        dedup_mappings(&mut out);
+        out
+    }
+
+    /// Deterministic mapping-set generator mixing certain, optional and
+    /// conflicting variables (simple LCG; no external randomness).
+    fn mapping_soup(seed: u64, n: usize, certain: &[usize], optional: &[usize]) -> Vec<Mapping> {
+        let mut state = seed;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        (0..n)
+            .map(|_| {
+                let mut m = Mapping::new();
+                for &var in certain {
+                    let a = step() % 8;
+                    m.insert(v(var), sp(a, a + 1 + step() % 4));
+                }
+                for &var in optional {
+                    if step() % 2 == 0 {
+                        let a = step() % 8;
+                        m.insert(v(var), sp(a, a + 1 + step() % 4));
+                    }
+                }
+                m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hash_join_matches_naive_join_byte_for_byte() {
+        // Shared certain variable x0 (the partitioning key), plus optional
+        // variables that force per-bucket compatibility checks to matter.
+        let left = mapping_soup(1, 60, &[0, 1], &[2]);
+        let right = mapping_soup(2, 70, &[0], &[2, 3]);
+        assert_eq!(join_mapping_sets(&left, &right), join_mapping_sets_naive(&left, &right));
+        // No certain shared variable (left certain = {0,1}, right certain =
+        // {3}): exercises the pairwise fallback.
+        let right = mapping_soup(3, 40, &[3], &[0, 2]);
+        assert_eq!(join_mapping_sets(&left, &right), join_mapping_sets_naive(&left, &right));
+        // Fully disjoint domains: cartesian product, still identical.
+        let right = mapping_soup(4, 30, &[4], &[5]);
+        assert_eq!(join_mapping_sets(&left, &right), join_mapping_sets_naive(&left, &right));
+        // Empty-mapping sets and empty sets.
+        let id = vec![Mapping::new()];
+        assert_eq!(join_mapping_sets(&left, &id), join_mapping_sets_naive(&left, &id));
+        assert_eq!(join_mapping_sets(&left, &[]), join_mapping_sets_naive(&left, &[]));
+        assert_eq!(join_mapping_sets(&[], &left), join_mapping_sets_naive(&[], &left));
+    }
+
+    #[test]
+    fn hash_join_partitions_on_all_certain_shared_variables() {
+        // Both sides certain on {0, 1}; only exact agreement on both joins.
+        let left = mapping_soup(7, 50, &[0, 1], &[]);
+        let right = mapping_soup(8, 50, &[0, 1], &[2]);
+        let joined = join_mapping_sets(&left, &right);
+        assert_eq!(joined, join_mapping_sets_naive(&left, &right));
+        for m in &joined {
+            assert!(m.contains(v(0)) && m.contains(v(1)));
+        }
     }
 
     #[test]

@@ -179,6 +179,21 @@ impl VarRegistry {
     pub fn merge(&mut self, other: &VarRegistry) -> Result<Vec<VarId>, SpannerError> {
         other.names.iter().map(|n| self.intern(n)).collect()
     }
+
+    /// Merges another registry into this one with every name prefixed
+    /// `"{prefix}.{name}"`, returning the remapping `other id -> self id`.
+    ///
+    /// This is the multi-tenant namespace merge: two tenants may both capture
+    /// a variable called `x`, and prefixing with the tenant id keeps
+    /// `tenant0.x` and `tenant1.x` distinct in the shared automaton's
+    /// registry, so demultiplexed results never collide.
+    pub fn merge_prefixed(
+        &mut self,
+        prefix: &str,
+        other: &VarRegistry,
+    ) -> Result<Vec<VarId>, SpannerError> {
+        other.names.iter().map(|n| self.intern(&format!("{prefix}.{n}"))).collect()
+    }
 }
 
 #[cfg(test)]

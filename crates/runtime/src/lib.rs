@@ -67,14 +67,18 @@
 
 pub mod batch;
 pub mod faults;
+pub mod multi;
 pub mod pool;
 pub mod report;
 pub mod server;
 pub mod streaming;
 
 pub use batch::{BatchOptions, BatchSpanner};
+pub use multi::{
+    MultiBatchReport, MultiSpanner, MultiSpannerServer, MultiStreamingServer, MultiTicket,
+};
 pub use pool::{CountCachePool, EvaluatorPool, PooledCountCache, PooledEvaluator};
-pub use report::{BatchReport, BatchSummary, DegradePolicy};
+pub use report::{BatchReport, BatchSummary, DegradePolicy, TenantSlot};
 pub use server::SpannerServer;
 pub use streaming::{RefreezePolicy, StreamingOptions, StreamingServer, StreamingStats, Ticket};
 

@@ -64,6 +64,27 @@ impl DegradePolicy {
     }
 }
 
+/// Per-tenant accounting attached to a shared-pass batch report (see
+/// [`crate::MultiSpannerServer`]): how one tenant of a multi-tenant shard
+/// fared across the batch's documents.
+///
+/// Single-tenant batch calls leave [`BatchReport::tenants`] empty; the
+/// multi-tenant runtime fills one slot per tenant sharing the pass, in shard
+/// slot order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSlot {
+    /// The tenant id as registered.
+    pub id: String,
+    /// Documents whose shared pass succeeded for this tenant.
+    pub ok: usize,
+    /// Documents whose shared pass failed (the tenant inherits its shard's
+    /// per-document failure — never a neighbour shard's).
+    pub failed: usize,
+    /// Total mappings demultiplexed to this tenant across the batch
+    /// (evaluation batches only; zero for counting batches).
+    pub mappings: usize,
+}
+
 /// The outcome of a report-returning batch call: one `Result` per document
 /// (in document order), plus batch-level counters and pool diagnostics.
 ///
@@ -100,6 +121,9 @@ pub struct BatchReport<T> {
     /// Peak bytes held by any worker's frozen delta during this batch (the
     /// byte-sided half of the delta-pressure signal).
     pub delta_bytes: usize,
+    /// Per-tenant accounting for shared multi-tenant passes, in shard slot
+    /// order. Empty for single-tenant batch calls.
+    pub tenants: Vec<TenantSlot>,
 }
 
 impl<T> BatchReport<T> {
@@ -137,6 +161,7 @@ impl<T> BatchReport<T> {
             engines_created,
             delta_states: 0,
             delta_bytes: 0,
+            tenants: Vec::new(),
         }
     }
 

@@ -182,6 +182,96 @@ pub fn keyword_dictionary_pattern(keywords: &[&str]) -> String {
     format!(".*!kw{{{alternatives}}}.*")
 }
 
+/// A **token-anchored** keyword-dictionary pattern: captures any of the given
+/// keywords into `kw`, but only as a whole space-separated token (preceded by
+/// a space or the start of the document, followed by a space or the end).
+///
+/// Unlike [`keyword_dictionary_pattern`], whose `.*` prefix makes every byte
+/// a potential match start, the token anchoring leaves mid-token bytes in a
+/// pure scanning state with no live variable transitions — exactly the shape
+/// the skip-mask scanner accelerates, for a lone tenant and for a shared
+/// multi-tenant union alike.
+pub fn keyword_token_pattern(keywords: &[&str]) -> String {
+    let alternatives = keywords.join("|");
+    format!("(.* )?!kw{{{alternatives}}}( .*)?")
+}
+
+/// One tenant of the multi-tenant serving workload: an id, the keyword
+/// dictionary it extracts, and its spanner as a sequential eVA (the
+/// registration format of the multi-tenant runtime).
+#[derive(Debug, Clone)]
+pub struct TenantWorkload {
+    /// Tenant id (`tenant0`, `tenant1`, …).
+    pub id: String,
+    /// The keywords this tenant's dictionary captures.
+    pub keywords: Vec<String>,
+    /// The tenant's spanner: [`keyword_dictionary_pattern`] over `keywords`.
+    pub eva: Eva,
+}
+
+/// A seeded multi-tenant population: `tenants` keyword-dictionary extractors
+/// with `keywords_per_tenant` random lowercase keywords each, matching
+/// keywords as whole tokens ([`keyword_token_pattern`]). Every tenant
+/// captures into the same variable name `kw`, exercising the per-tenant
+/// namespace prefixing of the shared-pass compiler.
+pub fn tenant_keyword_workload(
+    seed: u64,
+    tenants: usize,
+    keywords_per_tenant: usize,
+) -> Result<Vec<TenantWorkload>, SpannerError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let word = |rng: &mut StdRng| -> String {
+        let len = rng.gen_range(4..8usize);
+        (0..len).map(|_| char::from(b'a' + rng.gen_range(0..26usize) as u8)).collect()
+    };
+    (0..tenants)
+        .map(|t| {
+            let keywords: Vec<String> = (0..keywords_per_tenant).map(|_| word(&mut rng)).collect();
+            let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
+            let ast = spanners_regex::parse(&keyword_token_pattern(&refs))
+                .map_err(SpannerError::Parse)?;
+            let va = spanners_regex::regex_to_va(&ast)?;
+            let eva = spanners_automata::va_to_eva(&va)?;
+            Ok(TenantWorkload { id: format!("tenant{t}"), keywords, eva })
+        })
+        .collect()
+}
+
+/// A corpus matching a [`tenant_keyword_workload`]: each document mixes
+/// random lowercase words with keywords sampled across the tenant
+/// dictionaries (roughly one keyword per fifteen tokens), space-separated,
+/// so matches stay sparse and document scanning — the cost the shared pass
+/// amortizes across tenants — dominates per-match enumeration work.
+pub fn tenant_corpus(
+    seed: u64,
+    workload: &[TenantWorkload],
+    docs: usize,
+    words_per_doc: usize,
+) -> Vec<spanners_core::Document> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7E4A47);
+    (0..docs)
+        .map(|_| {
+            let mut text = String::new();
+            for i in 0..words_per_doc {
+                if i > 0 {
+                    text.push(' ');
+                }
+                if !workload.is_empty() && rng.gen_bool(1.0 / 15.0) {
+                    let t = rng.gen_range(0..workload.len());
+                    let k = rng.gen_range(0..workload[t].keywords.len());
+                    text.push_str(&workload[t].keywords[k]);
+                } else {
+                    let len = rng.gen_range(4..8usize);
+                    text.extend(
+                        (0..len).map(|_| char::from(b'a' + rng.gen_range(0..26usize) as u8)),
+                    );
+                }
+            }
+            spanners_core::Document::from(text.as_str())
+        })
+        .collect()
+}
+
 /// IPv4-address extraction from log lines (used with [`crate::documents::log_lines`]).
 pub fn ipv4_pattern() -> &'static str {
     ".*!ip{[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}}.*"

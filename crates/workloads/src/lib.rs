@@ -21,6 +21,7 @@ pub use documents::{
 };
 pub use families::{
     all_spans_eva, contact_pattern, digit_runs_pattern, exp_blowup_eva, exp_blowup_expected,
-    figure2_va, figure3_eva, ipv4_pattern, keyword_dictionary_pattern, nested_captures_pattern,
-    prop42_va, random_functional_va, witness_document,
+    figure2_va, figure3_eva, ipv4_pattern, keyword_dictionary_pattern, keyword_token_pattern,
+    nested_captures_pattern, prop42_va, random_functional_va, tenant_corpus,
+    tenant_keyword_workload, witness_document, TenantWorkload,
 };

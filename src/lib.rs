@@ -26,10 +26,12 @@ pub use spanners_workloads as workloads;
 
 pub use spanners_core::{
     count_mappings, CompiledSpanner, CountCache, Document, EngineMode, EnginePolicy,
-    EnumerationDag, Eva, EvaBuilder, EvalLimits, Evaluator, FrozenCache, FrozenDelta, LazyCache,
-    LazyConfig, LazyDetSeva, Mapping, MarkerSet, Span, SpannerError, VarId, VarRegistry,
+    EnumerationDag, Eva, EvaBuilder, EvalLimits, Evaluator, EvictionPolicy, FrozenCache,
+    FrozenDelta, LazyCache, LazyConfig, LazyDetSeva, Mapping, MarkerSet, Span, SpannerError, VarId,
+    VarRegistry,
 };
 pub use spanners_runtime::{
-    BatchOptions, BatchReport, BatchSpanner, BatchSummary, DegradePolicy, RefreezePolicy,
-    SpannerServer, StreamingOptions, StreamingServer, StreamingStats, Ticket,
+    BatchOptions, BatchReport, BatchSpanner, BatchSummary, DegradePolicy, MultiBatchReport,
+    MultiSpanner, MultiSpannerServer, MultiStreamingServer, MultiTicket, RefreezePolicy,
+    SpannerServer, StreamingOptions, StreamingServer, StreamingStats, TenantSlot, Ticket,
 };

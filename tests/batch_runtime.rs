@@ -134,7 +134,7 @@ fn eager_batch_order_identical_to_plain_sequential_engine() {
 fn tiny_budget_frozen_overflow_evicts_without_divergence() {
     let n = 10;
     let eva = w::exp_blowup_eva(n);
-    let spanner = CompiledSpanner::from_eva_lazy(&eva, LazyConfig { memory_budget: 256 }).unwrap();
+    let spanner = CompiledSpanner::from_eva_lazy(&eva, LazyConfig::with_budget(256)).unwrap();
     let docs = w::text_corpus(0x7B, 24, 50, 300, b"ab");
 
     let mut counts = CountCache::<u64>::new();

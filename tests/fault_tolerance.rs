@@ -65,7 +65,7 @@ fn all_spans() -> (CompiledSpanner, Vec<Document>) {
 /// and eviction faults have something to thrash.
 fn lazy_family() -> (CompiledSpanner, Vec<Document>) {
     let spanner =
-        CompiledSpanner::from_eva_lazy(&w::exp_blowup_eva(10), LazyConfig { memory_budget: 256 })
+        CompiledSpanner::from_eva_lazy(&w::exp_blowup_eva(10), LazyConfig::with_budget(256))
             .unwrap();
     let docs = w::text_corpus(0x7B, 16, 50, 300, b"ab");
     (spanner, docs)
@@ -78,11 +78,9 @@ fn lazy_family() -> (CompiledSpanner, Vec<Document>) {
 /// snapshot, so eviction faults only bite on indices ≥ 4.
 #[cfg(feature = "fault-injection")]
 fn comfy_lazy_family() -> (CompiledSpanner, Vec<Document>) {
-    let spanner = CompiledSpanner::from_eva_lazy(
-        &w::exp_blowup_eva(10),
-        LazyConfig { memory_budget: 1 << 20 },
-    )
-    .unwrap();
+    let spanner =
+        CompiledSpanner::from_eva_lazy(&w::exp_blowup_eva(10), LazyConfig::with_budget(1 << 20))
+            .unwrap();
     let docs = w::text_corpus(0x7B, 16, 50, 300, b"ab");
     (spanner, docs)
 }

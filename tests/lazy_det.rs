@@ -226,7 +226,7 @@ fn seeded_random_documents_agree() {
 #[test]
 fn tiny_budget_forces_mid_document_eviction_without_divergence() {
     for (pattern, eva, eager, docs) in regex_cases() {
-        let lazy = LazyDetSeva::new(&eva, LazyConfig { memory_budget: THRASH_BUDGET }).unwrap();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig::with_budget(THRASH_BUDGET)).unwrap();
         let mut thrash = Evaluator::new();
         let mut thrash_bytes = Evaluator::with_mode(EngineMode::PerByte);
         let mut thrash_counts = CountCache::<u128>::new();
@@ -279,7 +279,7 @@ fn tiny_budget_forces_mid_document_eviction_without_divergence() {
 fn tiny_budget_eviction_on_deterministic_automata() {
     for (name, eva, docs) in deterministic_cases() {
         let eager = CompiledSpanner::from_eva_with(&eva, EnginePolicy::Eager).unwrap();
-        let lazy = LazyDetSeva::new(&eva, LazyConfig { memory_budget: THRASH_BUDGET }).unwrap();
+        let lazy = LazyDetSeva::new(&eva, LazyConfig::with_budget(THRASH_BUDGET)).unwrap();
         let mut thrash = Evaluator::new();
         for round in 0..3 {
             for doc in &docs {
@@ -309,7 +309,7 @@ fn exponential_blowup_family_evaluates_lazily_within_budget() {
 
     // The lazy engine evaluates the very same eVA under a 256 KiB budget.
     let budget = 256 * 1024;
-    let lazy = LazyDetSeva::new(&eva, LazyConfig { memory_budget: budget }).unwrap();
+    let lazy = LazyDetSeva::new(&eva, LazyConfig::with_budget(budget)).unwrap();
     let mut evaluator = Evaluator::new();
     let mut counts = CountCache::<u64>::new();
     for (seed, len) in [(1u64, 300usize), (2, 1_000), (3, 5_000)] {
@@ -429,7 +429,7 @@ fn facade_serves_lazy_spanners_through_the_standard_entry_points() {
 
     // An explicit tiny budget through the façade still evaluates correctly.
     let strict =
-        CompiledSpanner::from_eva_lazy(&eva, LazyConfig { memory_budget: THRASH_BUDGET }).unwrap();
+        CompiledSpanner::from_eva_lazy(&eva, LazyConfig::with_budget(THRASH_BUDGET)).unwrap();
     let doc = w::random_text(99, 800, b"ab");
     assert_eq!(strict.count_u64(&doc).unwrap() as usize, w::exp_blowup_expected(n, &doc));
     let mut thrash_eval = Evaluator::new();

@@ -113,7 +113,7 @@ fn digit_runs_lazy(budget: Option<usize>) -> LazyDetSeva {
     let ast = parse(w::digit_runs_pattern()).unwrap();
     let va = regex_to_va(&ast).unwrap();
     let eva = va_to_eva(&va).unwrap();
-    let config = budget.map(|memory_budget| LazyConfig { memory_budget }).unwrap_or_default();
+    let config = budget.map(LazyConfig::with_budget).unwrap_or_default();
     LazyDetSeva::new(&eva, config).unwrap()
 }
 

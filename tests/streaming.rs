@@ -55,7 +55,7 @@ fn serialize_faults() -> NoFaultsInstalled {
 /// snapshot and forced re-freezes have real pressure to fold in.
 fn lazy_family() -> (CompiledSpanner, Vec<Document>) {
     let spanner =
-        CompiledSpanner::from_eva_lazy(&w::exp_blowup_eva(10), LazyConfig { memory_budget: 256 })
+        CompiledSpanner::from_eva_lazy(&w::exp_blowup_eva(10), LazyConfig::with_budget(256))
             .unwrap();
     let docs = w::text_corpus(0x7B, 16, 50, 300, b"ab");
     (spanner, docs)

@@ -153,8 +153,10 @@ fn prop44_size_bounds_hold_on_workload_automata() {
     assert!(joined.num_states() <= a1.num_states() * a2.num_states(), "join is quadratic");
     assert!(joined.is_functional());
 
+    // Union is linear (Prop. 4.4); since the algebra ops trim useless states
+    // from their results, the count can come in under the n1 + n2 + 1 bound.
     let unioned = union(&a1, &a2).unwrap();
-    assert_eq!(unioned.num_states(), a1.num_states() + a2.num_states() + 1, "union is linear");
+    assert!(unioned.num_states() <= a1.num_states() + a2.num_states() + 1, "union is linear");
 
     let projected = project(&joined, &["x", "y"]).unwrap();
     assert!(projected.num_states() <= joined.num_states(), "projection does not add states");
