@@ -1,0 +1,97 @@
+//! Experiment E16: grammar-aware evaluation over SLP-compressed corpora.
+//!
+//! * **E16 — grammar-aware `count` vs decompress-then-skip-scan.** A
+//!   repetitive log corpus (≥ 20× compressible with the Re-Pair-style
+//!   [`SlpBuilder`]) is counted two ways: composing the grammar bottom-up
+//!   with a warm [`SlpEvaluator`] memo — O(#rules) per document once the
+//!   shared rule set is memoized — against decompressing each document and
+//!   running the skip-mask scanning count loop (the serving default) over
+//!   the raw bytes. Counts are asserted identical every iteration; the
+//!   grammar-aware path should win by ≥ 5× at this compressibility.
+//! * **E16b — batch entry point.** The same corpus through
+//!   [`BatchSpanner::count_slp_batch`] at 1/2/4 worker threads, pool,
+//!   limits and report pipeline included.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spanners_core::{CountCache, SlpEvaluator};
+use spanners_runtime::{BatchOptions, BatchSpanner};
+use spanners_workloads::{
+    corpus_bytes, corpus_compression_ratio, repetitive_log_corpus, SlpBuilder,
+};
+use std::time::Duration;
+
+/// E16: per-document counting, grammar-aware vs decompress-then-skip-scan.
+fn bench_grammar_aware_vs_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_compressed_logs");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let corpus = repetitive_log_corpus(0xE16, 16, 2_000);
+    let slps = SlpBuilder::new().build_corpus(&corpus).expect("log corpus compresses");
+    let ratio = corpus_compression_ratio(&slps);
+    assert!(ratio >= 20.0, "E16 needs a ≥ 20× compressible corpus, got {ratio:.1}×");
+    let bytes = corpus_bytes(&corpus);
+    group.throughput(Throughput::Bytes(bytes as u64));
+    let spanner = spanners_bench::digit_spanner();
+    let expected: u64 = corpus.iter().map(|d| spanner.count::<u64>(d).unwrap()).sum();
+
+    let mut evaluator = SlpEvaluator::new();
+    group.bench_with_input(
+        BenchmarkId::new("grammar_aware_count", format!("{ratio:.0}x")),
+        &slps,
+        |b, slps| {
+            b.iter(|| {
+                let total: u64 =
+                    slps.iter().map(|s| spanner.count_slp_with(&mut evaluator, s).unwrap()).sum();
+                assert_eq!(total, expected);
+                total
+            })
+        },
+    );
+    let mut cache = CountCache::<u64>::new();
+    group.bench_with_input(
+        BenchmarkId::new("decompress_then_skip_scan", format!("{ratio:.0}x")),
+        &slps,
+        |b, slps| {
+            b.iter(|| {
+                let total: u64 = slps
+                    .iter()
+                    .map(|s| spanner.count_with(&mut cache, &s.decompress()).unwrap())
+                    .sum();
+                assert_eq!(total, expected);
+                total
+            })
+        },
+    );
+    group.finish();
+}
+
+/// E16b: the batch entry point (pools + report pipeline) at 1/2/4 threads.
+fn bench_slp_batch_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16b_slp_batch_threads");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let corpus = repetitive_log_corpus(0xE16B, 64, 500);
+    let slps = SlpBuilder::new().build_corpus(&corpus).expect("log corpus compresses");
+    group.throughput(Throughput::Bytes(corpus_bytes(&corpus) as u64));
+    let spanner = spanners_bench::digit_spanner();
+    let expected: u64 = corpus.iter().map(|d| spanner.count::<u64>(d).unwrap()).sum();
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("count_slp_batch", threads), &slps, |b, slps| {
+            b.iter(|| {
+                let total: u64 = spanner
+                    .count_slp_batch(slps, &BatchOptions::threads(threads))
+                    .unwrap()
+                    .iter()
+                    .sum();
+                assert_eq!(total, expected);
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grammar_aware_vs_decompress, bench_slp_batch_threads);
+criterion_main!(benches);

@@ -64,6 +64,9 @@ pub struct DetSeva {
     num_vars: usize,
     /// Size measure `|A|` of the source automaton (states + transitions).
     source_size: usize,
+    /// Process-unique identity, drawn from the same counter as lazy-automaton
+    /// and frozen-snapshot ids — the SLP memo tables key their rows by it.
+    id: u64,
 }
 
 impl DetSeva {
@@ -162,12 +165,20 @@ impl DetSeva {
             skip_masks,
             num_vars: eva.registry().len(),
             source_size: eva.size(),
+            id: crate::lazy::next_engine_id(),
         })
     }
 
     /// The variable registry naming the capture variables.
     pub fn registry(&self) -> &VarRegistry {
         &self.registry
+    }
+
+    /// Process-unique identity of this compiled automaton (shared id space
+    /// with lazy automata and frozen snapshots; keys the SLP memo tables).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Number of states.

@@ -90,21 +90,31 @@ const SKIP_NO: u8 = 2;
 /// identities of their own.
 static NEXT_SEVA_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Draws a fresh process-unique engine/grammar identity from the shared
+/// counter — also used by [`crate::slp::SlpRules`] and the eager
+/// [`crate::DetSeva`], whose identities key the SLP memo tables alongside
+/// lazy-cache and frozen-snapshot ids (one id space, no collisions).
+pub(crate) fn next_engine_id() -> u64 {
+    NEXT_SEVA_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Capacity snapshot of a [`LazyCache`]'s (or [`FrozenDelta`]'s) internal
 /// buffers, used by allocation-retention assertions: in steady state — warm
 /// cache, no evictions — repeated evaluation must leave the signature
 /// unchanged. The `Display` form labels each buffer for bench/diagnostic
 /// output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CapacitySignature(pub [usize; 8]);
+pub struct CapacitySignature(pub [usize; 10]);
 
 impl fmt::Display for CapacitySignature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let [keys, offsets, finals, letters, skips, masks, vars, index] = self.0;
+        let [keys, offsets, finals, letters, skips, masks, vars, index, slp_counts, slp_sets] =
+            self.0;
         write!(
             f,
             "keys={keys} offsets={offsets} finals={finals} letters={letters} \
-             skips={skips} masks={masks} vars={vars} index={index}"
+             skips={skips} masks={masks} vars={vars} index={index} \
+             slp_counts={slp_counts} slp_sets={slp_sets}"
         )
     }
 }
@@ -505,6 +515,8 @@ impl LazyCache {
             self.skip_masks.capacity(),
             self.var_pairs.capacity(),
             self.index.capacity(),
+            0,
+            0,
         ])
     }
 
@@ -551,6 +563,7 @@ impl LazyCache {
                 skip_masks: Vec::new(),
                 var_pairs: Vec::new(),
                 index: HashMap::new(),
+                slp_memo: None,
             };
         }
         FrozenCache {
@@ -567,6 +580,7 @@ impl LazyCache {
             skip_masks: self.skip_masks.clone(),
             var_pairs: self.var_pairs.clone(),
             index: self.index.clone(),
+            slp_memo: None,
         }
     }
 
@@ -1100,6 +1114,11 @@ pub struct FrozenCache {
     skip_masks: Vec<ClassMask>,
     var_pairs: Vec<(MarkerSet, StateId)>,
     index: HashMap<Box<[u32]>, u32>,
+    /// Warm SLP memo rows computed against the pre-freeze cache (state ids
+    /// are preserved by freezing, so the rows remain valid here), shared
+    /// read-only by every worker's [`crate::SlpEvaluator`]. Attached by
+    /// [`crate::CompiledSpanner::freeze_warm_slp`]; `None` on plain freezes.
+    slp_memo: Option<std::sync::Arc<crate::slp::SlpSharedMemo>>,
 }
 
 impl FrozenCache {
@@ -1133,6 +1152,18 @@ impl FrozenCache {
             + self.var_starts.len() * 8
             + self.var_pairs.len() * std::mem::size_of::<(MarkerSet, StateId)>()
             + self.index.len() * 48
+            + self.slp_memo.as_ref().map_or(0, |m| m.memory_bytes())
+    }
+
+    /// Attaches a warm SLP memo snapshot (see
+    /// [`crate::CompiledSpanner::freeze_warm_slp`]).
+    pub(crate) fn set_slp_memo(&mut self, memo: std::sync::Arc<crate::slp::SlpSharedMemo>) {
+        self.slp_memo = Some(memo);
+    }
+
+    /// The attached warm SLP memo, if any.
+    pub fn slp_memo(&self) -> Option<&std::sync::Arc<crate::slp::SlpSharedMemo>> {
+        self.slp_memo.as_ref()
     }
 
     /// A fresh per-worker overflow delta bound to this snapshot.
@@ -1427,6 +1458,8 @@ impl FrozenDelta {
             self.skip_masks.capacity(),
             self.var_pairs.capacity(),
             self.index.capacity(),
+            0,
+            0,
         ])
     }
 

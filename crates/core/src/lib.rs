@@ -44,6 +44,7 @@ pub mod limits;
 pub mod mapping;
 pub mod markerset;
 pub mod product;
+pub mod slp;
 pub mod span;
 pub mod spanner;
 pub mod sparse;
@@ -69,6 +70,7 @@ pub use mapping::{
 };
 pub use markerset::{MarkerSet, VarSet, VariableStatus};
 pub use product::{AnnotatedProduct, AnnotatedTransition};
+pub use slp::{Slp, SlpEvaluator, SlpRules, SlpSharedMemo};
 pub use span::{all_spans, Span};
 pub use spanner::{CompiledSpanner, EnginePolicy};
 pub use sparse::SparseSet;
@@ -95,4 +97,8 @@ fn assert_runtime_thread_safety() {
     per_worker::<CountCache<u64>>();
     per_worker::<LazyCache>();
     per_worker::<FrozenDelta>();
+    shared::<Slp>();
+    shared::<SlpRules>();
+    shared::<SlpSharedMemo>();
+    per_worker::<SlpEvaluator>();
 }

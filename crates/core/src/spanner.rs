@@ -8,7 +8,9 @@ use crate::error::SpannerError;
 use crate::eva::Eva;
 use crate::lazy::{FrozenCache, LazyConfig, LazyDetSeva};
 use crate::mapping::Mapping;
+use crate::slp::{Slp, SlpEvaluator};
 use crate::variable::VarRegistry;
+use std::sync::Arc;
 
 /// Which determinization engine a [`CompiledSpanner`] should use.
 ///
@@ -391,6 +393,97 @@ impl CompiledSpanner {
             Engine::Eager(det) => evaluator.try_accepts(det, doc),
             Engine::Lazy(lazy) => evaluator.try_accepts_frozen(lazy, frozen, doc),
         }
+    }
+
+    /// Counts `|⟦A⟧(d)|` directly over an [`Slp`]-compressed document —
+    /// **without decompressing** — inside the caller-owned
+    /// [`SlpEvaluator`], whose per-`(symbol, state)` memo amortizes the
+    /// bottom-up grammar pass across a corpus sharing one rule set. Counts
+    /// and match verdicts are byte-identical to running the byte engines on
+    /// [`Slp::decompress`]'s output; cost is proportional to the
+    /// *compressed* size once the memo is warm.
+    pub fn count_slp_with(
+        &self,
+        evaluator: &mut SlpEvaluator,
+        slp: &Slp,
+    ) -> Result<u64, SpannerError> {
+        match &self.engine {
+            Engine::Eager(det) => evaluator.count(det, slp),
+            Engine::Lazy(lazy) => evaluator.count_lazy(lazy, slp),
+        }
+    }
+
+    /// Whether the spanner produces at least one mapping on the compressed
+    /// document (see [`CompiledSpanner::count_slp_with`]); the
+    /// acceptance-fold sibling, immune to count overflow.
+    pub fn is_match_slp_with(
+        &self,
+        evaluator: &mut SlpEvaluator,
+        slp: &Slp,
+    ) -> Result<bool, SpannerError> {
+        match &self.engine {
+            Engine::Eager(det) => evaluator.accepts(det, slp),
+            Engine::Lazy(lazy) => evaluator.accepts_lazy(lazy, slp),
+        }
+    }
+
+    /// [`CompiledSpanner::count_slp_with`] stepping a lazy spanner through
+    /// the shared `frozen` snapshot (with the evaluator's private overflow
+    /// delta) — the per-worker entry point of the batch runtime. Eager
+    /// spanners ignore `frozen`, mirroring
+    /// [`CompiledSpanner::count_frozen_with`].
+    pub fn count_slp_frozen_with(
+        &self,
+        evaluator: &mut SlpEvaluator,
+        frozen: &FrozenCache,
+        slp: &Slp,
+    ) -> Result<u64, SpannerError> {
+        match &self.engine {
+            Engine::Eager(det) => evaluator.count(det, slp),
+            Engine::Lazy(lazy) => evaluator.count_frozen(lazy, frozen, slp),
+        }
+    }
+
+    /// [`CompiledSpanner::is_match_slp_with`] through the shared `frozen`
+    /// snapshot.
+    pub fn is_match_slp_frozen_with(
+        &self,
+        evaluator: &mut SlpEvaluator,
+        frozen: &FrozenCache,
+        slp: &Slp,
+    ) -> Result<bool, SpannerError> {
+        match &self.engine {
+            Engine::Eager(det) => evaluator.accepts(det, slp),
+            Engine::Lazy(lazy) => evaluator.accepts_frozen(lazy, frozen, slp),
+        }
+    }
+
+    /// [`CompiledSpanner::freeze_warm`] for compressed corpora: warms a
+    /// private determinization cache **and** the SLP memo tables on
+    /// `warm_slps`, freezes the cache, and attaches the memo snapshot to the
+    /// [`FrozenCache`] — workers then compose documents off the shared
+    /// bottom-up pass (read through [`crate::FrozenCache::slp_memo`])
+    /// instead of recomputing it per worker. Freezing preserves state ids,
+    /// so the warm rows remain valid against the snapshot. Returns `None`
+    /// for eager spanners, whose memo already persists inside each
+    /// evaluator.
+    pub fn freeze_warm_slp(&self, warm_slps: &[Slp]) -> Option<FrozenCache> {
+        let lazy = self.lazy_automaton()?;
+        let mut evaluator = SlpEvaluator::new();
+        for slp in warm_slps {
+            // Warm both the count and the reachable-set tables; errors
+            // (overflow, budget) just leave fewer warm rows behind.
+            let _ = evaluator.count_lazy(lazy, slp);
+            let _ = evaluator.accepts_lazy(lazy, slp);
+        }
+        let mut frozen = match evaluator.lazy_cache() {
+            Some(cache) => cache.freeze(lazy),
+            None => lazy.create_cache().freeze(lazy),
+        };
+        if let Some(memo) = evaluator.shared_memo_snapshot() {
+            frozen.set_slp_memo(Arc::new(memo));
+        }
+        Some(frozen)
     }
 }
 

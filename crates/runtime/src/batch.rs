@@ -33,10 +33,14 @@
 //! on the lowest-index failure, exactly as before.
 
 use crate::faults;
-use crate::pool::{CountCachePool, EvaluatorPool, PooledCountCache, PooledEvaluator};
+use crate::pool::{
+    CountCachePool, EvaluatorPool, PooledCountCache, PooledEvaluator, PooledSlpEvaluator,
+    SlpEvaluatorPool,
+};
 use crate::report::{BatchReport, DegradePolicy};
 use spanners_core::{
-    CompiledSpanner, Counter, DagView, Document, EngineMode, EvalLimits, FrozenCache, SpannerError,
+    CompiledSpanner, Counter, DagView, Document, EngineMode, EvalLimits, FrozenCache, Slp,
+    SpannerError,
 };
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -239,6 +243,15 @@ pub(crate) fn freeze_for_batch(
     spanner.freeze_warm(&docs[..docs.len().min(WARM_SAMPLE_DOCS)])
 }
 
+/// [`freeze_for_batch`] for SLP-compressed batches: warms the snapshot (and
+/// the shared SLP memo attached to it) on the leading compressed documents.
+pub(crate) fn freeze_for_slp_batch(spanner: &CompiledSpanner, slps: &[Slp]) -> Option<FrozenCache> {
+    if slps.len() < 2 {
+        return None;
+    }
+    spanner.freeze_warm_slp(&slps[..slps.len().min(WARM_SAMPLE_DOCS)])
+}
+
 /// One rung of the [`DegradePolicy`] escalation ladder (see
 /// [`crate::report`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -337,6 +350,22 @@ impl BatchPlan<'_> {
         rungs.push(Rung::PerByte);
         if self.spanner.lazy_automaton().is_some() && self.spanner.eager_automaton().is_some() {
             rungs.push(Rung::Eager);
+        }
+        rungs.truncate((policy.max_attempts.max(1)) as usize);
+        rungs
+    }
+
+    /// The escalation ladder of the grammar-aware entry points. There is no
+    /// per-byte rung — grammar composition has no byte loop to simplify —
+    /// so the ladder is normal → boosted budgets (lazy only) → eager
+    /// automaton (when one exists alongside the lazy engine).
+    fn slp_rungs(&self, policy: &DegradePolicy) -> Vec<Rung> {
+        let mut rungs = vec![Rung::Normal];
+        if self.spanner.lazy_automaton().is_some() {
+            rungs.push(Rung::BoostBudget);
+            if self.spanner.eager_automaton().is_some() {
+                rungs.push(Rung::Eager);
+            }
         }
         rungs.truncate((policy.max_attempts.max(1)) as usize);
         rungs
@@ -510,6 +539,75 @@ impl BatchPlan<'_> {
         BatchReport::from_records(records, quarantined.into_inner(), pool.engines_created())
     }
 
+    /// [`BatchPlan::count_report`] over SLP-compressed documents: same
+    /// containment, fault keying, degradation ladder (minus the per-byte
+    /// rung) and report pipeline, with each worker holding a pooled
+    /// [`spanners_core::SlpEvaluator`] whose memo tables stay warm across
+    /// the batch.
+    pub(crate) fn count_slp_report(
+        &self,
+        pool: &SlpEvaluatorPool,
+        slps: &[Slp],
+        opts: &BatchOptions,
+    ) -> BatchReport<u64> {
+        let threads = opts.effective_threads(slps.len());
+        let rungs = self.slp_rungs(&opts.degrade);
+        let boosted = self.boosted_budget(&opts.degrade);
+        let boosted_memo = spanners_core::slp::DEFAULT_MEMO_BUDGET
+            .saturating_mul(opts.degrade.budget_boost.max(1) as usize);
+        let quarantined = AtomicUsize::new(0);
+        let records = run_contained(
+            slps.len(),
+            threads,
+            || pool.checkout_tagged(self.gen_tag),
+            |engine: &mut PooledSlpEvaluator<'_>, i| {
+                let (base_limits, force_eviction) = self.doc_setup(i, opts.limits);
+                let slp = &slps[i];
+                let ev = &mut **engine;
+                let record =
+                    run_attempts(&rungs, base_limits, force_eviction, |rung, limits, evict| {
+                        ev.set_limits(limits);
+                        match rung {
+                            Rung::Normal => {
+                                ev.set_cache_budget_override(None);
+                                ev.set_memo_budget_override(None);
+                            }
+                            Rung::BoostBudget => {
+                                ev.set_cache_budget_override(boosted);
+                                ev.set_memo_budget_override(Some(boosted_memo));
+                            }
+                            Rung::PerByte | Rung::Eager => {}
+                        }
+                        if evict {
+                            ev.set_cache_budget_override(Some(0));
+                            ev.set_memo_budget_override(Some(0));
+                        }
+                        if rung == Rung::Eager {
+                            if let Some(det) = self.spanner.eager_automaton() {
+                                return ev.count(det, slp);
+                            }
+                        }
+                        match self.frozen {
+                            Some(frozen) => self.spanner.count_slp_frozen_with(ev, frozen, slp),
+                            None => self.spanner.count_slp_with(ev, slp),
+                        }
+                    });
+                ev.set_cache_budget_override(None);
+                ev.set_memo_budget_override(None);
+                ev.set_limits(EvalLimits::none());
+                record
+            },
+            |i, message| {
+                (Err(SpannerError::WorkerPanicked { doc_index: self.doc_id(i), message }), 0, false)
+            },
+            |engine: PooledSlpEvaluator<'_>| {
+                engine.quarantine();
+                quarantined.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        BatchReport::from_records(records, quarantined.into_inner(), pool.engines_created())
+    }
+
     pub(crate) fn is_match_report(
         &self,
         pool: &EvaluatorPool,
@@ -629,6 +727,27 @@ pub trait BatchSpanner {
     /// Whether each document has at least one output mapping, in document
     /// order.
     fn is_match_batch(&self, docs: &[Document], opts: &BatchOptions) -> Vec<bool>;
+
+    /// [`BatchSpanner::count_batch`] over **SLP-compressed** documents,
+    /// evaluated grammar-aware — without decompressing — by pooled
+    /// [`spanners_core::SlpEvaluator`]s. For lazy spanners the batch first
+    /// warms and freezes a determinization snapshot *with its SLP memo
+    /// attached* (see
+    /// [`spanners_core::CompiledSpanner::freeze_warm_slp`]), so the N
+    /// workers compose documents off one shared bottom-up pass. Counts are
+    /// byte-identical to [`BatchSpanner::count_batch`] on the decompressed
+    /// documents, at every thread count.
+    fn count_slp_batch(&self, slps: &[Slp], opts: &BatchOptions) -> Result<Vec<u64>, SpannerError>;
+
+    /// Like [`BatchSpanner::count_slp_batch`], but fault-tolerant (see
+    /// [`BatchSpanner::evaluate_batch_report`]): per-document results,
+    /// contained panics, and the degradation ladder (minus the per-byte
+    /// rung — grammar composition has no byte loop).
+    fn count_slp_batch_report(
+        &self,
+        slps: &[Slp],
+        opts: &BatchOptions,
+    ) -> Result<BatchReport<u64>, SpannerError>;
 }
 
 impl BatchSpanner for CompiledSpanner {
@@ -698,6 +817,27 @@ impl BatchSpanner for CompiledSpanner {
         let pool: CountCachePool<C> = CountCachePool::new();
         let plan = BatchPlan::new(self, frozen.as_ref());
         Ok(plan.count_report(&pool, docs, opts))
+    }
+
+    fn count_slp_batch(&self, slps: &[Slp], opts: &BatchOptions) -> Result<Vec<u64>, SpannerError> {
+        let frozen = freeze_for_slp_batch(self, slps);
+        let pool = SlpEvaluatorPool::new();
+        let plan = BatchPlan::new(self, frozen.as_ref());
+        // Document order is preserved, so the error reported is the one of
+        // the lowest-index failing document — deterministic across runs.
+        plan.count_slp_report(&pool, slps, opts).into_results().into_iter().collect()
+    }
+
+    fn count_slp_batch_report(
+        &self,
+        slps: &[Slp],
+        opts: &BatchOptions,
+    ) -> Result<BatchReport<u64>, SpannerError> {
+        opts.validate()?;
+        let frozen = freeze_for_slp_batch(self, slps);
+        let pool = SlpEvaluatorPool::new();
+        let plan = BatchPlan::new(self, frozen.as_ref());
+        Ok(plan.count_slp_report(&pool, slps, opts))
     }
 
     fn is_match_batch(&self, docs: &[Document], opts: &BatchOptions) -> Vec<bool> {

@@ -77,7 +77,10 @@ pub use batch::{BatchOptions, BatchSpanner};
 pub use multi::{
     MultiBatchReport, MultiSpanner, MultiSpannerServer, MultiStreamingServer, MultiTicket,
 };
-pub use pool::{CountCachePool, EvaluatorPool, PooledCountCache, PooledEvaluator};
+pub use pool::{
+    CountCachePool, EvaluatorPool, PooledCountCache, PooledEvaluator, PooledSlpEvaluator,
+    SlpEvaluatorPool,
+};
 pub use report::{BatchReport, BatchSummary, DegradePolicy, TenantSlot};
 pub use server::SpannerServer;
 pub use streaming::{RefreezePolicy, StreamingOptions, StreamingServer, StreamingStats, Ticket};
@@ -89,5 +92,5 @@ pub use faults::{install as install_faults, FaultGuard, FaultPlan};
 // for the common types that appear in this crate's signatures.
 pub use spanners_core::{
     CompiledSpanner, CountCache, Counter, DagView, Document, EngineMode, EvalLimits, Evaluator,
-    FrozenCache, SpannerError,
+    FrozenCache, Slp, SlpEvaluator, SlpRules, SlpSharedMemo, SpannerError,
 };

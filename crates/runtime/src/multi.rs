@@ -262,24 +262,34 @@ impl MultiSpanner {
             });
         }
 
-        // Greedy shard packing: a tenant costs its variable count plus one
-        // route variable; shards close when the next tenant would overflow
-        // the marker-set width. A tenant too wide to share (cost > limit) is
-        // packed alone and served unbranded, which needs no route variable.
+        // First-fit-*decreasing* shard packing: a tenant costs its variable
+        // count plus one route variable, tenants are placed widest-first
+        // (stable on input order for equal widths), and each tenant goes
+        // into the first open shard with room — narrow tenants fill the gaps
+        // the wide ones leave, so skewed tenant populations need fewer
+        // shards than closing-shard first-fit would. A tenant too wide to
+        // share (cost > limit) lands alone and is served unbranded, which
+        // needs no route variable. Tenants inside a shard keep input order
+        // (the fold and routing tables rely on it).
+        let mut order: Vec<usize> = (0..tenants.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(tenants[i].1.registry().len()));
         let mut groups: Vec<Vec<usize>> = Vec::new();
-        let mut used = 0usize;
-        for (i, (_, eva)) in tenants.iter().enumerate() {
-            let cost = eva.registry().len() + 1;
-            match groups.last_mut() {
-                Some(group) if used + cost <= MAX_VARIABLES => {
-                    group.push(i);
-                    used += cost;
+        let mut group_used: Vec<usize> = Vec::new();
+        for &i in &order {
+            let cost = tenants[i].1.registry().len() + 1;
+            match group_used.iter().position(|&used| used + cost <= MAX_VARIABLES) {
+                Some(g) => {
+                    groups[g].push(i);
+                    group_used[g] += cost;
                 }
-                _ => {
+                None => {
                     groups.push(vec![i]);
-                    used = cost;
+                    group_used.push(cost);
                 }
             }
+        }
+        for group in &mut groups {
+            group.sort_unstable();
         }
 
         let mut shards = Vec::with_capacity(groups.len());
@@ -837,6 +847,49 @@ mod tests {
         let got = multi.evaluate(&doc);
         assert_eq!(got[0], sorted_single(&w0, &doc));
         assert_eq!(got[1], sorted_single(&w1, &doc));
+    }
+
+    #[test]
+    fn skewed_tenants_pack_first_fit_decreasing() {
+        // Tenant shard costs (vars + 1 route) of [12, 12, 20, 20] against the
+        // 32-variable limit: arrival-order first-fit opens a shard with the
+        // two narrow tenants (cost 24), neither wide tenant fits beside them,
+        // and the layout needs 3 shards. First-fit-*decreasing* places the
+        // wide tenants first and slots one narrow tenant next to each — the
+        // optimal 2 shards. This pins the FFD layout and that demuxed
+        // results are unaffected by the packing order.
+        let tenant = |seed: usize, vars: usize, byte: u8| {
+            let mut reg = VarRegistry::new();
+            for v in 0..vars {
+                reg.intern(&format!("v{seed}_{v}")).unwrap();
+            }
+            let x = reg.get(&format!("v{seed}_0")).unwrap();
+            let mut b = EvaBuilder::new(reg);
+            let (q0, q1, q2) = (b.add_state(), b.add_state(), b.add_state());
+            b.set_initial(q0);
+            b.set_final(q2);
+            b.add_letter(q0, ByteClass::any(), q0);
+            b.add_byte(q1, byte, q1);
+            b.add_letter(q2, ByteClass::any(), q2);
+            b.add_var(q0, MarkerSet::new().with_open(x), q1).unwrap();
+            b.add_var(q1, MarkerSet::new().with_close(x), q2).unwrap();
+            b.build().unwrap()
+        };
+        let evas =
+            [tenant(0, 11, b'a'), tenant(1, 11, b'b'), tenant(2, 19, b'c'), tenant(3, 19, b'd')];
+        let tenants: Vec<(&str, &Eva)> = ["t0", "t1", "t2", "t3"].into_iter().zip(&evas).collect();
+        let multi = MultiSpanner::compile(&tenants).unwrap();
+        assert_eq!(multi.num_shards(), 2, "FFD must pack [12,12,20,20] into 2 shards");
+        for text in ["", "abcd", "ccaadbba", "dddd"] {
+            let doc = Document::from(text);
+            let got = multi.evaluate(&doc);
+            let counts = multi.count(&doc).unwrap();
+            for (i, eva) in evas.iter().enumerate() {
+                let expected = sorted_single(eva, &doc);
+                assert_eq!(got[i], expected, "tenant {i} on {text:?}");
+                assert_eq!(counts[i], expected.len() as u64, "tenant {i} count on {text:?}");
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! most N engines over the pool's lifetime no matter how many documents it
 //! serves.
 
-use spanners_core::{CountCache, Counter, EngineMode, Evaluator};
+use spanners_core::{CountCache, Counter, EngineMode, Evaluator, SlpEvaluator};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -270,6 +270,109 @@ impl<C: Counter> Drop for PooledCountCache<'_, C> {
     }
 }
 
+/// A pool of warm [`SlpEvaluator`]s (grammar-aware engines) — the
+/// compressed-corpus mirror of [`CountCachePool`]. Checked-in evaluators
+/// keep their `(symbol, state)` memo tables alongside their lazy caches and
+/// frozen deltas, so a batch over one shared rule set composes most
+/// documents from already-memoized rows.
+#[derive(Debug, Default)]
+pub struct SlpEvaluatorPool {
+    idle: Mutex<Vec<(u64, SlpEvaluator)>>,
+    created: AtomicUsize,
+    quarantined: AtomicUsize,
+}
+
+impl SlpEvaluatorPool {
+    /// An empty pool. Grammar composition has no per-byte inner loop, so
+    /// there is no engine-mode knob to configure.
+    pub fn new() -> SlpEvaluatorPool {
+        SlpEvaluatorPool::default()
+    }
+
+    /// Checks an evaluator out: a warm one when available, a fresh one
+    /// otherwise. The returned guard checks it back in on drop.
+    pub fn checkout(&self) -> PooledSlpEvaluator<'_> {
+        self.checkout_tagged(0)
+    }
+
+    /// Checks an evaluator out preferring one last used under generation
+    /// `tag` (see [`EvaluatorPool::checkout_tagged`]).
+    pub fn checkout_tagged(&self, tag: u64) -> PooledSlpEvaluator<'_> {
+        crate::faults::checkout_fault();
+        let engine = {
+            let mut idle = lock(&self.idle);
+            match idle.iter().rposition(|&(t, _)| t == tag) {
+                Some(i) => Some(idle.swap_remove(i).1),
+                None => idle.pop().map(|(_, e)| e),
+            }
+        };
+        let engine = engine.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            SlpEvaluator::new()
+        });
+        PooledSlpEvaluator { pool: self, engine: Some(engine), tag }
+    }
+
+    /// Number of evaluators currently checked in.
+    pub fn idle(&self) -> usize {
+        lock(&self.idle).len()
+    }
+
+    /// Total evaluators ever created (see
+    /// [`EvaluatorPool::engines_created`]).
+    pub fn engines_created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Total evaluators quarantined (see [`EvaluatorPool::quarantined`]).
+    pub fn quarantined(&self) -> usize {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+}
+
+/// Checkout guard of an [`SlpEvaluatorPool`]; derefs to the [`SlpEvaluator`]
+/// and returns it (capacity retained) on drop.
+#[derive(Debug)]
+pub struct PooledSlpEvaluator<'p> {
+    pool: &'p SlpEvaluatorPool,
+    engine: Option<SlpEvaluator>,
+    tag: u64,
+}
+
+impl Deref for PooledSlpEvaluator<'_> {
+    type Target = SlpEvaluator;
+    fn deref(&self) -> &SlpEvaluator {
+        self.engine.as_ref().expect("engine present until drop")
+    }
+}
+
+impl DerefMut for PooledSlpEvaluator<'_> {
+    fn deref_mut(&mut self) -> &mut SlpEvaluator {
+        self.engine.as_mut().expect("engine present until drop")
+    }
+}
+
+impl PooledSlpEvaluator<'_> {
+    /// Consumes the guard **without** checking the evaluator back in,
+    /// checking a fresh replacement in pre-emptively (see
+    /// [`PooledEvaluator::quarantine`]).
+    pub fn quarantine(mut self) {
+        if self.engine.take().is_some() {
+            self.pool.quarantined.fetch_add(1, Ordering::Relaxed);
+            self.pool.created.fetch_add(1, Ordering::Relaxed);
+            lock(&self.pool.idle).push((self.tag, SlpEvaluator::new()));
+        }
+    }
+}
+
+impl Drop for PooledSlpEvaluator<'_> {
+    fn drop(&mut self) {
+        if let Some(engine) = self.engine.take() {
+            lock(&self.pool.idle).push((self.tag, engine));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +402,20 @@ mod tests {
         assert_eq!(pool.idle(), 1);
         let _b = pool.checkout();
         assert_eq!(pool.engines_created(), 1);
+    }
+
+    #[test]
+    fn slp_pool_mirrors_evaluator_pool() {
+        let pool = SlpEvaluatorPool::new();
+        {
+            let _a = pool.checkout();
+        }
+        assert_eq!(pool.idle(), 1);
+        let _b = pool.checkout();
+        assert_eq!(pool.engines_created(), 1);
+        pool.checkout().quarantine();
+        assert_eq!(pool.quarantined(), 1);
+        assert_eq!(pool.idle(), 1, "quarantine must check a fresh replacement in");
     }
 
     #[test]
@@ -416,6 +533,7 @@ mod tests {
         fn shared<T: Send + Sync>() {}
         shared::<EvaluatorPool>();
         shared::<CountCachePool<u64>>();
+        shared::<SlpEvaluatorPool>();
         let pool = EvaluatorPool::new();
         std::thread::scope(|s| {
             for _ in 0..4 {

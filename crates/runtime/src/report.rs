@@ -166,7 +166,9 @@ impl<T> BatchReport<T> {
     }
 
     /// A one-line human-readable summary of the batch outcome — the line a
-    /// serving loop logs per batch.
+    /// serving loop logs per batch. When the report carries per-tenant slots
+    /// (shared multi-tenant passes), the line appends each tenant's ok/failed
+    /// counts; single-tenant reports render exactly as before.
     ///
     /// ```
     /// # use spanners_runtime::BatchReport;
@@ -181,6 +183,7 @@ impl<T> BatchReport<T> {
             degraded: self.degraded,
             retried: self.retried,
             quarantined: self.quarantined,
+            tenants: self.tenants.iter().map(|t| (t.id.clone(), t.ok, t.failed)).collect(),
         }
     }
 
@@ -211,7 +214,7 @@ impl<T> BatchReport<T> {
 
 /// The one-line [`std::fmt::Display`] summary of a [`BatchReport`] (see
 /// [`BatchReport::summary`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchSummary {
     docs: usize,
     ok: usize,
@@ -219,6 +222,9 @@ pub struct BatchSummary {
     degraded: usize,
     retried: usize,
     quarantined: usize,
+    /// `(tenant id, ok, failed)` per [`TenantSlot`]; empty for
+    /// single-tenant reports.
+    tenants: Vec<(String, usize, usize)>,
 }
 
 impl std::fmt::Display for BatchSummary {
@@ -227,7 +233,14 @@ impl std::fmt::Display for BatchSummary {
             f,
             "{} docs: {} ok, {} failed, {} degraded, {} retries, {} quarantined",
             self.docs, self.ok, self.failed, self.degraded, self.retried, self.quarantined
-        )
+        )?;
+        if !self.tenants.is_empty() {
+            write!(f, "; tenants:")?;
+            for (id, ok, failed) in &self.tenants {
+                write!(f, " {id}={ok} ok/{failed} failed")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -257,6 +270,24 @@ mod tests {
         assert_eq!(
             report.summary().to_string(),
             "3 docs: 2 ok, 1 failed, 1 degraded, 3 retries, 1 quarantined"
+        );
+    }
+
+    #[test]
+    fn summary_appends_tenant_slots_when_present() {
+        let mut report: BatchReport<u32> = BatchReport::from_results(vec![Ok(1), Ok(2), Ok(3)]);
+        assert_eq!(
+            report.summary().to_string(),
+            "3 docs: 3 ok, 0 failed, 0 degraded, 0 retries, 0 quarantined"
+        );
+        report.tenants = vec![
+            TenantSlot { id: "t0".into(), ok: 3, failed: 0, mappings: 7 },
+            TenantSlot { id: "t1".into(), ok: 2, failed: 1, mappings: 0 },
+        ];
+        assert_eq!(
+            report.summary().to_string(),
+            "3 docs: 3 ok, 0 failed, 0 degraded, 0 retries, 0 quarantined; \
+             tenants: t0=3 ok/0 failed t1=2 ok/1 failed"
         );
     }
 

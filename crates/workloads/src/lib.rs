@@ -14,10 +14,12 @@
 pub mod documents;
 pub mod families;
 pub mod rng;
+pub mod slp;
 
 pub use documents::{
     contact_corpus, contact_directory, corpus_bytes, dna, drifting_corpus, figure1_document,
-    log_corpus, log_lines, random_text, random_words, sparse_match_text, text_corpus,
+    log_corpus, log_lines, random_text, random_words, repetitive_log_corpus, sparse_match_text,
+    text_corpus,
 };
 pub use families::{
     all_spans_eva, contact_pattern, digit_runs_pattern, exp_blowup_eva, exp_blowup_expected,
@@ -25,3 +27,4 @@ pub use families::{
     nested_captures_pattern, prop42_va, random_functional_va, tenant_corpus,
     tenant_keyword_workload, witness_document, TenantWorkload,
 };
+pub use slp::{corpus_compression_ratio, SlpBuilder};

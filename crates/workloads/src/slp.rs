@@ -1,0 +1,284 @@
+//! Offline SLP construction: a greedy Re-Pair-style grammar compressor
+//! turning byte corpora into the [`Slp`] documents the grammar-aware engine
+//! of `spanners-core` evaluates without decompressing.
+//!
+//! The builder is round-based byte-pair encoding over the whole corpus: each
+//! round counts adjacent symbol pairs across every stream, mints one rule
+//! per sufficiently frequent pair, and rewrites the streams greedily left to
+//! right. Every rule references only symbols that existed before its round,
+//! so the produced grammar is acyclic by construction and
+//! [`SlpRules::new`]'s validation is a formality. All documents of one
+//! corpus share one rule set (one `Arc<SlpRules>`), which is what lets the
+//! evaluation engine share one bottom-up pass across the corpus.
+
+use spanners_core::error::SpannerError;
+use spanners_core::{Document, Slp, SlpRules};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Symbols below 256 are terminals; `256 + k` names rule `k` (kept in sync
+/// with `spanners-core`'s [`Slp`] symbol space).
+const FIRST_NONTERMINAL: u32 = 256;
+
+/// Greedy Re-Pair-style SLP builder over a byte corpus.
+///
+/// ```
+/// use spanners_workloads::SlpBuilder;
+/// use spanners_core::Document;
+/// let doc = Document::from("abababababababab");
+/// let slp = SlpBuilder::new().build(&doc).unwrap();
+/// assert_eq!(slp.decompress().bytes(), doc.bytes());
+/// assert!(slp.compression_ratio() > 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlpBuilder {
+    max_rules: usize,
+    min_pair_count: usize,
+}
+
+impl Default for SlpBuilder {
+    fn default() -> SlpBuilder {
+        SlpBuilder::new()
+    }
+}
+
+impl SlpBuilder {
+    /// A builder with the default rule budget (65 536) and pair threshold
+    /// (4 occurrences — a rule costs two grammar symbols and each
+    /// replacement saves one, so rarer pairs don't pay for themselves).
+    pub fn new() -> SlpBuilder {
+        SlpBuilder { max_rules: 65_536, min_pair_count: 4 }
+    }
+
+    /// Caps the number of rules the grammar may introduce.
+    pub fn with_max_rules(mut self, max_rules: usize) -> SlpBuilder {
+        self.max_rules = max_rules;
+        self
+    }
+
+    /// Sets the minimum corpus-wide occurrence count a pair needs to earn a
+    /// rule (values below 2 are clamped to 2 — a once-seen pair can only
+    /// grow the grammar).
+    pub fn with_min_pair_count(mut self, min_pair_count: usize) -> SlpBuilder {
+        self.min_pair_count = min_pair_count.max(2);
+        self
+    }
+
+    /// Compresses one document (a one-document corpus).
+    pub fn build(&self, doc: &Document) -> Result<Slp, SpannerError> {
+        Ok(self.build_corpus(std::slice::from_ref(doc))?.pop().expect("one document in"))
+    }
+
+    /// Compresses a corpus into one shared rule set plus one [`Slp`] per
+    /// document. Pair statistics are pooled across documents, so repetition
+    /// *between* documents compresses as well as repetition within one.
+    pub fn build_corpus(&self, docs: &[Document]) -> Result<Vec<Slp>, SpannerError> {
+        let mut streams: Vec<Vec<u32>> =
+            docs.iter().map(|d| d.bytes().iter().map(|&b| b as u32).collect()).collect();
+        let mut rules: Vec<(u32, u32)> = Vec::new();
+        let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
+        let mut selected: HashMap<(u32, u32), u32> = HashMap::new();
+        while rules.len() < self.max_rules {
+            counts.clear();
+            for s in &streams {
+                for w in s.windows(2) {
+                    *counts.entry((w[0], w[1])).or_insert(0) += 1;
+                }
+            }
+            // Frequent pairs first; ties broken by pair value so the grammar
+            // is deterministic regardless of hash-map iteration order.
+            let mut candidates: Vec<((u32, u32), usize)> = counts
+                .iter()
+                .filter(|&(_, &c)| c >= self.min_pair_count)
+                .map(|(&p, &c)| (p, c))
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            candidates.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            selected.clear();
+            let round_start = rules.len();
+            for (pair, _) in candidates.into_iter().take(self.max_rules - rules.len()) {
+                rules.push(pair);
+                selected.insert(pair, FIRST_NONTERMINAL + (rules.len() - 1) as u32);
+            }
+            // One greedy left-to-right rewrite pass per round. Freshly
+            // minted symbols are ≥ this round's symbol bound while every
+            // selected pair is below it, so replacements never chain within
+            // a round — each rule's children predate its round, keeping the
+            // grammar acyclic by construction.
+            let mut uses = vec![0usize; rules.len() - round_start];
+            for s in &mut streams {
+                let mut out = 0usize;
+                let mut i = 0usize;
+                while i < s.len() {
+                    if i + 1 < s.len() {
+                        if let Some(&sym) = selected.get(&(s[i], s[i + 1])) {
+                            uses[(sym - FIRST_NONTERMINAL) as usize - round_start] += 1;
+                            s[out] = sym;
+                            out += 1;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    s[out] = s[i];
+                    out += 1;
+                    i += 1;
+                }
+                s.truncate(out);
+            }
+            // Overlapping candidates steal each other's occurrences during
+            // the greedy rewrite, so a pair counted ≥ min_pair_count may
+            // have been replaced only once or twice — net grammar growth
+            // (a rule costs two symbols, each replacement saves one). Undo
+            // those: re-expand their occurrences one level (children predate
+            // the round) and compact this round's symbol range.
+            let mut remap: Vec<Option<u32>> = Vec::with_capacity(uses.len());
+            let mut kept_round: Vec<(u32, u32)> = Vec::new();
+            for (k, &n) in uses.iter().enumerate() {
+                if n >= 3 {
+                    remap.push(Some(FIRST_NONTERMINAL + (round_start + kept_round.len()) as u32));
+                    kept_round.push(rules[round_start + k]);
+                } else {
+                    remap.push(None);
+                }
+            }
+            if kept_round.len() < uses.len() {
+                let round_bound = FIRST_NONTERMINAL + round_start as u32;
+                for s in &mut streams {
+                    if s.iter().any(|&sym| {
+                        sym >= round_bound && remap[(sym - round_bound) as usize].is_none()
+                    }) {
+                        let mut rewritten = Vec::with_capacity(s.len() + 8);
+                        for &sym in s.iter() {
+                            if sym < round_bound {
+                                rewritten.push(sym);
+                            } else {
+                                match remap[(sym - round_bound) as usize] {
+                                    Some(new_sym) => rewritten.push(new_sym),
+                                    None => {
+                                        let (l, r) = rules[(sym - FIRST_NONTERMINAL) as usize];
+                                        rewritten.push(l);
+                                        rewritten.push(r);
+                                    }
+                                }
+                            }
+                        }
+                        *s = rewritten;
+                    } else {
+                        for sym in s.iter_mut() {
+                            if *sym >= round_bound {
+                                *sym = remap[(*sym - round_bound) as usize]
+                                    .expect("kept symbols remap");
+                            }
+                        }
+                    }
+                }
+                rules.truncate(round_start);
+                rules.extend(kept_round);
+                if rules.len() == round_start {
+                    // Nothing this round paid for itself; further rounds
+                    // would reselect the same pairs forever.
+                    break;
+                }
+            }
+        }
+        // Garbage-collect: overlapping candidates of one round can steal
+        // each other's occurrences during the greedy rewrite, leaving rules
+        // nothing references. Keep only rules reachable from the final
+        // sequences and compact the symbol space (relative order — and with
+        // it acyclicity — is preserved).
+        let mut reachable = vec![false; rules.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for s in &streams {
+            stack.extend(s.iter().copied().filter(|&sym| sym >= FIRST_NONTERMINAL));
+        }
+        while let Some(sym) = stack.pop() {
+            let k = (sym - FIRST_NONTERMINAL) as usize;
+            if !std::mem::replace(&mut reachable[k], true) {
+                let (l, r) = rules[k];
+                stack.extend([l, r].into_iter().filter(|&c| c >= FIRST_NONTERMINAL));
+            }
+        }
+        let mut remap = vec![u32::MAX; rules.len()];
+        let mut kept: Vec<(u32, u32)> = Vec::new();
+        for (k, &(l, r)) in rules.iter().enumerate() {
+            if reachable[k] {
+                let m = |sym: u32| {
+                    if sym < FIRST_NONTERMINAL {
+                        sym
+                    } else {
+                        remap[(sym - FIRST_NONTERMINAL) as usize]
+                    }
+                };
+                let pair = (m(l), m(r));
+                remap[k] = FIRST_NONTERMINAL + kept.len() as u32;
+                kept.push(pair);
+            }
+        }
+        for s in &mut streams {
+            for sym in s.iter_mut() {
+                if *sym >= FIRST_NONTERMINAL {
+                    *sym = remap[(*sym - FIRST_NONTERMINAL) as usize];
+                }
+            }
+        }
+        let rules = Arc::new(SlpRules::new(kept)?);
+        streams.into_iter().map(|seq| Slp::new(Arc::clone(&rules), seq)).collect()
+    }
+}
+
+/// Corpus-level compression ratio: total decompressed bytes over total
+/// compressed symbols, counting the (shared) rule set **once** — the honest
+/// figure for corpora built with [`SlpBuilder::build_corpus`], where
+/// [`Slp::compression_ratio`] would charge every document for the whole
+/// grammar.
+pub fn corpus_compression_ratio(slps: &[Slp]) -> f64 {
+    let bytes: u64 = slps.iter().map(Slp::len).sum();
+    let symbols: usize = slps.iter().map(|s| s.sequence().len()).sum::<usize>()
+        + slps.first().map_or(0, |s| 2 * s.rules().num_rules());
+    bytes as f64 / symbols.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::documents::{log_lines, repetitive_log_corpus};
+
+    #[test]
+    fn roundtrips_and_compresses_repetitive_input() {
+        let doc = Document::from("abcabcabcabcabcabcabcabcabcabcabcabc");
+        let slp = SlpBuilder::new().build(&doc).unwrap();
+        assert_eq!(slp.decompress().bytes(), doc.bytes());
+        assert!(slp.compression_ratio() > 1.5, "ratio {}", slp.compression_ratio());
+    }
+
+    #[test]
+    fn corpus_shares_one_rule_set_and_roundtrips() {
+        let docs = repetitive_log_corpus(7, 4, 1000);
+        let slps = SlpBuilder::new().build_corpus(&docs).unwrap();
+        assert_eq!(slps.len(), docs.len());
+        for (slp, doc) in slps.iter().zip(&docs) {
+            assert_eq!(slp.decompress().bytes(), doc.bytes());
+            assert_eq!(slp.rules().id(), slps[0].rules().id(), "rule set must be shared");
+        }
+        let ratio = corpus_compression_ratio(&slps);
+        assert!(ratio >= 20.0, "repetitive logs must compress ≥ 20×, got {ratio:.1}");
+    }
+
+    #[test]
+    fn incompressible_input_stays_terminal() {
+        let doc = Document::from("abcdefgh");
+        let slp = SlpBuilder::new().build(&doc).unwrap();
+        assert_eq!(slp.rules().num_rules(), 0);
+        assert_eq!(slp.decompress().bytes(), doc.bytes());
+    }
+
+    #[test]
+    fn rule_budget_is_respected() {
+        let doc = log_lines(3, 200);
+        let slp = SlpBuilder::new().with_max_rules(16).build(&doc).unwrap();
+        assert!(slp.rules().num_rules() <= 16);
+        assert_eq!(slp.decompress().bytes(), doc.bytes());
+    }
+}

@@ -27,8 +27,8 @@ pub use spanners_workloads as workloads;
 pub use spanners_core::{
     count_mappings, CompiledSpanner, CountCache, Document, EngineMode, EnginePolicy,
     EnumerationDag, Eva, EvaBuilder, EvalLimits, Evaluator, EvictionPolicy, FrozenCache,
-    FrozenDelta, LazyCache, LazyConfig, LazyDetSeva, Mapping, MarkerSet, Span, SpannerError, VarId,
-    VarRegistry,
+    FrozenDelta, LazyCache, LazyConfig, LazyDetSeva, Mapping, MarkerSet, Slp, SlpEvaluator,
+    SlpRules, Span, SpannerError, VarId, VarRegistry,
 };
 pub use spanners_runtime::{
     BatchOptions, BatchReport, BatchSpanner, BatchSummary, DegradePolicy, MultiBatchReport,
