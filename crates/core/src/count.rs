@@ -340,6 +340,28 @@ impl<C: Counter> CountCache<C> {
         self.frozen.as_ref().map(|(_, d)| d)
     }
 
+    /// Bytes currently held by this cache's **governed** memory (mirrors
+    /// [`crate::Evaluator::governed_bytes`]): the embedded lazy
+    /// determinization cache plus the frozen-overflow delta.
+    pub fn governed_bytes(&self) -> usize {
+        let lazy = self.lazy.as_ref().map_or(0, |(_, c)| c.memory_bytes());
+        let frozen = self.frozen.as_ref().map_or(0, |(_, d)| d.memory_bytes());
+        lazy + frozen
+    }
+
+    /// Sheds this cache's governed memory for the global governor (mirrors
+    /// [`crate::Evaluator::shed_cold_memory`]); returns the bytes freed.
+    pub fn shed_cold_memory(&mut self) -> usize {
+        let mut freed = 0;
+        if let Some((_, cache)) = self.lazy.take() {
+            freed += cache.memory_bytes();
+        }
+        if let Some((_, delta)) = self.frozen.as_mut() {
+            freed += delta.shed();
+        }
+        freed
+    }
+
     /// The Algorithm 3 loop, generic over the eager/lazy [`Stepper`] seam.
     fn count_run<S: Stepper>(&mut self, aut: &mut S, doc: &Document) -> Result<C, SpannerError> {
         self.checker = LimitChecker::start(&self.limits);

@@ -573,6 +573,35 @@ impl Evaluator {
         self.frozen.as_ref().map(|(_, d)| d)
     }
 
+    /// Bytes currently held by this evaluator's **governed** memory: the
+    /// embedded lazy determinization cache plus the frozen-overflow delta —
+    /// the caches a global [`crate::MemoryGovernor`] ledgers and can shed.
+    /// (The enumeration node store is per-document working memory, not
+    /// governed.)
+    pub fn governed_bytes(&self) -> usize {
+        let lazy = self.lazy.as_ref().map_or(0, |(_, c)| c.memory_bytes());
+        let frozen = self.frozen.as_ref().map_or(0, |(_, d)| d.memory_bytes());
+        lazy + frozen
+    }
+
+    /// Sheds this evaluator's governed memory for the global governor
+    /// (severity 1 of the shedding ladder): drops the embedded lazy cache
+    /// outright and [`FrozenDelta::shed`]s the frozen-overflow delta.
+    /// Returns the bytes freed. The evaluator stays fully usable — the next
+    /// lazy run rebuilds its cache from scratch, the next frozen run
+    /// re-interns overflow states on demand, and results are unchanged
+    /// (byte-identical) because both caches are pure memoization.
+    pub fn shed_cold_memory(&mut self) -> usize {
+        let mut freed = 0;
+        if let Some((_, cache)) = self.lazy.take() {
+            freed += cache.memory_bytes();
+        }
+        if let Some((_, delta)) = self.frozen.as_mut() {
+            freed += delta.shed();
+        }
+        freed
+    }
+
     /// Takes the embedded cache out for an evaluation of `aut`, replacing it
     /// with a fresh one if it belonged to a different lazy automaton.
     fn take_lazy_cache(&mut self, aut: &LazyDetSeva) -> LazyCache {

@@ -112,8 +112,42 @@ pub enum SpannerError {
     /// ingress queue was full. The document was **not** accepted — retry
     /// later or drop it; nothing server-side refers to it.
     Overloaded {
+        /// Documents queued at the moment the submission was shed (under
+        /// concurrent submitters this is a snapshot, but it is never less
+        /// than `capacity` when the error is raised).
+        queued: usize,
         /// The configured queue capacity (documents) that was full.
         capacity: usize,
+    },
+    /// A per-tenant admission quota rejected a streaming submission before
+    /// it reached the ingress queue. The document was **not** accepted; the
+    /// rejection is retryable once the tenant's in-flight work completes (or
+    /// its token bucket refills on the next completed micro-batch).
+    QuotaExceeded {
+        /// The tenant whose quota was exhausted (empty for the anonymous
+        /// single-tenant submission path).
+        tenant: String,
+        /// Which quota dimension rejected the submission:
+        /// `"in-flight documents"`, `"queued bytes"`, `"rate tokens"`, or
+        /// `"injected"` (deterministic fault harness).
+        kind: &'static str,
+    },
+    /// The tenant's circuit breaker is open: its recent documents kept
+    /// failing, so new submissions are shed without burning a shard pass.
+    /// Retryable after the stated number of completed micro-batches, when
+    /// the breaker moves to half-open and admits a probe document.
+    CircuitOpen {
+        /// The tenant being shed.
+        tenant: String,
+        /// Completed micro-batches until the breaker admits a probe.
+        retry_after_batches: u32,
+    },
+    /// A bounded ticket wait (the runtime's `Ticket::wait_timeout`) elapsed
+    /// before the submission completed. The ticket is **not** consumed and
+    /// the result is still pending: wait again, or drain the server.
+    WaitTimedOut {
+        /// The timeout that elapsed, in milliseconds.
+        waited_ms: u64,
     },
     /// A submission (or still-queued ticket) was rejected because the
     /// service had already begun draining or aborting. Accepted work is
@@ -126,6 +160,36 @@ pub enum SpannerError {
         /// The variable name that failed to resolve.
         variable: String,
     },
+}
+
+impl SpannerError {
+    /// Whether the error is **transient**: retrying the same call later (or
+    /// with backoff — see the runtime's `RetryPolicy`) can succeed without
+    /// any change to the input.
+    ///
+    /// Retryable: [`Overloaded`](SpannerError::Overloaded) (queue pressure
+    /// drains), [`QuotaExceeded`](SpannerError::QuotaExceeded) (in-flight
+    /// work completes, token buckets refill),
+    /// [`CircuitOpen`](SpannerError::CircuitOpen) (the breaker half-opens
+    /// after its cooldown), [`BudgetExceeded`](SpannerError::BudgetExceeded)
+    /// (memory pressure sheds), a *soft*
+    /// [`DeadlineExceeded`](SpannerError::DeadlineExceeded) (the degradation
+    /// ladder's retry rungs apply), and
+    /// [`WaitTimedOut`](SpannerError::WaitTimedOut) (the ticket is intact —
+    /// wait again). Everything else — malformed input, hard deadlines,
+    /// panics, [`ShuttingDown`](SpannerError::ShuttingDown) — is terminal:
+    /// retrying the identical call cannot succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SpannerError::Overloaded { .. }
+                | SpannerError::QuotaExceeded { .. }
+                | SpannerError::CircuitOpen { .. }
+                | SpannerError::BudgetExceeded { .. }
+                | SpannerError::DeadlineExceeded { soft: true, .. }
+                | SpannerError::WaitTimedOut { .. }
+        )
+    }
 }
 
 impl fmt::Display for SpannerError {
@@ -181,8 +245,23 @@ impl fmt::Display for SpannerError {
             SpannerError::InvalidConfig { what } => {
                 write!(f, "invalid configuration: {what}")
             }
-            SpannerError::Overloaded { capacity } => {
-                write!(f, "service overloaded: ingress queue full ({capacity} documents)")
+            SpannerError::Overloaded { queued, capacity } => {
+                write!(f, "service overloaded: ingress queue full ({queued}/{capacity} documents)")
+            }
+            SpannerError::QuotaExceeded { tenant, kind } => {
+                if tenant.is_empty() {
+                    write!(f, "admission quota exceeded: {kind}")
+                } else {
+                    write!(f, "tenant `{tenant}` quota exceeded: {kind}")
+                }
+            }
+            SpannerError::CircuitOpen { tenant, retry_after_batches } => write!(
+                f,
+                "tenant `{tenant}` circuit breaker is open: retry after {retry_after_batches} \
+                 completed batches"
+            ),
+            SpannerError::WaitTimedOut { waited_ms } => {
+                write!(f, "ticket wait timed out after {waited_ms} ms (result still pending)")
             }
             SpannerError::ShuttingDown => {
                 write!(f, "service is shutting down: submission rejected")
@@ -295,12 +374,53 @@ mod tests {
 
     #[test]
     fn display_overloaded_and_shutting_down() {
-        let e = SpannerError::Overloaded { capacity: 64 };
-        assert_eq!(e.to_string(), "service overloaded: ingress queue full (64 documents)");
+        let e = SpannerError::Overloaded { queued: 64, capacity: 64 };
+        assert_eq!(e.to_string(), "service overloaded: ingress queue full (64/64 documents)");
         assert_eq!(
             SpannerError::ShuttingDown.to_string(),
             "service is shutting down: submission rejected"
         );
+    }
+
+    #[test]
+    fn display_quota_and_breaker_and_wait_timeout() {
+        let e = SpannerError::QuotaExceeded { tenant: "t3".into(), kind: "queued bytes" };
+        assert_eq!(e.to_string(), "tenant `t3` quota exceeded: queued bytes");
+        let anon = SpannerError::QuotaExceeded { tenant: String::new(), kind: "rate tokens" };
+        assert_eq!(anon.to_string(), "admission quota exceeded: rate tokens");
+        let open = SpannerError::CircuitOpen { tenant: "t3".into(), retry_after_batches: 2 };
+        assert_eq!(
+            open.to_string(),
+            "tenant `t3` circuit breaker is open: retry after 2 completed batches"
+        );
+        let timed = SpannerError::WaitTimedOut { waited_ms: 50 };
+        assert_eq!(timed.to_string(), "ticket wait timed out after 50 ms (result still pending)");
+    }
+
+    #[test]
+    fn retryable_classification_is_pinned() {
+        let retryable = [
+            SpannerError::Overloaded { queued: 2, capacity: 2 },
+            SpannerError::QuotaExceeded { tenant: "t".into(), kind: "rate tokens" },
+            SpannerError::CircuitOpen { tenant: "t".into(), retry_after_batches: 1 },
+            SpannerError::BudgetExceeded { what: "global memory budget", limit: 1 },
+            SpannerError::DeadlineExceeded { soft: true, limit_ms: 5 },
+            SpannerError::WaitTimedOut { waited_ms: 5 },
+        ];
+        for e in &retryable {
+            assert!(e.is_retryable(), "{e} must be retryable");
+        }
+        let terminal = [
+            SpannerError::ShuttingDown,
+            SpannerError::DeadlineExceeded { soft: false, limit_ms: 5 },
+            SpannerError::StepBudgetExceeded { limit: 1 },
+            SpannerError::WorkerPanicked { doc_index: 0, message: "boom".into() },
+            SpannerError::CountOverflow,
+            SpannerError::InvalidConfig { what: "x" },
+        ];
+        for e in &terminal {
+            assert!(!e.is_retryable(), "{e} must be terminal");
+        }
     }
 
     #[test]

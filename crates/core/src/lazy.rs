@@ -1489,6 +1489,37 @@ impl FrozenDelta {
         self.clear_local();
     }
 
+    /// Sheds the delta for the global memory governor: drops every overflow
+    /// state and override **and releases the backing allocations** (unlike
+    /// the internal evictions, which keep capacity for reuse). Returns the
+    /// bytes freed. The delta stays bound to its snapshot and remains fully
+    /// usable — subsequent documents re-intern overflow states on demand,
+    /// exactly as after a budget eviction.
+    ///
+    /// Lifetime counters ([`FrozenDelta::states_interned`],
+    /// [`FrozenDelta::clear_count`]) are untouched: a governor shed is not a
+    /// budget-driven eviction, so it never trips the per-document thrash
+    /// guard.
+    pub fn shed(&mut self) -> usize {
+        let freed = self.bytes;
+        self.clear_local();
+        self.keys.shrink_to_fit();
+        self.key_offsets.shrink_to_fit();
+        self.finals.shrink_to_fit();
+        self.var_starts.shrink_to_fit();
+        self.var_lens.shrink_to_fit();
+        self.letter_rows.shrink_to_fit();
+        self.skip_rows.shrink_to_fit();
+        self.skip_masks.shrink_to_fit();
+        self.var_pairs.shrink_to_fit();
+        self.index.shrink_to_fit();
+        self.letter_overrides.shrink_to_fit();
+        self.skip_overrides.shrink_to_fit();
+        self.var_overrides.shrink_to_fit();
+        self.mask_overrides.shrink_to_fit();
+        freed
+    }
+
     /// Drops every overflow state and override, keeping allocated capacity.
     fn clear_local(&mut self) {
         self.key_offsets.clear();

@@ -64,7 +64,7 @@ pub use lazy::{
     CapacitySignature, EvictionPolicy, FrozenCache, FrozenDelta, FrozenStepper, LazyCache,
     LazyConfig, LazyDetSeva, LazyStepper,
 };
-pub use limits::EvalLimits;
+pub use limits::{EvalLimits, GovernorHandle, GovernorStats, MemoryGovernor};
 pub use mapping::{
     dedup_mappings, join_mapping_sets, project_mapping_set, union_mapping_sets, Mapping,
 };
@@ -101,4 +101,6 @@ fn assert_runtime_thread_safety() {
     shared::<SlpRules>();
     shared::<SlpSharedMemo>();
     per_worker::<SlpEvaluator>();
+    shared::<MemoryGovernor>();
+    shared::<GovernorHandle>();
 }

@@ -19,6 +19,8 @@
 //! fallible `try_*` entry points of the engines.
 
 use crate::error::SpannerError;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How many executed positions pass between wall-clock reads once a deadline
@@ -295,6 +297,177 @@ impl LimitChecker {
     }
 }
 
+/// A process-level memory budget shared by every serving component, with a
+/// single atomic byte ledger.
+///
+/// The per-component accounting already exists — `LazyCache`, `FrozenDelta`
+/// and the SLP memo arenas each report their live bytes (the
+/// capacity-signature slots) — but each cache previously enforced only its
+/// *own* budget, so N components × per-component budget bounded nothing
+/// globally. A `MemoryGovernor` aggregates those bytes behind one ledger:
+/// components register a [`GovernorHandle`] and `settle` their current byte
+/// count after each batch; when the global budget is exceeded, the runtime
+/// sheds in severity order (shrink cold frozen deltas, then clear SLP
+/// overflow memos, then deny new admissions with a **retryable**
+/// [`SpannerError::BudgetExceeded`]) instead of each cache thrashing
+/// independently.
+///
+/// The ledger tracks **settled** bytes only; `pressure` is a separate
+/// diagnostic knob (used by the deterministic fault harness to simulate
+/// external memory pressure) that influences [`MemoryGovernor::over_budget`]
+/// without ever entering the ledger — so "ledger bytes never exceed the
+/// budget between batches" stays assertable even under injected pressure.
+#[derive(Debug)]
+pub struct MemoryGovernor {
+    /// The global byte budget.
+    budget: usize,
+    /// Settled bytes across all registered handles.
+    ledger: AtomicUsize,
+    /// Injected/external pressure bytes (never part of the ledger).
+    pressure: AtomicUsize,
+    /// Frozen-delta sheds performed on the governor's behalf (severity 1).
+    deltas_shed: AtomicU64,
+    /// SLP memo sheds performed on the governor's behalf (severity 2).
+    memos_shed: AtomicU64,
+    /// Admissions denied while over budget (severity 3).
+    denials: AtomicU64,
+}
+
+impl MemoryGovernor {
+    /// A governor enforcing `budget` bytes across every component that
+    /// settles into it.
+    pub fn new(budget: usize) -> MemoryGovernor {
+        MemoryGovernor {
+            budget,
+            ledger: AtomicUsize::new(0),
+            pressure: AtomicUsize::new(0),
+            deltas_shed: AtomicU64::new(0),
+            memos_shed: AtomicU64::new(0),
+            denials: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured global byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Settled bytes currently on the ledger (injected pressure excluded).
+    pub fn ledger_bytes(&self) -> usize {
+        self.ledger.load(Ordering::Acquire)
+    }
+
+    /// Whether settled bytes plus injected pressure exceed the budget — the
+    /// condition under which the runtime sheds and admissions are denied.
+    pub fn over_budget(&self) -> bool {
+        self.ledger_bytes().saturating_add(self.pressure.load(Ordering::Acquire)) > self.budget
+    }
+
+    /// Sets the injected/external pressure, in bytes (see the type docs).
+    pub fn set_pressure(&self, bytes: usize) {
+        self.pressure.store(bytes, Ordering::Release);
+    }
+
+    /// Moves the ledger from a component's previously settled byte count to
+    /// its current one.
+    fn account(&self, prev: usize, now: usize) {
+        if now >= prev {
+            self.ledger.fetch_add(now - prev, Ordering::AcqRel);
+        } else {
+            self.ledger.fetch_sub(prev - now, Ordering::AcqRel);
+        }
+    }
+
+    /// Records `n` frozen-delta sheds performed to get back under budget.
+    pub fn note_deltas_shed(&self, n: u64) {
+        self.deltas_shed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` SLP memo sheds performed to get back under budget.
+    pub fn note_memos_shed(&self, n: u64) {
+        self.memos_shed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Admission gate: `Err` with a **retryable**
+    /// [`SpannerError::BudgetExceeded`] while over budget (severity 3 of the
+    /// shedding ladder — new work is denied until settling or shedding
+    /// brings the ledger back under), `Ok` otherwise.
+    pub fn admit(&self) -> Result<(), SpannerError> {
+        if self.over_budget() {
+            self.denials.fetch_add(1, Ordering::Relaxed);
+            return Err(SpannerError::BudgetExceeded {
+                what: "global memory budget",
+                limit: self.budget,
+            });
+        }
+        Ok(())
+    }
+
+    /// A point-in-time snapshot of the governor's counters.
+    pub fn stats(&self) -> GovernorStats {
+        GovernorStats {
+            budget: self.budget,
+            ledger_bytes: self.ledger_bytes(),
+            pressure_bytes: self.pressure.load(Ordering::Acquire),
+            deltas_shed: self.deltas_shed.load(Ordering::Relaxed),
+            memos_shed: self.memos_shed.load(Ordering::Relaxed),
+            denials: self.denials.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of [`MemoryGovernor`] counters (see [`MemoryGovernor::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorStats {
+    /// The configured global byte budget.
+    pub budget: usize,
+    /// Settled bytes on the ledger at snapshot time.
+    pub ledger_bytes: usize,
+    /// Injected/external pressure bytes at snapshot time.
+    pub pressure_bytes: usize,
+    /// Frozen-delta sheds performed to get back under budget (severity 1).
+    pub deltas_shed: u64,
+    /// SLP memo sheds performed to get back under budget (severity 2).
+    pub memos_shed: u64,
+    /// Admissions denied while over budget (severity 3).
+    pub denials: u64,
+}
+
+/// One component's registration with a [`MemoryGovernor`]: remembers how
+/// many bytes this component last settled so the shared ledger moves by
+/// deltas, and settles back to zero on drop (a dropped component frees its
+/// memory, so its ledger contribution must vanish with it).
+#[derive(Debug)]
+pub struct GovernorHandle {
+    gov: Arc<MemoryGovernor>,
+    accounted: AtomicUsize,
+}
+
+impl GovernorHandle {
+    /// Registers a component with `gov` (zero bytes settled initially).
+    pub fn new(gov: Arc<MemoryGovernor>) -> GovernorHandle {
+        GovernorHandle { gov, accounted: AtomicUsize::new(0) }
+    }
+
+    /// The shared governor this handle settles into.
+    pub fn governor(&self) -> &Arc<MemoryGovernor> {
+        &self.gov
+    }
+
+    /// Settles this component's current byte count into the shared ledger
+    /// (replacing whatever it settled last time).
+    pub fn settle(&self, now: usize) {
+        let prev = self.accounted.swap(now, Ordering::AcqRel);
+        self.gov.account(prev, now);
+    }
+}
+
+impl Drop for GovernorHandle {
+    fn drop(&mut self) {
+        self.settle(0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,5 +573,55 @@ mod tests {
         assert_eq!(l.max_steps, Some(5));
         assert!(!l.is_unlimited());
         assert!(EvalLimits::none().is_unlimited());
+    }
+
+    #[test]
+    fn governor_ledger_moves_by_settled_deltas() {
+        let gov = Arc::new(MemoryGovernor::new(1000));
+        let a = GovernorHandle::new(Arc::clone(&gov));
+        let b = GovernorHandle::new(Arc::clone(&gov));
+        a.settle(400);
+        b.settle(300);
+        assert_eq!(gov.ledger_bytes(), 700);
+        assert!(!gov.over_budget());
+        a.settle(900);
+        assert_eq!(gov.ledger_bytes(), 1200);
+        assert!(gov.over_budget());
+        a.settle(100);
+        assert_eq!(gov.ledger_bytes(), 400);
+        drop(b);
+        assert_eq!(gov.ledger_bytes(), 100, "a dropped handle settles back to zero");
+    }
+
+    #[test]
+    fn governor_denies_admission_only_while_over_budget() {
+        let gov = Arc::new(MemoryGovernor::new(100));
+        let h = GovernorHandle::new(Arc::clone(&gov));
+        gov.admit().unwrap();
+        h.settle(101);
+        let err = gov.admit().unwrap_err();
+        assert_eq!(err, SpannerError::BudgetExceeded { what: "global memory budget", limit: 100 });
+        assert!(err.is_retryable(), "governor denials must be retryable");
+        h.settle(50);
+        gov.admit().unwrap();
+        assert_eq!(gov.stats().denials, 1);
+    }
+
+    #[test]
+    fn injected_pressure_trips_over_budget_without_touching_the_ledger() {
+        let gov = Arc::new(MemoryGovernor::new(100));
+        let h = GovernorHandle::new(Arc::clone(&gov));
+        h.settle(60);
+        assert!(!gov.over_budget());
+        gov.set_pressure(50);
+        assert!(gov.over_budget());
+        assert_eq!(gov.ledger_bytes(), 60, "pressure never enters the ledger");
+        gov.note_deltas_shed(2);
+        gov.note_memos_shed(1);
+        let stats = gov.stats();
+        assert_eq!(
+            (stats.pressure_bytes, stats.deltas_shed, stats.memos_shed, stats.denials),
+            (50, 2, 1, 0)
+        );
     }
 }

@@ -1168,6 +1168,42 @@ impl SlpEvaluator {
         sig
     }
 
+    /// Bytes currently held by this evaluator's **governed** memory — the
+    /// same total as [`SlpEvaluator::memory_bytes`]: memo tables plus the
+    /// embedded determinization cache or overflow delta, all of which a
+    /// global [`crate::MemoryGovernor`] can shed.
+    pub fn governed_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+
+    /// Sheds the determinization-side memory for the global governor
+    /// (severity 1, mirrors [`crate::Evaluator::shed_cold_memory`]): drops
+    /// the embedded lazy cache and [`FrozenDelta::shed`]s the overflow
+    /// delta. The memo tables are untouched — they are severity 2, see
+    /// [`SlpEvaluator::shed_memos`]. Returns the bytes freed.
+    pub fn shed_cold_memory(&mut self) -> usize {
+        let mut freed = 0;
+        if let Some((_, cache)) = self.lazy.take() {
+            freed += cache.memory_bytes();
+        }
+        if let Some((_, delta)) = self.frozen.as_mut() {
+            freed += delta.shed();
+        }
+        freed
+    }
+
+    /// Sheds the SLP memo tables for the global governor (severity 2 of the
+    /// shedding ladder): every memoized row is dropped and recomputed on
+    /// demand, exactly as after a budget-driven clear — results stay
+    /// byte-identical. Returns the bytes freed. Unlike budget clears, a
+    /// governor shed is **not** counted by [`SlpEvaluator::memo_clears`]
+    /// and never trips the per-document thrash guard.
+    pub fn shed_memos(&mut self) -> usize {
+        let freed = self.ws.memo.bytes;
+        self.ws.memo.clear();
+        freed
+    }
+
     /// The embedded lazy determinization cache, if the evaluator has driven
     /// a lazy automaton (the freeze source of
     /// [`crate::CompiledSpanner::freeze_warm_slp`]).

@@ -39,8 +39,8 @@ use crate::pool::{
 };
 use crate::report::{BatchReport, DegradePolicy};
 use spanners_core::{
-    CompiledSpanner, Counter, DagView, Document, EngineMode, EvalLimits, FrozenCache, Slp,
-    SpannerError,
+    CompiledSpanner, Counter, DagView, Document, EngineMode, EvalLimits, FrozenCache,
+    GovernorHandle, Slp, SpannerError,
 };
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -317,6 +317,12 @@ pub(crate) struct BatchPlan<'a> {
     pub deadlines: Option<&'a [Option<Duration>]>,
     /// Serving-generation tag for pool checkouts (`0` = untagged).
     pub gen_tag: u64,
+    /// Per-component ledger handle into the process-wide
+    /// [`spanners_core::MemoryGovernor`]. When set, every report-returning
+    /// run settles the pool's governed bytes after the batch and walks the
+    /// shedding ladder while the ledger is over budget. `None` for one-shot
+    /// batches (their pools die with the call).
+    pub governor: Option<&'a GovernorHandle>,
 }
 
 impl<'a> BatchPlan<'a> {
@@ -326,7 +332,7 @@ impl<'a> BatchPlan<'a> {
         spanner: &'a CompiledSpanner,
         frozen: Option<&'a FrozenCache>,
     ) -> BatchPlan<'a> {
-        BatchPlan { spanner, frozen, doc_ids: None, deadlines: None, gen_tag: 0 }
+        BatchPlan { spanner, frozen, doc_ids: None, deadlines: None, gen_tag: 0, governor: None }
     }
 }
 
@@ -375,6 +381,37 @@ impl BatchPlan<'_> {
     fn boosted_budget(&self, policy: &DegradePolicy) -> Option<usize> {
         let base = self.spanner.lazy_automaton()?.config().memory_budget;
         Some(base.saturating_mul(policy.budget_boost as usize))
+    }
+
+    /// Settles this batch's pooled-engine bytes into the global memory
+    /// governor (when a [`BatchPlan::governor`] handle is attached) and
+    /// walks the shedding ladder while the ledger is over budget:
+    /// severity 1 sheds the coldest per-engine state (lazy caches and
+    /// frozen-overflow deltas of idle pooled engines), severity 2 clears
+    /// SLP overflow memos (`shed_memos` is a no-op for non-grammar pools).
+    /// Severity 3 — denying new checkouts with a retryable
+    /// [`SpannerError::BudgetExceeded`] — happens at admission time, not
+    /// here. Injected [`faults::governor_pressure`] is reported as external
+    /// pressure before settling so torture tests can drive the ladder
+    /// without allocating.
+    fn govern(
+        &self,
+        governed: &dyn Fn() -> usize,
+        shed_cold: &dyn Fn() -> u64,
+        shed_memos: &dyn Fn() -> u64,
+    ) {
+        let Some(handle) = self.governor else { return };
+        let gov = handle.governor();
+        gov.set_pressure(faults::governor_pressure());
+        handle.settle(governed());
+        if gov.over_budget() {
+            gov.note_deltas_shed(shed_cold());
+            handle.settle(governed());
+        }
+        if gov.over_budget() {
+            gov.note_memos_shed(shed_memos());
+            handle.settle(governed());
+        }
     }
 
     /// Resolves the injected faults, the per-request remaining-time clamp,
@@ -476,6 +513,7 @@ impl BatchPlan<'_> {
             BatchReport::from_records(records, quarantined.into_inner(), pool.engines_created());
         report.delta_states = delta_states.into_inner();
         report.delta_bytes = delta_bytes.into_inner();
+        self.govern(&|| pool.governed_bytes(), &|| pool.shed_cold(), &|| 0);
         report
     }
 
@@ -536,6 +574,7 @@ impl BatchPlan<'_> {
                 quarantined.fetch_add(1, Ordering::Relaxed);
             },
         );
+        self.govern(&|| pool.governed_bytes(), &|| pool.shed_cold(), &|| 0);
         BatchReport::from_records(records, quarantined.into_inner(), pool.engines_created())
     }
 
@@ -605,6 +644,7 @@ impl BatchPlan<'_> {
                 quarantined.fetch_add(1, Ordering::Relaxed);
             },
         );
+        self.govern(&|| pool.governed_bytes(), &|| pool.shed_cold(), &|| pool.shed_memos());
         BatchReport::from_records(records, quarantined.into_inner(), pool.engines_created())
     }
 
@@ -662,6 +702,7 @@ impl BatchPlan<'_> {
                 quarantined.fetch_add(1, Ordering::Relaxed);
             },
         );
+        self.govern(&|| pool.governed_bytes(), &|| pool.shed_cold(), &|| 0);
         BatchReport::from_records(records, quarantined.into_inner(), pool.engines_created())
     }
 }

@@ -68,6 +68,20 @@ mod enabled {
         /// whose queue wait is treated as having outlived every per-request
         /// deadline in the batch.
         pub stall_dequeues: Vec<usize>,
+        /// Tenants whose circuit breaker is forced open at their next
+        /// admission attempt (and every one after, for as long as the plan
+        /// is installed) — exercising breaker shedding without needing real
+        /// failures first.
+        pub trip_breaker_on_tenants: Vec<String>,
+        /// Admission ordinals (0-based, one per admission attempt since
+        /// `install`) denied with [`spanners_core::SpannerError::QuotaExceeded`]
+        /// kind `"injected"` — exercising quota-rejection handling on an
+        /// exact, reproducible submission.
+        pub deny_admission_docs: Vec<usize>,
+        /// Simulated external memory pressure, in bytes, reported to the
+        /// global memory governor at every settle point — drives the
+        /// governor's shedding ladder deterministically without allocating.
+        pub governor_pressure: usize,
     }
 
     /// The installed plan plus the per-trigger ordinals seen since install.
@@ -78,6 +92,7 @@ mod enabled {
         promotions: usize,
         swaps: usize,
         dequeues: usize,
+        admissions: usize,
     }
 
     static PLAN: Mutex<Option<Installed>> = Mutex::new(None);
@@ -94,7 +109,14 @@ mod enabled {
     /// uninstalls the plan — unwinding included, so a failed test never
     /// leaks faults into the next one.
     pub fn install(plan: FaultPlan) -> FaultGuard {
-        *plan_lock() = Some(Installed { plan, checkouts: 0, promotions: 0, swaps: 0, dequeues: 0 });
+        *plan_lock() = Some(Installed {
+            plan,
+            checkouts: 0,
+            promotions: 0,
+            swaps: 0,
+            dequeues: 0,
+            admissions: 0,
+        });
         FaultGuard(())
     }
 
@@ -189,13 +211,48 @@ mod enabled {
             None => false,
         }
     }
+
+    /// Admission hook: counts the admission attempt; `true` means this
+    /// ordinal must be denied with an injected quota rejection.
+    pub(crate) fn admission_fault() -> bool {
+        let mut guard = plan_lock();
+        match guard.as_mut() {
+            Some(inst) => {
+                let ordinal = inst.admissions;
+                inst.admissions += 1;
+                inst.plan.deny_admission_docs.contains(&ordinal)
+            }
+            None => false,
+        }
+    }
+
+    /// Breaker hook: `true` when `tenant`'s breaker must be forced open at
+    /// this admission attempt.
+    pub(crate) fn breaker_trip(tenant: &str) -> bool {
+        match plan_lock().as_ref() {
+            Some(inst) => inst.plan.trip_breaker_on_tenants.iter().any(|t| t == tenant),
+            None => false,
+        }
+    }
+
+    /// Governor hook: simulated external memory pressure, in bytes (zero
+    /// without a plan).
+    pub(crate) fn governor_pressure() -> usize {
+        match plan_lock().as_ref() {
+            Some(inst) => inst.plan.governor_pressure,
+            None => 0,
+        }
+    }
 }
 
 #[cfg(feature = "fault-injection")]
 pub use enabled::{install, FaultGuard, FaultPlan};
 
 #[cfg(feature = "fault-injection")]
-pub(crate) use enabled::{checkout_fault, doc_faults, promotion_fault, stall_fault, swap_fault};
+pub(crate) use enabled::{
+    admission_fault, breaker_trip, checkout_fault, doc_faults, governor_pressure, promotion_fault,
+    stall_fault, swap_fault,
+};
 
 /// No-op stub compiled without the `fault-injection` feature.
 #[cfg(not(feature = "fault-injection"))]
@@ -226,4 +283,25 @@ pub(crate) fn swap_fault() -> bool {
 #[inline(always)]
 pub(crate) fn stall_fault() -> bool {
     false
+}
+
+/// No-op stub compiled without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn admission_fault() -> bool {
+    false
+}
+
+/// No-op stub compiled without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn breaker_trip(_tenant: &str) -> bool {
+    false
+}
+
+/// No-op stub compiled without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn governor_pressure() -> usize {
+    0
 }

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod admission;
 pub mod batch;
 pub mod faults;
 pub mod multi;
@@ -73,6 +74,10 @@ pub mod report;
 pub mod server;
 pub mod streaming;
 
+pub use admission::{
+    AdmissionController, AdmissionStats, BreakerPhase, BreakerPolicy, Governance, RateLimit,
+    RetryPolicy, TenantAdmissionStats, TenantQuota, TenantQuotas,
+};
 pub use batch::{BatchOptions, BatchSpanner};
 pub use multi::{
     MultiBatchReport, MultiSpanner, MultiSpannerServer, MultiStreamingServer, MultiTicket,
@@ -92,5 +97,6 @@ pub use faults::{install as install_faults, FaultGuard, FaultPlan};
 // for the common types that appear in this crate's signatures.
 pub use spanners_core::{
     CompiledSpanner, CountCache, Counter, DagView, Document, EngineMode, EvalLimits, Evaluator,
-    FrozenCache, Slp, SlpEvaluator, SlpRules, SlpSharedMemo, SpannerError,
+    FrozenCache, GovernorStats, MemoryGovernor, Slp, SlpEvaluator, SlpRules, SlpSharedMemo,
+    SpannerError,
 };

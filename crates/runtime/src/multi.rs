@@ -56,6 +56,7 @@
 //! only for that document. [`MultiStreamingServer`] does the same for the
 //! streaming service, including generational snapshot re-freezing.
 
+use crate::admission::Governance;
 use crate::batch::BatchOptions;
 use crate::report::{BatchReport, TenantSlot};
 use crate::server::SpannerServer;
@@ -66,7 +67,7 @@ use spanners_core::{
     MarkerSet, SpannerError, VarId, VarRegistry, MAX_VARIABLES,
 };
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // MultiSpanner: compilation
@@ -643,11 +644,48 @@ impl MultiTicket {
     /// outcomes in global tenant order. A shard-level failure is reported
     /// for exactly that shard's tenants.
     pub fn wait(self) -> Vec<Result<Vec<Mapping>, SpannerError>> {
+        let MultiTicket { multi, tickets } = self;
+        let results: Vec<_> = tickets.into_iter().map(Ticket::wait).collect();
+        MultiTicket::demux(&multi, results)
+    }
+
+    /// Bounded [`MultiTicket::wait`]: blocks up to `timeout` for **every**
+    /// shard's result. A timeout returns [`SpannerError::WaitTimedOut`]
+    /// without consuming anything — the document stays in flight on every
+    /// shard and the caller may wait again. Once all shards are done the
+    /// per-tenant outcomes are claimed exactly like [`MultiTicket::wait`]
+    /// (waiting again after that panics).
+    pub fn wait_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Vec<Result<Vec<Mapping>, SpannerError>>, SpannerError> {
+        let deadline = Instant::now() + timeout;
+        for ticket in &self.tickets {
+            if !ticket.wait_done_until(deadline) {
+                return Err(SpannerError::WaitTimedOut {
+                    waited_ms: u64::try_from(timeout.as_millis()).unwrap_or(u64::MAX),
+                });
+            }
+        }
+        let results: Vec<_> = self
+            .tickets
+            .iter()
+            .map(|t| t.take_ready().expect("all shard tickets checked done above"))
+            .collect();
+        Ok(MultiTicket::demux(&self.multi, results))
+    }
+
+    /// Routes per-shard shared-pass results back to global tenant order
+    /// (shard-level failures land on exactly that shard's tenants).
+    fn demux(
+        multi: &MultiSpanner,
+        results: Vec<Result<Vec<Vec<Mapping>>, SpannerError>>,
+    ) -> Vec<Result<Vec<Mapping>, SpannerError>> {
         let mut out: Vec<Option<Result<Vec<Mapping>, SpannerError>>> =
-            (0..self.multi.num_tenants()).map(|_| None).collect();
-        for (s, ticket) in self.tickets.into_iter().enumerate() {
-            let sh = &self.multi.shards[s];
-            match ticket.wait() {
+            (0..multi.num_tenants()).map(|_| None).collect();
+        for (s, result) in results.into_iter().enumerate() {
+            let sh = &multi.shards[s];
+            match result {
                 Ok(per) => {
                     for (slot, bucket) in per.into_iter().enumerate() {
                         out[sh.tenants[slot]] = Some(Ok(bucket));
@@ -682,6 +720,21 @@ impl MultiStreamingServer {
         multi: MultiSpanner,
         opts: StreamingOptions,
     ) -> Result<MultiStreamingServer, SpannerError> {
+        MultiStreamingServer::start_governed(multi, opts, Governance::none())
+    }
+
+    /// [`MultiStreamingServer::start`] with overload governance: the
+    /// admission controller (when present) gates the whole multi-shard
+    /// submission **once** — it is attached to shard 0, whose completed
+    /// micro-batches drive the batch-clocked admission sequence (every
+    /// shard sees the same documents, so shard 0's batch cadence is
+    /// representative) — while the memory governor is shared by every
+    /// shard's engine pool through per-shard ledger handles.
+    pub fn start_governed(
+        multi: MultiSpanner,
+        opts: StreamingOptions,
+        governance: Governance,
+    ) -> Result<MultiStreamingServer, SpannerError> {
         let multi = Arc::new(multi);
         let servers = multi
             .shards
@@ -689,9 +742,17 @@ impl MultiStreamingServer {
             .enumerate()
             .map(|(s, sh)| {
                 let demux = Arc::clone(&multi);
-                StreamingServer::start(sh.spanner.clone(), opts, move |_, view| {
-                    demux.demux_mappings(s, view.iter())
-                })
+                let shard_governance = if s == 0 {
+                    governance.clone()
+                } else {
+                    Governance { admission: None, governor: governance.governor.clone() }
+                };
+                StreamingServer::start_governed(
+                    sh.spanner.clone(),
+                    opts,
+                    shard_governance,
+                    move |_, view| demux.demux_mappings(s, view.iter()),
+                )
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(MultiStreamingServer { multi, servers })
@@ -705,17 +766,36 @@ impl MultiStreamingServer {
     /// Submits one document to every shard (cloning it per shard), blocking
     /// while any shard's queue is full. On error, shards that already
     /// accepted the document still evaluate it; their results are discarded
-    /// with the returned tickets.
+    /// with the returned tickets. Equivalent to
+    /// [`MultiStreamingServer::submit_for`] with the anonymous (empty)
+    /// tenant id.
     pub fn submit(
         &self,
         doc: &Document,
         deadline: Option<Duration>,
     ) -> Result<MultiTicket, SpannerError> {
-        let tickets = self
-            .servers
-            .iter()
-            .map(|server| server.submit(doc.clone(), deadline))
-            .collect::<Result<Vec<_>, _>>()?;
+        self.submit_for("", doc, deadline)
+    }
+
+    /// [`MultiStreamingServer::submit`] on behalf of `tenant`: the
+    /// tenant's circuit breaker and quotas (see [`crate::admission`]) gate
+    /// the whole multi-shard submission once, at shard 0 — an admission
+    /// rejection surfaces before any shard accepts the document, leaving
+    /// nothing in flight anywhere.
+    pub fn submit_for(
+        &self,
+        tenant: &str,
+        doc: &Document,
+        deadline: Option<Duration>,
+    ) -> Result<MultiTicket, SpannerError> {
+        let mut tickets = Vec::with_capacity(self.servers.len());
+        for (s, server) in self.servers.iter().enumerate() {
+            tickets.push(if s == 0 {
+                server.submit_for(tenant, doc.clone(), deadline)?
+            } else {
+                server.submit(doc.clone(), deadline)?
+            });
+        }
         Ok(MultiTicket { multi: Arc::clone(&self.multi), tickets })
     }
 

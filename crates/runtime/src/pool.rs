@@ -104,6 +104,22 @@ impl EvaluatorPool {
     pub fn quarantined(&self) -> usize {
         self.quarantined.load(Ordering::Relaxed)
     }
+
+    /// Governed bytes held by the idle engines (lazy caches plus frozen
+    /// deltas) — what this pool settles into a global
+    /// [`spanners_core::MemoryGovernor`]. Checked-out engines are counted at
+    /// the next settle point, after their batch checks them back in.
+    pub fn governed_bytes(&self) -> usize {
+        lock(&self.idle).iter().map(|(_, e)| e.governed_bytes()).sum()
+    }
+
+    /// Sheds every idle engine's governed memory (severity 1 of the global
+    /// shedding ladder; see [`Evaluator::shed_cold_memory`]). Returns the
+    /// number of engines that actually freed bytes.
+    pub fn shed_cold(&self) -> u64 {
+        let mut idle = lock(&self.idle);
+        idle.iter_mut().map(|(_, e)| e.shed_cold_memory()).filter(|&freed| freed > 0).count() as u64
+    }
 }
 
 /// Checkout guard of an [`EvaluatorPool`]; derefs to the [`Evaluator`] and
@@ -225,6 +241,19 @@ impl<C: Counter> CountCachePool<C> {
     pub fn quarantined(&self) -> usize {
         self.quarantined.load(Ordering::Relaxed)
     }
+
+    /// Governed bytes held by the idle caches (see
+    /// [`EvaluatorPool::governed_bytes`]).
+    pub fn governed_bytes(&self) -> usize {
+        lock(&self.idle).iter().map(|(_, e)| e.governed_bytes()).sum()
+    }
+
+    /// Sheds every idle cache's governed memory (see
+    /// [`EvaluatorPool::shed_cold`]); returns how many freed bytes.
+    pub fn shed_cold(&self) -> u64 {
+        let mut idle = lock(&self.idle);
+        idle.iter_mut().map(|(_, e)| e.shed_cold_memory()).filter(|&freed| freed > 0).count() as u64
+    }
 }
 
 /// Checkout guard of a [`CountCachePool`]; derefs to the [`CountCache`] and
@@ -327,6 +356,27 @@ impl SlpEvaluatorPool {
     /// Total evaluators quarantined (see [`EvaluatorPool::quarantined`]).
     pub fn quarantined(&self) -> usize {
         self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Governed bytes held by the idle evaluators — memo tables, lazy
+    /// caches and frozen deltas (see [`EvaluatorPool::governed_bytes`]).
+    pub fn governed_bytes(&self) -> usize {
+        lock(&self.idle).iter().map(|(_, e)| e.governed_bytes()).sum()
+    }
+
+    /// Sheds every idle evaluator's determinization-side memory (severity 1;
+    /// see [`EvaluatorPool::shed_cold`]); returns how many freed bytes.
+    pub fn shed_cold(&self) -> u64 {
+        let mut idle = lock(&self.idle);
+        idle.iter_mut().map(|(_, e)| e.shed_cold_memory()).filter(|&freed| freed > 0).count() as u64
+    }
+
+    /// Sheds every idle evaluator's SLP memo tables (severity 2 of the
+    /// global shedding ladder; see [`SlpEvaluator::shed_memos`]); returns
+    /// how many freed bytes.
+    pub fn shed_memos(&self) -> u64 {
+        let mut idle = lock(&self.idle);
+        idle.iter_mut().map(|(_, e)| e.shed_memos()).filter(|&freed| freed > 0).count() as u64
     }
 }
 

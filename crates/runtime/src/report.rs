@@ -56,6 +56,13 @@ impl DegradePolicy {
     }
 
     /// Whether a failed attempt may be retried on the next ladder rung.
+    ///
+    /// Deliberately narrower than [`SpannerError::is_retryable`]: that
+    /// classifies what a *caller* should retry after backing off (overload,
+    /// quota and breaker shedding, governor denials — see
+    /// [`crate::RetryPolicy`]), while the ladder only re-attempts the two
+    /// conditions a degraded *in-batch* re-evaluation can actually cure
+    /// (cache-eviction thrash and soft-deadline overruns).
     pub(crate) fn is_retryable(err: &SpannerError) -> bool {
         matches!(
             err,

@@ -19,6 +19,12 @@
 //!   complete with [`SpannerError::DeadlineExceeded`]`{soft: false}` without
 //!   burning evaluation work, and live tickets evaluate under their
 //!   *remaining* budget (clamped onto the configured limits).
+//! * **Tenant isolation & overload governance** —
+//!   [`StreamingServer::start_governed`] arms the server with per-tenant
+//!   admission quotas and circuit breakers plus a process-wide memory
+//!   governor (module [`crate::admission`]);
+//!   [`StreamingServer::submit_for`] names the tenant a submission belongs
+//!   to. All governance rejections are typed and retryable.
 //! * **Graceful shutdown** — [`StreamingServer::drain`] completes every
 //!   accepted ticket before returning; [`StreamingServer::abort`] finishes
 //!   in-flight batches and deterministically fails still-queued tickets with
@@ -42,12 +48,14 @@
 //! the sequential batch path at any worker count — generation swaps
 //! included. `tests/streaming.rs` pins this differentially.
 
+use crate::admission::{AdmissionController, Governance};
 use crate::batch::{BatchOptions, BatchPlan, WARM_SAMPLE_DOCS};
 use crate::faults;
 use crate::pool::{lock, EvaluatorPool};
 use crate::report::DegradePolicy;
 use spanners_core::{
-    CompiledSpanner, DagView, Document, EvalLimits, Evaluator, FrozenCache, SpannerError,
+    CompiledSpanner, DagView, Document, EvalLimits, Evaluator, FrozenCache, GovernorHandle,
+    SpannerError,
 };
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -207,24 +215,51 @@ impl StreamingOptions {
     }
 }
 
+/// The lifecycle of one ticket's result slot.
+#[derive(Debug)]
+enum TicketSlot<R> {
+    /// No completion landed yet.
+    Pending,
+    /// The result is parked, waiting to be claimed.
+    Ready(Result<R, SpannerError>),
+    /// The result was claimed (by [`Ticket::wait`] or a successful
+    /// [`Ticket::wait_timeout`]).
+    Taken,
+}
+
 /// One result slot shared between a [`Ticket`] and the worker completing it.
 #[derive(Debug)]
 struct TicketCell<R> {
-    slot: Mutex<Option<Result<R, SpannerError>>>,
+    slot: Mutex<TicketSlot<R>>,
     done: Condvar,
 }
 
 impl<R> TicketCell<R> {
     fn new() -> TicketCell<R> {
-        TicketCell { slot: Mutex::new(None), done: Condvar::new() }
+        TicketCell { slot: Mutex::new(TicketSlot::Pending), done: Condvar::new() }
     }
 
     /// First completion wins; later calls (the drop backstop) are no-ops.
     fn complete(&self, result: Result<R, SpannerError>) {
         let mut slot = lock(&self.slot);
-        if slot.is_none() {
-            *slot = Some(result);
+        if matches!(*slot, TicketSlot::Pending) {
+            *slot = TicketSlot::Ready(result);
             self.done.notify_all();
+        }
+    }
+
+    /// Claims a parked result (`None` while pending). Panics on a
+    /// double-claim — the consuming [`Ticket::wait`] makes that impossible
+    /// unless a caller keeps waiting on a ticket a previous
+    /// [`Ticket::wait_timeout`] already resolved.
+    fn claim(slot: &mut TicketSlot<R>) -> Option<Result<R, SpannerError>> {
+        match std::mem::replace(slot, TicketSlot::Taken) {
+            TicketSlot::Ready(result) => Some(result),
+            TicketSlot::Pending => {
+                *slot = TicketSlot::Pending;
+                None
+            }
+            TicketSlot::Taken => panic!("streaming ticket result claimed twice"),
         }
     }
 }
@@ -248,19 +283,73 @@ impl<R> Ticket<R> {
 
     /// Whether the result is already available (a non-blocking probe).
     pub fn is_done(&self) -> bool {
-        lock(&self.cell.slot).is_some()
+        !matches!(*lock(&self.cell.slot), TicketSlot::Pending)
     }
 
     /// Blocks until the result is available and returns it.
     pub fn wait(self) -> Result<R, SpannerError> {
         let mut slot = lock(&self.cell.slot);
         loop {
-            if let Some(result) = slot.take() {
+            if let Some(result) = TicketCell::claim(&mut slot) {
                 return result;
             }
             slot = match self.cell.done.wait(slot) {
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Bounded [`Ticket::wait`]: blocks up to `timeout` for the result.
+    ///
+    /// A timeout returns [`SpannerError::WaitTimedOut`] **without consuming
+    /// the ticket** — the submission stays in flight, the server still
+    /// resolves it, and the caller may wait again (or probe
+    /// [`Ticket::is_done`]) at its own cadence. Any other return claims the
+    /// result exactly like [`Ticket::wait`]; waiting again after that
+    /// panics.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<R, SpannerError> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = lock(&self.cell.slot);
+        loop {
+            if let Some(result) = TicketCell::claim(&mut slot) {
+                return result;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SpannerError::WaitTimedOut {
+                    waited_ms: u64::try_from(timeout.as_millis()).unwrap_or(u64::MAX),
+                });
+            }
+            slot = match self.cell.done.wait_timeout(slot, deadline - now) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// Claims an already-parked result without blocking (`None` while the
+    /// submission is still pending) — for composite waits that first probe
+    /// readiness via [`Ticket::wait_done_until`].
+    pub(crate) fn take_ready(&self) -> Option<Result<R, SpannerError>> {
+        TicketCell::claim(&mut lock(&self.cell.slot))
+    }
+
+    /// Bounded readiness probe for composite waits: blocks until the result
+    /// is available or `deadline` passes, claiming nothing.
+    pub(crate) fn wait_done_until(&self, deadline: Instant) -> bool {
+        let mut slot = lock(&self.cell.slot);
+        loop {
+            if !matches!(*slot, TicketSlot::Pending) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            slot = match self.cell.done.wait_timeout(slot, deadline - now) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
             };
         }
     }
@@ -295,6 +384,9 @@ struct Pending<R> {
     expires: Option<Instant>,
     /// The original budget in milliseconds, for expiry diagnostics.
     deadline_ms: u64,
+    /// The tenant slot the admission controller charged (when one gates
+    /// this server) — fed back at dequeue, completion and abandonment.
+    admit_slot: Option<u32>,
     guard: CompletionGuard<R>,
 }
 
@@ -392,6 +484,10 @@ struct Shared<R> {
     space_ready: Condvar,
     gen: Mutex<GenState>,
     counters: Counters,
+    /// Per-tenant quotas and circuit breakers gating `submit`.
+    admission: Option<Arc<AdmissionController>>,
+    /// This server's ledger handle into the process-wide memory governor.
+    governor: Option<GovernorHandle>,
 }
 
 impl<R> std::fmt::Debug for Shared<R> {
@@ -458,6 +554,27 @@ impl<R: Send + 'static> StreamingServer<R> {
     where
         F: Fn(usize, DagView<'_>) -> R + Send + Sync + 'static,
     {
+        StreamingServer::start_governed(spanner, opts, Governance::none(), map)
+    }
+
+    /// [`StreamingServer::start`] with overload governance attached: an
+    /// optional per-tenant [`AdmissionController`] (quotas + circuit
+    /// breakers, enforced by [`StreamingServer::submit_for`] /
+    /// [`StreamingServer::try_submit_for`]) and an optional process-wide
+    /// [`spanners_core::MemoryGovernor`] (this server settles its pooled
+    /// engines' bytes into the shared ledger after every micro-batch, sheds
+    /// cold engine state while over budget, and denies admissions with a
+    /// retryable [`SpannerError::BudgetExceeded`] while the ledger stays
+    /// over).
+    pub fn start_governed<F>(
+        spanner: CompiledSpanner,
+        opts: StreamingOptions,
+        governance: Governance,
+        map: F,
+    ) -> Result<StreamingServer<R>, SpannerError>
+    where
+        F: Fn(usize, DagView<'_>) -> R + Send + Sync + 'static,
+    {
         opts.validate()?;
         let shared = Arc::new(Shared {
             spanner,
@@ -479,6 +596,8 @@ impl<R: Send + 'static> StreamingServer<R> {
                 hot: 0,
             }),
             counters: Counters::default(),
+            admission: governance.admission,
+            governor: governance.governor.map(GovernorHandle::new),
         });
         let handles = (0..opts.workers)
             .map(|k| {
@@ -495,14 +614,34 @@ impl<R: Send + 'static> StreamingServer<R> {
     /// Submits one document, **blocking while the queue is full**, with an
     /// optional wall-clock deadline covering queue wait *and* evaluation.
     /// Fails with [`SpannerError::ShuttingDown`] once a drain/abort began.
+    /// Equivalent to [`StreamingServer::submit_for`] with the anonymous
+    /// (empty) tenant id.
     pub fn submit(
         &self,
         doc: Document,
         deadline: Option<Duration>,
     ) -> Result<Ticket<R>, SpannerError> {
+        self.submit_for("", doc, deadline)
+    }
+
+    /// [`StreamingServer::submit`] on behalf of `tenant`: the submission
+    /// first traverses the governance pipeline (global memory governor,
+    /// then the tenant's circuit breaker, then its quotas — see
+    /// [`crate::admission`]) and only then blocks for queue space. All
+    /// governance rejections are retryable ([`SpannerError::is_retryable`])
+    /// and leave nothing charged.
+    pub fn submit_for(
+        &self,
+        tenant: &str,
+        doc: Document,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<R>, SpannerError> {
+        let admit_slot = self.pre_admit(tenant, doc.len())?;
         let mut st = lock(&self.shared.state);
         loop {
             if st.phase != Phase::Running {
+                drop(st);
+                self.abandon_admit(admit_slot, doc.len());
                 return Err(SpannerError::ShuttingDown);
             }
             if st.queue.len() < self.shared.opts.queue_docs {
@@ -510,26 +649,67 @@ impl<R: Send + 'static> StreamingServer<R> {
             }
             st = wait(&self.shared.space_ready, st);
         }
-        Ok(self.enqueue(st, doc, deadline))
+        Ok(self.enqueue(st, doc, deadline, admit_slot))
     }
 
     /// Submits one document **without blocking**: a full queue sheds the
     /// request with [`SpannerError::Overloaded`] (the document is not
-    /// accepted — nothing server-side refers to it).
+    /// accepted — nothing server-side refers to it). Equivalent to
+    /// [`StreamingServer::try_submit_for`] with the anonymous (empty)
+    /// tenant id.
     pub fn try_submit(
         &self,
         doc: Document,
         deadline: Option<Duration>,
     ) -> Result<Ticket<R>, SpannerError> {
+        self.try_submit_for("", doc, deadline)
+    }
+
+    /// [`StreamingServer::try_submit`] on behalf of `tenant` (see
+    /// [`StreamingServer::submit_for`] for the governance pipeline).
+    pub fn try_submit_for(
+        &self,
+        tenant: &str,
+        doc: Document,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<R>, SpannerError> {
+        let admit_slot = self.pre_admit(tenant, doc.len())?;
         let st = lock(&self.shared.state);
         if st.phase != Phase::Running {
+            drop(st);
+            self.abandon_admit(admit_slot, doc.len());
             return Err(SpannerError::ShuttingDown);
         }
         if st.queue.len() >= self.shared.opts.queue_docs {
+            let queued = st.queue.len();
+            drop(st);
+            self.abandon_admit(admit_slot, doc.len());
             self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(SpannerError::Overloaded { capacity: self.shared.opts.queue_docs });
+            return Err(SpannerError::Overloaded { queued, capacity: self.shared.opts.queue_docs });
         }
-        Ok(self.enqueue(st, doc, deadline))
+        Ok(self.enqueue(st, doc, deadline, admit_slot))
+    }
+
+    /// The governance stages ahead of the ingress queue: the global memory
+    /// governor's retryable denial, then the tenant's breaker and quotas.
+    /// On success the admission controller (when present) has charged the
+    /// tenant and the returned slot must be settled via the controller.
+    fn pre_admit(&self, tenant: &str, bytes: usize) -> Result<Option<u32>, SpannerError> {
+        if let Some(handle) = &self.shared.governor {
+            handle.governor().admit()?;
+        }
+        match &self.shared.admission {
+            Some(ctrl) => ctrl.admit(tenant, bytes).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Rolls back a successful [`StreamingServer::pre_admit`] whose
+    /// submission was then refused by the ingress queue.
+    fn abandon_admit(&self, admit_slot: Option<u32>, bytes: usize) {
+        if let (Some(ctrl), Some(slot)) = (&self.shared.admission, admit_slot) {
+            ctrl.abandon(slot, bytes);
+        }
     }
 
     fn enqueue(
@@ -537,6 +717,7 @@ impl<R: Send + 'static> StreamingServer<R> {
         mut st: MutexGuard<'_, Ingress<R>>,
         doc: Document,
         deadline: Option<Duration>,
+        admit_slot: Option<u32>,
     ) -> Ticket<R> {
         let seq = st.next_seq;
         st.next_seq += 1;
@@ -547,6 +728,7 @@ impl<R: Send + 'static> StreamingServer<R> {
             doc,
             expires: deadline.map(|d| Instant::now() + d),
             deadline_ms: deadline.map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+            admit_slot,
             guard: CompletionGuard(Arc::clone(&cell)),
         });
         drop(st);
@@ -631,8 +813,19 @@ impl<R: Send + 'static> StreamingServer<R> {
             let _ = handle.join();
         }
         // Aborting (or a worker that died unclean) may leave queued tickets:
-        // dropping them completes each with ShuttingDown via the guard.
-        lock(&self.shared.state).queue.clear();
+        // dropping them completes each with ShuttingDown via the guard, and
+        // the admission controller releases their charges without feeding
+        // the breakers (being shed by the server says nothing about the
+        // tenant's documents).
+        let leftover: Vec<Pending<R>> = {
+            let mut st = lock(&self.shared.state);
+            st.queued_bytes = 0;
+            st.queue.drain(..).collect()
+        };
+        for p in &leftover {
+            self.abandon_admit(p.admit_slot, p.doc.len());
+        }
+        drop(leftover);
         let c = &self.shared.counters;
         StreamingStats {
             submitted: c.submitted.load(Ordering::Relaxed),
@@ -737,6 +930,13 @@ fn worker_loop<R: Send + 'static>(shared: &Shared<R>) {
 
 fn process_batch<R: Send + 'static>(shared: &Shared<R>, batch: Vec<Pending<R>>) {
     shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    // Tick the admission clock FIRST: open breakers cool down and token
+    // buckets refill on *previously completed* batches, never on the
+    // failures this batch is about to report — keeping the batch-clocked
+    // admission sequence deterministic at any worker count.
+    if let Some(ctrl) = &shared.admission {
+        ctrl.note_batch();
+    }
     // Deadline check at dequeue: expired tickets complete immediately with a
     // hard DeadlineExceeded, never burning evaluation work. An injected
     // dequeue stall expires every deadline-carrying ticket in the batch.
@@ -745,11 +945,20 @@ fn process_batch<R: Send + 'static>(shared: &Shared<R>, batch: Vec<Pending<R>>) 
     let mut seqs = Vec::with_capacity(batch.len());
     let mut docs = Vec::with_capacity(batch.len());
     let mut deadlines = Vec::with_capacity(batch.len());
+    let mut slots = Vec::with_capacity(batch.len());
     let mut guards = Vec::with_capacity(batch.len());
     for p in batch {
-        let Pending { seq, doc, expires, deadline_ms, guard } = p;
+        let Pending { seq, doc, expires, deadline_ms, admit_slot, guard } = p;
+        // The document left the ingress queue: release its queued-byte
+        // charge (it stays in-flight until its result lands).
+        if let (Some(ctrl), Some(slot)) = (&shared.admission, admit_slot) {
+            ctrl.release_queued(slot, doc.len());
+        }
         match expires {
             Some(at) if stalled || now >= at => {
+                if let (Some(ctrl), Some(slot)) = (&shared.admission, admit_slot) {
+                    ctrl.note_result(slot, false);
+                }
                 guard.complete(Err(SpannerError::DeadlineExceeded {
                     soft: false,
                     limit_ms: deadline_ms,
@@ -760,6 +969,7 @@ fn process_batch<R: Send + 'static>(shared: &Shared<R>, batch: Vec<Pending<R>>) 
                 seqs.push(seq);
                 docs.push(doc);
                 deadlines.push(expires.map(|at| at - now));
+                slots.push(admit_slot);
                 guards.push(guard);
             }
         }
@@ -777,6 +987,7 @@ fn process_batch<R: Send + 'static>(shared: &Shared<R>, batch: Vec<Pending<R>>) 
         doc_ids: Some(&seqs),
         deadlines: Some(&deadlines),
         gen_tag: generation.id,
+        governor: shared.governor.as_ref(),
     };
     let mapper = |i: usize, view: DagView<'_>| (shared.map)(seqs[i], view);
     let report = plan.evaluate_report(&shared.pool, &docs, &shared.opts.batch_options(), &mapper);
@@ -784,7 +995,10 @@ fn process_batch<R: Send + 'static>(shared: &Shared<R>, batch: Vec<Pending<R>>) 
     shared.counters.failed.fetch_add(report.failed as u64, Ordering::Relaxed);
     shared.counters.delta_states.fetch_add(report.delta_states, Ordering::Relaxed);
     let pressure = report.delta_states;
-    for (guard, result) in guards.iter().zip(report.results) {
+    for ((guard, slot), result) in guards.iter().zip(slots).zip(report.results) {
+        if let (Some(ctrl), Some(slot)) = (&shared.admission, slot) {
+            ctrl.note_result(slot, result.is_ok());
+        }
         guard.complete(result);
     }
     drop(guards);

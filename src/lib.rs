@@ -27,11 +27,13 @@ pub use spanners_workloads as workloads;
 pub use spanners_core::{
     count_mappings, CompiledSpanner, CountCache, Document, EngineMode, EnginePolicy,
     EnumerationDag, Eva, EvaBuilder, EvalLimits, Evaluator, EvictionPolicy, FrozenCache,
-    FrozenDelta, LazyCache, LazyConfig, LazyDetSeva, Mapping, MarkerSet, Slp, SlpEvaluator,
-    SlpRules, Span, SpannerError, VarId, VarRegistry,
+    FrozenDelta, GovernorStats, LazyCache, LazyConfig, LazyDetSeva, Mapping, MarkerSet,
+    MemoryGovernor, Slp, SlpEvaluator, SlpRules, Span, SpannerError, VarId, VarRegistry,
 };
 pub use spanners_runtime::{
-    BatchOptions, BatchReport, BatchSpanner, BatchSummary, DegradePolicy, MultiBatchReport,
-    MultiSpanner, MultiSpannerServer, MultiStreamingServer, MultiTicket, RefreezePolicy,
-    SpannerServer, StreamingOptions, StreamingServer, StreamingStats, TenantSlot, Ticket,
+    AdmissionController, AdmissionStats, BatchOptions, BatchReport, BatchSpanner, BatchSummary,
+    BreakerPhase, BreakerPolicy, DegradePolicy, Governance, MultiBatchReport, MultiSpanner,
+    MultiSpannerServer, MultiStreamingServer, MultiTicket, RateLimit, RefreezePolicy, RetryPolicy,
+    SpannerServer, StreamingOptions, StreamingServer, StreamingStats, TenantAdmissionStats,
+    TenantQuota, TenantQuotas, TenantSlot, Ticket,
 };

@@ -238,6 +238,61 @@ fn memo_eviction_thrash_is_slow_but_correct() {
     }
 }
 
+/// Both lazy-cache eviction policies under SLP shared-memo overflow: a
+/// one-byte memo budget makes every row insertion overflow, and a tight
+/// lazy budget keeps the determinization cache evicting per its policy —
+/// [`spanners::EvictionPolicy::Segmented`]'s partial (second-chance)
+/// eviction must stay byte-identical to clear-and-restart's full one, and
+/// the `max_cache_clears` accounting must surface identically typed
+/// recoverable errors under either policy.
+#[test]
+fn eviction_policies_agree_under_shared_memo_overflow() {
+    use spanners::{EvalLimits, EvictionPolicy, LazyConfig};
+
+    let docs = w::repetitive_log_corpus(0x5E9, 6, 300);
+    let slps = w::SlpBuilder::new().build_corpus(&docs).unwrap();
+    let eva = pattern_eva(w::digit_runs_pattern());
+    // Ground truth: decompressed evaluation on a roomy default engine.
+    let roomy = CompiledSpanner::from_eva_with(&eva, EnginePolicy::Lazy).unwrap();
+    let expected: Vec<u64> = docs.iter().map(|d| roomy.count(d).unwrap()).collect();
+    for policy in [EvictionPolicy::ClearRestart, EvictionPolicy::Segmented] {
+        let config = LazyConfig::with_budget(600).with_eviction(policy);
+        let spanner = CompiledSpanner::from_eva_lazy(&eva, config).unwrap();
+        let mut ev = SlpEvaluator::new();
+        ev.set_memo_budget(1);
+        for (i, (slp, &want)) in slps.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                spanner.count_slp_with(&mut ev, slp).unwrap(),
+                want,
+                "doc {i} diverged under {policy:?} with a thrashing memo"
+            );
+            assert_eq!(
+                spanner.is_match_slp_with(&mut ev, slp).unwrap(),
+                want > 0,
+                "doc {i} match flag diverged under {policy:?}"
+            );
+        }
+        assert!(
+            ev.memo_clears() > 0,
+            "{policy:?}: a 1-byte memo budget must overflow and clear (clears {})",
+            ev.memo_clears()
+        );
+        // The clear-counting limit keys the degradation ladder identically
+        // under both policies: persistent memo thrash surfaces as the same
+        // recoverable BudgetExceeded, not a policy-dependent error.
+        let mut limited = SlpEvaluator::new();
+        limited.set_memo_budget(1);
+        limited.set_limits(EvalLimits::none().with_max_cache_clears(0));
+        let err = spanner.count_slp_with(&mut limited, &slps[0]).unwrap_err();
+        assert!(
+            matches!(err, SpannerError::BudgetExceeded { .. }),
+            "{policy:?}: clear-limited thrash must type as BudgetExceeded, got {err:?}"
+        );
+        // The failed run still booked its clears before erroring out.
+        assert!(limited.memo_clears() > 0, "{policy:?}: accounting survives the typed error");
+    }
+}
+
 /// The deterministic fault harness applies unchanged to compressed batches:
 /// a panic is contained to its document, forced eviction degrades through
 /// the retry ladder, and survivors stay byte-identical at every thread

@@ -197,7 +197,10 @@ fn try_submit_sheds_load_with_a_typed_overloaded_error() {
     let t1 = server.submit(docs[1].clone(), None).unwrap();
     let t2 = server.submit(docs[2].clone(), None).unwrap();
     match server.try_submit(docs[3].clone(), None) {
-        Err(SpannerError::Overloaded { capacity }) => assert_eq!(capacity, 2),
+        Err(SpannerError::Overloaded { queued, capacity }) => {
+            assert_eq!(capacity, 2);
+            assert_eq!(queued, 2, "the shed error reports the live queue depth");
+        }
         other => panic!("expected Overloaded, got {other:?}"),
     }
     assert_eq!(server.queue_len(), 2);
